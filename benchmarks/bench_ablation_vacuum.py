@@ -1,0 +1,53 @@
+"""Ablation — vacuum frequency on the erasure-study workload.
+
+DESIGN.md calls out the maintenance interval as the load-bearing knob of
+the DELETE+VACUUM grounding: vacuum too often and the per-invocation
+trigger overhead dominates; too rarely and dead-tuple bloat taxes the 80%
+read share.  The sweep exposes the trade-off the paper's Figure 4(a)
+implicitly fixes at one point.
+"""
+
+from conftest import emit, once, scaled
+
+from repro.bench.experiments import ErasureConfig, run_erasure_config
+
+NEVER = 10**9
+
+
+def test_vacuum_interval_sweep(once):
+    record_count = scaled(50_000, minimum=20_000)
+    n_txns = scaled(10_000, minimum=8_000)
+    expected_deletes = n_txns // 5  # the 20% delete share of the mix
+    # Intervals expressed relative to the workload's total delete count so
+    # the sweep stays meaningful under REPRO_SCALE.
+    intervals = (
+        max(1, expected_deletes // 64),
+        max(2, expected_deletes // 16),
+        max(4, expected_deletes // 4),
+        NEVER,
+    )
+
+    def sweep():
+        return {
+            interval: run_erasure_config(
+                ErasureConfig.DELETE_VACUUM,
+                record_count,
+                n_txns,
+                maintenance_interval=interval,
+            )
+            for interval in intervals
+        }
+
+    costs = once(sweep)
+    lines = ["Ablation: VACUUM frequency (erasure-study workload, seconds)"]
+    for interval, seconds in costs.items():
+        label = "never" if interval >= NEVER else str(interval)
+        lines.append(f"  every {label:>6} deletes: {seconds:9.1f}s")
+    emit("ablation_vacuum", "\n".join(lines))
+
+    best_interval = min(costs, key=costs.get)
+    # The sweet spot is interior: both extremes lose to the best setting —
+    # too-frequent vacuums pay trigger overhead, too-rare ones pay bloat.
+    assert costs[intervals[0]] > costs[best_interval]
+    assert costs[NEVER] > costs[best_interval]
+    assert best_interval not in (intervals[0], NEVER)

@@ -1,0 +1,56 @@
+"""Figure 4(a) — interpretations of data erasure in PSQL on WCus.
+
+Four erase implementations on the erasure-study workload (20% deletes /
+80% reads), transaction counts 10K–70K over a 100k-record table.
+
+Shape assertions (the paper's findings):
+* at the largest transaction count the ordering is
+  DELETE+VACUUM FULL > Tombstones (Indexing) > DELETE > DELETE+VACUUM;
+* DELETE+VACUUM strictly beats DELETE on the mixed workload — VACUUM's
+  cost on the 20% deletes is offset by faster reads on the other 80%;
+* on a deletion-only control workload the relationship flips.
+"""
+
+from conftest import emit, once, scaled
+
+from repro.bench.experiments import (
+    ErasureConfig,
+    fig4a,
+    fig4a_pure_delete_control,
+)
+from repro.bench.reporting import render_fig4a
+
+
+def test_fig4a(once):
+    record_count = scaled(100_000)
+    txn_counts = tuple(scaled(n) for n in (10_000, 30_000, 50_000, 70_000))
+    series = once(fig4a, record_count=record_count, txn_counts=txn_counts)
+    emit("fig4a", render_fig4a(series))
+
+    finals = {config: points[-1].seconds for config, points in series.items()}
+    assert (
+        finals[ErasureConfig.DELETE_VACUUM_FULL]
+        > finals[ErasureConfig.TOMBSTONES]
+        > finals[ErasureConfig.DELETE]
+        > finals[ErasureConfig.DELETE_VACUUM]
+    ), finals
+    # VACUUM FULL is the outlier implementation — an order of magnitude.
+    assert finals[ErasureConfig.DELETE_VACUUM_FULL] > 5 * finals[ErasureConfig.DELETE]
+    # every series is monotone in transaction count
+    for config, points in series.items():
+        seconds = [p.seconds for p in points]
+        assert seconds == sorted(seconds), (config, seconds)
+
+
+def test_fig4a_pure_delete_control(once):
+    """'The expected performance is observed for a workload composed only
+    of deletions' — VACUUM is pure overhead without reads to speed up."""
+    control = once(
+        fig4a_pure_delete_control, scaled(20_000), scaled(10_000)
+    )
+    emit(
+        "fig4a_control",
+        "Deletion-only control (seconds): "
+        + ", ".join(f"{k}={v:.0f}" for k, v in control.items()),
+    )
+    assert control[ErasureConfig.DELETE] < control[ErasureConfig.DELETE_VACUUM]

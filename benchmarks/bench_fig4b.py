@@ -1,0 +1,60 @@
+"""Figure 4(b) — completion time for workloads (100k records, 10k txns).
+
+Runs WPro / WCon / WCus / YCSB-C on P_Base, P_GBench, and P_SYS.
+
+Shape assertions (the paper's findings):
+* every GDPR workload: P_SYS > P_GBench > P_Base (increasingly restrictive
+  interpretations cost more); on YCSB-C the three are near-equal;
+* YCSB-C is each profile's cheapest workload — compliance machinery has
+  small impact on non-GDPR operations;
+* the P_Base↔P_GBench gap is largest on WCon (create/delete/update-heavy
+  operations need more metadata access and logging);
+* P_SYS's policy-checking share of completion time peaks on WPro (100%
+  reads, every one invoking the expensive FGAC check).
+"""
+
+from conftest import emit, once, scaled
+
+from repro.bench.experiments import fig4b
+from repro.bench.reporting import render_fig4b
+
+
+def test_fig4b(once):
+    results = once(
+        fig4b,
+        record_count=scaled(100_000),
+        n_transactions=scaled(10_000),
+    )
+    emit("fig4b", render_fig4b(results))
+
+    for wname in ("WPro", "WCon", "WCus"):
+        minutes = {p: r.total_minutes for p, r in results[wname].items()}
+        assert (
+            minutes["P_SYS"] > minutes["P_GBench"] > minutes["P_Base"]
+        ), (wname, minutes)
+
+    # On non-GDPR traffic the three interpretations are near-equal.
+    ycsb = [r.total_minutes for r in results["YCSB-C"].values()]
+    assert max(ycsb) < 1.1 * min(ycsb)
+
+    for profile in ("P_Base", "P_GBench", "P_SYS"):
+        ycsb = results["YCSB-C"][profile].total_minutes
+        for wname in ("WPro", "WCon", "WCus"):
+            assert ycsb < results[wname][profile].total_minutes, (profile, wname)
+
+    def gap(wname):
+        return (
+            results[wname]["P_GBench"].total_minutes
+            - results[wname]["P_Base"].total_minutes
+        )
+
+    assert gap("WCon") > gap("WCus"), (gap("WCon"), gap("WCus"))
+    assert gap("WCon") > gap("WPro"), (gap("WCon"), gap("WPro"))
+
+    def policy_share(wname):
+        result = results[wname]["P_SYS"]
+        total = sum(result.breakdown.values())
+        return result.breakdown.get("policy", 0.0) / total
+
+    assert policy_share("WPro") > policy_share("WCon")
+    assert policy_share("WPro") > policy_share("WCus")

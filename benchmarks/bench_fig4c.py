@@ -1,0 +1,49 @@
+"""Figure 4(c) — scalability: WCus (lines) & YCSB-C (bars) vs record count.
+
+Record counts 100k–500k at a fixed 10k transactions.
+
+Shape assertions (the paper's findings):
+* every series grows with record count;
+* the growth slope orders P_SYS > P_GBench > P_Base — the strictest
+  interpretation is impacted the most by data volume, P_Base the least;
+* YCSB-C grows much more slowly than WCus for every profile.
+"""
+
+from conftest import emit, once, scaled
+
+from repro.bench.experiments import fig4c
+from repro.bench.reporting import render_fig4c
+
+PROFILES = ("P_Base", "P_GBench", "P_SYS")
+
+
+def test_fig4c(once):
+    record_counts = tuple(
+        scaled(n) for n in (100_000, 200_000, 300_000, 400_000, 500_000)
+    )
+    results = once(
+        fig4c,
+        record_counts=record_counts,
+        n_transactions=scaled(10_000),
+    )
+    emit("fig4c", render_fig4c(results))
+
+    wcus = results["WCus"]
+    sizes = sorted(wcus)
+    for profile in PROFILES:
+        series = [wcus[n][profile] for n in sizes]
+        assert series == sorted(series), (profile, series)
+
+    def slope(table, profile):
+        return (table[sizes[-1]][profile] - table[sizes[0]][profile]) / (
+            sizes[-1] - sizes[0]
+        )
+
+    assert slope(wcus, "P_SYS") > slope(wcus, "P_GBench") > slope(wcus, "P_Base")
+
+    ycsb = results["YCSB-C"]
+    for profile in PROFILES:
+        assert slope(ycsb, profile) < slope(wcus, profile), profile
+        # at every size, the compliance profiles dominate plain traffic
+        for n in sizes:
+            assert ycsb[n][profile] < wcus[n][profile], (profile, n)

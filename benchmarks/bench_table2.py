@@ -1,0 +1,38 @@
+"""Table 2 — storage space overhead corresponding to Figure 4(b).
+
+Runs WCus (100k records / 10k txns) on each profile and reports personal
+data size, metadata size, total size (indices included), and the space
+factor (total / personal).
+
+Shape assertions (the paper's findings):
+* personal-data size is identical across profiles (same dataset);
+* space factors order P_SYS ≫ P_GBench > P_Base;
+* magnitudes sit in the paper's bands: P_Base ≈ 3×, P_GBench ≈ 3.5–4.5×,
+  P_SYS ≈ 15–20× ("metadata explosion").
+"""
+
+from conftest import emit, once, scaled
+
+from repro.bench.experiments import table2
+from repro.bench.reporting import render_table2
+
+
+def test_table2(once):
+    reports = once(
+        table2, record_count=scaled(100_000), n_transactions=scaled(10_000)
+    )
+    emit("table2", render_table2(reports))
+    by_name = {r.system: r for r in reports}
+
+    personal = {r.personal_bytes for r in reports}
+    assert len(personal) == 1, "personal data must be identical across profiles"
+
+    base = by_name["P_Base"].space_factor
+    gbench = by_name["P_GBench"].space_factor
+    psys = by_name["P_SYS"].space_factor
+    assert psys > gbench > base
+    assert 2.5 <= base <= 4.0, base
+    assert 3.0 <= gbench <= 4.5, gbench
+    assert 14.0 <= psys <= 21.0, psys
+    # P_SYS's metadata dwarfs the others' — the Sieve middleware's footprint.
+    assert by_name["P_SYS"].metadata_bytes > 5 * by_name["P_GBench"].metadata_bytes

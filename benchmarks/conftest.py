@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+``REPRO_SCALE`` (float, default 1.0) scales record and transaction counts:
+1.0 reproduces the paper's scale (100k records / 10k transactions; Figure
+4(c) up to 500k records); 0.1 gives a quick smoke run.  The measured
+*simulated* completion times are deterministic at any scale; wall-clock
+(what pytest-benchmark reports) is the cost of running the simulation.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def scaled(n: int, minimum: int = 1_000) -> int:
+    """Scale a paper-sized count, keeping it large enough to be meaningful."""
+    return max(minimum, int(n * SCALE))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulation runs are long and
+    deterministic; repeated rounds would only re-measure the interpreter)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

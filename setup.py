@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The sandbox has setuptools 65.5 without the ``wheel`` package, so PEP-660
+editable installs (``pip install -e .``) cannot build an editable wheel.
+This shim lets ``python setup.py develop`` (which pip falls back to) work;
+all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Access-control substrate.
+
+Three enforcement tiers matching the profiles of §4.2:
+
+* :mod:`repro.access.rbac` — role-based access control (P_Base): roles,
+  role attributes, memberships; O(1) checks.
+* :mod:`repro.access.fgac` — fine-grained access control: per-data-unit
+  policies evaluated at access time.  Naive evaluation scans every policy
+  attached to the unit.
+* :mod:`repro.access.sieve` — a reimplementation of the Sieve middleware
+  [51]: policies are grouped into guarded expressions indexed by
+  (entity, purpose), cutting the candidate set per check while adding the
+  considerable metadata footprint Table 2 reports for P_SYS.
+"""
+
+from repro.access.errors import AccessDenied
+from repro.access.rbac import Permission, RbacController, Role
+from repro.access.fgac import FgacController, PolicyStore
+from repro.access.sieve import SieveMiddleware
+
+__all__ = [
+    "AccessDenied",
+    "Role",
+    "Permission",
+    "RbacController",
+    "PolicyStore",
+    "FgacController",
+    "SieveMiddleware",
+]

@@ -1,0 +1,20 @@
+"""Access-control exceptions."""
+
+from __future__ import annotations
+
+
+class AccessDenied(PermissionError):
+    """The controller refused the operation.
+
+    Carries enough context for the obligations invariant (Figure 1, VIII):
+    a denied operation that was nonetheless executed is a breach.
+    """
+
+    def __init__(self, entity: str, purpose: str, resource: str) -> None:
+        super().__init__(
+            f"access denied: entity={entity!r} purpose={purpose!r} "
+            f"resource={resource!r}"
+        )
+        self.entity = entity
+        self.purpose = purpose
+        self.resource = resource

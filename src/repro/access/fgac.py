@@ -1,0 +1,109 @@
+"""Fine-grained access control — per-data-unit policies.
+
+FGAC evaluates the actual Data-CASE policies ⟨p, e, t_b, t_f⟩ attached to
+each data unit at access time.  PostgreSQL "does not support FGAC" at this
+granularity (§4.2), which is why P_SYS retrofits a middleware; the naive
+controller here is the baseline that middleware improves on — and the
+subject of the Sieve ablation bench.
+
+The :class:`PolicyStore` doubles as the *metadata table* holding policies:
+P_GBench "stores policies and other metadata in a table separate from the
+one containing personal data", so lookups there charge a join probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.access.errors import AccessDenied
+from repro.core.entities import Entity
+from repro.core.policy import Policy
+from repro.sim.costs import CostModel
+
+#: Approximate bytes per stored policy row (unit id, purpose, entity, window).
+POLICY_ROW_BYTES = 72
+
+
+class PolicyStore:
+    """Policies keyed by data unit — the separate metadata table."""
+
+    def __init__(self) -> None:
+        self._by_unit: Dict[str, List[Policy]] = {}
+        self._count = 0
+
+    def add(self, unit_id: str, policy: Policy) -> None:
+        self._by_unit.setdefault(unit_id, []).append(policy)
+        self._count += 1
+
+    def policies_of(self, unit_id: str) -> List[Policy]:
+        return list(self._by_unit.get(unit_id, ()))
+
+    def remove_unit(self, unit_id: str) -> int:
+        removed = len(self._by_unit.pop(unit_id, ()))
+        self._count -= removed
+        return removed
+
+    @property
+    def policy_count(self) -> int:
+        return self._count
+
+    @property
+    def unit_count(self) -> int:
+        return len(self._by_unit)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._count * POLICY_ROW_BYTES
+
+    def units(self) -> Iterable[str]:
+        return self._by_unit.keys()
+
+
+class FgacController:
+    """Naive fine-grained checks: scan every policy of the unit.
+
+    ``join_per_check`` models P_GBench's schema: policies live in a separate
+    table, so every check pays a join probe before evaluating candidates.
+    """
+
+    def __init__(
+        self,
+        cost: CostModel,
+        store: Optional[PolicyStore] = None,
+        join_per_check: bool = False,
+    ) -> None:
+        self._cost = cost
+        self.store = store if store is not None else PolicyStore()
+        self._join = join_per_check
+
+    # --------------------------------------------------------------- manage
+    def attach(self, unit_id: str, policy: Policy) -> None:
+        self.store.add(unit_id, policy)
+        self._cost.charge_policy_insert()
+
+    # ---------------------------------------------------------------- checks
+    def evaluate(
+        self, unit_id: str, entity: Entity, purpose: str, at: int
+    ) -> Tuple[bool, int]:
+        """(allowed, policies_evaluated) — scans until a policy authorizes."""
+        if self._join:
+            self._cost.charge_policy_table_join()
+        policies = self.store.policies_of(unit_id)
+        evaluated = 0
+        for policy in policies:
+            evaluated += 1
+            if policy.authorizes(purpose, entity, at):
+                self._cost.charge_fgac_eval(evaluated)
+                return True, evaluated
+        self._cost.charge_fgac_eval(max(evaluated, 1))
+        return False, evaluated
+
+    def check(self, unit_id: str, entity: Entity, purpose: str, at: int) -> int:
+        allowed, evaluated = self.evaluate(unit_id, entity, purpose, at)
+        if not allowed:
+            raise AccessDenied(entity.name, purpose, unit_id)
+        return evaluated
+
+    @property
+    def size_bytes(self) -> int:
+        return self.store.size_bytes

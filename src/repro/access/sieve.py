@@ -1,0 +1,98 @@
+"""Sieve — a middleware for scalable fine-grained access control.
+
+Reimplementation of the approach of Pappachan et al. [51] at the level of
+detail the paper's evaluation depends on: instead of scanning every policy
+attached to a unit, Sieve
+
+1. groups policies into **guarded expressions**: one guard per
+   (entity, purpose) pair, holding only that pair's policies;
+2. maintains an **index** over the guards (here a hash index, standing in
+   for Sieve's exploitation of "UDFs, index usage hints, etc."), so a check
+   descends to one guard and evaluates only its candidates;
+3. pays for this with substantial metadata: guard index entries, per-guard
+   structures, and denormalized policy rows — the dominant share of P_SYS's
+   17.1× space factor in Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.access.errors import AccessDenied
+from repro.access.fgac import POLICY_ROW_BYTES, PolicyStore
+from repro.core.entities import Entity
+from repro.core.policy import Policy
+from repro.sim.costs import CostModel
+
+#: Bytes per guarded-expression structure (guard predicate, stats, hints).
+GUARD_BYTES = 48
+
+#: Bytes per guard-index entry.
+GUARD_INDEX_ENTRY_BYTES = 12
+
+#: Bytes per denormalized policy row inside a guard (Sieve keeps its own
+#: representation alongside the base policy table).
+GUARD_POLICY_BYTES = 72
+
+
+class SieveMiddleware:
+    """FGAC with guarded-expression indexing."""
+
+    def __init__(self, cost: CostModel, store: Optional[PolicyStore] = None) -> None:
+        self._cost = cost
+        self.store = store if store is not None else PolicyStore()
+        # guard key: (unit_id, entity name, purpose) -> candidate policies.
+        self._guards: Dict[Tuple[str, str, str], List[Policy]] = {}
+
+    # --------------------------------------------------------------- manage
+    def attach(self, unit_id: str, policy: Policy) -> None:
+        """Register the policy in the base store and its guard."""
+        self.store.add(unit_id, policy)
+        key = (unit_id, policy.entity.name, policy.purpose)
+        self._guards.setdefault(key, []).append(policy)
+        self._cost.charge_policy_insert()
+
+    def detach_unit(self, unit_id: str) -> int:
+        """Drop all policies and guards of a unit (erase path)."""
+        removed = self.store.remove_unit(unit_id)
+        for key in [k for k in self._guards if k[0] == unit_id]:
+            del self._guards[key]
+        return removed
+
+    # ---------------------------------------------------------------- checks
+    def evaluate(
+        self, unit_id: str, entity: Entity, purpose: str, at: int
+    ) -> Tuple[bool, int]:
+        """(allowed, candidates_evaluated) via the guard index."""
+        self._cost.charge_sieve_lookup()
+        candidates = self._guards.get((unit_id, entity.name, purpose), ())
+        evaluated = 0
+        for policy in candidates:
+            evaluated += 1
+            if policy.authorizes(purpose, entity, at):
+                self._cost.charge_fgac_eval(evaluated)
+                return True, evaluated
+        self._cost.charge_fgac_eval(max(evaluated, 1))
+        return False, evaluated
+
+    def check(self, unit_id: str, entity: Entity, purpose: str, at: int) -> int:
+        allowed, evaluated = self.evaluate(unit_id, entity, purpose, at)
+        if not allowed:
+            raise AccessDenied(entity.name, purpose, unit_id)
+        return evaluated
+
+    # ----------------------------------------------------------------- space
+    @property
+    def guard_count(self) -> int:
+        return len(self._guards)
+
+    @property
+    def size_bytes(self) -> int:
+        """Base policy rows + guards + guard index + denormalized copies."""
+        guards = len(self._guards)
+        denormalized = sum(len(v) for v in self._guards.values())
+        return (
+            self.store.size_bytes
+            + guards * (GUARD_BYTES + GUARD_INDEX_ENTRY_BYTES)
+            + denormalized * GUARD_POLICY_BYTES
+        )

@@ -1,0 +1,89 @@
+"""CSV logger — PSQL-style ``log_destination = csvlog``.
+
+P_Base's history grounding: "native csv logging and … security policy to
+record query responses at row-level" (§4.2).  Each logged operation becomes
+one CSV row; the logger tracks the byte footprint of the accumulated log
+files.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, List, Optional
+
+from repro.sim.costs import CostModel
+
+#: Fixed CSV columns: timestamp, user, database, pid, operation, table, key,
+#: rows, detail — mirroring the postgres csvlog field set we rely on.
+HEADER = "log_time,user_name,database_name,process_id,command_tag,table_name,key,rows,detail"
+
+#: Bytes of csvlog fields we do not render (session id, vxid, location, …)
+#: but which postgres writes per row — counted in the size accounting.
+FIXED_FIELD_BYTES = 16
+
+
+class CsvLogger:
+    """Row-level CSV operation log with byte accounting."""
+
+    def __init__(self, cost: CostModel, database_name: str = "repro") -> None:
+        self._cost = cost
+        self._database = database_name
+        self._rows: List[str] = []
+        self._bytes = len(HEADER) + 1
+
+    def log(
+        self,
+        timestamp: int,
+        user: str,
+        operation: str,
+        table: str,
+        key: Any,
+        rows: int = 1,
+        detail: str = "",
+    ) -> str:
+        """Format and retain one CSV row; returns the formatted line."""
+        line = (
+            f"{timestamp},{user},{self._database},1,{operation},"
+            f"{table},{key},{rows},{detail}"
+        )
+        self._rows.append(line)
+        self._bytes += len(line) + 1 + FIXED_FIELD_BYTES
+        self._cost.charge_csv_log_row()
+        return line
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def rows_for_key(self, table: str, key: Any) -> List[str]:
+        needle = f",{table},{key},"
+        return [r for r in self._rows if needle in r]
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """The log file contents (header + rows), for examples/debugging."""
+        buffer = io.StringIO()
+        buffer.write(HEADER + "\n")
+        for row in self._rows[:limit]:
+            buffer.write(row + "\n")
+        return buffer.getvalue()
+
+    # -------------------------------------------------------------- retention
+    def purge_key(self, table: str, key: Any) -> int:
+        needle = f",{table},{key},"
+        kept = []
+        removed = 0
+        for row in self._rows:
+            if needle in row:
+                removed += 1
+                self._bytes -= len(row) + 1 + FIXED_FIELD_BYTES
+            else:
+                kept.append(row)
+        self._rows = kept
+        if removed:
+            self._cost.charge_log_purge(removed)
+        return removed

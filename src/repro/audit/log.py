@@ -1,0 +1,77 @@
+"""Action log — the durable store behind the formal action-history.
+
+Wraps :class:`repro.core.actions.ActionHistory` with cost charging and byte
+accounting, and supports the purge-on-erase the strictest grounding needs
+("erasure is implemented using DELETE + VACUUM FULL *as well as deleting
+logs of the data units being deleted*", §4.2 P_SYS).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
+from repro.core.entities import Entity
+from repro.sim.costs import CostModel
+
+#: Approximate serialized bytes per action record.
+RECORD_BYTES = 64
+
+
+class ActionLog:
+    """Append-only action history with cost/space accounting."""
+
+    def __init__(self, cost: CostModel) -> None:
+        self._cost = cost
+        self._history = ActionHistory()
+        self._purged = 0
+
+    # -------------------------------------------------------------- recording
+    def record(
+        self,
+        unit_id: str,
+        purpose: str,
+        entity: Entity,
+        action_type: ActionType,
+        timestamp: int,
+        detail: Optional[str] = None,
+    ) -> ActionHistoryTuple:
+        entry = ActionHistoryTuple(
+            unit_id, purpose, entity, Action(action_type, detail), timestamp
+        )
+        self._history.record(entry)
+        self._cost.charge_log_append()
+        return entry
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def history(self) -> ActionHistory:
+        """The formal H — what the compliance checker consumes."""
+        return self._history
+
+    @property
+    def record_count(self) -> int:
+        return len(self._history)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._history) * RECORD_BYTES
+
+    @property
+    def purged_count(self) -> int:
+        return self._purged
+
+    # -------------------------------------------------------------- retention
+    def purge_unit(self, unit_id: str) -> int:
+        """Scrub every record about the unit (the P_SYS erase grounding).
+
+        Note the tension this creates with demonstrability (Figure 1, IX):
+        after a purge the system can no longer *prove* it erased on time.
+        The compliance checker surfaces that trade-off; see
+        ``examples/reldb_compliance.py``.
+        """
+        removed = self._history.forget_unit(unit_id)
+        if removed:
+            self._cost.charge_log_purge(removed)
+            self._purged += removed
+        return removed

@@ -1,0 +1,156 @@
+"""Query/response and policy-decision loggers.
+
+* :class:`QueryResponseLogger` — P_GBench's grounding: "histories are
+  implemented by logging all queries and responses (no csv logs)".  Heavier
+  per record than CSV rows because the response payload is retained.
+* :class:`PolicyDecisionLogger` — P_SYS's accountability grounding: every
+  operation logs the policies evaluated and the allow/deny outcome ("all
+  policies are logged at the time of all the operations to implement
+  demonstrable accountability", §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.costs import CostModel
+
+#: Base bytes per query log record (query text, metadata).
+QUERY_RECORD_BYTES = 120
+
+
+@dataclass(frozen=True)
+class QueryLogRecord:
+    timestamp: int
+    user: str
+    query: str
+    table: str
+    key: Any
+    response_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        return QUERY_RECORD_BYTES + self.response_bytes
+
+
+class QueryResponseLogger:
+    """Logs every query together with its (sized) response.
+
+    Records are bucketed by (table, key) so per-unit purging — P_SYS does it
+    on every erase — costs O(bucket), not O(log).
+    """
+
+    def __init__(self, cost: CostModel) -> None:
+        self._cost = cost
+        self._buckets: Dict[Any, List[QueryLogRecord]] = {}
+        self._count = 0
+        self._bytes = 0
+
+    def log(
+        self,
+        timestamp: int,
+        user: str,
+        query: str,
+        table: str,
+        key: Any,
+        response_bytes: int,
+    ) -> QueryLogRecord:
+        record = QueryLogRecord(timestamp, user, query, table, key, response_bytes)
+        self._buckets.setdefault((table, key), []).append(record)
+        self._count += 1
+        self._bytes += record.size_bytes
+        self._cost.charge_query_response_log()
+        return record
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def records_for_key(self, table: str, key: Any) -> List[QueryLogRecord]:
+        return list(self._buckets.get((table, key), ()))
+
+    def purge_key(self, table: str, key: Any) -> int:
+        bucket = self._buckets.pop((table, key), None)
+        if not bucket:
+            return 0
+        removed = len(bucket)
+        self._count -= removed
+        self._bytes -= sum(r.size_bytes for r in bucket)
+        self._cost.charge_log_purge(removed)
+        return removed
+
+
+#: Bytes per policy-decision record (policy ids, outcome, context).
+DECISION_RECORD_BYTES = 96
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    timestamp: int
+    unit_id: str
+    entity: str
+    purpose: str
+    policies_evaluated: int
+    allowed: bool
+
+
+class PolicyDecisionLogger:
+    """Records one allow/deny decision per policy-checked operation.
+
+    Bucketed by unit id for O(1) per-unit purging (the P_SYS erase path).
+    """
+
+    def __init__(self, cost: CostModel) -> None:
+        self._cost = cost
+        self._buckets: Dict[str, List[PolicyDecision]] = {}
+        self._count = 0
+        self._denials = 0
+
+    def log(
+        self,
+        timestamp: int,
+        unit_id: str,
+        entity: str,
+        purpose: str,
+        policies_evaluated: int,
+        allowed: bool,
+    ) -> PolicyDecision:
+        decision = PolicyDecision(
+            timestamp, unit_id, entity, purpose, policies_evaluated, allowed
+        )
+        self._buckets.setdefault(unit_id, []).append(decision)
+        self._count += 1
+        if not allowed:
+            self._denials += 1
+        self._cost.charge_policy_decision_log()
+        return decision
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        return self._count * DECISION_RECORD_BYTES
+
+    @property
+    def denial_count(self) -> int:
+        return self._denials
+
+    def decisions_for_unit(self, unit_id: str) -> List[PolicyDecision]:
+        return list(self._buckets.get(unit_id, ()))
+
+    def purge_unit(self, unit_id: str) -> int:
+        bucket = self._buckets.pop(unit_id, None)
+        if not bucket:
+            return 0
+        removed = len(bucket)
+        self._count -= removed
+        self._denials -= sum(1 for d in bucket if not d.allowed)
+        self._cost.charge_log_purge(removed)
+        return removed

@@ -1,0 +1,52 @@
+"""Retention manager — coordinates log purging across all log stores.
+
+§3.2: "logs may be temporary or kept for a long duration … logs directly
+impact requirements like demonstrating compliance, system recovery, and
+data erasure."  The manager is the one place that knows every store holding
+traces of a data unit, so an erase grounding that requires trace removal
+(P_SYS) can call a single :meth:`purge_unit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class PurgeReport:
+    """What a coordinated purge removed, per store."""
+
+    unit_id: str
+    removed: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.removed.values())
+
+
+class RetentionManager:
+    """Registry of purgeable log stores.
+
+    A store is registered with a name and a ``purge(unit_id) -> int``
+    callable; table-keyed stores (CSV/query logs) are adapted by the caller.
+    """
+
+    def __init__(self) -> None:
+        self._stores: List[Tuple[str, Callable[[str], int]]] = []
+
+    def register(self, name: str, purge: Callable[[str], int]) -> None:
+        if any(existing == name for existing, _fn in self._stores):
+            raise ValueError(f"store {name!r} already registered")
+        self._stores.append((name, purge))
+
+    @property
+    def store_names(self) -> List[str]:
+        return [name for name, _fn in self._stores]
+
+    def purge_unit(self, unit_id: str) -> PurgeReport:
+        """Purge the unit's traces from every registered store."""
+        report = PurgeReport(unit_id)
+        for name, purge in self._stores:
+            report.removed[name] = purge(unit_id)
+        return report

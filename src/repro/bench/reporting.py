@@ -1,0 +1,122 @@
+"""Plain-text renderers — print the same rows/series the paper reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.erasure import ErasureCharacterization
+from repro.systems.profiles import RunResult
+from repro.systems.space import SpaceReport
+
+
+def _rule(width: int) -> str:
+    return "-" * width
+
+
+def render_table1(rows: Sequence[ErasureCharacterization]) -> str:
+    """Table 1: interpretations of erasure and their characteristics."""
+    header = f"{'Erasure':<24} {'IR':^4} {'II':^4} {'Inv':^5} PSQL System-Action(s)"
+    lines = [
+        "Table 1: Interpretations of erasure and their characteristics.",
+        header,
+        _rule(len(header) + 8),
+    ]
+    for row in rows:
+        name, ir, ii, inv, actions = row.row()
+        lines.append(f"{name:<24} {ir:^4} {ii:^4} {inv:^5} {actions}")
+    return "\n".join(lines)
+
+
+def render_fig4a(series: Mapping, unit: str = "s") -> str:
+    """Figure 4(a): completion time per erase implementation vs txn count."""
+    configs = list(series)
+    txns = [p.transactions for p in series[configs[0]]]
+    width = max(len(str(c)) for c in configs) + 2
+    header = f"{'txns':>8} | " + " | ".join(f"{str(c):>{width}}" for c in configs)
+    lines = [
+        "Figure 4(a): Interpretations of Data Erasure in PSQL on WCus "
+        "(completion time, seconds)",
+        header,
+        _rule(len(header)),
+    ]
+    for i, n in enumerate(txns):
+        cells = " | ".join(
+            f"{series[c][i].seconds:>{width}.0f}" for c in configs
+        )
+        lines.append(f"{n:>8} | {cells}")
+    return "\n".join(lines)
+
+
+def render_fig4b(results: Mapping[str, Mapping[str, RunResult]]) -> str:
+    """Figure 4(b): completion time (minutes) per workload × profile."""
+    workloads = list(results)
+    profiles = list(next(iter(results.values())))
+    header = f"{'workload':>10} | " + " | ".join(f"{p:>10}" for p in profiles)
+    lines = [
+        "Figure 4(b): Completion time for workloads "
+        "(100k records, 10k txns; minutes)",
+        header,
+        _rule(len(header)),
+    ]
+    for wname in workloads:
+        cells = " | ".join(
+            f"{results[wname][p].total_minutes:>10.1f}" for p in profiles
+        )
+        lines.append(f"{wname:>10} | {cells}")
+    return "\n".join(lines)
+
+
+def render_fig4c(results: Mapping[str, Mapping[int, Mapping[str, float]]]) -> str:
+    """Figure 4(c): WCus (lines) & YCSB-C (bars) vs record count."""
+    lines = ["Figure 4(c): Scalability — completion time (minutes) vs records"]
+    for wname, by_records in results.items():
+        style = "lines" if wname == "WCus" else "bars"
+        lines.append(f"  {wname} ({style}):")
+        record_counts = sorted(by_records)
+        profiles = list(by_records[record_counts[0]])
+        header = f"{'records':>10} | " + " | ".join(f"{p:>10}" for p in profiles)
+        lines.append("  " + header)
+        lines.append("  " + _rule(len(header)))
+        for records in record_counts:
+            cells = " | ".join(
+                f"{by_records[records][p]:>10.1f}" for p in profiles
+            )
+            lines.append(f"  {records:>10} | {cells}")
+    return "\n".join(lines)
+
+
+def render_table2(reports: Sequence[SpaceReport]) -> str:
+    """Table 2: storage space overhead."""
+    header = (
+        f"{'System':<10} {'Personal (MB)':>14} {'Metadata (MB)':>14} "
+        f"{'Total DB (MB)':>14} {'Space factor':>13}"
+    )
+    lines = [
+        "Table 2: Storage space overhead corresponding to Figure 4(b).",
+        "(Totals include indices.)",
+        header,
+        _rule(len(header)),
+    ]
+    for report in reports:
+        system, personal, metadata, total, factor = report.row()
+        lines.append(
+            f"{system:<10} {personal:>14} {metadata:>14} {total:>14} {factor:>13}"
+        )
+    return "\n".join(lines)
+
+
+def render_run_breakdown(result: RunResult) -> str:
+    """Cost-category decomposition of one run (ablation/debug aid)."""
+    lines = [
+        f"{result.profile} on {result.workload}: "
+        f"{result.total_minutes:.2f} min "
+        f"(load {result.load_seconds:.0f}s + txns {result.txn_seconds:.0f}s)"
+    ]
+    total = sum(result.breakdown.values()) or 1.0
+    for category, seconds in sorted(
+        result.breakdown.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(
+            f"  {category:<10} {seconds:>9.1f}s  ({100 * seconds / total:>5.1f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Command-line interface — regenerate experiments and audit groundings.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2  [--records N] [--txns N]
+    python -m repro fig4a   [--records N] [--txns N ...]
+    python -m repro fig4b   [--records N] [--txns N]
+    python -m repro fig4c   [--txns N] [--records N ...]
+    python -m repro audit   --profile P_SYS
+    python -m repro regulations [--name GDPR]
+
+Every experiment prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import fig4a, fig4b, fig4c, table1, table2
+from repro.bench.reporting import (
+    render_fig4a,
+    render_fig4b,
+    render_fig4c,
+    render_table1,
+    render_table2,
+)
+from repro.core.compatibility import (
+    check_compatibility,
+    has_conflicts,
+    profile_selection,
+)
+from repro.core.regulation import all_regulations
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(render_table1(table1()))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print(render_table2(table2(args.records, args.txns)))
+    return 0
+
+
+def _cmd_fig4a(args: argparse.Namespace) -> int:
+    series = fig4a(record_count=args.records, txn_counts=tuple(args.txns))
+    print(render_fig4a(series))
+    return 0
+
+
+def _cmd_fig4b(args: argparse.Namespace) -> int:
+    results = fig4b(record_count=args.records, n_transactions=args.txns)
+    print(render_fig4b(results))
+    return 0
+
+
+def _cmd_fig4c(args: argparse.Namespace) -> int:
+    results = fig4c(record_counts=tuple(args.records), n_transactions=args.txns)
+    print(render_fig4c(results))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Compatibility audit of a profile's grounding selections (§3.2)."""
+    selection = profile_selection(args.profile)
+    findings = check_compatibility(selection)
+    if not findings:
+        print(f"{args.profile}: no grounding incompatibilities detected")
+        return 0
+    print(f"{args.profile}: {len(findings)} finding(s)")
+    for finding in findings:
+        print(f"  {finding}")
+    return 2 if has_conflicts(findings) else 0
+
+
+def _cmd_regulations(args: argparse.Namespace) -> int:
+    for regulation in all_regulations():
+        if args.name and regulation.name != args.name:
+            continue
+        print(regulation.render_figure1())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-CASE reproduction: experiments and grounding audits",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="erasure characterization matrix").set_defaults(
+        func=_cmd_table1
+    )
+
+    p = sub.add_parser("table2", help="space factors (Table 2)")
+    p.add_argument("--records", type=int, default=100_000)
+    p.add_argument("--txns", type=int, default=10_000)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("fig4a", help="erasure implementations on PSQL")
+    p.add_argument("--records", type=int, default=100_000)
+    p.add_argument(
+        "--txns", type=int, nargs="+",
+        default=[10_000, 30_000, 50_000, 70_000],
+    )
+    p.set_defaults(func=_cmd_fig4a)
+
+    p = sub.add_parser("fig4b", help="profiles × workloads completion time")
+    p.add_argument("--records", type=int, default=100_000)
+    p.add_argument("--txns", type=int, default=10_000)
+    p.set_defaults(func=_cmd_fig4b)
+
+    p = sub.add_parser("fig4c", help="scalability in record count")
+    p.add_argument("--txns", type=int, default=10_000)
+    p.add_argument(
+        "--records", type=int, nargs="+",
+        default=[100_000, 200_000, 300_000, 400_000, 500_000],
+    )
+    p.set_defaults(func=_cmd_fig4c)
+
+    p = sub.add_parser("audit", help="grounding compatibility audit")
+    p.add_argument("--profile", required=True,
+                   choices=["P_Base", "P_GBench", "P_SYS"])
+    p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser("regulations", help="Figure-1 catalogs")
+    p.add_argument("--name", default=None,
+                   choices=["GDPR", "CCPA", "VDPA", "PIPEDA"])
+    p.set_defaults(func=_cmd_regulations)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Consent management middleware.
+
+Related work the paper positions Data-CASE against includes consent-
+management middlewares ([22] in §5); this package provides one that speaks
+Data-CASE natively: every grant/withdrawal/renewal becomes a policy change
+on the affected data units *and* a tamper-evident receipt in a hash-chained
+ledger — the artifact a controller shows an auditor to demonstrate the
+consent basis of processing (G7: "the controller shall be able to
+demonstrate that the data subject has consented").
+"""
+
+from repro.consent.ledger import ConsentLedger, ConsentReceipt
+from repro.consent.manager import ConsentManager, ConsentState
+
+__all__ = [
+    "ConsentLedger",
+    "ConsentReceipt",
+    "ConsentManager",
+    "ConsentState",
+]

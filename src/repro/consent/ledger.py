@@ -1,0 +1,139 @@
+"""Tamper-evident consent ledger.
+
+Receipts form a hash chain: each receipt's id is
+``SHA-256(previous_id ‖ canonical-payload)``.  Any retroactive edit breaks
+every later link, so :meth:`ConsentLedger.verify` gives an auditor a cheap
+integrity check over the whole consent history (GDPR Art. 7(1):
+demonstrable consent).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+GENESIS = "0" * 64
+
+
+@dataclass(frozen=True)
+class ConsentReceipt:
+    """One immutable ledger entry."""
+
+    receipt_id: str
+    previous_id: str
+    event: str            # "grant" | "withdraw" | "renew"
+    subject: str
+    entity: str
+    purpose: str
+    t_begin: int
+    t_final: int
+    recorded_at: int
+
+    def payload(self) -> str:
+        return "|".join(
+            (
+                self.event,
+                self.subject,
+                self.entity,
+                self.purpose,
+                str(self.t_begin),
+                str(self.t_final),
+                str(self.recorded_at),
+            )
+        )
+
+    @staticmethod
+    def chain_hash(previous_id: str, payload: str) -> str:
+        return hashlib.sha256(f"{previous_id}|{payload}".encode()).hexdigest()
+
+
+class ConsentLedger:
+    """Append-only, hash-chained receipt store."""
+
+    def __init__(self) -> None:
+        self._receipts: List[ConsentReceipt] = []
+
+    def append(
+        self,
+        event: str,
+        subject: str,
+        entity: str,
+        purpose: str,
+        t_begin: int,
+        t_final: int,
+        recorded_at: int,
+    ) -> ConsentReceipt:
+        if event not in ("grant", "withdraw", "renew"):
+            raise ValueError(f"unknown consent event: {event!r}")
+        previous = self._receipts[-1].receipt_id if self._receipts else GENESIS
+        draft = ConsentReceipt(
+            receipt_id="",
+            previous_id=previous,
+            event=event,
+            subject=subject,
+            entity=entity,
+            purpose=purpose,
+            t_begin=t_begin,
+            t_final=t_final,
+            recorded_at=recorded_at,
+        )
+        receipt = ConsentReceipt(
+            ConsentReceipt.chain_hash(previous, draft.payload()),
+            previous,
+            event,
+            subject,
+            entity,
+            purpose,
+            t_begin,
+            t_final,
+            recorded_at,
+        )
+        self._receipts.append(receipt)
+        return receipt
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._receipts)
+
+    def __iter__(self) -> Iterator[ConsentReceipt]:
+        return iter(self._receipts)
+
+    def for_subject(self, subject: str) -> List[ConsentReceipt]:
+        return [r for r in self._receipts if r.subject == subject]
+
+    def get(self, receipt_id: str) -> ConsentReceipt:
+        for receipt in self._receipts:
+            if receipt.receipt_id == receipt_id:
+                return receipt
+        raise KeyError(f"no receipt {receipt_id!r}")
+
+    # -------------------------------------------------------------- integrity
+    def verify(self) -> bool:
+        """Whether the whole chain is intact."""
+        previous = GENESIS
+        for receipt in self._receipts:
+            if receipt.previous_id != previous:
+                return False
+            expected = ConsentReceipt.chain_hash(previous, receipt.payload())
+            if receipt.receipt_id != expected:
+                return False
+            previous = receipt.receipt_id
+        return True
+
+    def tamper_for_testing(self, index: int, **overrides) -> None:
+        """Corrupt a receipt in place (test helper: proves verify() bites)."""
+        old = self._receipts[index]
+        fields = {
+            "receipt_id": old.receipt_id,
+            "previous_id": old.previous_id,
+            "event": old.event,
+            "subject": old.subject,
+            "entity": old.entity,
+            "purpose": old.purpose,
+            "t_begin": old.t_begin,
+            "t_final": old.t_final,
+            "recorded_at": old.recorded_at,
+        }
+        fields.update(overrides)
+        self._receipts[index] = ConsentReceipt(**fields)

@@ -1,0 +1,167 @@
+"""Consent manager — grants, withdrawals, renewals as policy changes.
+
+The manager owns the mapping *consent event → policy change on data units*:
+
+* ``grant`` mints a :class:`~repro.core.policy.Policy` and attaches it to
+  every unit of the subject it applies to;
+* ``withdraw`` clips the policy so it authorizes nothing from the
+  withdrawal instant on (consent withdrawal is not retroactive — past
+  lawful processing stays lawful, G7(3));
+* ``renew`` extends consent by granting a fresh policy adjacent to the old.
+
+Every event appends a receipt to the tamper-evident ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.consent.ledger import ConsentLedger, ConsentReceipt
+from repro.core.dataunit import Database, DataUnit
+from repro.core.entities import Entity
+from repro.core.policy import Policy
+
+
+class ConsentState(Enum):
+    ACTIVE = "active"
+    EXPIRED = "expired"
+    WITHDRAWN = "withdrawn"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class _Consent:
+    receipt: ConsentReceipt
+    policy: Policy
+    unit_ids: Tuple[str, ...]
+    withdrawn_at: Optional[int] = None
+
+    def state(self, now: int) -> ConsentState:
+        if self.withdrawn_at is not None and now >= self.withdrawn_at:
+            return ConsentState.WITHDRAWN
+        if now > self.policy.t_final:
+            return ConsentState.EXPIRED
+        return ConsentState.ACTIVE
+
+
+class ConsentManager:
+    """Tracks consents and applies them to the model's data units."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self.ledger = ConsentLedger()
+        self._consents: Dict[str, _Consent] = {}  # receipt id -> consent
+
+    # ------------------------------------------------------------------ grant
+    def grant(
+        self,
+        subject: Entity,
+        entity: Entity,
+        purpose: str,
+        t_begin: int,
+        t_final: int,
+        unit_ids: Optional[Iterable[str]] = None,
+        now: Optional[int] = None,
+    ) -> ConsentReceipt:
+        """Grant consent; attaches the policy to the subject's units.
+
+        ``unit_ids`` restricts the grant to specific units; by default it
+        covers every unit whose subject set contains ``subject``.
+        """
+        now = now if now is not None else t_begin
+        policy = Policy(purpose, entity, t_begin, t_final)
+        if unit_ids is None:
+            units = self._database.units_of_subject(subject)
+        else:
+            units = [self._database.get(uid) for uid in unit_ids]
+        for unit in units:
+            if subject not in unit.subjects:
+                raise ValueError(
+                    f"unit {unit.unit_id!r} does not belong to {subject.name!r}; "
+                    "consent can only cover the subject's own data"
+                )
+            unit.policies.add(policy)
+        receipt = self.ledger.append(
+            "grant", subject.name, entity.name, purpose, t_begin, t_final, now
+        )
+        self._consents[receipt.receipt_id] = _Consent(
+            receipt, policy, tuple(u.unit_id for u in units)
+        )
+        return receipt
+
+    # --------------------------------------------------------------- withdraw
+    def withdraw(self, receipt_id: str, now: int) -> ConsentReceipt:
+        """Withdraw a granted consent effective at ``now`` (not retroactive)."""
+        consent = self._require(receipt_id)
+        if consent.withdrawn_at is not None:
+            raise ValueError("consent already withdrawn")
+        for unit_id in consent.unit_ids:
+            unit = self._database.get(unit_id)
+            unit.policies.withdraw(consent.policy, at=now)
+        consent.withdrawn_at = now
+        return self.ledger.append(
+            "withdraw",
+            consent.receipt.subject,
+            consent.receipt.entity,
+            consent.receipt.purpose,
+            consent.policy.t_begin,
+            min(consent.policy.t_final, max(consent.policy.t_begin, now - 1)),
+            now,
+        )
+
+    # ------------------------------------------------------------------ renew
+    def renew(
+        self, receipt_id: str, new_t_final: int, now: int
+    ) -> ConsentReceipt:
+        """Extend a consent: a fresh policy from ``now`` to ``new_t_final``."""
+        consent = self._require(receipt_id)
+        if consent.state(now) is ConsentState.WITHDRAWN:
+            raise ValueError("cannot renew a withdrawn consent")
+        if new_t_final <= consent.policy.t_final:
+            raise ValueError("renewal must extend the consent window")
+        policy = Policy(
+            consent.receipt.purpose,
+            consent.policy.entity,
+            now,
+            new_t_final,
+        )
+        for unit_id in consent.unit_ids:
+            self._database.get(unit_id).policies.add(policy)
+        receipt = self.ledger.append(
+            "renew",
+            consent.receipt.subject,
+            consent.receipt.entity,
+            consent.receipt.purpose,
+            now,
+            new_t_final,
+            now,
+        )
+        self._consents[receipt.receipt_id] = _Consent(
+            receipt, policy, consent.unit_ids
+        )
+        return receipt
+
+    # ---------------------------------------------------------------- queries
+    def state(self, receipt_id: str, now: int) -> ConsentState:
+        return self._require(receipt_id).state(now)
+
+    def active_consents(self, subject: Entity, now: int) -> List[ConsentReceipt]:
+        return [
+            consent.receipt
+            for consent in self._consents.values()
+            if consent.receipt.subject == subject.name
+            and consent.state(now) is ConsentState.ACTIVE
+        ]
+
+    def covered_units(self, receipt_id: str) -> Tuple[str, ...]:
+        return self._require(receipt_id).unit_ids
+
+    def _require(self, receipt_id: str) -> _Consent:
+        try:
+            return self._consents[receipt_id]
+        except KeyError:
+            raise KeyError(f"no consent for receipt {receipt_id!r}") from None

@@ -1,0 +1,177 @@
+"""Actions and action histories (paper §2.1).
+
+    "We refer to any operation that changes the state of data units as an
+     action. … Each action on a data unit is denoted as an action-history
+     tuple (X, p, e, τ(X), t) denoting that entity e performed action τ on X
+     for purpose p at time t.  The action-history of X, H(X), is the set of
+     all actions on X."
+
+Reads are included even though they do not mutate the value aspect — the
+paper's own examples record reads ("Netflix accessed the credit card
+information of 1234 for billing"), and reads are exactly what the
+erasure-inconsistent-read property inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.entities import Entity
+
+
+class ActionType(Enum):
+    """The kinds of state-affecting operations Data-CASE distinguishes."""
+
+    CREATE = "create"
+    READ = "read"
+    UPDATE = "update"
+    DERIVE = "derive"
+    SHARE = "share"
+    CONTRACT = "contract"          # consent / policy-setting actions
+    POLICY_CHANGE = "policy-change"
+    ERASE = "erase"
+    SANITIZE = "sanitize"          # drive sanitization step of permanent delete
+    RESTORE = "restore"            # undo of reversible inaccessibility
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Action types that mutate the value aspect of a unit.
+MUTATING_ACTIONS = frozenset(
+    {
+        ActionType.CREATE,
+        ActionType.UPDATE,
+        ActionType.ERASE,
+        ActionType.SANITIZE,
+        ActionType.RESTORE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Action:
+    """τ — an operation applied to one or more data units."""
+
+    type: ActionType
+    detail: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.detail:
+            return f"{self.type.value}({self.detail})"
+        return self.type.value
+
+
+@dataclass(frozen=True)
+class ActionHistoryTuple:
+    """``(X, p, e, τ(X), t)`` — one recorded action.
+
+    ``unit_id`` names X; ``resulting_state`` optionally captures τ(X), the
+    changed state (engines may omit it for reads to bound log volume, the
+    formal checks only need it for mutations).
+    """
+
+    unit_id: str
+    purpose: str
+    entity: Entity
+    action: Action
+    timestamp: int
+    resulting_state: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("action timestamp must be non-negative")
+
+    @property
+    def is_read(self) -> bool:
+        return self.action.type == ActionType.READ
+
+    @property
+    def is_erase(self) -> bool:
+        return self.action.type == ActionType.ERASE
+
+    def __str__(self) -> str:
+        return (
+            f"({self.unit_id}, {self.purpose}, {self.entity.name}, "
+            f"{self.action}, {self.timestamp})"
+        )
+
+
+class ActionHistory:
+    """H — action-history tuples, indexed by data unit.
+
+    ``history.of(unit_id)`` is the paper's H(X).  Tuples are kept in insertion
+    order, which engines guarantee to be non-decreasing in timestamp; the
+    structure re-sorts lazily if a caller violates that, so formal checks
+    ("the *last* access tuple on X …") stay correct.
+    """
+
+    def __init__(self, tuples: Iterable[ActionHistoryTuple] = ()) -> None:
+        self._by_unit: Dict[str, List[ActionHistoryTuple]] = {}
+        self._count = 0
+        for t in tuples:
+            self.record(t)
+
+    # -------------------------------------------------------------- recording
+    def record(self, entry: ActionHistoryTuple) -> ActionHistoryTuple:
+        bucket = self._by_unit.setdefault(entry.unit_id, [])
+        if bucket and bucket[-1].timestamp > entry.timestamp:
+            # Late arrival: keep the bucket time-ordered.
+            bucket.append(entry)
+            bucket.sort(key=lambda e: e.timestamp)
+        else:
+            bucket.append(entry)
+        self._count += 1
+        return entry
+
+    def forget_unit(self, unit_id: str) -> int:
+        """Drop H(X) entirely (the P_SYS erase grounding purges logs).
+
+        Returns the number of tuples removed.
+        """
+        removed = len(self._by_unit.pop(unit_id, ()))
+        self._count -= removed
+        return removed
+
+    # ---------------------------------------------------------------- queries
+    def of(self, unit_id: str) -> Tuple[ActionHistoryTuple, ...]:
+        """H(X) for the unit, in time order."""
+        return tuple(self._by_unit.get(unit_id, ()))
+
+    def last(self, unit_id: str) -> Optional[ActionHistoryTuple]:
+        bucket = self._by_unit.get(unit_id)
+        return bucket[-1] if bucket else None
+
+    def last_of_type(
+        self, unit_id: str, action_type: ActionType
+    ) -> Optional[ActionHistoryTuple]:
+        for entry in reversed(self._by_unit.get(unit_id, [])):
+            if entry.action.type == action_type:
+                return entry
+        return None
+
+    def reads_after(self, unit_id: str, t: int) -> List[ActionHistoryTuple]:
+        """Read tuples on X strictly after time ``t`` (IR property input)."""
+        return [
+            e
+            for e in self._by_unit.get(unit_id, [])
+            if e.is_read and e.timestamp > t
+        ]
+
+    def units(self) -> Iterator[str]:
+        return iter(self._by_unit)
+
+    def all_tuples(self) -> Iterator[ActionHistoryTuple]:
+        for bucket in self._by_unit.values():
+            yield from bucket
+
+    def by_entity(self, entity: Entity) -> List[ActionHistoryTuple]:
+        return [e for e in self.all_tuples() if e.entity == entity]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, unit_id: str) -> bool:
+        return unit_id in self._by_unit

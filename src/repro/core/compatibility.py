@@ -1,0 +1,184 @@
+"""Grounding compatibility — interactions between concepts (paper §3.2, §6).
+
+    "Grounding concepts require a careful analysis of actions different
+     systems use for these concepts, as well as, interactions between the
+     actions. … logs directly impact requirements like demonstrating
+     compliance, system recovery, and data erasure."
+
+Once a deployment selects groundings for several concepts, the choices can
+conflict: a strict erasure interpretation fights long log retention; a
+reversible-flag erasure fights an encryption-free design; purging logs on
+erase fights demonstrability.  This module encodes those interaction rules
+and audits a deployment's selections — the "compatibility of different
+possible interpretations" the paper lists among the challenges ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.grounding import Grounding, GroundingRegistry
+
+
+class HistoryGrounding(Enum):
+    """Interpretations of the *histories* concept (§3.2): what the system's
+    logs retain, at what granularity, and for how long."""
+
+    EPHEMERAL = 1          # logs recycled quickly (recovery only)
+    OPERATIONS = 2         # all operations retained
+    OPERATIONS_FOREVER = 3  # operations retained indefinitely, never purged
+
+    @property
+    def strictness(self) -> int:
+        return self.value
+
+
+class Severity(Enum):
+    WARNING = "warning"
+    CONFLICT = "conflict"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Incompatibility:
+    """One detected interaction problem between selected groundings."""
+
+    severity: Severity
+    concepts: tuple
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {' × '.join(self.concepts)}: {self.message}"
+
+
+@dataclass(frozen=True)
+class DeploymentSelection:
+    """The grounding choices a deployment made, as compatibility input."""
+
+    erasure_strictness: int             # ErasureInterpretation.strictness
+    purges_logs_on_erase: bool
+    history: HistoryGrounding
+    encrypts_at_rest: bool
+    log_retention_bounded: bool = True  # logs eventually truncated
+
+
+#: A rule inspects a selection and may return one incompatibility.
+Rule = Callable[[DeploymentSelection], Optional[Incompatibility]]
+
+
+def _rule_strict_erase_vs_eternal_logs(s: DeploymentSelection):
+    if s.erasure_strictness >= 2 and s.history is HistoryGrounding.OPERATIONS_FOREVER and not s.purges_logs_on_erase:
+        return Incompatibility(
+            Severity.CONFLICT,
+            ("erasure", "histories"),
+            "physical deletion is selected, but operation logs retain the "
+            "erased data's traces forever — the data is not 'deleted from "
+            "all locations' (illegal retention through logs)",
+        )
+    return None
+
+
+def _rule_log_purge_vs_demonstrability(s: DeploymentSelection):
+    if s.purges_logs_on_erase:
+        return Incompatibility(
+            Severity.WARNING,
+            ("erasure", "record-keeping"),
+            "purging logs on erase removes the evidence that the erase "
+            "happened on time — demonstrable compliance (Figure 1, IX) "
+            "must rest on an erasure register kept outside the purged logs",
+        )
+    return None
+
+
+def _rule_reversible_erase_needs_protection(s: DeploymentSelection):
+    if s.erasure_strictness == 1 and not s.encrypts_at_rest:
+        return Incompatibility(
+            Severity.CONFLICT,
+            ("erasure", "design-security"),
+            "reversible inaccessibility keeps the data physically present; "
+            "without at-rest encryption a storage-level leak exposes "
+            "'erased' data in the clear",
+        )
+    return None
+
+
+def _rule_ephemeral_logs_vs_accountability(s: DeploymentSelection):
+    if s.history is HistoryGrounding.EPHEMERAL:
+        return Incompatibility(
+            Severity.WARNING,
+            ("histories", "obligations"),
+            "ephemeral logs cannot answer a supervisory authority's request "
+            "to demonstrate past processing (G30/G31)",
+        )
+    return None
+
+
+def _rule_unbounded_logs_vs_storage_limitation(s: DeploymentSelection):
+    if not s.log_retention_bounded:
+        return Incompatibility(
+            Severity.WARNING,
+            ("histories", "erasure"),
+            "log retention is unbounded: logs are themselves personal-data "
+            "stores and fall under storage limitation",
+        )
+    return None
+
+
+DEFAULT_RULES: Sequence[Rule] = (
+    _rule_strict_erase_vs_eternal_logs,
+    _rule_log_purge_vs_demonstrability,
+    _rule_reversible_erase_needs_protection,
+    _rule_ephemeral_logs_vs_accountability,
+    _rule_unbounded_logs_vs_storage_limitation,
+)
+
+
+def check_compatibility(
+    selection: DeploymentSelection, rules: Sequence[Rule] = DEFAULT_RULES
+) -> List[Incompatibility]:
+    """Evaluate every interaction rule; returns the detected problems."""
+    findings = []
+    for rule in rules:
+        finding = rule(selection)
+        if finding is not None:
+            findings.append(finding)
+    return findings
+
+
+def has_conflicts(findings: Sequence[Incompatibility]) -> bool:
+    """Whether any finding is a hard conflict (vs a mere warning)."""
+    return any(f.severity is Severity.CONFLICT for f in findings)
+
+
+# --------------------------------------------------------------------------
+# Profile presets — the §4.2 systems expressed as selections.
+# --------------------------------------------------------------------------
+
+def profile_selection(profile_name: str) -> DeploymentSelection:
+    """The compatibility-relevant choices of the paper's three profiles."""
+    if profile_name == "P_Base":
+        return DeploymentSelection(
+            erasure_strictness=2,               # DELETE + VACUUM
+            purges_logs_on_erase=False,
+            history=HistoryGrounding.OPERATIONS,
+            encrypts_at_rest=True,
+        )
+    if profile_name == "P_GBench":
+        return DeploymentSelection(
+            erasure_strictness=2,               # DELETE (logical intent: delete)
+            purges_logs_on_erase=False,
+            history=HistoryGrounding.OPERATIONS_FOREVER,
+            encrypts_at_rest=True,
+        )
+    if profile_name == "P_SYS":
+        return DeploymentSelection(
+            erasure_strictness=3,               # DELETE + VACUUM FULL
+            purges_logs_on_erase=True,
+            history=HistoryGrounding.OPERATIONS,
+            encrypts_at_rest=True,
+        )
+    raise KeyError(f"unknown profile {profile_name!r}")

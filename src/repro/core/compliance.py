@@ -1,0 +1,110 @@
+"""Compliance checking — evaluating invariants over a deployment (paper §2.2, §4).
+
+The :class:`ComplianceChecker` is how an auditor (or a regulator, §4.4) uses
+Data-CASE: give it the database model, the action history, and a set of
+invariants; it returns a :class:`ComplianceReport` with per-invariant
+verdicts and violation witnesses — *demonstrable* compliance or a concrete
+counter-example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.actions import ActionHistory
+from repro.core.dataunit import Database
+from repro.core.invariants import (
+    ComplianceVerdict,
+    G6PolicyConsistency,
+    G17ErasureDeadline,
+    Invariant,
+    Violation,
+)
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """The outcome of a full compliance evaluation."""
+
+    verdicts: Tuple[ComplianceVerdict, ...]
+    evaluated_at: int
+
+    @property
+    def compliant(self) -> bool:
+        return all(v.holds for v in self.verdicts)
+
+    @property
+    def violations(self) -> Tuple[Violation, ...]:
+        out: List[Violation] = []
+        for verdict in self.verdicts:
+            out.extend(verdict.violations)
+        return tuple(out)
+
+    def verdict(self, invariant_name: str) -> ComplianceVerdict:
+        for v in self.verdicts:
+            if v.invariant == invariant_name:
+                return v
+        raise KeyError(f"no verdict for invariant {invariant_name!r}")
+
+    def __contains__(self, invariant_name: str) -> bool:
+        return any(v.invariant == invariant_name for v in self.verdicts)
+
+    def summary(self) -> Dict[str, bool]:
+        return {v.invariant: v.holds for v in self.verdicts}
+
+    def render(self, max_violations: int = 5) -> str:
+        """Human-readable report used by examples and the audit CLI."""
+        lines = [
+            f"Compliance report @ t={self.evaluated_at} — "
+            f"{'COMPLIANT' if self.compliant else 'NON-COMPLIANT'}"
+        ]
+        for verdict in self.verdicts:
+            status = "PASS" if verdict.holds else "FAIL"
+            lines.append(
+                f"  [{status}] {verdict.invariant} "
+                f"({verdict.checked_units} units checked, "
+                f"{len(verdict.violations)} violations)"
+            )
+            for violation in verdict.violations[:max_violations]:
+                lines.append(f"         - {violation}")
+            hidden = len(verdict.violations) - max_violations
+            if hidden > 0:
+                lines.append(f"         … and {hidden} more")
+        return "\n".join(lines)
+
+
+class ComplianceChecker:
+    """Evaluates a set of invariants against a database + action history."""
+
+    def __init__(self, invariants: Optional[Sequence[Invariant]] = None) -> None:
+        if invariants is None:
+            invariants = [G6PolicyConsistency(), G17ErasureDeadline()]
+        self._invariants: List[Invariant] = list(invariants)
+
+    @property
+    def invariants(self) -> Tuple[Invariant, ...]:
+        return tuple(self._invariants)
+
+    def add(self, invariant: Invariant) -> None:
+        self._invariants.append(invariant)
+
+    def check(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceReport:
+        verdicts = tuple(
+            invariant.evaluate(database, history, now)
+            for invariant in self._invariants
+        )
+        return ComplianceReport(verdicts=verdicts, evaluated_at=now)
+
+    def check_unit(
+        self, database: Database, history: ActionHistory, unit_id: str, now: int
+    ) -> ComplianceReport:
+        """Evaluate the invariants against a single-unit view.
+
+        Useful when answering a data-subject access request: "show me my
+        data's compliance status" without scanning the whole deployment.
+        """
+        view = Database([database.get(unit_id)])
+        return self.check(view, history, now)

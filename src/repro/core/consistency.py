@@ -1,0 +1,86 @@
+"""Policy-consistent data processing — the lawfulness abstraction (paper §2.1).
+
+    "We say that the action-history tuple (X, p, e, τ(X), t) on data unit X
+     is policy-consistent if there exists a policy ⟨p, e, t_b, t_f⟩ in P(t)
+     in the state of data unit X, or the action in the tuple is required by a
+     data regulation.  Actions on X are policy-consistent if every
+     action-history tuple in H(X) is policy-consistent."
+
+This module is deliberately tiny: G6 ("processing shall be lawful") reduces
+to these predicates, which is the paper's central abstraction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.actions import ActionHistory, ActionHistoryTuple
+from repro.core.dataunit import DataUnit
+
+
+#: A predicate saying whether a regulation *requires* the recorded action
+#: (e.g., a compliance-erase performed without an explicit user policy, or a
+#: legally mandated disclosure).  The default accepts nothing.
+RegulationRequires = Callable[[ActionHistoryTuple], bool]
+
+
+def _never_required(_: ActionHistoryTuple) -> bool:
+    return False
+
+
+def is_policy_consistent(
+    unit: DataUnit,
+    entry: ActionHistoryTuple,
+    required_by_regulation: RegulationRequires = _never_required,
+) -> bool:
+    """Whether one action-history tuple is policy-consistent.
+
+    The policy set consulted is the unit's ``P(t)`` at the action's own
+    timestamp — consent that arrived later does not launder an earlier
+    access, and an expired policy does not authorize anything.
+    """
+    if entry.unit_id != unit.unit_id:
+        raise ValueError(
+            f"history tuple is about {entry.unit_id!r}, not {unit.unit_id!r}"
+        )
+    if required_by_regulation(entry):
+        return True
+    policy = unit.policies.authorizing(entry.purpose, entry.entity, entry.timestamp)
+    return policy is not None
+
+
+def policy_violations(
+    unit: DataUnit,
+    history: ActionHistory,
+    required_by_regulation: RegulationRequires = _never_required,
+) -> List[ActionHistoryTuple]:
+    """Every tuple of H(X) that is *not* policy-consistent, in time order."""
+    return [
+        entry
+        for entry in history.of(unit.unit_id)
+        if not is_policy_consistent(unit, entry, required_by_regulation)
+    ]
+
+
+def is_history_consistent(
+    unit: DataUnit,
+    history: ActionHistory,
+    required_by_regulation: RegulationRequires = _never_required,
+) -> bool:
+    """The paper's "actions on X are policy-consistent"."""
+    return not policy_violations(unit, history, required_by_regulation)
+
+
+def regulation_requires_any_of(*purposes: str) -> RegulationRequires:
+    """A convenience ``required_by_regulation`` accepting listed purposes.
+
+    Typical use: ``regulation_requires_any_of(Purpose.COMPLIANCE_ERASE)`` —
+    erasing to satisfy G17 is lawful even when the data subject never wrote
+    an explicit policy authorizing the controller to erase.
+    """
+    allowed = frozenset(purposes)
+
+    def _requires(entry: ActionHistoryTuple) -> bool:
+        return entry.purpose in allowed
+
+    return _requires

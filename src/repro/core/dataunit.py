@@ -1,0 +1,258 @@
+"""Data units — the finest granularity of data in Data-CASE (paper §2.1).
+
+    "We denote a data unit as a tuple X = (S, O, V, P) where S is the
+     data-subject — the entity whom the data identifies; O is the origin —
+     where the data was collected from; V is a set {(v1,t1), (v2,t2), …} of
+     values where v_i is the value at time t_i; and P is the set of
+     associated policies."
+
+Data units are classified as *base* (directly or indirectly collected),
+*derived* (obtained from base data; subject and origin become sets,
+aggregated over the contributing base units), and *metadata* (data-subject
+records, policies, logs …).
+
+A :class:`Database` is a collection of data units; its state at time ``t`` is
+the collection of unit states ``X(t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.entities import Entity
+from repro.core.policy import Policy, PolicySet
+
+
+class DataCategory(Enum):
+    """The three data-unit categories of §2.1."""
+
+    BASE = "base"
+    DERIVED = "derived"
+    METADATA = "metadata"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ValueVersion:
+    """One ``(v_i, t_i)`` element of the value aspect V."""
+
+    value: Any
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("value timestamp must be non-negative")
+
+
+@dataclass(frozen=True)
+class DataUnitState:
+    """``X(t) = (S(t), O(t), V(t), P(t))`` — an immutable snapshot."""
+
+    unit_id: str
+    subjects: FrozenSet[Entity]
+    origins: FrozenSet[str]
+    value: Any
+    policies: FrozenSet[Policy]
+    timestamp: int
+    category: DataCategory
+
+
+class DataUnit:
+    """A mutable data unit ``X = (S, O, V, P)``.
+
+    ``subjects`` and ``origins`` are sets to uniformly cover base data (a
+    singleton) and derived data ("possibly varying sets of the data-subjects
+    and origins of the base data from which it was derived").
+
+    The value aspect is versioned: :meth:`write` appends a new
+    :class:`ValueVersion`; :meth:`value_at` answers ``V(t)`` as the latest
+    version at or before ``t``.
+    """
+
+    def __init__(
+        self,
+        unit_id: str,
+        subjects: Union[Entity, Iterable[Entity]],
+        origins: Union[str, Iterable[str]],
+        category: DataCategory = DataCategory.BASE,
+        policies: Optional[PolicySet] = None,
+    ) -> None:
+        if not unit_id:
+            raise ValueError("data unit id must be non-empty")
+        if isinstance(subjects, Entity):
+            subjects = (subjects,)
+        if isinstance(origins, str):
+            origins = (origins,)
+        self.unit_id = unit_id
+        self.subjects: FrozenSet[Entity] = frozenset(subjects)
+        self.origins: FrozenSet[str] = frozenset(origins)
+        self.category = category
+        self.policies: PolicySet = policies if policies is not None else PolicySet()
+        self._versions: List[ValueVersion] = []
+        self._erased_at: Optional[int] = None
+
+    # --------------------------------------------------------------- values
+    def write(self, value: Any, timestamp: int) -> ValueVersion:
+        """Append a value version; timestamps must be non-decreasing."""
+        if self._versions and timestamp < self._versions[-1].timestamp:
+            raise ValueError(
+                "value versions must be appended in non-decreasing time order: "
+                f"{timestamp} < {self._versions[-1].timestamp}"
+            )
+        version = ValueVersion(value, timestamp)
+        self._versions.append(version)
+        return version
+
+    def value_at(self, t: int) -> Optional[Any]:
+        """``V(t)`` — the live value at time ``t`` (None before first write)."""
+        if self._erased_at is not None and t >= self._erased_at:
+            return None
+        latest: Optional[ValueVersion] = None
+        for version in self._versions:
+            if version.timestamp <= t:
+                latest = version
+            else:
+                break
+        return latest.value if latest is not None else None
+
+    @property
+    def current_value(self) -> Optional[Any]:
+        if self._erased_at is not None:
+            return None
+        return self._versions[-1].value if self._versions else None
+
+    @property
+    def versions(self) -> Tuple[ValueVersion, ...]:
+        return tuple(self._versions)
+
+    # --------------------------------------------------------------- erasure
+    def mark_erased(self, timestamp: int) -> None:
+        """Record that the unit's value aspect was erased at ``timestamp``.
+
+        The model keeps the husk (id, subjects, policies may be needed for
+        demonstrating compliance); engines decide what physical erasure
+        means — that is exactly the grounding question of §3.
+        """
+        if self._erased_at is not None:
+            raise ValueError(f"data unit {self.unit_id} already erased")
+        self._erased_at = timestamp
+
+    @property
+    def erased_at(self) -> Optional[int]:
+        return self._erased_at
+
+    @property
+    def is_erased(self) -> bool:
+        return self._erased_at is not None
+
+    # ---------------------------------------------------------------- state
+    def state(self, t: int) -> DataUnitState:
+        """``X(t)`` — immutable snapshot of every aspect at time ``t``."""
+        return DataUnitState(
+            unit_id=self.unit_id,
+            subjects=self.subjects,
+            origins=self.origins,
+            value=self.value_at(t),
+            policies=self.policies.active_at(t),
+            timestamp=t,
+            category=self.category,
+        )
+
+    # ------------------------------------------------------------- protocol
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        subj = ",".join(sorted(e.name for e in self.subjects))
+        return f"DataUnit({self.unit_id!r}, subjects=[{subj}], {self.category})"
+
+
+def derive(
+    unit_id: str,
+    bases: Sequence[DataUnit],
+    value: Any,
+    timestamp: int,
+    policy_window: Optional[Tuple[int, int]] = None,
+) -> DataUnit:
+    """Produce a derived data unit from ``bases`` (paper §2.1).
+
+    The derived unit's subject and origin sets are the unions of the bases';
+    its policy set is the conservative intersection of the bases' policies,
+    optionally clipped to ``policy_window`` — "the set of policies P_Y is
+    generally a restriction of the policies of the data units in X̄".
+    """
+    if not bases:
+        raise ValueError("derivation requires at least one base data unit")
+    subjects: FrozenSet[Entity] = frozenset().union(*(b.subjects for b in bases))
+    origins: FrozenSet[str] = frozenset().union(*(b.origins for b in bases))
+    policies = bases[0].policies.copy()
+    for base in bases[1:]:
+        policies = policies.intersect(base.policies)
+    if policy_window is not None:
+        policies = policies.restricted_to(*policy_window)
+    unit = DataUnit(
+        unit_id,
+        subjects,
+        origins,
+        category=DataCategory.DERIVED,
+        policies=policies,
+    )
+    unit.write(value, timestamp)
+    return unit
+
+
+class Database:
+    """A collection of data units; successive actions yield states D1, D2, …"""
+
+    def __init__(self, units: Iterable[DataUnit] = ()) -> None:
+        self._units: Dict[str, DataUnit] = {}
+        for unit in units:
+            self.add(unit)
+
+    def add(self, unit: DataUnit) -> DataUnit:
+        if unit.unit_id in self._units:
+            raise ValueError(f"duplicate data unit id: {unit.unit_id!r}")
+        self._units[unit.unit_id] = unit
+        return unit
+
+    def get(self, unit_id: str) -> DataUnit:
+        try:
+            return self._units[unit_id]
+        except KeyError:
+            raise KeyError(f"unknown data unit: {unit_id!r}") from None
+
+    def discard(self, unit_id: str) -> Optional[DataUnit]:
+        """Remove the unit record entirely (permanent-delete bookkeeping)."""
+        return self._units.pop(unit_id, None)
+
+    def __contains__(self, unit_id: str) -> bool:
+        return unit_id in self._units
+
+    def __iter__(self) -> Iterator[DataUnit]:
+        return iter(self._units.values())
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def units_of_subject(self, subject: Entity) -> List[DataUnit]:
+        """Every unit whose subject set contains ``subject``."""
+        return [u for u in self._units.values() if subject in u.subjects]
+
+    def by_category(self, category: DataCategory) -> List[DataUnit]:
+        return [u for u in self._units.values() if u.category == category]
+
+    def state(self, t: int) -> Dict[str, DataUnitState]:
+        """The database state at time ``t``: every unit's ``X(t)``."""
+        return {uid: unit.state(t) for uid, unit in self._units.items()}

@@ -1,0 +1,132 @@
+"""Entities — the actors of the data life cycle (paper §2.1).
+
+    "As data flows through the data-life cycle, it is collected from the
+     data-subject by the controller who might share it with processors.
+     Auditors verify and certify compliance.  In Data-CASE, these roles are
+     referred to as entities."
+
+An :class:`Entity` is identified by a stable name; its :class:`Role`\\ s say
+how a regulation treats it.  One entity may hold several roles (a company is
+a controller for its customers' data and a processor for a partner's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional
+
+
+class Role(Enum):
+    """Regulatory roles recognised by Data-CASE."""
+
+    DATA_SUBJECT = "data-subject"
+    CONTROLLER = "controller"
+    PROCESSOR = "processor"
+    AUDITOR = "auditor"
+    REGULATOR = "regulator"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A named actor with a set of regulatory roles.
+
+    Entities are value objects: equality is by name and role set, so they can
+    key policies and action-history tuples.
+    """
+
+    name: str
+    roles: FrozenSet[Role] = frozenset()
+    jurisdiction: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("entity name must be non-empty")
+        object.__setattr__(self, "roles", frozenset(self.roles))
+
+    def has_role(self, role: Role) -> bool:
+        return role in self.roles
+
+    @property
+    def is_data_subject(self) -> bool:
+        return Role.DATA_SUBJECT in self.roles
+
+    @property
+    def is_controller(self) -> bool:
+        return Role.CONTROLLER in self.roles
+
+    @property
+    def is_processor(self) -> bool:
+        return Role.PROCESSOR in self.roles
+
+    def with_role(self, role: Role) -> "Entity":
+        """A copy of this entity that additionally holds ``role``."""
+        return Entity(self.name, self.roles | {role}, self.jurisdiction)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def data_subject(name: str, jurisdiction: Optional[str] = None) -> Entity:
+    """Convenience constructor for a data-subject entity."""
+    return Entity(name, frozenset({Role.DATA_SUBJECT}), jurisdiction)
+
+
+def controller(name: str, jurisdiction: Optional[str] = None) -> Entity:
+    """Convenience constructor for a controller entity."""
+    return Entity(name, frozenset({Role.CONTROLLER}), jurisdiction)
+
+
+def processor(name: str, jurisdiction: Optional[str] = None) -> Entity:
+    """Convenience constructor for a processor entity."""
+    return Entity(name, frozenset({Role.PROCESSOR}), jurisdiction)
+
+
+def auditor(name: str, jurisdiction: Optional[str] = None) -> Entity:
+    """Convenience constructor for an auditor entity."""
+    return Entity(name, frozenset({Role.AUDITOR}), jurisdiction)
+
+
+class EntityRegistry:
+    """Registry of entities known to a deployment.
+
+    The registry enforces name uniqueness and provides role-based queries —
+    e.g., the compliance checker asks for all processors when evaluating
+    sharing invariants.
+    """
+
+    def __init__(self, entities: Iterable[Entity] = ()) -> None:
+        self._by_name: Dict[str, Entity] = {}
+        for entity in entities:
+            self.register(entity)
+
+    def register(self, entity: Entity) -> Entity:
+        existing = self._by_name.get(entity.name)
+        if existing is not None and existing != entity:
+            raise ValueError(
+                f"entity name {entity.name!r} already registered with different roles"
+            )
+        self._by_name[entity.name] = entity
+        return entity
+
+    def get(self, name: str) -> Entity:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown entity: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def with_role(self, role: Role) -> Iterator[Entity]:
+        """All registered entities holding ``role``."""
+        return (e for e in self._by_name.values() if e.has_role(role))

@@ -1,0 +1,257 @@
+"""Grounding — from ambiguous concepts to system-actions (paper §1 Fig 2, §3).
+
+The paper's schema (Figure 2):
+
+1. A regulation is stated as invariants over Data-CASE *concepts*.
+2. Each concept admits several valid *interpretations*; grounding is choosing
+   one and formalizing it.
+3. The grounded interpretation is mapped to engine-specific *system-actions*
+   (``DELETE``/``VACUUM`` in PSQL, ``deleteOne``/``remove`` in MongoDB, UDFs…).
+   Where an engine lacks a suitable system-action, it must be retrofitted.
+
+:class:`GroundingRegistry` holds those mappings for a deployment and is what
+the compliance checker and the system profiles consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A data-processing concept named by a regulation (erasure, purpose…)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("concept name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """One valid reading of a concept, with an explicit strictness rank.
+
+    ``strictness`` orders interpretations of the *same* concept: a strictly
+    greater rank implies the weaker interpretation (strong delete ⟹ delete).
+    Ranks across different concepts are not comparable.
+    """
+
+    concept: Concept
+    name: str
+    strictness: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("interpretation name must be non-empty")
+
+    def implies(self, other: "Interpretation") -> bool:
+        """Whether satisfying this interpretation satisfies ``other``."""
+        return self.concept == other.concept and self.strictness >= other.strictness
+
+    def __str__(self) -> str:
+        return f"{self.concept.name}:{self.name}"
+
+
+@dataclass(frozen=True)
+class SystemAction:
+    """An engine-level operation (or UDF) that realizes an interpretation.
+
+    ``engine`` identifies the target system ("psql", "lsm", "mongodb", …);
+    ``supported`` is False for actions the engine cannot express — the
+    paper's Table 1 marks permanent deletion "Not supported" in PSQL.
+    """
+
+    engine: str
+    name: str
+    supported: bool = True
+    description: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.engine}:{self.name}" + ("" if self.supported else " (unsupported)")
+
+
+@dataclass(frozen=True)
+class Grounding:
+    """A chosen interpretation together with its system-action mapping."""
+
+    interpretation: Interpretation
+    system_actions: Tuple[SystemAction, ...]
+
+    @property
+    def is_implementable(self) -> bool:
+        """Whether every required system-action exists in the engine."""
+        return all(a.supported for a in self.system_actions)
+
+    @property
+    def engines(self) -> Tuple[str, ...]:
+        return tuple(sorted({a.engine for a in self.system_actions}))
+
+    def __str__(self) -> str:
+        actions = " + ".join(str(a) for a in self.system_actions)
+        return f"{self.interpretation} ↦ {actions}"
+
+
+class GroundingRegistry:
+    """The deployment-wide catalogue of concepts, interpretations, groundings.
+
+    The registry enforces the paper's discipline:
+
+    * a concept must be registered before interpretations of it;
+    * at most one grounding may be *selected* per concept per engine — that
+      selection is the act of "choosing the specific interpretation of the
+      concepts they wish to support in their system" (Fig 2, step 2).
+    """
+
+    def __init__(self) -> None:
+        self._concepts: Dict[str, Concept] = {}
+        self._interpretations: Dict[str, List[Interpretation]] = {}
+        self._groundings: Dict[Tuple[str, str, str], Grounding] = {}
+        self._selected: Dict[Tuple[str, str], Grounding] = {}
+
+    # --------------------------------------------------------------- concepts
+    def register_concept(self, concept: Concept) -> Concept:
+        existing = self._concepts.get(concept.name)
+        if existing is not None and existing != concept:
+            raise ValueError(f"concept {concept.name!r} already registered")
+        self._concepts[concept.name] = concept
+        self._interpretations.setdefault(concept.name, [])
+        return concept
+
+    def concept(self, name: str) -> Concept:
+        try:
+            return self._concepts[name]
+        except KeyError:
+            raise KeyError(f"unknown concept: {name!r}") from None
+
+    def concepts(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    # --------------------------------------------------------- interpretations
+    def register_interpretation(self, interpretation: Interpretation) -> Interpretation:
+        if interpretation.concept.name not in self._concepts:
+            raise KeyError(
+                f"register concept {interpretation.concept.name!r} first"
+            )
+        bucket = self._interpretations[interpretation.concept.name]
+        for existing in bucket:
+            if existing.name == interpretation.name:
+                if existing != interpretation:
+                    raise ValueError(
+                        f"interpretation {interpretation.name!r} of concept "
+                        f"{interpretation.concept.name!r} already registered differently"
+                    )
+                return existing
+            if existing.strictness == interpretation.strictness:
+                raise ValueError(
+                    "interpretations of one concept need distinct strictness "
+                    f"ranks: {existing.name!r} and {interpretation.name!r} both "
+                    f"rank {existing.strictness}"
+                )
+        bucket.append(interpretation)
+        bucket.sort(key=lambda i: i.strictness)
+        return interpretation
+
+    def interpretations(self, concept_name: str) -> Tuple[Interpretation, ...]:
+        """All registered interpretations, weakest first."""
+        if concept_name not in self._concepts:
+            raise KeyError(f"unknown concept: {concept_name!r}")
+        return tuple(self._interpretations[concept_name])
+
+    def interpretation(self, concept_name: str, name: str) -> Interpretation:
+        for interp in self.interpretations(concept_name):
+            if interp.name == name:
+                return interp
+        raise KeyError(
+            f"concept {concept_name!r} has no interpretation {name!r}"
+        )
+
+    # ------------------------------------------------------------- groundings
+    def register_grounding(
+        self,
+        interpretation: Interpretation,
+        system_actions: Sequence[SystemAction],
+    ) -> Grounding:
+        """Record how an engine implements an interpretation."""
+        if not system_actions:
+            raise ValueError("a grounding needs at least one system-action")
+        engines = {a.engine for a in system_actions}
+        if len(engines) != 1:
+            raise ValueError(
+                f"one grounding targets one engine, got: {sorted(engines)}"
+            )
+        engine = next(iter(engines))
+        grounding = Grounding(interpretation, tuple(system_actions))
+        key = (interpretation.concept.name, interpretation.name, engine)
+        self._groundings[key] = grounding
+        return grounding
+
+    def grounding(
+        self, concept_name: str, interpretation_name: str, engine: str
+    ) -> Grounding:
+        try:
+            return self._groundings[(concept_name, interpretation_name, engine)]
+        except KeyError:
+            raise KeyError(
+                f"no grounding of {concept_name!r}/{interpretation_name!r} "
+                f"for engine {engine!r}"
+            ) from None
+
+    def groundings_for(self, concept_name: str, engine: str) -> List[Grounding]:
+        """Every registered grounding of the concept on the engine, weakest first."""
+        found = [
+            g
+            for (c, _i, e), g in self._groundings.items()
+            if c == concept_name and e == engine
+        ]
+        found.sort(key=lambda g: g.interpretation.strictness)
+        return found
+
+    # --------------------------------------------------------------- selection
+    def select(self, grounding: Grounding, engine: Optional[str] = None) -> Grounding:
+        """Fix the deployment's chosen grounding for a concept on an engine."""
+        engine = engine or grounding.engines[0]
+        if not grounding.is_implementable:
+            raise ValueError(
+                f"cannot select an unimplementable grounding: {grounding}"
+            )
+        self._selected[(grounding.interpretation.concept.name, engine)] = grounding
+        return grounding
+
+    def selected(self, concept_name: str, engine: str) -> Optional[Grounding]:
+        return self._selected.get((concept_name, engine))
+
+    def satisfies(
+        self, concept_name: str, engine: str, required: Interpretation
+    ) -> bool:
+        """Whether the engine's selected grounding is at least as strict as
+        ``required`` — the question a regulator asks (§4.4)."""
+        chosen = self.selected(concept_name, engine)
+        return chosen is not None and chosen.interpretation.implies(required)
+
+    def render(self) -> str:
+        """A human-readable dump of the registry (used by examples)."""
+        lines: List[str] = []
+        for concept in self._concepts.values():
+            lines.append(f"concept {concept.name}: {concept.description}")
+            for interp in self._interpretations[concept.name]:
+                lines.append(
+                    f"  [{interp.strictness}] {interp.name}: {interp.description}"
+                )
+                for (c, i, e), g in sorted(self._groundings.items()):
+                    if c == concept.name and i == interp.name:
+                        marker = (
+                            " (selected)"
+                            if self._selected.get((c, e)) is g
+                            else ""
+                        )
+                        actions = " + ".join(a.name for a in g.system_actions)
+                        lines.append(f"      {e}: {actions}{marker}")
+        return "\n".join(lines)

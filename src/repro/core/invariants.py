@@ -1,0 +1,549 @@
+"""Regulation invariants (paper §2.2, Figure 1).
+
+An :class:`Invariant` evaluates a database + action-history against one
+formally stated requirement and returns a :class:`ComplianceVerdict` with
+violation witnesses.  Two invariants are fully formal, straight from §2.2:
+
+* :class:`G6PolicyConsistency` — every action on every data unit is
+  policy-consistent;
+* :class:`G17ErasureDeadline` — every data unit carries a compliance-erase
+  policy, and its last action is an erase performed before that deadline.
+
+The remaining nine are the informal category invariants of Figure 1, each
+formalized here as far as the model allows (the paper leaves them informal;
+we choose checkable readings and document them in the docstrings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.actions import ActionHistory, ActionHistoryTuple, ActionType
+from repro.core.consistency import (
+    RegulationRequires,
+    _never_required,
+    policy_violations,
+)
+from repro.core.dataunit import Database, DataCategory, DataUnit
+from repro.core.policy import Purpose
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One witness of an invariant breach."""
+
+    invariant: str
+    unit_id: Optional[str]
+    message: str
+    witness: Optional[ActionHistoryTuple] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.unit_id}]" if self.unit_id else ""
+        return f"{self.invariant}{where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ComplianceVerdict:
+    """The outcome of evaluating one invariant."""
+
+    invariant: str
+    holds: bool
+    violations: Tuple[Violation, ...] = ()
+    checked_units: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class Invariant(Protocol):
+    """The protocol every invariant implements."""
+
+    name: str
+    article: str
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:  # pragma: no cover - protocol
+        ...
+
+
+def _verdict(
+    name: str, violations: List[Violation], checked: int
+) -> ComplianceVerdict:
+    return ComplianceVerdict(
+        invariant=name,
+        holds=not violations,
+        violations=tuple(violations),
+        checked_units=checked,
+    )
+
+
+class G6PolicyConsistency:
+    """GDPR Article 6 — lawfulness of processing.
+
+    "For all data units X, and for all actions τ on X, it holds that τ is
+    policy-consistent."
+    """
+
+    name = "G6-policy-consistency"
+    article = "GDPR Art. 6"
+
+    def __init__(
+        self, required_by_regulation: RegulationRequires = _never_required
+    ) -> None:
+        self._required = required_by_regulation
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database:
+            checked += 1
+            for entry in policy_violations(unit, history, self._required):
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        f"action {entry.action} by {entry.entity.name} for "
+                        f"purpose {entry.purpose!r} at t={entry.timestamp} "
+                        "has no authorizing policy",
+                        witness=entry,
+                    )
+                )
+        return _verdict(self.name, violations, checked)
+
+
+class G17ErasureDeadline:
+    """GDPR Article 17 — right to erasure / storage limitation.
+
+    "Every data unit X has a compliance-erase policy
+    ⟨compliance-erase, e, t_b, t_f⟩, and the last action on X is erase(X) at
+    a time t ≤ t_f."
+
+    Units whose deadline lies in the future are not yet in violation; units
+    with no compliance-erase policy at all violate the invariant immediately
+    ("do not store data eternally", Figure 1 category V).
+    """
+
+    name = "G17-erasure-deadline"
+    article = "GDPR Art. 17"
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database:
+            if unit.category == DataCategory.METADATA:
+                continue
+            checked += 1
+            deadline = unit.policies.erasure_deadline()
+            if deadline is None:
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        "no compliance-erase policy: data would be retained "
+                        "eternally",
+                    )
+                )
+                continue
+            erase = history.last_of_type(unit.unit_id, ActionType.ERASE)
+            if erase is not None and erase.timestamp <= deadline:
+                last = history.last(unit.unit_id)
+                if last is not None and not last.is_erase and last.timestamp > erase.timestamp:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            unit.unit_id,
+                            f"action {last.action} at t={last.timestamp} "
+                            "post-dates the erase",
+                            witness=last,
+                        )
+                    )
+                continue
+            if erase is not None and erase.timestamp > deadline:
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        f"erase happened at t={erase.timestamp}, after the "
+                        f"deadline t={deadline}",
+                        witness=erase,
+                    )
+                )
+                continue
+            if now > deadline:
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        f"deadline t={deadline} has passed without an erase "
+                        f"(now t={now})",
+                    )
+                )
+        return _verdict(self.name, violations, checked)
+
+
+# --------------------------------------------------------------------------
+# Figure 1 — the nine informal category invariants, given checkable readings.
+# --------------------------------------------------------------------------
+
+class DisclosureInvariant:
+    """Figure 1, I (Disclosure): keep data subjects informed when collecting.
+
+    Reading: every base data unit's history contains a CONTRACT action (the
+    consent/notice event) at or before its first CREATE.
+    """
+
+    name = "I-disclosure"
+    article = "GDPR Arts. 13–14"
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database.by_category(DataCategory.BASE):
+            checked += 1
+            entries = history.of(unit.unit_id)
+            create_t: Optional[int] = None
+            contract_t: Optional[int] = None
+            for e in entries:
+                if e.action.type == ActionType.CREATE and create_t is None:
+                    create_t = e.timestamp
+                if e.action.type == ActionType.CONTRACT and contract_t is None:
+                    contract_t = e.timestamp
+            if create_t is None:
+                continue
+            if contract_t is None or contract_t > create_t:
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        "collected without a prior disclosure/consent contract",
+                    )
+                )
+        return _verdict(self.name, violations, checked)
+
+
+class StorageRightsInvariant:
+    """Figure 1, II (Storage): store data such that subjects can exercise
+    their rights.
+
+    Reading: every base/derived unit has a non-empty subject set and at least
+    one policy naming an entity — otherwise no right (access, erasure,
+    rectification) can even be addressed.
+    """
+
+    name = "II-storage-rights"
+    article = "GDPR Arts. 12, 15–18, 20–21, 23"
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database:
+            if unit.category == DataCategory.METADATA:
+                continue
+            checked += 1
+            if unit.is_erased:
+                continue
+            if not unit.subjects:
+                violations.append(
+                    Violation(
+                        self.name, unit.unit_id, "no data-subject recorded"
+                    )
+                )
+            if len(unit.policies) == 0:
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        "no policy attached: rights cannot be exercised",
+                    )
+                )
+        return _verdict(self.name, violations, checked)
+
+
+class PreProcessingInvariant:
+    """Figure 1, III (Pre-processing): consult and assess prior to processing.
+
+    Reading: the deployment performed a privacy impact assessment —
+    modelled as a PIA marker action recorded against the deployment unit
+    before the first non-CONTRACT action in the whole history.
+    """
+
+    name = "III-pre-processing"
+    article = "GDPR Arts. 35–36"
+    PIA_UNIT = "__deployment__"
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        pia = history.last_of_type(self.PIA_UNIT, ActionType.CONTRACT)
+        first_processing: Optional[ActionHistoryTuple] = None
+        for entry in history.all_tuples():
+            if entry.unit_id == self.PIA_UNIT:
+                continue
+            if entry.action.type == ActionType.CONTRACT:
+                continue
+            if first_processing is None or entry.timestamp < first_processing.timestamp:
+                first_processing = entry
+        if first_processing is not None:
+            if pia is None:
+                violations.append(
+                    Violation(
+                        self.name,
+                        None,
+                        "no privacy impact assessment on record",
+                    )
+                )
+            elif pia.timestamp > first_processing.timestamp:
+                violations.append(
+                    Violation(
+                        self.name,
+                        first_processing.unit_id,
+                        "processing started before the impact assessment",
+                        witness=first_processing,
+                    )
+                )
+        return _verdict(self.name, violations, 1)
+
+
+class SharingProcessingInvariant:
+    """Figure 1, IV (Sharing and Processing): do not process indiscriminately.
+
+    Reading: every SHARE or DERIVE action is policy-consistent (a sharper
+    subset of G6 focused on propagation of data to other entities).
+    """
+
+    name = "IV-sharing-processing"
+    article = "GDPR Arts. 5–11, 22, 26–29, 44–45"
+
+    def __init__(
+        self, required_by_regulation: RegulationRequires = _never_required
+    ) -> None:
+        self._required = required_by_regulation
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database:
+            checked += 1
+            for entry in history.of(unit.unit_id):
+                if entry.action.type not in (ActionType.SHARE, ActionType.DERIVE):
+                    continue
+                if self._required(entry):
+                    continue
+                if unit.policies.authorizing(
+                    entry.purpose, entry.entity, entry.timestamp
+                ) is None:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            unit.unit_id,
+                            f"{entry.action} by {entry.entity.name} without "
+                            "an authorizing policy",
+                            witness=entry,
+                        )
+                    )
+        return _verdict(self.name, violations, checked)
+
+
+class ErasureInvariant:
+    """Figure 1, V (Erasure): do not store data eternally — alias of G17."""
+
+    name = "V-erasure"
+    article = "GDPR Art. 17"
+
+    def __init__(self) -> None:
+        self._g17 = G17ErasureDeadline()
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        inner = self._g17.evaluate(database, history, now)
+        violations = tuple(
+            Violation(self.name, v.unit_id, v.message, v.witness)
+            for v in inner.violations
+        )
+        return ComplianceVerdict(
+            self.name, inner.holds, violations, inner.checked_units
+        )
+
+
+class DesignSecurityInvariant:
+    """Figure 1, VI (Design and Security): build data-protective systems.
+
+    Reading: the deployment declares an at-rest encryption scheme, checked
+    via a deployment attribute the system profiles set.  A pure-model
+    evaluation cannot inspect an engine, so the checker consults a
+    declaration callback supplied by the deployment.
+    """
+
+    name = "VI-design-security"
+    article = "GDPR Arts. 25, 32"
+
+    def __init__(self, encrypted_at_rest: Callable[[], bool] = lambda: False) -> None:
+        self._encrypted_at_rest = encrypted_at_rest
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        if not self._encrypted_at_rest():
+            violations.append(
+                Violation(
+                    self.name,
+                    None,
+                    "personal data is not protected at rest",
+                )
+            )
+        return _verdict(self.name, violations, 1)
+
+
+class RecordKeepingInvariant:
+    """Figure 1, VII (Record keeping): keep records of all data-operations.
+
+    Reading: every non-metadata unit present in the database appears in the
+    action history (at minimum its CREATE must be on record).
+    """
+
+    name = "VII-record-keeping"
+    article = "GDPR Art. 30"
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database:
+            if unit.category == DataCategory.METADATA:
+                continue
+            checked += 1
+            if unit.unit_id not in history:
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        "unit exists but no operation on it is on record",
+                    )
+                )
+        return _verdict(self.name, violations, checked)
+
+
+class ObligationsInvariant:
+    """Figure 1, VIII (Obligations): inform the user of changes and
+    unauthorized access to their data.
+
+    Reading: for every policy-inconsistent access on a unit (a breach), the
+    history contains a later SHARE action to the data subject with purpose
+    ``breach-notification``.
+    """
+
+    name = "VIII-obligations"
+    article = "GDPR Arts. 19, 33–34"
+    NOTIFY_PURPOSE = "breach-notification"
+
+    def __init__(
+        self, required_by_regulation: RegulationRequires = _never_required
+    ) -> None:
+        self._required = required_by_regulation
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database:
+            checked += 1
+            breaches = policy_violations(unit, history, self._required)
+            if not breaches:
+                continue
+            notices = [
+                e
+                for e in history.of(unit.unit_id)
+                if e.action.type == ActionType.SHARE
+                and e.purpose == self.NOTIFY_PURPOSE
+            ]
+            for breach in breaches:
+                if breach.purpose == self.NOTIFY_PURPOSE:
+                    continue
+                notified = any(n.timestamp >= breach.timestamp for n in notices)
+                if not notified:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            unit.unit_id,
+                            "unauthorized access was never notified to the "
+                            "data subject",
+                            witness=breach,
+                        )
+                    )
+        return _verdict(self.name, violations, checked)
+
+
+class DemonstrabilityInvariant:
+    """Figure 1, IX (Accountability): demonstrate compliance.
+
+    Reading: the action history itself must be demonstrably complete — every
+    mutation recorded in the database model (value versions, erasures) has a
+    matching history tuple.  This is the invariant that makes "demonstrable
+    compliance" more than a slogan: evidence, not assertion.
+    """
+
+    name = "IX-demonstrability"
+    article = "GDPR Arts. 24, 31"
+
+    def evaluate(
+        self, database: Database, history: ActionHistory, now: int
+    ) -> ComplianceVerdict:
+        violations: List[Violation] = []
+        checked = 0
+        for unit in database:
+            if unit.category == DataCategory.METADATA:
+                continue
+            checked += 1
+            entries = history.of(unit.unit_id)
+            mutations = sum(
+                1
+                for e in entries
+                if e.action.type
+                in (ActionType.CREATE, ActionType.UPDATE, ActionType.ERASE)
+            )
+            expected = len(unit.versions) + (1 if unit.is_erased else 0)
+            if mutations < expected:
+                violations.append(
+                    Violation(
+                        self.name,
+                        unit.unit_id,
+                        f"{expected} recorded mutations in the model but only "
+                        f"{mutations} in the action history",
+                    )
+                )
+        return _verdict(self.name, violations, checked)
+
+
+def figure1_invariants(
+    required_by_regulation: RegulationRequires = _never_required,
+    encrypted_at_rest: Callable[[], bool] = lambda: True,
+) -> List[Invariant]:
+    """The nine Figure-1 invariants, in the paper's order."""
+    return [
+        DisclosureInvariant(),
+        StorageRightsInvariant(),
+        PreProcessingInvariant(),
+        SharingProcessingInvariant(required_by_regulation),
+        ErasureInvariant(),
+        DesignSecurityInvariant(encrypted_at_rest),
+        RecordKeepingInvariant(),
+        ObligationsInvariant(required_by_regulation),
+        DemonstrabilityInvariant(),
+    ]

@@ -1,0 +1,164 @@
+"""Provenance — dependencies between data units (paper §2.1, §3.1).
+
+Two of the paper's formal properties need provenance:
+
+* **Erasure-inconsistent inference (II)** — "X = f(Y) where Y is other data
+  units and f is some dependency that can be used to reconstruct X from Y":
+  even after X is erased it may be inferable from derived/dependent data.
+* **Strong deletion** — deleting X *and all dependent data where the
+  data-subject is identifiable*.
+
+The graph is a :class:`networkx.DiGraph` with an edge ``base → derived`` per
+derivation, annotated with the dependency kind and whether the dependency
+function is invertible (can reconstruct the base from the derivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+class DependencyKind(Enum):
+    """How a derived unit depends on its base."""
+
+    COPY = "copy"                  # replica / cache — trivially invertible
+    AGGREGATE = "aggregate"        # sum/avg over many units — lossy
+    TRANSFORM = "transform"        # per-unit function (encryption, encoding)
+    JOIN = "join"                  # combination of several units
+    INFERENCE = "inference"        # model / statistical inference
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One ``base → derived`` edge: derived = f(base, …)."""
+
+    base_id: str
+    derived_id: str
+    kind: DependencyKind
+    invertible: bool
+    identifying: bool = True
+    """Whether the data-subject is identifiable from the derived unit —
+    strong delete only requires deleting dependents "where the data-subject
+    is identifiable" (§3.1)."""
+
+
+class ProvenanceGraph:
+    """Tracks derivations; answers the reachability questions of erasure."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    # -------------------------------------------------------------- recording
+    def add_unit(self, unit_id: str) -> None:
+        self._graph.add_node(unit_id)
+
+    def record(self, dependency: Dependency) -> Dependency:
+        if dependency.base_id == dependency.derived_id:
+            raise ValueError("a unit cannot derive from itself")
+        self._graph.add_edge(
+            dependency.base_id,
+            dependency.derived_id,
+            dependency=dependency,
+        )
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(dependency.base_id, dependency.derived_id)
+            raise ValueError(
+                f"dependency {dependency.base_id} → {dependency.derived_id} "
+                "would create a provenance cycle"
+            )
+        return dependency
+
+    def forget(self, unit_id: str) -> None:
+        """Remove the unit and its incident edges (permanent-delete path)."""
+        if self._graph.has_node(unit_id):
+            self._graph.remove_node(unit_id)
+
+    # ---------------------------------------------------------------- queries
+    def __contains__(self, unit_id: str) -> bool:
+        return self._graph.has_node(unit_id)
+
+    def dependencies_of(self, derived_id: str) -> List[Dependency]:
+        """The edges feeding into ``derived_id`` (its bases)."""
+        if not self._graph.has_node(derived_id):
+            return []
+        return [
+            self._graph.edges[base, derived_id]["dependency"]
+            for base in self._graph.predecessors(derived_id)
+        ]
+
+    def derivations_of(self, base_id: str) -> List[Dependency]:
+        """The edges leaving ``base_id`` (its direct derivations)."""
+        if not self._graph.has_node(base_id):
+            return []
+        return [
+            self._graph.edges[base_id, derived]["dependency"]
+            for derived in self._graph.successors(base_id)
+        ]
+
+    def descendants(self, base_id: str) -> Set[str]:
+        """Every unit transitively derived from ``base_id``."""
+        if not self._graph.has_node(base_id):
+            return set()
+        return set(nx.descendants(self._graph, base_id))
+
+    def ancestors(self, derived_id: str) -> Set[str]:
+        if not self._graph.has_node(derived_id):
+            return set()
+        return set(nx.ancestors(self._graph, derived_id))
+
+    def identifying_descendants(self, base_id: str) -> Set[str]:
+        """Descendants reachable through *identifying* edges only.
+
+        This is the closure strong delete must remove: a path through a
+        non-identifying (anonymizing) edge breaks identifiability, so units
+        beyond it may be retained.
+        """
+        result: Set[str] = set()
+        frontier = [base_id]
+        while frontier:
+            current = frontier.pop()
+            for dep in self.derivations_of(current):
+                if dep.identifying and dep.derived_id not in result:
+                    result.add(dep.derived_id)
+                    frontier.append(dep.derived_id)
+        return result
+
+    def reconstruction_witnesses(
+        self, unit_id: str, surviving: Iterable[str]
+    ) -> List[Dependency]:
+        """Dependencies that let a *surviving* unit reconstruct ``unit_id``.
+
+        This is the II check's core: after erasing X, any invertible edge
+        X → Y with Y still present witnesses that X can be inferred.
+        Also covers the reverse direction — if X was derived *from* a
+        surviving base via an edge that is deterministic (COPY/TRANSFORM),
+        X can be recomputed.
+        """
+        alive = set(surviving)
+        witnesses: List[Dependency] = []
+        for dep in self.derivations_of(unit_id):
+            if dep.derived_id in alive and dep.invertible:
+                witnesses.append(dep)
+        for dep in self.dependencies_of(unit_id):
+            if dep.base_id in alive and dep.kind in (
+                DependencyKind.COPY,
+                DependencyKind.TRANSFORM,
+            ):
+                witnesses.append(dep)
+        return witnesses
+
+    def units(self) -> Iterator[str]:
+        return iter(self._graph.nodes)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()

@@ -1,0 +1,213 @@
+"""Regulation catalogs (paper Figure 1, §4.3).
+
+Figure 1 groups the GDPR articles that legislate data processing and impact
+system design into eight categories, stated as informal invariants.  This
+module encodes that grouping as data, plus skeleton catalogs for CCPA, VDPA,
+and PIPEDA used by the multinational example (§4.3) — different regulations
+covering overlapping concepts with different interpretations is exactly the
+conflict Data-CASE is designed to make explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class Category(Enum):
+    """The eight Figure-1 requirement categories."""
+
+    DISCLOSURE = "Disclosure"
+    STORAGE = "Storage"
+    PRE_PROCESSING = "Pre-processing"
+    SHARING_AND_PROCESSING = "Sharing and Processing"
+    ERASURE = "Erasure"
+    DESIGN_AND_SECURITY = "Design and Security"
+    RECORD_KEEPING = "Record Keeping"
+    OBLIGATIONS = "Obligations and Accountability"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Article:
+    """One article (or section) of a regulation."""
+
+    number: str
+    title: str
+    category: Category
+    invariant: str
+    """The informal invariant the category states (Figure 1 wording)."""
+
+    def __str__(self) -> str:
+        return f"Art. {self.number} ({self.title})"
+
+
+@dataclass(frozen=True)
+class Regulation:
+    """A named regulation with its article catalog."""
+
+    name: str
+    jurisdiction: str
+    articles: Tuple[Article, ...]
+
+    def by_category(self, category: Category) -> List[Article]:
+        return [a for a in self.articles if a.category == category]
+
+    def article(self, number: str) -> Article:
+        for a in self.articles:
+            if a.number == number:
+                return a
+        raise KeyError(f"{self.name} has no article {number!r}")
+
+    def categories(self) -> List[Category]:
+        seen: List[Category] = []
+        for a in self.articles:
+            if a.category not in seen:
+                seen.append(a.category)
+        return seen
+
+    def render_figure1(self) -> str:
+        """Figure 1: the categories, their invariants, and grouped articles."""
+        lines = [f"{self.name} requirements as informal invariants:"]
+        for category in Category:
+            articles = self.by_category(category)
+            if not articles:
+                continue
+            numbers = ", ".join(a.number for a in articles)
+            lines.append(f"  {category.value}: {articles[0].invariant}")
+            lines.append(f"      articles: [{numbers}]")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Article]:
+        return iter(self.articles)
+
+    def __len__(self) -> int:
+        return len(self.articles)
+
+
+# --------------------------------------------------------------------------
+# Figure-1 invariant texts (quoted from the figure).
+# --------------------------------------------------------------------------
+
+_INVARIANT_TEXT: Dict[Category, str] = {
+    Category.DISCLOSURE: "Keep data subjects informed when collecting data.",
+    Category.STORAGE: "Store data such that data subjects can exercise their rights.",
+    Category.PRE_PROCESSING: "Consult and assess prior to processing data.",
+    Category.SHARING_AND_PROCESSING: "Do not process data indiscriminately.",
+    Category.ERASURE: "Do not store data eternally.",
+    Category.DESIGN_AND_SECURITY: "Build and design data protective systems.",
+    Category.RECORD_KEEPING: "Keep records of all data-operations.",
+    Category.OBLIGATIONS: (
+        "Inform the user of changes and unauthorized access to their data; "
+        "demonstrate compliance."
+    ),
+}
+
+
+def _art(number: str, title: str, category: Category) -> Article:
+    return Article(number, title, category, _INVARIANT_TEXT[category])
+
+
+def gdpr() -> Regulation:
+    """GDPR articles grouped per Figure 1.
+
+    The figure lists article numbers per category: Disclosure [13, 14],
+    Storage [12, 15–18, 20–21, 23], Pre-processing [35–36], Sharing and
+    Processing [5–11, 22, 26–29, 44–45], Erasure [17], Design and Security
+    [25, 32], Record Keeping [30], Obligations [19, 33–34] and
+    Accountability [24, 31].
+    """
+    articles: List[Article] = [
+        _art("13", "Information to be provided (data collected from subject)", Category.DISCLOSURE),
+        _art("14", "Information to be provided (data not from subject)", Category.DISCLOSURE),
+        _art("12", "Transparent information and communication", Category.STORAGE),
+        _art("15", "Right of access", Category.STORAGE),
+        _art("16", "Right to rectification", Category.STORAGE),
+        _art("18", "Right to restriction of processing", Category.STORAGE),
+        _art("20", "Right to data portability", Category.STORAGE),
+        _art("21", "Right to object", Category.STORAGE),
+        _art("23", "Restrictions", Category.STORAGE),
+        _art("35", "Data protection impact assessment", Category.PRE_PROCESSING),
+        _art("36", "Prior consultation", Category.PRE_PROCESSING),
+        _art("5", "Principles relating to processing", Category.SHARING_AND_PROCESSING),
+        _art("6", "Lawfulness of processing", Category.SHARING_AND_PROCESSING),
+        _art("7", "Conditions for consent", Category.SHARING_AND_PROCESSING),
+        _art("8", "Child's consent", Category.SHARING_AND_PROCESSING),
+        _art("9", "Special categories of personal data", Category.SHARING_AND_PROCESSING),
+        _art("10", "Criminal convictions data", Category.SHARING_AND_PROCESSING),
+        _art("11", "Processing not requiring identification", Category.SHARING_AND_PROCESSING),
+        _art("22", "Automated individual decision-making", Category.SHARING_AND_PROCESSING),
+        _art("26", "Joint controllers", Category.SHARING_AND_PROCESSING),
+        _art("27", "Representatives of non-EU controllers", Category.SHARING_AND_PROCESSING),
+        _art("28", "Processor", Category.SHARING_AND_PROCESSING),
+        _art("29", "Processing under authority", Category.SHARING_AND_PROCESSING),
+        _art("44", "General principle for transfers", Category.SHARING_AND_PROCESSING),
+        _art("45", "Transfers on adequacy decision", Category.SHARING_AND_PROCESSING),
+        _art("17", "Right to erasure ('right to be forgotten')", Category.ERASURE),
+        _art("25", "Data protection by design and by default", Category.DESIGN_AND_SECURITY),
+        _art("32", "Security of processing", Category.DESIGN_AND_SECURITY),
+        _art("30", "Records of processing activities", Category.RECORD_KEEPING),
+        _art("19", "Notification obligation (rectification/erasure)", Category.OBLIGATIONS),
+        _art("33", "Breach notification to supervisory authority", Category.OBLIGATIONS),
+        _art("34", "Breach communication to the data subject", Category.OBLIGATIONS),
+        _art("24", "Responsibility of the controller", Category.OBLIGATIONS),
+        _art("31", "Cooperation with the supervisory authority", Category.OBLIGATIONS),
+    ]
+    return Regulation("GDPR", "EU", tuple(articles))
+
+
+def ccpa() -> Regulation:
+    """California Consumer Privacy Act — skeleton catalog for §4.3.
+
+    CCPA speaks in sections of the California Civil Code; the mapping to
+    Figure-1 categories shows the overlap (and gaps) with GDPR: e.g., CCPA's
+    deletion right (1798.105) has statutory exceptions GDPR lacks, which is
+    why a multinational deployment may need *different* erasure groundings
+    per jurisdiction.
+    """
+    articles = [
+        _art("1798.100", "Right to know / notice at collection", Category.DISCLOSURE),
+        _art("1798.110", "Right to know categories and specific pieces", Category.STORAGE),
+        _art("1798.115", "Right to know about sale/sharing", Category.STORAGE),
+        _art("1798.105", "Right to delete", Category.ERASURE),
+        _art("1798.120", "Right to opt-out of sale", Category.SHARING_AND_PROCESSING),
+        _art("1798.121", "Right to limit use of sensitive data", Category.SHARING_AND_PROCESSING),
+        _art("1798.150", "Security: reasonable procedures and practices", Category.DESIGN_AND_SECURITY),
+        _art("1798.130", "Notice, disclosure, and response duties", Category.OBLIGATIONS),
+    ]
+    return Regulation("CCPA", "California, US", tuple(articles))
+
+
+def vdpa() -> Regulation:
+    """Virginia (Consumer) Data Protection Act — skeleton catalog."""
+    articles = [
+        _art("59.1-578.C", "Privacy notice", Category.DISCLOSURE),
+        _art("59.1-577.A.1", "Right of access", Category.STORAGE),
+        _art("59.1-577.A.2", "Right to correct", Category.STORAGE),
+        _art("59.1-577.A.3", "Right to delete", Category.ERASURE),
+        _art("59.1-578.A.5", "Data security practices", Category.DESIGN_AND_SECURITY),
+        _art("59.1-580", "Data protection assessments", Category.PRE_PROCESSING),
+        _art("59.1-579", "Processor duties and contracts", Category.SHARING_AND_PROCESSING),
+    ]
+    return Regulation("VDPA", "Virginia, US", tuple(articles))
+
+
+def pipeda() -> Regulation:
+    """Canada's PIPEDA — skeleton catalog (fair information principles)."""
+    articles = [
+        _art("4.2", "Identifying purposes", Category.DISCLOSURE),
+        _art("4.3", "Consent", Category.SHARING_AND_PROCESSING),
+        _art("4.5", "Limiting use, disclosure, and retention", Category.ERASURE),
+        _art("4.7", "Safeguards", Category.DESIGN_AND_SECURITY),
+        _art("4.8", "Openness", Category.DISCLOSURE),
+        _art("4.9", "Individual access", Category.STORAGE),
+        _art("4.10", "Challenging compliance", Category.OBLIGATIONS),
+    ]
+    return Regulation("PIPEDA", "Canada", tuple(articles))
+
+
+def all_regulations() -> List[Regulation]:
+    return [gdpr(), ccpa(), vdpa(), pipeda()]

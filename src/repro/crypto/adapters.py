@@ -1,0 +1,164 @@
+"""Engine cipher adapters.
+
+:class:`repro.storage.engine.EngineCipher` implementations in three tiers:
+
+* :class:`CostOnlyCipher` — charges the cost model, payload untouched.
+  Used at paper scale (100k–500k records) where pure-Python transformation
+  of every tuple would swamp the simulation in interpreter time.
+* :class:`FastEngineCipher` — charges costs *and* really transforms the
+  payload with the SHA-256 keystream cipher.  Used by examples, tests, and
+  the forensic/retention analyses where ciphertext must actually be opaque.
+* :class:`AesEngineCipher` — the real AES in CTR mode.  Reference tier.
+
+All three charge identical simulated costs, so the figures do not depend on
+the tier — that is asserted in ``tests/integration/test_cipher_tiers.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from repro.crypto.aes import AES
+from repro.crypto.fastcipher import FastStreamCipher
+from repro.crypto.modes import ctr_xor
+from repro.sim.costs import CostModel
+
+
+class CipherKind(Enum):
+    """Which at-rest scheme a profile declares (paper §4.2)."""
+
+    AES128 = "aes-128"
+    AES256 = "aes-256"
+    LUKS = "luks-sha256"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _charge(cost: CostModel, kind: CipherKind, nbytes: int) -> None:
+    if kind is CipherKind.AES128:
+        cost.charge_aes128(nbytes)
+    elif kind is CipherKind.AES256:
+        cost.charge_aes256(nbytes)
+    else:
+        cost.charge_luks(nbytes)
+
+
+class CostOnlyCipher:
+    """Charges encryption costs; payloads pass through untouched."""
+
+    overhead_bytes = 16  # IV per sealed payload
+
+    def __init__(self, cost: CostModel, kind: CipherKind) -> None:
+        self._cost = cost
+        self.kind = kind
+
+    def seal(self, payload: Any, nbytes: int) -> Any:
+        _charge(self._cost, self.kind, nbytes)
+        return payload
+
+    def open_(self, payload: Any, nbytes: int) -> Any:
+        _charge(self._cost, self.kind, nbytes)
+        return payload
+
+
+class _TransformingCipher:
+    """Shared plumbing for ciphers that really transform payloads.
+
+    Payloads are arbitrary Python objects; they are serialized with ``repr``
+    (workload payloads are strings/dicts of primitives), encrypted, and
+    wrapped in a :class:`SealedPayload` that remembers nothing about the
+    plaintext.  ``open_`` restores the original object.
+    """
+
+    overhead_bytes = 16
+
+    def __init__(self, cost: CostModel, kind: CipherKind) -> None:
+        self._cost = cost
+        self.kind = kind
+        self._counter = 0
+
+    def _encrypt(self, data: bytes, nonce: bytes) -> bytes:  # pragma: no cover
+        raise NotImplementedError
+
+    def _decrypt(self, data: bytes, nonce: bytes) -> bytes:  # pragma: no cover
+        raise NotImplementedError
+
+    def seal(self, payload: Any, nbytes: int) -> "SealedPayload":
+        _charge(self._cost, self.kind, nbytes)
+        self._counter += 1
+        nonce = hashlib.sha256(self._counter.to_bytes(8, "big")).digest()[:16]
+        import pickle
+
+        plaintext = pickle.dumps(payload)
+        return SealedPayload(self._encrypt(plaintext, nonce), nonce)
+
+    def open_(self, payload: Any, nbytes: int) -> Any:
+        _charge(self._cost, self.kind, nbytes)
+        if not isinstance(payload, SealedPayload):
+            raise TypeError("payload was not sealed by this cipher")
+        import pickle
+
+        return pickle.loads(self._decrypt(payload.ciphertext, payload.nonce))
+
+
+class SealedPayload:
+    """An encrypted payload: ciphertext + nonce, nothing else."""
+
+    __slots__ = ("ciphertext", "nonce")
+
+    def __init__(self, ciphertext: bytes, nonce: bytes) -> None:
+        self.ciphertext = ciphertext
+        self.nonce = nonce
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SealedPayload({len(self.ciphertext)}B)"
+
+
+class FastEngineCipher(_TransformingCipher):
+    """SHA-256 keystream transformation + cost charging."""
+
+    def __init__(self, cost: CostModel, kind: CipherKind, key: bytes = b"k") -> None:
+        super().__init__(cost, kind)
+        self._key = key
+
+    def _encrypt(self, data: bytes, nonce: bytes) -> bytes:
+        return FastStreamCipher(self._key, nonce).apply(data)
+
+    def _decrypt(self, data: bytes, nonce: bytes) -> bytes:
+        return FastStreamCipher(self._key, nonce).apply(data)
+
+
+class AesEngineCipher(_TransformingCipher):
+    """Real AES-CTR transformation + cost charging (reference tier)."""
+
+    def __init__(
+        self, cost: CostModel, kind: CipherKind, key: Optional[bytes] = None
+    ) -> None:
+        super().__init__(cost, kind)
+        if key is None:
+            key = hashlib.sha256(b"aes-engine-key").digest()
+            if kind is CipherKind.AES128:
+                key = key[:16]
+        self._aes = AES(key)
+
+    def _encrypt(self, data: bytes, nonce: bytes) -> bytes:
+        return ctr_xor(self._aes, nonce, data)
+
+    def _decrypt(self, data: bytes, nonce: bytes) -> bytes:
+        return ctr_xor(self._aes, nonce, data)
+
+
+def make_engine_cipher(
+    cost: CostModel, kind: CipherKind, tier: str = "cost-only"
+) -> Any:
+    """Factory: pick the adapter tier ("cost-only" | "fast" | "aes")."""
+    if tier == "cost-only":
+        return CostOnlyCipher(cost, kind)
+    if tier == "fast":
+        return FastEngineCipher(cost, kind)
+    if tier == "aes":
+        return AesEngineCipher(cost, kind)
+    raise ValueError(f"unknown cipher tier: {tier!r}")

@@ -1,0 +1,201 @@
+"""AES (FIPS-197) from scratch.
+
+A straightforward, table-based implementation of the Advanced Encryption
+Standard supporting 128/192/256-bit keys.  Correctness is pinned to the
+FIPS-197 appendix C test vectors in ``tests/unit/test_crypto.py``.
+
+This is the *reference* cipher: the engines charge AES costs through the
+cost model and move bulk bytes through :mod:`repro.crypto.fastcipher`;
+this module exists so the cryptographic claims of the profiles ("data is
+encrypted using AES-256") are backed by a real, tested implementation
+rather than a label.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# --------------------------------------------------------------------------
+# S-box generation (from the multiplicative inverse in GF(2^8) + affine map),
+# computed at import time — no magic constant tables to trust.
+# --------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple:
+    # Multiplicative inverses via exponentiation: a^254 = a^{-1} in GF(2^8).
+    def inv(a: int) -> int:
+        if a == 0:
+            return 0
+        result = 1
+        power = a
+        exponent = 254
+        while exponent:
+            if exponent & 1:
+                result = _gf_mul(result, power)
+            power = _gf_mul(power, power)
+            exponent >>= 1
+        return result
+
+    sbox = [0] * 256
+    for i in range(256):
+        x = inv(i)
+        # Affine transformation.
+        y = x
+        for shift in (1, 2, 3, 4):
+            y ^= ((x << shift) | (x >> (8 - shift))) & 0xFF
+        sbox[i] = y ^ 0x63
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+for _ in range(13):
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+# Precomputed multiplication tables for MixColumns.
+_MUL2 = tuple(_gf_mul(i, 2) for i in range(256))
+_MUL3 = tuple(_gf_mul(i, 3) for i in range(256))
+_MUL9 = tuple(_gf_mul(i, 9) for i in range(256))
+_MUL11 = tuple(_gf_mul(i, 11) for i in range(256))
+_MUL13 = tuple(_gf_mul(i, 13) for i in range(256))
+_MUL14 = tuple(_gf_mul(i, 14) for i in range(256))
+
+
+class AES:
+    """AES block cipher over 16-byte blocks."""
+
+    ROUNDS = {16: 10, 24: 12, 32: 14}
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in self.ROUNDS:
+            raise ValueError(
+                f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self._rounds = self.ROUNDS[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    @property
+    def key_bits(self) -> int:
+        return (len(self._round_keys) // (self._rounds + 1)) * 0 + (
+            {10: 128, 12: 192, 14: 256}[self._rounds]
+        )
+
+    # ----------------------------------------------------------- key schedule
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]                       # RotWord
+                temp = [_SBOX[b] for b in temp]                  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]                  # AES-256 extra
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        # Group into round keys of 16 bytes, column-major state order.
+        return [
+            [b for word in words[4 * r:4 * r + 4] for b in word]
+            for r in range(self._rounds + 1)
+        ]
+
+    # ----------------------------------------------------------- block ops
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(s: List[int]) -> None:
+        # State is column-major: s[col*4 + row].
+        s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+        s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+        s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+
+    @staticmethod
+    def _inv_shift_rows(s: List[int]) -> None:
+        s[5], s[9], s[13], s[1] = s[1], s[5], s[9], s[13]
+        s[10], s[14], s[2], s[6] = s[2], s[6], s[10], s[14]
+        s[15], s[3], s[7], s[11] = s[3], s[7], s[11], s[15]
+
+    @staticmethod
+    def _mix_columns(s: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            s[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            s[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            s[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            s[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(s: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            s[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            s[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            s[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            s[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    # ------------------------------------------------------------- interface
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES encrypts exactly 16-byte blocks")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_no in range(1, self._rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_no])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES decrypts exactly 16-byte blocks")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for round_no in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_no])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

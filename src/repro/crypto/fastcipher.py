@@ -1,0 +1,44 @@
+"""Fast keystream cipher for bulk engine traffic.
+
+SHA-256 in counter mode: keystream block i = SHA256(key ‖ nonce ‖ i).
+The hash runs in C (hashlib), so sealing every tuple at paper scale is
+affordable, while the transformation remains a real keyed, invertible-only-
+with-the-key cipher — good enough to make "encrypted at rest" mean that a
+forensic scan sees ciphertext, which is what the erasure/retention analyses
+need.  The *cost* of AES/LUKS is charged separately through the cost model
+(see DESIGN.md §1.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+
+class FastStreamCipher:
+    """SHA-256-CTR keystream cipher."""
+
+    DIGEST = 32
+
+    def __init__(self, key: bytes, nonce: bytes = b"") -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._prefix = hashlib.sha256(key + b"\x00" + nonce).digest()
+
+    def keystream(self, nbytes: int, offset: int = 0) -> bytes:
+        """``nbytes`` of keystream starting at byte ``offset``."""
+        first_block = offset // self.DIGEST
+        skip = offset % self.DIGEST
+        out = bytearray()
+        block = first_block
+        while len(out) < skip + nbytes:
+            out += hashlib.sha256(
+                self._prefix + block.to_bytes(8, "big")
+            ).digest()
+            block += 1
+        return bytes(out[skip:skip + nbytes])
+
+    def apply(self, data: bytes, offset: int = 0) -> bytes:
+        """Encrypt/decrypt (XOR is symmetric)."""
+        stream = self.keystream(len(data), offset)
+        return bytes(a ^ b for a, b in zip(data, stream))

@@ -1,0 +1,33 @@
+"""Key derivation — PBKDF2-HMAC-SHA256 (stdlib-backed HMAC, own loop).
+
+Used by the LUKS volume to derive the key-encryption key from a passphrase,
+mirroring cryptsetup's PBKDF2 default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def pbkdf2_sha256(
+    passphrase: bytes, salt: bytes, iterations: int, dklen: int = 32
+) -> bytes:
+    """PBKDF2 with HMAC-SHA256 (RFC 2898)."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if dklen < 1:
+        raise ValueError("dklen must be >= 1")
+    blocks = []
+    block_index = 1
+    while 32 * len(blocks) < dklen:
+        u = hmac.new(
+            passphrase, salt + block_index.to_bytes(4, "big"), hashlib.sha256
+        ).digest()
+        accum = int.from_bytes(u, "big")
+        for _ in range(iterations - 1):
+            u = hmac.new(passphrase, u, hashlib.sha256).digest()
+            accum ^= int.from_bytes(u, "big")
+        blocks.append(accum.to_bytes(32, "big"))
+        block_index += 1
+    return b"".join(blocks)[:dklen]

@@ -1,0 +1,132 @@
+"""A LUKS-style encrypted volume.
+
+Models the parts of LUKS1/cryptsetup that matter to the paper's P_GBench
+profile ("data is encrypted using LUKS (SHA-256)"):
+
+* a header with cipher metadata and up to 8 key slots;
+* each key slot stores the volume master key encrypted under a key derived
+  from a passphrase via PBKDF2-HMAC-SHA256;
+* sector-granular encryption of the payload area (512-byte sectors), each
+  sector keyed by the master key + sector number (ESSIV-like).
+
+Opening the volume with any enrolled passphrase recovers the master key;
+revoking a slot makes that passphrase useless.  Disk-level erasure of a
+LUKS volume (destroying the header) is the classic "crypto-shredding"
+grounding — exposed here as :meth:`shred`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.fastcipher import FastStreamCipher
+from repro.crypto.kdf import pbkdf2_sha256
+
+SECTOR = 512
+
+
+@dataclass
+class _KeySlot:
+    salt: bytes
+    iterations: int
+    encrypted_master: bytes
+
+
+class LuksVolume:
+    """An encrypted block volume with passphrase key slots."""
+
+    MAX_SLOTS = 8
+
+    def __init__(self, master_key: Optional[bytes] = None, iterations: int = 1000) -> None:
+        self._master = master_key or hashlib.sha256(b"volume-master").digest()
+        self._iterations = iterations
+        self._slots: Dict[int, Optional[_KeySlot]] = {
+            i: None for i in range(self.MAX_SLOTS)
+        }
+        self._sectors: Dict[int, bytes] = {}
+        self._shredded = False
+
+    # ---------------------------------------------------------------- slots
+    def add_passphrase(self, passphrase: bytes) -> int:
+        """Enroll a passphrase in the first free slot; returns the slot no."""
+        self._check_alive()
+        for slot_no, slot in self._slots.items():
+            if slot is None:
+                salt = hashlib.sha256(bytes([slot_no]) + passphrase).digest()[:16]
+                kek = pbkdf2_sha256(passphrase, salt, self._iterations)
+                sealed = FastStreamCipher(kek, b"slot").apply(self._master)
+                self._slots[slot_no] = _KeySlot(salt, self._iterations, sealed)
+                return slot_no
+        raise ValueError("all key slots are occupied")
+
+    def revoke_slot(self, slot_no: int) -> None:
+        self._check_alive()
+        if self._slots.get(slot_no) is None:
+            raise KeyError(f"slot {slot_no} is empty")
+        self._slots[slot_no] = None
+
+    def open(self, passphrase: bytes) -> bytes:
+        """Recover the master key with an enrolled passphrase."""
+        self._check_alive()
+        for slot in self._slots.values():
+            if slot is None:
+                continue
+            kek = pbkdf2_sha256(passphrase, slot.salt, slot.iterations)
+            candidate = FastStreamCipher(kek, b"slot").apply(slot.encrypted_master)
+            # Verify via a digest check (LUKS uses a master-key digest).
+            if hashlib.sha256(candidate).digest() == hashlib.sha256(self._master).digest():
+                return candidate
+        raise PermissionError("no key slot matches the passphrase")
+
+    @property
+    def active_slots(self) -> int:
+        return sum(1 for s in self._slots.values() if s is not None)
+
+    # --------------------------------------------------------------- sectors
+    def _sector_cipher(self, sector_no: int) -> FastStreamCipher:
+        # ESSIV-like: per-sector nonce derived from the master key.
+        nonce = hashlib.sha256(
+            self._master + sector_no.to_bytes(8, "big")
+        ).digest()[:16]
+        return FastStreamCipher(self._master, nonce)
+
+    def write_sector(self, sector_no: int, data: bytes) -> None:
+        self._check_alive()
+        if len(data) > SECTOR:
+            raise ValueError(f"sector payload exceeds {SECTOR} bytes")
+        padded = data.ljust(SECTOR, b"\x00")
+        self._sectors[sector_no] = self._sector_cipher(sector_no).apply(padded)
+
+    def read_sector(self, sector_no: int) -> bytes:
+        self._check_alive()
+        try:
+            encrypted = self._sectors[sector_no]
+        except KeyError:
+            raise KeyError(f"sector {sector_no} never written") from None
+        return self._sector_cipher(sector_no).apply(encrypted)
+
+    def raw_sector(self, sector_no: int) -> bytes:
+        """Ciphertext as a forensic scan would see it (no key required)."""
+        return self._sectors[sector_no]
+
+    # ---------------------------------------------------------------- erase
+    def shred(self) -> None:
+        """Destroy the header (master key + key slots): crypto-shredding.
+
+        The ciphertext sectors remain, but without the master key they are
+        unrecoverable — the disk-encryption grounding of erasure.
+        """
+        self._master = b""
+        for slot_no in self._slots:
+            self._slots[slot_no] = None
+        self._shredded = True
+
+    @property
+    def is_shredded(self) -> bool:
+        return self._shredded
+
+    def _check_alive(self) -> None:
+        if self._shredded:
+            raise PermissionError("volume header was shredded")

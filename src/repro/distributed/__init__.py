@@ -1,0 +1,32 @@
+"""Distributed substrate — replicas, caches, and erasure propagation.
+
+Paper §1: "If erasure means removing the data not just from the primary
+location, but removing it completely (from all locations in disk and
+memory), a technique will have to be built to track the copies and delete
+all of them."  This package is that technique, plus the hazard it guards
+against:
+
+* :class:`~repro.distributed.store.ReplicatedStore` — a primary with N
+  asynchronous replicas (each a full PSQL-like engine, so *per-node*
+  dead-tuple retention applies too) and per-node read caches;
+* a copy tracker recording every location that ever held a data unit;
+* :meth:`~repro.distributed.store.ReplicatedStore.naive_delete` — deletes
+  at the primary only, demonstrating lingering replica/cache copies;
+* :meth:`~repro.distributed.store.ReplicatedStore.erase_all_copies` — the
+  grounded distributed erase: delete + vacuum every node, invalidate every
+  cache, verify via the tracker.
+"""
+
+from repro.distributed.store import (
+    CacheEntry,
+    CopyLocation,
+    DistributedEraseReport,
+    ReplicatedStore,
+)
+
+__all__ = [
+    "ReplicatedStore",
+    "CopyLocation",
+    "CacheEntry",
+    "DistributedEraseReport",
+]

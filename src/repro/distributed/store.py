@@ -1,0 +1,252 @@
+"""Replicated store with asynchronous replication and read caches.
+
+Replication model: the primary appends every mutation to a replication log;
+a log entry becomes *applicable* at ``now + replication_lag`` (asynchronous
+shipping).  Replicas apply their backlog lazily — whenever they serve a
+read — mirroring how real async replicas trail the primary.  Reads may be
+served from a per-node cache whose entries expire after ``cache_ttl``.
+
+Every location that ever physically held a unit's value is recorded by the
+copy tracker; the erasure questions of §1 become queries over it:
+
+* where do copies of X live right now? (:meth:`ReplicatedStore.copies_of`)
+* did the naive primary-only delete actually remove X? (it did not —
+  :meth:`lingering_copies` lists replicas still holding it, caches still
+  serving it, and dead tuples not yet vacuumed on any node);
+* run the *grounded* distributed erase and verify nothing lingers
+  (:meth:`erase_all_copies`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.costs import CostModel
+from repro.storage.engine import RelationalEngine
+from repro.storage.errors import TupleNotFoundError
+
+TABLE = "replicated_data"
+
+
+class _OpType(Enum):
+    PUT = "put"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class _LogEntry:
+    seqno: int
+    op: _OpType
+    key: Any
+    value: Any
+    ready_at: int  # model time when a replica may apply it
+
+
+class CopyLocation(Enum):
+    """Where a physical copy of a value can live."""
+
+    PRIMARY = "primary"
+    REPLICA = "replica"
+    CACHE = "cache"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class CacheEntry:
+    value: Any
+    cached_at: int
+    expires_at: int
+
+
+@dataclass(frozen=True)
+class DistributedEraseReport:
+    """What the grounded distributed erase did."""
+
+    key: Any
+    nodes_deleted: int
+    caches_invalidated: int
+    dead_tuples_vacuumed: int
+    verified_clean: bool
+
+
+class _Node:
+    """One storage node: an engine plus a read cache."""
+
+    def __init__(self, name: str, cost: CostModel, row_bytes: int) -> None:
+        self.name = name
+        self.engine = RelationalEngine(cost, wal_checkpoint_every=5_000)
+        self.engine.create_table(TABLE, row_bytes)
+        self.cache: Dict[Any, CacheEntry] = {}
+        self.applied_seqno = 0
+
+    def physically_holds(self, key: Any) -> bool:
+        """Live *or dead* tuples count — retention is physical."""
+        return any(k == key for k, _live in self.engine.forensic_scan(TABLE))
+
+
+class ReplicatedStore:
+    """A primary plus N asynchronous replicas with read caches."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        n_replicas: int = 2,
+        replication_lag: int = 50_000,
+        cache_ttl: int = 500_000,
+        row_bytes: int = 70,
+    ) -> None:
+        if n_replicas < 0:
+            raise ValueError("n_replicas must be non-negative")
+        if replication_lag < 0 or cache_ttl < 0:
+            raise ValueError("lag and TTL must be non-negative")
+        self._cost = cost
+        self._lag = replication_lag
+        self._cache_ttl = cache_ttl
+        self.primary = _Node("primary", cost, row_bytes)
+        self.replicas = [
+            _Node(f"replica-{i}", cost, row_bytes) for i in range(n_replicas)
+        ]
+        self._log: List[_LogEntry] = []
+        self._seqno = 0
+
+    # ------------------------------------------------------------- internals
+    @property
+    def _now(self) -> int:
+        return self._cost.clock.now
+
+    def _append_log(self, op: _OpType, key: Any, value: Any) -> None:
+        self._seqno += 1
+        self._log.append(
+            _LogEntry(self._seqno, op, key, value, self._now + self._lag)
+        )
+        self._cost.charge_log_append()
+
+    def _apply_backlog(self, node: _Node, force: bool = False) -> int:
+        """Apply every applicable log entry to the replica."""
+        applied = 0
+        for entry in self._log:
+            if entry.seqno <= node.applied_seqno:
+                continue
+            if not force and entry.ready_at > self._now:
+                break  # later entries are even younger
+            if entry.op is _OpType.PUT:
+                node.engine.insert(TABLE, entry.key, entry.value)
+            elif entry.op is _OpType.UPDATE:
+                node.engine.update(TABLE, entry.key, entry.value)
+            else:
+                try:
+                    node.engine.delete(TABLE, entry.key)
+                except TupleNotFoundError:
+                    pass  # never replicated in the first place
+                node.cache.pop(entry.key, None)
+            node.applied_seqno = entry.seqno
+            applied += 1
+        return applied
+
+    # ----------------------------------------------------------------- writes
+    def put(self, key: Any, value: Any) -> None:
+        self.primary.engine.insert(TABLE, key, value)
+        self._append_log(_OpType.PUT, key, value)
+
+    def update(self, key: Any, value: Any) -> None:
+        self.primary.engine.update(TABLE, key, value)
+        self._append_log(_OpType.UPDATE, key, value)
+
+    def naive_delete(self, key: Any) -> None:
+        """The under-specified erase: DELETE at the primary, replication
+        does the rest *eventually* — replicas and caches keep serving and
+        holding the value until lag/TTL/vacuum catch up."""
+        self.primary.engine.delete(TABLE, key)
+        self._append_log(_OpType.DELETE, key, None)
+
+    # ------------------------------------------------------------------ reads
+    def read(
+        self, key: Any, replica: Optional[int] = None, use_cache: bool = True
+    ) -> Any:
+        """Read from a replica (or the primary when ``replica`` is None)."""
+        node = self.primary if replica is None else self.replicas[replica]
+        if node is not self.primary:
+            self._apply_backlog(node)
+        if use_cache:
+            entry = node.cache.get(key)
+            if entry is not None:
+                if entry.expires_at >= self._now:
+                    self._cost.charge_tuple_cpu()
+                    return entry.value
+                del node.cache[key]
+        value = node.engine.read(TABLE, key)
+        if use_cache:
+            node.cache[key] = CacheEntry(value, self._now, self._now + self._cache_ttl)
+        return value
+
+    # -------------------------------------------------------------- forensics
+    def copies_of(self, key: Any) -> List[Tuple[CopyLocation, str]]:
+        """Every location physically holding the value right now —
+        live tuples, dead (unvacuumed) tuples, and cache entries."""
+        found: List[Tuple[CopyLocation, str]] = []
+        if self.primary.physically_holds(key):
+            found.append((CopyLocation.PRIMARY, self.primary.name))
+        if key in self.primary.cache:
+            found.append((CopyLocation.CACHE, self.primary.name))
+        for node in self.replicas:
+            if node.physically_holds(key):
+                found.append((CopyLocation.REPLICA, node.name))
+            if key in node.cache:
+                found.append((CopyLocation.CACHE, node.name))
+        return found
+
+    def lingering_copies(self, key: Any) -> List[Tuple[CopyLocation, str]]:
+        """Copies surviving a delete — the §1 compliance hazard."""
+        return self.copies_of(key)
+
+    # ---------------------------------------------------------------- erasure
+    def erase_all_copies(self, key: Any) -> DistributedEraseReport:
+        """The grounded distributed erase: track and delete every copy.
+
+        Deletes at the primary (if still live), force-applies the deletion
+        to every replica (synchronous erase barrier), invalidates every
+        cache entry, vacuums every node so no dead tuple retains the value,
+        and verifies via the tracker.
+        """
+        nodes_deleted = 0
+        # Count cache copies before the erase barrier touches them.
+        caches = sum(1 for node in self.nodes() if key in node.cache)
+        if self.primary.engine.exists(TABLE, key):
+            self.primary.engine.delete(TABLE, key)
+            self._append_log(_OpType.DELETE, key, None)
+            nodes_deleted += 1
+        self.primary.cache.pop(key, None)
+        vacuumed = self.primary.engine.vacuum(TABLE)
+        for node in self.replicas:
+            self._apply_backlog(node, force=True)
+            if node.engine.exists(TABLE, key):  # pragma: no cover - safety
+                node.engine.delete(TABLE, key)
+                nodes_deleted += 1
+            node.cache.pop(key, None)
+            vacuumed += node.engine.vacuum(TABLE)
+        return DistributedEraseReport(
+            key=key,
+            nodes_deleted=nodes_deleted,
+            caches_invalidated=caches,
+            dead_tuples_vacuumed=vacuumed,
+            verified_clean=not self.copies_of(key),
+        )
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def replication_backlog(self, replica: int) -> int:
+        """Log entries the replica has not applied yet."""
+        node = self.replicas[replica]
+        return sum(1 for e in self._log if e.seqno > node.applied_seqno)
+
+    def nodes(self) -> Iterator[_Node]:
+        yield self.primary
+        yield from self.replicas

@@ -1,0 +1,23 @@
+"""An LSM-tree storage substrate (Cassandra-style tombstone deletes).
+
+The paper's §1 motivation: logical deletes via tombstones are fast, but the
+deleted value is *physically retained* until compaction merges it away —
+prior work (Lethe, [62]) showed this can illegally retain data for a long
+time.  This package implements a memtable + size-tiered SSTable engine that
+measures exactly that retention window, and supplies the "Tombstones
+(Indexing)" series of Figure 4(a).
+"""
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.memtable import TOMBSTONE, Memtable
+from repro.lsm.sstable import SSTable
+from repro.lsm.engine import LSMEngine, RetentionRecord
+
+__all__ = [
+    "BloomFilter",
+    "Memtable",
+    "TOMBSTONE",
+    "SSTable",
+    "LSMEngine",
+    "RetentionRecord",
+]

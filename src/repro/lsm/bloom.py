@@ -1,0 +1,68 @@
+"""Bloom filter — per-SSTable negative lookups.
+
+A real bit-array Bloom filter with double hashing (Kirsch–Mitzenmacher):
+two base hashes from blake2b digests combine into k probe positions.  Used
+by the LSM read path to skip runs that cannot contain a key, which is what
+keeps read amplification sane as runs accumulate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter sized for a target false-positive rate."""
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        if expected_items < 1:
+            expected_items = 1
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        ln2 = math.log(2.0)
+        self._bits = max(8, int(-expected_items * math.log(fp_rate) / (ln2 * ln2)))
+        self._hashes = max(1, round((self._bits / expected_items) * ln2))
+        self._array = bytearray((self._bits + 7) // 8)
+        self._count = 0
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _base_hashes(key: Any) -> tuple:
+        digest = hashlib.blake2b(repr(key).encode(), digest_size=16).digest()
+        return (
+            int.from_bytes(digest[:8], "big"),
+            int.from_bytes(digest[8:], "big") | 1,  # odd => full cycle
+        )
+
+    def _positions(self, key: Any) -> Iterable[int]:
+        h1, h2 = self._base_hashes(key)
+        for i in range(self._hashes):
+            yield (h1 + i * h2) % self._bits
+
+    # -------------------------------------------------------------- interface
+    def add(self, key: Any) -> None:
+        for pos in self._positions(key):
+            self._array[pos >> 3] |= 1 << (pos & 7)
+        self._count += 1
+
+    def __contains__(self, key: Any) -> bool:
+        return all(
+            self._array[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    @property
+    def bit_size(self) -> int:
+        return self._bits
+
+    @property
+    def hash_count(self) -> int:
+        return self._hashes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._array)
+
+    def __len__(self) -> int:
+        return self._count

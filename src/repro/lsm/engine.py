@@ -1,0 +1,222 @@
+"""The LSM engine — tombstone deletes and size-tiered compaction.
+
+Write path: memtable put (O(1)); a full memtable flushes into an immutable
+SSTable.  Delete writes a tombstone — O(1), no physical removal.  Read path:
+memtable, then runs newest→oldest, Bloom-filtered; each run actually probed
+charges an I/O.
+
+Size-tiered compaction: when ``tier_threshold`` runs of similar size
+accumulate, they merge into one.  Tombstones are only dropped when the merge
+output is the *oldest* run (nothing below could still hold shadowed values);
+otherwise dropping a tombstone would resurrect older versions.
+
+Retention accounting (the §1 motivation): for every deleted key the engine
+records when the tombstone was written and when the last physical copy of
+the value disappeared from every run — the difference is the *physical
+retention window*, the quantity [62] showed can violate "undue delay".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.lsm.memtable import TOMBSTONE, Memtable
+from repro.lsm.sstable import SSTable
+from repro.sim.costs import CostModel
+
+
+@dataclass
+class RetentionRecord:
+    """Physical-retention bookkeeping for one deleted key."""
+
+    key: Any
+    deleted_at: int
+    purged_at: Optional[int] = None
+
+    @property
+    def window(self) -> Optional[int]:
+        """Microseconds the value remained on disk past its deletion."""
+        if self.purged_at is None:
+            return None
+        return self.purged_at - self.deleted_at
+
+
+class LSMEngine:
+    """A single-level-namespace LSM tree with retention tracking."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        payload_bytes: int = 70,
+        memtable_capacity: int = 4096,
+        tier_threshold: int = 4,
+    ) -> None:
+        if tier_threshold < 2:
+            raise ValueError("tier_threshold must be >= 2")
+        self._cost = cost
+        self._payload_bytes = payload_bytes
+        self._memtable = Memtable(memtable_capacity)
+        self._memtable_capacity = memtable_capacity
+        self._tier_threshold = tier_threshold
+        self._runs: List[SSTable] = []  # newest first
+        self._seqno = 0
+        self._retention: Dict[Any, RetentionRecord] = {}
+        self.flush_count = 0
+        self.compaction_count = 0
+
+    # ---------------------------------------------------------------- writes
+    def put(self, key: Any, value: Any) -> None:
+        self._seqno += 1
+        self._cost.charge_memtable_op()
+        self._memtable.put(key, value, self._seqno)
+        # A re-insert after deletion ends that key's retention question.
+        self._retention.pop(key, None)
+        if self._memtable.is_full:
+            self.flush()
+
+    def delete(self, key: Any) -> None:
+        """Logical delete: write a tombstone.  O(1), nothing is removed."""
+        self._seqno += 1
+        self._cost.charge_memtable_op()
+        self._memtable.put(key, TOMBSTONE, self._seqno)
+        self._retention[key] = RetentionRecord(key, self._now())
+
+    def flush(self) -> Optional[SSTable]:
+        """Freeze the memtable into a new newest run."""
+        if len(self._memtable) == 0:
+            return None
+        entries = self._memtable.sorted_entries()
+        self._cost.charge_compaction(len(entries))
+        run = SSTable(entries, self._payload_bytes, self._now())
+        self._runs.insert(0, run)
+        self._memtable.clear()
+        self.flush_count += 1
+        self._maybe_compact()
+        self._update_retention()
+        return run
+
+    # ----------------------------------------------------------------- reads
+    def get(self, key: Any) -> Optional[Any]:
+        """Latest value, or None if absent/deleted.
+
+        Charges one memtable op plus one run probe per Bloom-passing run
+        actually searched — read amplification grows with run count, which
+        is the cost signature of the tombstone approach in Figure 4(a).
+        """
+        self._cost.charge_memtable_op()
+        found = self._memtable.get(key)
+        if found is not None:
+            value = found[1]
+            return None if value is TOMBSTONE else value
+        for run in self._runs:
+            if not run.might_contain(key):
+                continue
+            self._cost.charge_sstable_probe()
+            got = run.get(key)
+            if got is not None:
+                value = got[1]
+                return None if value is TOMBSTONE else value
+        return None
+
+    def range(self, lo: Any, hi: Any) -> List[Tuple[Any, Any]]:
+        """Merged live entries with ``lo ≤ key ≤ hi``."""
+        self._cost.charge_memtable_op()
+        best: Dict[Any, Tuple[int, Any]] = {}
+        for key, (seqno, value) in self._memtable.items():
+            if lo <= key <= hi:
+                best[key] = (seqno, value)
+        for run in self._runs:
+            self._cost.charge_sstable_probe()
+            for key, seqno, value in run.range(lo, hi):
+                if key not in best or seqno > best[key][0]:
+                    best[key] = (seqno, value)
+        return sorted(
+            (k, v) for k, (_s, v) in best.items() if v is not TOMBSTONE
+        )
+
+    # ------------------------------------------------------------- compaction
+    def _maybe_compact(self) -> None:
+        while len(self._runs) >= self._tier_threshold:
+            self._compact(self._runs[-self._tier_threshold:])
+
+    def _compact(self, victims: List[SSTable]) -> SSTable:
+        """Merge ``victims`` (a contiguous slice of the run list) into one
+        run, placed where the victims sat so recency order is preserved."""
+        # Tombstones may be dropped iff the merge output becomes the oldest
+        # run — no older run could still hold shadowed values.
+        drop_tombstones = victims[-1] is self._runs[-1]
+        best: Dict[Any, Tuple[int, Any]] = {}
+        total = 0
+        for run in victims:
+            for key, seqno, value in run.entries():
+                total += 1
+                if key not in best or seqno > best[key][0]:
+                    best[key] = (seqno, value)
+        self._cost.charge_compaction(total)
+        merged = [
+            (key, seqno, value)
+            for key, (seqno, value) in sorted(best.items())
+            if not (drop_tombstones and value is TOMBSTONE)
+        ]
+        out = SSTable(merged, self._payload_bytes, self._now())
+        first_pos = self._runs.index(victims[0])
+        keep = [r for r in self._runs if r not in victims]
+        keep.insert(first_pos, out)
+        self._runs = keep
+        self.compaction_count += 1
+        self._update_retention()
+        return out
+
+    def full_compaction(self) -> None:
+        """Merge every run and drop all tombstones — the LSM grounding of
+        *physical* deletion (paired with a flush so the memtable empties)."""
+        self.flush()
+        if self._runs:
+            self._compact(list(self._runs))
+
+    # -------------------------------------------------------------- forensics
+    def physically_present(self, key: Any) -> bool:
+        """Whether any run still holds a real value for ``key`` — what a disk
+        inspection would recover despite the tombstone."""
+        found = self._memtable.get(key)
+        if found is not None and found[1] is not TOMBSTONE:
+            return True
+        return any(run.physically_contains_value(key) for run in self._runs)
+
+    def _update_retention(self) -> None:
+        now = self._now()
+        for record in self._retention.values():
+            if record.purged_at is None and not self.physically_present(record.key):
+                record.purged_at = now
+
+    def retention_records(self) -> List[RetentionRecord]:
+        return list(self._retention.values())
+
+    def unpurged_deletions(self) -> List[RetentionRecord]:
+        """Deleted keys whose values are still physically on disk."""
+        return [
+            r
+            for r in self._retention.values()
+            if r.purged_at is None and self.physically_present(r.key)
+        ]
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
+    @property
+    def tombstone_count(self) -> int:
+        return self._memtable.tombstone_count() + sum(
+            r.tombstone_count for r in self._runs
+        )
+
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self._runs)
+
+    def runs(self) -> Iterator[SSTable]:
+        return iter(self._runs)
+
+    def _now(self) -> int:
+        return self._cost.clock.now

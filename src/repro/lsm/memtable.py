@@ -1,0 +1,71 @@
+"""Memtable — the in-memory write buffer of the LSM engine."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class _Tombstone:
+    """Sentinel marking a logically deleted key."""
+
+    _instance: Optional["_Tombstone"] = None
+
+    def __new__(cls) -> "_Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<tombstone>"
+
+
+#: The tombstone sentinel: ``value is TOMBSTONE`` marks deletion.
+TOMBSTONE = _Tombstone()
+
+
+class Memtable:
+    """An unsorted write buffer; sorts once at flush time.
+
+    Each entry carries the global sequence number assigned by the engine so
+    that merges can resolve version order across runs.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._data: Dict[Any, Tuple[int, Any]] = {}
+
+    # -------------------------------------------------------------- interface
+    def put(self, key: Any, value: Any, seqno: int) -> None:
+        self._data[key] = (seqno, value)
+
+    def get(self, key: Any) -> Optional[Tuple[int, Any]]:
+        """``(seqno, value)`` — value may be TOMBSTONE; None if absent."""
+        return self._data.get(key)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._data) >= self._capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def tombstone_count(self) -> int:
+        return sum(1 for _s, v in self._data.values() if v is TOMBSTONE)
+
+    def sorted_entries(self) -> List[Tuple[Any, int, Any]]:
+        """``(key, seqno, value)`` sorted by key — flush order."""
+        return [
+            (key, seqno, value)
+            for key, (seqno, value) in sorted(self._data.items())
+        ]
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def items(self) -> Iterator[Tuple[Any, Tuple[int, Any]]]:
+        return iter(self._data.items())

@@ -1,0 +1,107 @@
+"""SSTables — immutable sorted runs on "disk".
+
+Each SSTable stores sorted ``(key, seqno, value)`` entries (value may be the
+TOMBSTONE sentinel), a Bloom filter for negative lookups, and retention
+bookkeeping: how many tombstones it carries and how many *shadowed* values —
+older versions of keys whose latest version is a delete — remain physically
+present.  Those shadowed values are the illegal-retention hazard of §1.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.memtable import TOMBSTONE
+
+#: Approximate bytes per stored entry beyond the payload (key + seqno + len).
+ENTRY_OVERHEAD = 20
+
+
+class SSTable:
+    """One immutable sorted run."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        entries: List[Tuple[Any, int, Any]],
+        payload_bytes: int,
+        created_at: int,
+    ) -> None:
+        """``entries`` must be sorted by key, one entry per key.
+
+        ``payload_bytes`` is the nominal per-value size used for the space
+        accounting (values are opaque to the engine).
+        """
+        self.table_id = SSTable._next_id
+        SSTable._next_id += 1
+        self.created_at = created_at
+        self._keys = [e[0] for e in entries]
+        self._entries = entries
+        self._payload_bytes = payload_bytes
+        self._bloom = BloomFilter(max(1, len(entries)))
+        for key in self._keys:
+            self._bloom.add(key)
+
+    # ---------------------------------------------------------------- lookups
+    def might_contain(self, key: Any) -> bool:
+        return key in self._bloom
+
+    def get(self, key: Any) -> Optional[Tuple[int, Any]]:
+        i = bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            _k, seqno, value = self._entries[i]
+            return (seqno, value)
+        return None
+
+    def entries(self) -> Iterator[Tuple[Any, int, Any]]:
+        return iter(self._entries)
+
+    def range(self, lo: Any, hi: Any) -> Iterator[Tuple[Any, int, Any]]:
+        i = bisect_left(self._keys, lo)
+        while i < len(self._keys) and self._keys[i] <= hi:
+            yield self._entries[i]
+            i += 1
+
+    # ------------------------------------------------------------- statistics
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def tombstone_count(self) -> int:
+        return sum(1 for _k, _s, v in self._entries if v is TOMBSTONE)
+
+    @property
+    def value_count(self) -> int:
+        return len(self._entries) - self.tombstone_count
+
+    @property
+    def size_bytes(self) -> int:
+        values = self.value_count
+        tombs = self.tombstone_count
+        return (
+            values * (self._payload_bytes + ENTRY_OVERHEAD)
+            + tombs * ENTRY_OVERHEAD
+            + self._bloom.size_bytes
+        )
+
+    @property
+    def min_key(self) -> Optional[Any]:
+        return self._keys[0] if self._keys else None
+
+    @property
+    def max_key(self) -> Optional[Any]:
+        return self._keys[-1] if self._keys else None
+
+    def physically_contains_value(self, key: Any) -> bool:
+        """Whether a real (non-tombstone) value for ``key`` sits in this run."""
+        found = self.get(key)
+        return found is not None and found[1] is not TOMBSTONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SSTable(#{self.table_id}, n={len(self)}, "
+            f"tombstones={self.tombstone_count})"
+        )

@@ -1,0 +1,13 @@
+"""Deterministic simulation substrate.
+
+Every timing result in the reproduction comes from :class:`~repro.sim.clock.SimClock`
+driven by a :class:`~repro.sim.costs.CostModel`, never from wall-clock time.
+This makes experiment outputs bit-for-bit reproducible across machines: the
+paper's figures depend on *structural* costs (dead-tuple bloat, policy checks,
+encryption bytes, log appends), all of which are charged explicitly.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel, CostBook
+
+__all__ = ["SimClock", "CostModel", "CostBook"]

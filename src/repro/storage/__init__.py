@@ -1,0 +1,43 @@
+"""A PostgreSQL-like storage substrate (the paper's "PSQL").
+
+Page-based heap tables with MVCC-style out-of-place deletes: ``DELETE``
+marks tuples dead but leaves them on their pages; ``VACUUM`` reclaims dead
+tuples (space becomes reusable, the relation does not shrink); ``VACUUM
+FULL`` rewrites the relation compactly under an exclusive lock.  Dead-tuple
+bloat degrades read costs — exactly the mechanism behind the paper's
+Figure 4(a) result that DELETE+VACUUM beats DELETE alone on a mixed
+workload.
+
+All timing flows through :class:`repro.sim.costs.CostModel`; all sizes are
+tracked in bytes for the Table-2 space accounting.
+"""
+
+from repro.storage.engine import RelationalEngine, TableStats
+from repro.storage.catalog import TableSchema
+from repro.storage.errors import (
+    DuplicateKeyError,
+    StorageError,
+    TableExistsError,
+    TableNotFoundError,
+    TupleNotFoundError,
+)
+from repro.storage.heap import HeapFile
+from repro.storage.index import BTreeIndex
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.wal import WriteAheadLog
+
+__all__ = [
+    "RelationalEngine",
+    "TableStats",
+    "TableSchema",
+    "StorageError",
+    "TableExistsError",
+    "TableNotFoundError",
+    "TupleNotFoundError",
+    "DuplicateKeyError",
+    "HeapFile",
+    "BTreeIndex",
+    "Page",
+    "PAGE_SIZE",
+    "WriteAheadLog",
+]

@@ -1,0 +1,87 @@
+"""Table catalog — schemas and per-table physical structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.storage.errors import TableExistsError, TableNotFoundError
+from repro.storage.heap import HeapFile
+from repro.storage.index import BTreeIndex
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Logical description of a table.
+
+    ``row_bytes`` is the nominal serialized size of one row — the workloads
+    use fixed-size records (GDPRBench rows ≈ 70 B of personal data), and the
+    space accounting relies on it.  ``flag_column`` marks tables retrofitted
+    with the reversible-inaccessibility attribute (Table 1's "Add new
+    attribute" system-action), which widens every row by one byte.
+    """
+
+    name: str
+    row_bytes: int
+    flag_column: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("table name must be non-empty")
+        if self.row_bytes <= 0:
+            raise ValueError("row_bytes must be positive")
+
+    @property
+    def effective_row_bytes(self) -> int:
+        return self.row_bytes + (1 if self.flag_column else 0)
+
+
+@dataclass
+class Table:
+    """A schema plus its physical structures."""
+
+    schema: TableSchema
+    heap: HeapFile
+    index: BTreeIndex
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+
+class Catalog:
+    """The engine's table registry."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise TableExistsError(f"table {schema.name!r} already exists")
+        table = Table(
+            schema=schema,
+            heap=HeapFile(schema.name),
+            index=BTreeIndex(f"{schema.name}_pkey"),
+        )
+        self._tables[schema.name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"no such table: {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableNotFoundError(f"no such table: {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,27 @@
+"""Storage engine exceptions."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for storage engine failures."""
+
+
+class TableExistsError(StorageError):
+    """CREATE TABLE of a name that already exists."""
+
+
+class TableNotFoundError(StorageError):
+    """Operation against a table that does not exist."""
+
+
+class TupleNotFoundError(StorageError):
+    """Key lookup found no live tuple."""
+
+
+class DuplicateKeyError(StorageError):
+    """Insert would violate the primary-key constraint."""
+
+
+class PageFullError(StorageError):
+    """Internal: a page had no room for the requested tuple."""

@@ -1,0 +1,285 @@
+"""B-tree index.
+
+A from-scratch B+-tree: internal nodes route by separator keys; leaves hold
+``key → TID`` entries and are chained for range scans.  Deletion is lazy,
+matching PostgreSQL: ``mark_dead`` leaves the entry in the leaf (index
+bloat!) and only :meth:`cleanup` — invoked by VACUUM — physically removes
+dead entries (by bulk-rebuilding the leaf level, which is also how the
+engine implements the index rebuild after VACUUM FULL).
+
+``probe`` returns the traversal depth and the number of dead entries the
+search had to step over, so the engine can charge honest costs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.storage.heap import TID
+
+#: Max entries per leaf / children per internal node.
+ORDER = 64
+
+#: Approximate bytes per leaf entry (key + tid + flags), for space accounting.
+ENTRY_BYTES = 24
+
+#: Approximate bytes of per-node overhead.
+NODE_OVERHEAD = 48
+
+#: Bulk-load input: sorted (key, tid) pairs.
+BulkItems = Optional[List[Tuple[Any, TID]]]
+
+
+@dataclass
+class _Entry:
+    key: Any
+    tid: TID
+    live: bool = True
+
+
+class _Leaf:
+    __slots__ = ("keys", "entries", "next")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.entries: List[_Entry] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: List[Any], children: List[Any]) -> None:
+        self.keys = keys          # len(children) - 1 separators
+        self.children = children
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """What a point lookup observed — input to cost charging."""
+
+    tid: Optional[TID]
+    depth: int
+    dead_stepped: int
+
+    @property
+    def found(self) -> bool:
+        return self.tid is not None
+
+
+class BTreeIndex:
+    """A unique-key B+-tree with lazy deletion."""
+
+    def __init__(self, name: str = "idx") -> None:
+        self.name = name
+        self._root: Any = _Leaf()
+        self._height = 1
+        self._live = 0
+        self._dead = 0
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def depth(self) -> int:
+        return self._height
+
+    @property
+    def live_entries(self) -> int:
+        return self._live
+
+    @property
+    def dead_entries(self) -> int:
+        return self._dead
+
+    @property
+    def size_bytes(self) -> int:
+        entries = self._live + self._dead
+        nodes = max(1, entries // (ORDER // 2))
+        return entries * ENTRY_BYTES + nodes * NODE_OVERHEAD
+
+    def __len__(self) -> int:
+        return self._live
+
+    # -------------------------------------------------------------- internals
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            i = bisect_right(node.keys, key)
+            node = node.children[i]
+        return node
+
+    def _find_leaf_path(self, key: Any) -> Tuple[_Leaf, List[Tuple[_Internal, int]]]:
+        node = self._root
+        path: List[Tuple[_Internal, int]] = []
+        while isinstance(node, _Internal):
+            i = bisect_right(node.keys, key)
+            path.append((node, i))
+            node = node.children[i]
+        return node, path
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.entries = leaf.entries[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.entries = leaf.entries[:mid]
+        leaf.next = right
+        return right.keys[0], right
+
+    # --------------------------------------------------------------- mutation
+    def insert(self, key: Any, tid: TID) -> None:
+        """Insert a new live entry.  The engine enforces key uniqueness among
+        live entries; a dead entry with the same key may coexist (a deleted
+        row whose index entry has not been vacuumed yet)."""
+        leaf, path = self._find_leaf_path(key)
+        i = bisect_left(leaf.keys, key)
+        # Reuse a dead entry slot for the same key if present.
+        j = i
+        while j < len(leaf.keys) and leaf.keys[j] == key:
+            if leaf.entries[j].live:
+                raise KeyError(f"duplicate live key in index: {key!r}")
+            j += 1
+        leaf.keys.insert(i, key)
+        leaf.entries.insert(i, _Entry(key, tid))
+        self._live += 1
+        if len(leaf.keys) <= ORDER:
+            return
+        # Split upward.
+        sep, right = self._split_leaf(leaf)
+        new_child: Any = right
+        for node, child_i in reversed(path):
+            node.keys.insert(child_i, sep)
+            node.children.insert(child_i + 1, new_child)
+            if len(node.children) <= ORDER:
+                return
+            mid = len(node.keys) // 2
+            sep_up = node.keys[mid]
+            right_node = _Internal(node.keys[mid + 1:], node.children[mid + 1:])
+            node.keys = node.keys[:mid]
+            node.children = node.children[:mid + 1]
+            sep, new_child = sep_up, right_node
+        self._root = _Internal([sep], [self._root, new_child])
+        self._height += 1
+
+    def mark_dead(self, key: Any) -> bool:
+        """Lazily delete the live entry for ``key`` (stays until cleanup)."""
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        while i < len(leaf.keys) and leaf.keys[i] == key:
+            if leaf.entries[i].live:
+                leaf.entries[i].live = False
+                self._live -= 1
+                self._dead += 1
+                return True
+            i += 1
+        return False
+
+    def update_tid(self, key: Any, tid: TID) -> bool:
+        """Repoint the live entry (used when a tuple moves)."""
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        while i < len(leaf.keys) and leaf.keys[i] == key:
+            if leaf.entries[i].live:
+                leaf.entries[i].tid = tid
+                return True
+            i += 1
+        return False
+
+    # ----------------------------------------------------------------- reads
+    def probe(self, key: Any) -> ProbeResult:
+        """Point lookup; reports depth and dead entries stepped over."""
+        leaf = self._find_leaf(key)
+        i = bisect_left(leaf.keys, key)
+        dead = 0
+        while i < len(leaf.keys) and leaf.keys[i] == key:
+            entry = leaf.entries[i]
+            if entry.live:
+                return ProbeResult(entry.tid, self._height, dead)
+            dead += 1
+            i += 1
+        return ProbeResult(None, self._height, dead)
+
+    def get(self, key: Any) -> Optional[TID]:
+        return self.probe(key).tid
+
+    def __contains__(self, key: Any) -> bool:
+        return self.probe(key).found
+
+    def range(self, lo: Any = None, hi: Any = None) -> Iterator[Tuple[Any, TID]]:
+        """Live entries with ``lo ≤ key ≤ hi`` in key order."""
+        if lo is None:
+            node = self._root
+            while isinstance(node, _Internal):
+                node = node.children[0]
+            leaf, i = node, 0
+        else:
+            leaf = self._find_leaf(lo)
+            i = bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while i < len(leaf.keys):
+                key = leaf.keys[i]
+                if hi is not None and key > hi:
+                    return
+                entry = leaf.entries[i]
+                if entry.live:
+                    yield key, entry.tid
+                i += 1
+            leaf, i = leaf.next, 0
+
+    def keys(self) -> Iterator[Any]:
+        for key, _tid in self.range():
+            yield key
+
+    # ----------------------------------------------------------- maintenance
+    def cleanup(self) -> int:
+        """Physically remove dead entries (VACUUM's index pass).
+
+        Implemented as a bulk rebuild of the tree from live entries; returns
+        the number of dead entries removed.
+        """
+        removed = self._dead
+        live = list(self.range())
+        self.rebuild(live)
+        return removed
+
+    def rebuild(self, items: BulkItems = None) -> None:
+        """Bulk-load the tree from ``(key, tid)`` pairs (must be sorted)."""
+        items = list(items or [])
+        leaves: List[_Leaf] = []
+        chunk = max(1, (ORDER * 3) // 4)
+        for start in range(0, len(items), chunk):
+            leaf = _Leaf()
+            for key, tid in items[start:start + chunk]:
+                leaf.keys.append(key)
+                leaf.entries.append(_Entry(key, tid))
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        if not leaves:
+            self._root = _Leaf()
+            self._height = 1
+            self._live = 0
+            self._dead = 0
+            return
+        level: List[Any] = leaves
+        seps: List[Any] = [leaf.keys[0] for leaf in leaves[1:]]
+        height = 1
+        while len(level) > 1:
+            parents: List[Any] = []
+            parent_seps: List[Any] = []
+            for start in range(0, len(level), ORDER):
+                children = level[start:start + ORDER]
+                keys = seps[start:start + len(children) - 1]
+                parents.append(_Internal(keys, children))
+                if start + ORDER < len(level):
+                    parent_seps.append(seps[start + len(children) - 1])
+            level = parents
+            seps = parent_seps
+            height += 1
+        self._root = level[0]
+        self._height = height
+        self._live = len(items)
+        self._dead = 0

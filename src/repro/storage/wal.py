@@ -1,0 +1,166 @@
+"""Write-ahead log.
+
+Every mutation appends a WAL record; commits force an fsync (group commit
+batches ``group_size`` records per flush, which is how the engine keeps the
+paper-scale load phases affordable while still charging honest durability
+costs).  The WAL doubles as the engine-level history the audit layer reads,
+and its size feeds the Table-2 space accounting.
+
+WAL retention interacts with erasure (§3.2: "logs may be temporary or kept
+for a long duration … logs directly impact requirements like demonstrating
+compliance, system recovery, and data erasure"): :meth:`purge_key` exists
+precisely so the strictest profile (P_SYS) can scrub a data unit's traces
+from the log when erasing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterator, List, Optional
+
+from repro.sim.costs import CostModel
+
+
+class WalRecordType(Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    VACUUM = "vacuum"
+    VACUUM_FULL = "vacuum-full"
+    FLAG = "flag"
+    CHECKPOINT = "checkpoint"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Approximate serialized bytes per WAL record (header + key + payload ref).
+RECORD_BYTES = 56
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    lsn: int
+    type: WalRecordType
+    table: str
+    key: Any
+    payload_size: int = 0
+
+
+class WriteAheadLog:
+    """An append-only, fsync-batched log."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        group_size: int = 64,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
+        """``checkpoint_every`` — auto-checkpoint (truncate recycled
+        segments) after that many appends, bounding the WAL footprint the
+        way real deployments recycle segments.  None disables."""
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        self._cost = cost
+        self._group_size = group_size
+        self._checkpoint_every = checkpoint_every
+        self._since_checkpoint = 0
+        self.checkpoint_count = 0
+        # Records bucketed by (table, key) so erase-time purging is O(bucket)
+        # instead of O(log) — P_SYS purges on every delete.
+        self._buckets: dict = {}
+        self._count = 0
+        self._next_lsn = 1
+        self._pending = 0
+        self._flushes = 0
+
+    # --------------------------------------------------------------- logging
+    def append(
+        self,
+        record_type: WalRecordType,
+        table: str,
+        key: Any = None,
+        payload_size: int = 0,
+    ) -> WalRecord:
+        record = WalRecord(self._next_lsn, record_type, table, key, payload_size)
+        self._next_lsn += 1
+        self._buckets.setdefault((table, key), []).append(record)
+        self._count += 1
+        self._cost.charge_log_append()
+        self._pending += 1
+        if self._pending >= self._group_size:
+            self.flush()
+        self._since_checkpoint += 1
+        if (
+            self._checkpoint_every is not None
+            and self._since_checkpoint >= self._checkpoint_every
+        ):
+            self.checkpoint()
+        return record
+
+    def flush(self) -> None:
+        """Force the pending group to stable storage (one fsync)."""
+        if self._pending:
+            self._cost.charge_fsync()
+            self._flushes += 1
+            self._pending = 0
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    @property
+    def flush_count(self) -> int:
+        return self._flushes
+
+    @property
+    def size_bytes(self) -> int:
+        return self._count * RECORD_BYTES
+
+    def records(self) -> Iterator[WalRecord]:
+        """All records in LSN order (materializes a sort; debugging/tests)."""
+        merged = [r for bucket in self._buckets.values() for r in bucket]
+        merged.sort(key=lambda r: r.lsn)
+        return iter(merged)
+
+    def records_for_key(self, table: str, key: Any) -> List[WalRecord]:
+        return list(self._buckets.get((table, key), ()))
+
+    # -------------------------------------------------------------- retention
+    def purge_key(self, table: str, key: Any) -> int:
+        """Scrub every record about ``key`` (erase-grounding log purge).
+
+        Returns the number of records removed; charges the per-record purge
+        cost (find + segment rewrite share).
+        """
+        removed = len(self._buckets.pop((table, key), ()))
+        if removed:
+            self._count -= removed
+            self._cost.charge_log_purge(removed)
+        return removed
+
+    def checkpoint(self) -> int:
+        """Flush everything and recycle all segments (data pages are safe)."""
+        self.flush()
+        self._cost.charge_fsync()
+        self._since_checkpoint = 0
+        self.checkpoint_count += 1
+        return self.truncate_before(self._next_lsn)
+
+    def truncate_before(self, lsn: int) -> int:
+        """Checkpoint-style truncation of old segments."""
+        removed = 0
+        for bucket_key in list(self._buckets):
+            bucket = self._buckets[bucket_key]
+            kept = [r for r in bucket if r.lsn >= lsn]
+            removed += len(bucket) - len(kept)
+            if kept:
+                self._buckets[bucket_key] = kept
+            else:
+                del self._buckets[bucket_key]
+        self._count -= removed
+        return removed

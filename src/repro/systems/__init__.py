@@ -1,0 +1,47 @@
+"""Systems layer — where groundings meet system-actions.
+
+* :mod:`repro.systems.database` — :class:`CompliantDatabase`, the public
+  facade tying the Data-CASE model (units, policies, histories, invariants)
+  to a concrete engine via a grounding registry.  This is the library a
+  downstream service provider would use (paper §4.1).
+* :mod:`repro.systems.profiles` + ``pbase``/``pgbench``/``psys`` — the three
+  end-to-end "interpretations of GDPR-compliance" of §4.2, benchmarked in
+  Figures 4(b)/4(c) and Table 2.
+* :mod:`repro.systems.space` — the Table-2 space accounting.
+"""
+
+from repro.systems.database import CompliantDatabase, EraseOutcome
+from repro.systems.profiles import ComplianceProfile, ProfileConfig, RunResult
+from repro.systems.pbase import PBase
+from repro.systems.pgbench import PGBench
+from repro.systems.psys import PSys
+from repro.systems.space import SpaceAccountant, SpaceReport
+
+PROFILES = {"P_Base": PBase, "P_GBench": PGBench, "P_SYS": PSys}
+
+
+def make_profile(name: str, **kwargs) -> ComplianceProfile:
+    """Factory for the paper's three profiles by name."""
+    try:
+        cls = PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "CompliantDatabase",
+    "EraseOutcome",
+    "ComplianceProfile",
+    "ProfileConfig",
+    "RunResult",
+    "PBase",
+    "PGBench",
+    "PSys",
+    "PROFILES",
+    "make_profile",
+    "SpaceAccountant",
+    "SpaceReport",
+]

@@ -1,0 +1,449 @@
+"""CompliantDatabase — the grounded, end-to-end public API.
+
+This facade is what the paper envisions a service provider building with
+Data-CASE (§4.1): every stored value is a modelled
+:class:`~repro.core.dataunit.DataUnit`; every access is policy-checked and
+recorded in the formal action history; erasure dispatches to the
+system-actions of the *selected grounding* (Figure 2's step 3); and
+compliance is demonstrable — :meth:`check_compliance` evaluates the formal
+invariants over the actual history.
+
+The engine is the PSQL simulator, so the Table-1 semantics hold literally:
+"reversibly inaccessible" flips the retrofit flag column, "delete" runs
+DELETE+VACUUM, "strong delete" runs DELETE+VACUUM FULL and cascades over the
+provenance graph, and "permanently delete" raises — PSQL has no system-action
+for drive sanitization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.access.errors import AccessDenied
+from repro.core.actions import ActionType
+from repro.core.compliance import ComplianceChecker, ComplianceReport
+from repro.core.consistency import regulation_requires_any_of
+from repro.core.dataunit import Database, DataCategory, DataUnit, derive
+from repro.core.entities import Entity, EntityRegistry, Role
+from repro.core.erasure import (
+    ErasureInterpretation,
+    ErasureTimeline,
+    register_erasure,
+)
+from repro.core.grounding import GroundingRegistry
+from repro.core.invariants import G6PolicyConsistency, G17ErasureDeadline
+from repro.core.policy import Policy, PolicySet, Purpose
+from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
+from repro.audit.log import ActionLog
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.storage.engine import RelationalEngine
+
+DATA_TABLE = "data_units"
+
+#: Purpose recorded for GDPR Art. 15 subject-access reads — lawful by
+#: regulation, no stored policy required.
+SUBJECT_ACCESS_PURPOSE = "subject-access"
+
+
+@dataclass(frozen=True)
+class SubjectAccessResult:
+    """The Art. 15 response package for one data subject."""
+
+    subject: Entity
+    requested_at: int
+    units: Tuple["SubjectAccessUnit", ...]
+
+    def render(self) -> str:
+        lines = [
+            f"Subject access request for {self.subject.name} "
+            f"@ t={self.requested_at}: {len(self.units)} data unit(s)"
+        ]
+        for unit in self.units:
+            lines.append(
+                f"  {unit.unit_id}: value={unit.value!r} "
+                f"(erased={unit.erased}, origin={','.join(sorted(unit.origins))})"
+            )
+            for purpose, entity, t_begin, t_final in unit.policies:
+                lines.append(
+                    f"    policy ⟨{purpose}, {entity}, {t_begin}, {t_final}⟩"
+                )
+            lines.append(f"    {unit.action_count} recorded action(s)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SubjectAccessUnit:
+    """One unit's disclosure within a subject-access response."""
+
+    unit_id: str
+    value: Any
+    erased: bool
+    origins: Tuple[str, ...]
+    policies: Tuple[Tuple[str, str, int, int], ...]
+    action_count: int
+
+
+class UnsupportedGroundingError(RuntimeError):
+    """The selected interpretation has no implementable system-action on
+    this engine — the system must be retrofitted (paper §1)."""
+
+
+@dataclass(frozen=True)
+class EraseOutcome:
+    """What an erase call actually did."""
+
+    unit_id: str
+    interpretation: ErasureInterpretation
+    system_actions: Tuple[str, ...]
+    cascaded_units: Tuple[str, ...] = ()
+    timestamp: int = 0
+
+
+class CompliantDatabase:
+    """A policy-enforcing, history-keeping data store over the PSQL engine."""
+
+    def __init__(
+        self,
+        controller: Entity,
+        default_erasure: ErasureInterpretation = ErasureInterpretation.DELETED,
+        row_bytes: int = 70,
+        cost_book: Optional[CostBook] = None,
+    ) -> None:
+        if not controller.is_controller:
+            raise ValueError("the owning entity must hold the controller role")
+        self.controller = controller
+        self.clock = SimClock()
+        self.cost = CostModel(self.clock, cost_book or CostBook())
+        self.engine = RelationalEngine(self.cost)
+        self.engine.create_table(DATA_TABLE, row_bytes, flag_column=True)
+        self.model = Database()
+        self.provenance = ProvenanceGraph()
+        self.log = ActionLog(self.cost)
+        self.entities = EntityRegistry([controller])
+        self.groundings = GroundingRegistry()
+        self._interpretations = register_erasure(self.groundings)
+        self._select_erasure(default_erasure)
+        # Lawful without an explicit stored policy: the collection contract
+        # itself (GDPR Art. 6(1)(b) — processing necessary for a contract),
+        # compliance-mandated erasure (Art. 17), and subject access (Art. 15).
+        self._regulation_requires = regulation_requires_any_of(
+            Purpose.COMPLIANCE_ERASE, Purpose.CONTRACT, SUBJECT_ACCESS_PURPOSE
+        )
+
+    # -------------------------------------------------------------- grounding
+    def _select_erasure(self, interpretation: ErasureInterpretation) -> None:
+        if interpretation is ErasureInterpretation.PERMANENTLY_DELETED:
+            raise UnsupportedGroundingError(
+                "PSQL has no system-action for drive sanitization "
+                "(Table 1: 'Not supported'); retrofit the engine or choose "
+                "a weaker interpretation"
+            )
+        grounding = self.groundings.grounding(
+            "erasure", interpretation.label, "psql"
+        )
+        self.groundings.select(grounding, "psql")
+        self.default_erasure = interpretation
+
+    @property
+    def selected_erasure(self) -> ErasureInterpretation:
+        return self.default_erasure
+
+    # -------------------------------------------------------------- entities
+    def register_entity(self, entity: Entity) -> Entity:
+        return self.entities.register(entity)
+
+    # ------------------------------------------------------------ collection
+    def collect(
+        self,
+        unit_id: str,
+        subject: Entity,
+        origin: str,
+        value: Any,
+        policies: Iterable[Policy],
+        erase_deadline: Optional[int] = None,
+    ) -> DataUnit:
+        """Collect a base data unit with consent.
+
+        Records the CONTRACT (disclosure/consent, Figure 1 category I)
+        before the CREATE; attaches the given policies plus a
+        compliance-erase policy if ``erase_deadline`` is set (G17).
+        """
+        self.entities.register(subject)
+        policy_set = PolicySet(policies)
+        if erase_deadline is not None:
+            policy_set.add(
+                Policy(
+                    Purpose.COMPLIANCE_ERASE,
+                    self.controller,
+                    self.clock.now,
+                    erase_deadline,
+                )
+            )
+        unit = DataUnit(unit_id, subject, origin, policies=policy_set)
+        self.log.record(
+            unit_id, Purpose.CONTRACT, subject, ActionType.CONTRACT, self.clock.now
+        )
+        self.engine.insert(DATA_TABLE, unit_id, value)
+        now = self.clock.now
+        unit.write(value, now)
+        self.model.add(unit)
+        self.provenance.add_unit(unit_id)
+        self.log.record(
+            unit_id, Purpose.CONTRACT, self.controller, ActionType.CREATE, now
+        )
+        return unit
+
+    # ----------------------------------------------------------------- access
+    def read(self, unit_id: str, entity: Entity, purpose: str) -> Any:
+        """Policy-checked read; raises :class:`AccessDenied` when no policy
+        authorizes (entity, purpose) now — G6 enforcement at the gate."""
+        unit = self.model.get(unit_id)
+        now = self.clock.now
+        if unit.policies.authorizing(purpose, entity, now) is None:
+            raise AccessDenied(entity.name, purpose, unit_id)
+        if self.engine.is_flagged(DATA_TABLE, unit_id) and entity.is_data_subject:
+            # Reversibly inaccessible: hidden from data subjects, visible to
+            # controller/processor (§3.1).
+            raise AccessDenied(entity.name, purpose, unit_id)
+        value = self.engine.read(DATA_TABLE, unit_id)
+        self.log.record(unit_id, purpose, entity, ActionType.READ, self.clock.now)
+        return value
+
+    def update(
+        self, unit_id: str, entity: Entity, purpose: str, value: Any
+    ) -> None:
+        unit = self.model.get(unit_id)
+        now = self.clock.now
+        if unit.policies.authorizing(purpose, entity, now) is None:
+            raise AccessDenied(entity.name, purpose, unit_id)
+        self.engine.update(DATA_TABLE, unit_id, value)
+        now = self.clock.now
+        unit.write(value, now)
+        self.log.record(unit_id, purpose, entity, ActionType.UPDATE, now)
+
+    def derive_unit(
+        self,
+        new_id: str,
+        base_ids: Sequence[str],
+        value: Any,
+        entity: Entity,
+        purpose: str,
+        kind: DependencyKind = DependencyKind.AGGREGATE,
+        invertible: bool = False,
+        identifying: bool = True,
+    ) -> DataUnit:
+        """Produce derived data (§2.1) and record its provenance."""
+        bases = [self.model.get(b) for b in base_ids]
+        now = self.clock.now
+        for base in bases:
+            if base.policies.authorizing(purpose, entity, now) is None:
+                raise AccessDenied(entity.name, purpose, base.unit_id)
+        unit = derive(new_id, bases, value, now)
+        self.engine.insert(DATA_TABLE, new_id, value)
+        self.model.add(unit)
+        self.provenance.add_unit(new_id)
+        for base in bases:
+            self.provenance.record(
+                Dependency(base.unit_id, new_id, kind, invertible, identifying)
+            )
+            self.log.record(
+                base.unit_id, purpose, entity, ActionType.DERIVE, self.clock.now
+            )
+        self.log.record(new_id, purpose, entity, ActionType.CREATE, self.clock.now)
+        return unit
+
+    # ----------------------------------------------------------------- erase
+    def erase(
+        self,
+        unit_id: str,
+        entity: Optional[Entity] = None,
+        interpretation: Optional[ErasureInterpretation] = None,
+    ) -> EraseOutcome:
+        """Erase under the selected (or an explicit) interpretation."""
+        interpretation = interpretation or self.default_erasure
+        entity = entity or self.controller
+        unit = self.model.get(unit_id)
+        if interpretation is ErasureInterpretation.REVERSIBLY_INACCESSIBLE:
+            return self._erase_reversible(unit, entity)
+        if interpretation is ErasureInterpretation.DELETED:
+            return self._erase_delete(unit, entity)
+        if interpretation is ErasureInterpretation.STRONGLY_DELETED:
+            return self._erase_strong(unit, entity)
+        raise UnsupportedGroundingError(
+            "permanent deletion is not supported on PSQL (Table 1)"
+        )
+
+    def _erase_reversible(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
+        self.engine.set_flag(DATA_TABLE, unit.unit_id, True)
+        now = self.clock.now
+        self.log.record(
+            unit.unit_id,
+            Purpose.COMPLIANCE_ERASE,
+            entity,
+            ActionType.ERASE,
+            now,
+            detail="reversible-flag (Add new attribute)",
+        )
+        return EraseOutcome(
+            unit.unit_id,
+            ErasureInterpretation.REVERSIBLY_INACCESSIBLE,
+            ("Add new attribute",),
+            timestamp=now,
+        )
+
+    def _erase_delete(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
+        self.engine.delete(DATA_TABLE, unit.unit_id)
+        self.engine.vacuum(DATA_TABLE)
+        now = self.clock.now
+        unit.mark_erased(now)
+        self.log.record(
+            unit.unit_id,
+            Purpose.COMPLIANCE_ERASE,
+            entity,
+            ActionType.ERASE,
+            now,
+            detail="DELETE+VACUUM",
+        )
+        return EraseOutcome(
+            unit.unit_id,
+            ErasureInterpretation.DELETED,
+            ("DELETE", "VACUUM"),
+            timestamp=now,
+        )
+
+    def _erase_strong(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
+        """Delete the unit and every identifying dependent (§3.1)."""
+        cascade = sorted(self.provenance.identifying_descendants(unit.unit_id))
+        for victim_id in [unit.unit_id] + cascade:
+            victim = self.model.get(victim_id)
+            if victim.is_erased:
+                continue
+            self.engine.delete(DATA_TABLE, victim_id)
+            now = self.clock.now
+            victim.mark_erased(now)
+            self.log.record(
+                victim_id,
+                Purpose.COMPLIANCE_ERASE,
+                entity,
+                ActionType.ERASE,
+                now,
+                detail="DELETE+VACUUM FULL (strong cascade)",
+            )
+        self.engine.vacuum_full(DATA_TABLE)
+        return EraseOutcome(
+            unit.unit_id,
+            ErasureInterpretation.STRONGLY_DELETED,
+            ("DELETE", "VACUUM FULL"),
+            cascaded_units=tuple(cascade),
+            timestamp=self.clock.now,
+        )
+
+    def restore(self, unit_id: str, entity: Optional[Entity] = None) -> None:
+        """Undo reversible inaccessibility (the transformation is invertible)."""
+        entity = entity or self.controller
+        if not self.engine.is_flagged(DATA_TABLE, unit_id):
+            raise ValueError(f"unit {unit_id!r} is not flagged inaccessible")
+        self.engine.set_flag(DATA_TABLE, unit_id, False)
+        self.log.record(
+            unit_id,
+            Purpose.COMPLIANCE_ERASE,
+            entity,
+            ActionType.RESTORE,
+            self.clock.now,
+            detail="flag cleared",
+        )
+
+    # -------------------------------------------------------- subject access
+    def subject_access_request(self, subject: Entity) -> SubjectAccessResult:
+        """GDPR Art. 15: everything held about ``subject``, with policies
+        and processing-history counts.  The reads are lawful by regulation
+        (no stored policy needed) and are themselves recorded in the action
+        history — an auditor can see that the right was honoured."""
+        units: List[SubjectAccessUnit] = []
+        for unit in self.model.units_of_subject(subject):
+            value = None
+            if not unit.is_erased:
+                try:
+                    value = self.engine.read(DATA_TABLE, unit.unit_id)
+                except Exception:  # engine-level hole (e.g. flagged)
+                    value = None
+            self.log.record(
+                unit.unit_id,
+                SUBJECT_ACCESS_PURPOSE,
+                subject,
+                ActionType.READ,
+                self.clock.now,
+            )
+            units.append(
+                SubjectAccessUnit(
+                    unit_id=unit.unit_id,
+                    value=value,
+                    erased=unit.is_erased,
+                    origins=tuple(sorted(unit.origins)),
+                    policies=tuple(
+                        (p.purpose, p.entity.name, p.t_begin, p.t_final)
+                        for p in unit.policies
+                    ),
+                    action_count=len(self.history.of(unit.unit_id)),
+                )
+            )
+        return SubjectAccessResult(
+            subject=subject, requested_at=self.clock.now, units=tuple(units)
+        )
+
+    # ------------------------------------------------------------ compliance
+    def check_compliance(
+        self, invariants: Optional[Sequence[Any]] = None, now: Optional[int] = None
+    ) -> ComplianceReport:
+        if invariants is None:
+            invariants = [
+                G6PolicyConsistency(self._regulation_requires),
+                G17ErasureDeadline(),
+            ]
+        checker = ComplianceChecker(invariants)
+        return checker.check(
+            self.model, self.log.history, now if now is not None else self.clock.now
+        )
+
+    def timeline(self, unit_id: str) -> ErasureTimeline:
+        """The unit's Figure-3 erasure timeline, from the action history."""
+        entries = self.log.history.of(unit_id)
+        collected = next(
+            (e.timestamp for e in entries if e.action.type == ActionType.CREATE),
+            0,
+        )
+        inaccessible: Optional[int] = None
+        deleted: Optional[int] = None
+        strong: Optional[int] = None
+        permanent: Optional[int] = None
+        for e in entries:
+            if e.action.type == ActionType.ERASE:
+                detail = e.action.detail or ""
+                if inaccessible is None:
+                    inaccessible = e.timestamp
+                if "DELETE" in detail and deleted is None:
+                    deleted = e.timestamp
+                if "VACUUM FULL" in detail and strong is None:
+                    strong = e.timestamp
+            if e.action.type == ActionType.SANITIZE and permanent is None:
+                permanent = e.timestamp
+        return ErasureTimeline(
+            collected_at=collected,
+            inaccessible_at=inaccessible,
+            deleted_at=deleted,
+            strongly_deleted_at=strong,
+            permanently_deleted_at=permanent,
+        )
+
+    # ------------------------------------------------------------- forensics
+    def physically_present(self, unit_id: str) -> bool:
+        """Whether any tuple (live or dead) for the unit is still on disk."""
+        return any(
+            key == unit_id for key, _live in self.engine.forensic_scan(DATA_TABLE)
+        )
+
+    @property
+    def history(self):
+        return self.log.history

@@ -1,0 +1,90 @@
+"""P_GBench — the middle interpretation of GDPR-compliance (§4.2).
+
+    "The system stores policies and other metadata in a table separate from
+     the one containing personal data.  Thus, all queries must perform joins
+     to implement appropriate policies.  Histories are implemented by
+     logging all queries and responses (no csv logs).  Data is encrypted
+     using LUKS (SHA-256).  Erasure is implemented using DELETE in PSQL."
+"""
+
+from __future__ import annotations
+
+from repro.audit.querylog import QueryResponseLogger
+from repro.core.policy import Policy, Purpose
+from repro.systems.policycat import ScalablePolicyCatalog
+from repro.systems.profiles import (
+    DATA_TABLE,
+    META_TABLE,
+    OPERATOR,
+    ComplianceProfile,
+)
+from repro.workloads.base import OpKind
+
+#: Consent window granted at collection (model-time microseconds).
+CONSENT_WINDOW = (0, 10**15)
+
+
+class PGBench(ComplianceProfile):
+    """Joined policy table + query/response logs + LUKS + DELETE-only."""
+
+    name = "P_GBench"
+
+    def _setup(self) -> None:
+        template = [
+            Policy(Purpose.SERVICE, OPERATOR, *CONSENT_WINDOW),
+            Policy(Purpose.RETENTION, OPERATOR, *CONSENT_WINDOW),
+        ]
+        self.policies = ScalablePolicyCatalog(self.cost, "joined", template)
+        self.querylog = QueryResponseLogger(self.cost)
+
+    def _register_profile_space(self) -> None:
+        self.space.register(
+            "policy-table", "metadata", lambda: self.policies.size_bytes
+        )
+        self.space.register(
+            "query-logs", "metadata", lambda: self.querylog.size_bytes
+        )
+
+    # ------------------------------------------------------------------ hooks
+    def _attach_policies(self, key: int) -> None:
+        self.policies.attach_unit(key)
+
+    def _check_access(self, key: int, op: OpKind, personal: bool) -> bool:
+        allowed, _evaluated = self.policies.evaluate(
+            key, OPERATOR, Purpose.SERVICE, self.clock.now
+        )
+        # Creates target a key that has no policies *yet*: authorized by the
+        # collection contract, not by a stored policy row.
+        if op in (OpKind.CREATE,):
+            return True
+        return allowed
+
+    def _log_load(self, key: int) -> None:
+        """Bulk load is one statement; per-row logging does not apply."""
+
+    def _log_operation(
+        self, key: int, op: OpKind, response_bytes: int, personal: bool
+    ) -> None:
+        self.querylog.log(
+            self.clock.now,
+            OPERATOR.name,
+            f"{op.value.upper()} {DATA_TABLE} key={key}",
+            DATA_TABLE,
+            key,
+            response_bytes,
+        )
+
+    def _encrypt_at_rest(self, nbytes: int) -> None:
+        self.cost.charge_luks(nbytes)
+
+    def _metadata_update(self, key: int) -> None:
+        """Metadata updates also maintain the policy rows (the separate
+        table holds 'policies and other metadata')."""
+        super()._metadata_update(key)
+        self.cost.charge_policy_insert()
+
+    def _erase(self, key: int) -> None:
+        """DELETE only — dead tuples accumulate until autovacuum-never."""
+        self.engine.delete(DATA_TABLE, key)
+        self.engine.delete(META_TABLE, key)
+        self.policies.detach_unit(key)

@@ -1,0 +1,141 @@
+"""Scalable policy catalog for paper-scale benchmark runs.
+
+The benchmark profiles attach 1–4 policies to every one of up to 500k data
+units.  Materializing per-unit :class:`~repro.core.policy.Policy` objects
+and per-unit Sieve guards at that scale costs gigabytes of interpreter
+memory without changing any measured quantity: the policy *content* is
+value-identical across units (the consent window each subject granted at
+collection).
+
+The catalog therefore stores the policy template once, tracks per-unit
+membership as a set, and charges costs / accounts bytes exactly as the real
+:class:`~repro.access.fgac.FgacController` and
+:class:`~repro.access.sieve.SieveMiddleware` would —
+``tests/integration/test_policycat_crossvalidation.py`` cross-validates
+decision-for-decision against the real middlewares on small populations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.access.sieve import (
+    GUARD_BYTES,
+    GUARD_INDEX_ENTRY_BYTES,
+    GUARD_POLICY_BYTES,
+)
+from repro.core.entities import Entity
+from repro.core.policy import Policy
+from repro.sim.costs import CostModel
+
+
+class ScalablePolicyCatalog:
+    """Template-based policy store with FGAC/Sieve cost semantics.
+
+    Parameters
+    ----------
+    mode:
+        ``"joined"`` — P_GBench: policies in a separate table, every check
+        pays a join probe then scans the unit's policies.
+        ``"sieve"`` — P_SYS: guard-index descent, then evaluates only the
+        (entity, purpose)-matching candidates; pays Sieve's metadata bytes.
+    template:
+        The policies attached to every enrolled unit.
+    """
+
+    MODES = ("joined", "sieve")
+
+    def __init__(
+        self, cost: CostModel, mode: str, template: Sequence[Policy]
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}")
+        if not template:
+            raise ValueError("template must contain at least one policy")
+        self._cost = cost
+        self._mode = mode
+        self._template: Tuple[Policy, ...] = tuple(template)
+        self._members: Set[int] = set()
+        # Sieve guard candidates per (entity, purpose), precomputed once.
+        self._guards: Dict[Tuple[str, str], Tuple[Policy, ...]] = {}
+        for policy in self._template:
+            key = (policy.entity.name, policy.purpose)
+            self._guards[key] = self._guards.get(key, ()) + (policy,)
+
+    # ---------------------------------------------------------------- manage
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def policies_per_unit(self) -> int:
+        return len(self._template)
+
+    def attach_unit(self, unit_id: int) -> None:
+        """Enroll a unit: one policy row per template entry; sieve mode also
+        pays guard/index maintenance per policy."""
+        self._members.add(unit_id)
+        for _ in self._template:
+            self._cost.charge_policy_insert()
+            if self._mode == "sieve":
+                self._cost.charge_sieve_guard_insert()
+
+    def detach_unit(self, unit_id: int) -> int:
+        if unit_id in self._members:
+            self._members.discard(unit_id)
+            return len(self._template)
+        return 0
+
+    @property
+    def unit_count(self) -> int:
+        return len(self._members)
+
+    @property
+    def policy_count(self) -> int:
+        return len(self._members) * len(self._template)
+
+    # ---------------------------------------------------------------- checks
+    def evaluate(
+        self, unit_id: int, entity: Entity, purpose: str, at: int
+    ) -> Tuple[bool, int]:
+        """(allowed, policies_evaluated) with mode-appropriate costs."""
+        if unit_id not in self._members:
+            if self._mode == "joined":
+                self._cost.charge_policy_table_join()
+            else:
+                self._cost.charge_sieve_lookup()
+            self._cost.charge_fgac_eval(1)
+            return False, 0
+        if self._mode == "joined":
+            self._cost.charge_policy_table_join()
+            candidates: Sequence[Policy] = self._template
+        else:
+            self._cost.charge_sieve_lookup()
+            candidates = self._guards.get((entity.name, purpose), ())
+        evaluated = 0
+        for policy in candidates:
+            evaluated += 1
+            if policy.authorizes(purpose, entity, at):
+                self._cost.charge_fgac_eval(evaluated)
+                return True, evaluated
+        self._cost.charge_fgac_eval(max(evaluated, 1))
+        return False, evaluated
+
+    # ----------------------------------------------------------------- space
+    @property
+    def size_bytes(self) -> int:
+        """*Additional* metadata bytes beyond the base metadata table.
+
+        In both profiles the base policy rows live in the engine's separate
+        metadata table (whose heap the space accountant already counts), so
+        "joined" mode adds nothing here; "sieve" mode adds the middleware's
+        own structures: guards, guard-index entries, and denormalized policy
+        copies.
+        """
+        if self._mode == "joined":
+            return 0
+        guards = self.unit_count * len(self._guards)
+        denormalized = self.policy_count
+        return guards * (GUARD_BYTES + GUARD_INDEX_ENTRY_BYTES) + (
+            denormalized * GUARD_POLICY_BYTES
+        )

@@ -1,0 +1,313 @@
+"""Compliance profiles — the execution framework of §4.2.
+
+:class:`ComplianceProfile` owns the shared skeleton: a simulated clock, the
+PSQL engine, the load and transaction phases, and the space accounting.
+Subclasses (P_Base, P_GBench, P_SYS) override the four hook groups the
+paper's descriptions differ on:
+
+=====================  ==================  =====================  =====================
+hook                   P_Base              P_GBench               P_SYS
+=====================  ==================  =====================  =====================
+access control         RBAC (roles)        policy-table joins     FGAC via Sieve
+history grounding      CSV logs            query+response logs    query logs + policy-
+                                                                  decision logs
+encryption at rest     AES-256 (data)      LUKS/SHA-256 (disk)    AES-128 (data + logs)
+erase grounding        DELETE + VACUUM     DELETE                 DELETE + VACUUM FULL
+                                                                  + purge logs
+=====================  ==================  =====================  =====================
+
+The paper's YCSB-C observation is modelled through ``personal=False``
+workloads: operations on non-personal tables skip per-unit policy checks
+and per-operation response logging (the machinery attaches to personal-data
+tables), so the residual compliance overhead on ordinary traffic is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.entities import Entity, controller, processor
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.storage.engine import RelationalEngine
+from repro.systems.space import SpaceAccountant, SpaceReport
+from repro.workloads.base import OpKind, Operation, Workload
+from repro.workloads.mall import MallDataset, RECORD_BYTES
+
+DATA_TABLE = "personal_data"
+META_TABLE = "gdpr_metadata"
+PLAIN_TABLE = "plain_data"
+
+#: Operation kinds that commit a write transaction.
+_MUTATING_KINDS = frozenset(
+    {OpKind.CREATE, OpKind.UPDATE, OpKind.DELETE, OpKind.UPDATE_META}
+)
+
+#: The entity executing benchmark operations.
+OPERATOR = processor("benchmark-processor")
+CONTROLLER = controller("benchmark-controller")
+
+
+@dataclass
+class ProfileConfig:
+    """Tunable parameters shared by all profiles."""
+
+    record_bytes: int = RECORD_BYTES
+    metadata_row_bytes: int = 72  # one policy/metadata row per record
+    vacuum_interval: int = 1_000        # deletes between VACUUMs (P_Base)
+    vacuum_full_interval: int = 2_000   # deletes between VACUUM FULLs (P_SYS)
+    cipher_tier: str = "cost-only"      # "cost-only" | "fast" | "aes"
+    cost_book: CostBook = field(default_factory=CostBook)
+    dataset_seed: int = 42
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one (profile, workload) execution."""
+
+    profile: str
+    workload: str
+    record_count: int
+    transaction_count: int
+    load_seconds: float
+    txn_seconds: float
+    breakdown: Dict[str, float]
+    space: SpaceReport
+    denials: int
+    vacuum_count: int
+    vacuum_full_count: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.load_seconds + self.txn_seconds
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+
+class ComplianceProfile:
+    """Base class: engine plumbing + run loop.  Subclasses set ``name``."""
+
+    name = "abstract"
+
+    def __init__(self, config: Optional[ProfileConfig] = None) -> None:
+        self.config = config or ProfileConfig()
+        self.clock = SimClock()
+        self.cost = CostModel(self.clock, self.config.cost_book)
+        self.engine = RelationalEngine(
+            self.cost,
+            cipher=None,
+            bloat_factor=8.0,
+            wal_checkpoint_every=5_000,
+        )
+        self.space = SpaceAccountant(self.name)
+        self.denials = 0
+        self._deletes_since_maintenance = 0
+        self._loaded_records = 0
+        self._setup_tables()
+        self._setup()
+        self._register_space()
+
+    # ------------------------------------------------------------- lifecycle
+    def _setup_tables(self) -> None:
+        self.engine.create_table(DATA_TABLE, self._data_row_bytes())
+        if self._has_metadata_table():
+            self.engine.create_table(META_TABLE, self.config.metadata_row_bytes)
+
+    def _setup(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _register_space(self) -> None:
+        self.space.register(
+            "personal-data",
+            "personal",
+            lambda: self._loaded_records * self.config.record_bytes,
+        )
+        self.space.register(
+            "heap-overhead",
+            "metadata",
+            lambda: max(
+                0,
+                self.engine.stats(DATA_TABLE).heap_bytes
+                - self._loaded_records * self.config.record_bytes,
+            ),
+        )
+        self.space.register(
+            "data-index",
+            "index",
+            lambda: self.engine.stats(DATA_TABLE).index_bytes,
+        )
+        if self._has_metadata_table():
+            self.space.register(
+                "metadata-table",
+                "metadata",
+                lambda: self.engine.stats(META_TABLE).heap_bytes,
+            )
+            self.space.register(
+                "metadata-index",
+                "index",
+                lambda: self.engine.stats(META_TABLE).index_bytes,
+            )
+        self.space.register("wal", "metadata", lambda: self.engine.wal.size_bytes)
+        self._register_profile_space()
+
+    # ------------------------------------------------- hooks for subclasses
+    def _data_row_bytes(self) -> int:
+        """P_Base inlines metadata into the data row; others keep it at 70B."""
+        return self.config.record_bytes
+
+    def _has_metadata_table(self) -> bool:
+        return True
+
+    def _register_profile_space(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _attach_policies(self, key: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _check_access(self, key: int, op: OpKind, personal: bool) -> bool:
+        """Returns False (and counts a denial) if access is refused."""
+        raise NotImplementedError  # pragma: no cover
+
+    def _log_operation(
+        self, key: int, op: OpKind, response_bytes: int, personal: bool
+    ) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _log_load(self, key: int) -> None:
+        """History grounding for the bulk-load path.
+
+        Profiles differ: P_Base's row-level response recording fires per
+        row even for loads; P_GBench logs at statement level (one bulk COPY
+        record — negligible, modelled as zero); P_SYS logs a policy decision
+        per record but no per-row query record.
+        """
+        raise NotImplementedError  # pragma: no cover
+
+    def _erase(self, key: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _encrypt_at_rest(self, nbytes: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- load path
+    def load(self, n_records: int, dataset: Optional[MallDataset] = None) -> None:
+        """Load phase: ingest ``n_records`` Mall observations.
+
+        Every record lands in the data table; profiles with a metadata table
+        also get one metadata row and their policy registrations; every
+        profile logs the ingestion per its history grounding.
+        """
+        if dataset is None:
+            dataset = MallDataset(
+                n_devices=max(1, n_records // 100),
+                seed=self.config.dataset_seed,
+            )
+        stream = dataset.stream()
+        for _ in range(n_records):
+            record = next(stream)
+            key = record.record_id
+            payload = (record.subject_id, record.timestamp, record.zone)
+            self.engine.insert(DATA_TABLE, key, payload, check_duplicate=False)
+            self._encrypt_at_rest(self.config.record_bytes)
+            if self._has_metadata_table():
+                self.engine.insert(
+                    META_TABLE,
+                    key,
+                    (record.subject_id, record.timestamp),
+                    check_duplicate=False,
+                )
+            self._attach_policies(key)
+            self._log_load(key)
+            self._loaded_records += 1
+
+    # ---------------------------------------------------------- txn execution
+    def execute(self, op: Operation, personal: bool = True) -> None:
+        """Run one benchmark operation with the profile's full machinery."""
+        table = DATA_TABLE if personal else PLAIN_TABLE
+        if personal and not self._check_access(op.key, op.kind, personal):
+            self.denials += 1
+            return
+        if op.kind == OpKind.CREATE:
+            self.engine.insert(table, op.key, (op.key, 0, "created"))
+            self._encrypt_at_rest(self.config.record_bytes)
+            if personal and self._has_metadata_table():
+                self.engine.insert(META_TABLE, op.key, (op.key, 0))
+            if personal:
+                self._attach_policies(op.key)
+        elif op.kind == OpKind.READ:
+            self.engine.read(table, op.key)
+            self._encrypt_at_rest(self.config.record_bytes)
+        elif op.kind == OpKind.UPDATE:
+            self.engine.update(table, op.key, (op.key, 1, "updated"))
+            self._encrypt_at_rest(self.config.record_bytes)
+        elif op.kind == OpKind.DELETE:
+            self._erase(op.key)
+        elif op.kind == OpKind.READ_META:
+            self._metadata_read(op.key)
+        elif op.kind == OpKind.UPDATE_META:
+            self._metadata_update(op.key)
+        elif op.kind == OpKind.READ_BY_META:
+            self._metadata_read(op.key)
+            self.engine.read(table, op.key)
+            self._encrypt_at_rest(self.config.record_bytes)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"unhandled operation kind: {op.kind}")
+        if personal:
+            self._log_operation(
+                op.key, op.kind, self.config.record_bytes, personal
+            )
+            if op.kind in _MUTATING_KINDS:
+                # GDPR operations commit individually (each is a user-visible
+                # transaction); the load path group-commits instead.
+                self.engine.wal.flush()
+
+    def _metadata_read(self, key: int) -> None:
+        if self._has_metadata_table():
+            self.engine.read(META_TABLE, key)
+        else:
+            # Inline metadata (P_Base): the data row holds it.
+            self.engine.read(DATA_TABLE, key)
+            self._encrypt_at_rest(self.config.record_bytes)
+
+    def _metadata_update(self, key: int) -> None:
+        if self._has_metadata_table():
+            self.engine.update(META_TABLE, key, (key, 2))
+        else:
+            self.engine.update(DATA_TABLE, key, (key, 2, "meta-updated"))
+            self._encrypt_at_rest(self.config.record_bytes)
+
+    # --------------------------------------------------------------- running
+    def run(self, workload: Workload, personal: bool = True) -> RunResult:
+        """Load + execute a workload; returns the timing/space result."""
+        if not personal and not self.engine.has_table(PLAIN_TABLE):
+            self.engine.create_table(PLAIN_TABLE, self.config.record_bytes)
+        load_watch = self.clock.stopwatch()
+        if personal:
+            self.load(workload.record_count)
+        else:
+            for key in range(workload.record_count):
+                self.engine.insert(
+                    PLAIN_TABLE, key, (key, 0, "plain"), check_duplicate=False
+                )
+                self._encrypt_at_rest(self.config.record_bytes)
+        load_seconds = load_watch.stop() / 1e6
+        txn_watch = self.clock.stopwatch()
+        for op in workload:
+            self.execute(op, personal=personal)
+        txn_seconds = txn_watch.stop() / 1e6
+        return RunResult(
+            profile=self.name,
+            workload=workload.name,
+            record_count=workload.record_count,
+            transaction_count=workload.transaction_count,
+            load_seconds=load_seconds,
+            txn_seconds=txn_seconds,
+            breakdown=self.cost.breakdown_seconds(),
+            space=self.space.report(),
+            denials=self.denials,
+            vacuum_count=self.engine.vacuum_count,
+            vacuum_full_count=self.engine.vacuum_full_count,
+        )

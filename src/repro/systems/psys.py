@@ -1,0 +1,129 @@
+"""P_SYS — the strictest interpretation of GDPR-compliance (§4.2).
+
+    "The system implements fine-grained access control (FGAC).  Since PSQL
+     does not support FGAC, it is retrofitted with a middleware that
+     comprises Sieve and associated metadata which implements FGAC by
+     exploiting a variety of its features such as UDFs, index usage hints,
+     etc.  Data units and logs are encrypted using AES-128 and erasure is
+     implemented using DELETE + VACUUM FULL as well as deleting logs of the
+     data units being deleted.  … all policies are logged at the time of
+     all the operations to implement demonstrable accountability."
+"""
+
+from __future__ import annotations
+
+from repro.audit.querylog import PolicyDecisionLogger, QueryResponseLogger
+from repro.core.policy import Policy, Purpose
+from repro.systems.policycat import ScalablePolicyCatalog
+from repro.systems.profiles import (
+    DATA_TABLE,
+    META_TABLE,
+    OPERATOR,
+    ComplianceProfile,
+)
+from repro.workloads.base import OpKind
+
+#: Active consent window and an expired, renewed one — real deployments
+#: accumulate superseded policies, which the guard must still step over.
+ACTIVE_WINDOW = (0, 10**15)
+EXPIRED_WINDOW = (0, 1)
+
+#: Bytes of query-log payload additionally encrypted per operation
+#: ("data units AND logs are encrypted using AES-128").
+LOG_ENCRYPTION_BYTES = 128
+
+
+class PSys(ComplianceProfile):
+    """Sieve FGAC + decision logs + AES-128 (data & logs) + VACUUM FULL +
+    log purging."""
+
+    name = "P_SYS"
+
+    def _setup(self) -> None:
+        template = [
+            # One expired + one active policy per purpose: the guard holds
+            # both and evaluation steps over the stale one.
+            Policy(Purpose.SERVICE, OPERATOR, *EXPIRED_WINDOW),
+            Policy(Purpose.SERVICE, OPERATOR, *ACTIVE_WINDOW),
+            Policy(Purpose.RETENTION, OPERATOR, *EXPIRED_WINDOW),
+            Policy(Purpose.RETENTION, OPERATOR, *ACTIVE_WINDOW),
+            Policy(Purpose.ANALYTICS, OPERATOR, *EXPIRED_WINDOW),
+            Policy(Purpose.ANALYTICS, OPERATOR, *ACTIVE_WINDOW),
+            Policy(Purpose.COMPLIANCE_ERASE, OPERATOR, *ACTIVE_WINDOW),
+            Policy(Purpose.AUDIT, OPERATOR, *ACTIVE_WINDOW),
+        ]
+        self.policies = ScalablePolicyCatalog(self.cost, "sieve", template)
+        self.querylog = QueryResponseLogger(self.cost)
+        self.decisions = PolicyDecisionLogger(self.cost)
+
+    def _register_profile_space(self) -> None:
+        self.space.register(
+            "sieve-metadata", "metadata", lambda: self.policies.size_bytes
+        )
+        self.space.register(
+            "query-logs", "metadata", lambda: self.querylog.size_bytes
+        )
+        self.space.register(
+            "decision-logs", "metadata", lambda: self.decisions.size_bytes
+        )
+
+    # ------------------------------------------------------------------ hooks
+    def _attach_policies(self, key: int) -> None:
+        self.policies.attach_unit(key)
+
+    def _check_access(self, key: int, op: OpKind, personal: bool) -> bool:
+        allowed, self._last_evaluated = self.policies.evaluate(
+            key, OPERATOR, Purpose.SERVICE, self.clock.now
+        )
+        self.cost.charge_fgac_udf()
+        if op is OpKind.CREATE:
+            return True
+        return allowed
+
+    def _log_operation(
+        self, key: int, op: OpKind, response_bytes: int, personal: bool
+    ) -> None:
+        self.querylog.log(
+            self.clock.now,
+            OPERATOR.name,
+            f"{op.value.upper()} {DATA_TABLE} key={key}",
+            DATA_TABLE,
+            key,
+            response_bytes,
+        )
+        # "All policies are logged at the time of all the operations."
+        self.decisions.log(
+            self.clock.now,
+            str(key),
+            OPERATOR.name,
+            Purpose.SERVICE,
+            getattr(self, "_last_evaluated", 0),
+            True,
+        )
+        # Logs are themselves encrypted with AES-128.
+        self.cost.charge_aes128(LOG_ENCRYPTION_BYTES)
+
+    def _log_load(self, key: int) -> None:
+        """Per-record policy decision at collection; statement-level query
+        log (bulk load), so no per-row query record."""
+        self.decisions.log(
+            self.clock.now, str(key), OPERATOR.name, Purpose.CONTRACT,
+            self.policies.policies_per_unit, True,
+        )
+        self.cost.charge_aes128(LOG_ENCRYPTION_BYTES)
+
+    def _encrypt_at_rest(self, nbytes: int) -> None:
+        self.cost.charge_aes128(nbytes)
+
+    def _erase(self, key: int) -> None:
+        """DELETE + periodic VACUUM FULL + purge every trace from the logs."""
+        self.engine.delete(DATA_TABLE, key)
+        self.engine.delete(META_TABLE, key)
+        self.policies.detach_unit(key)
+        self.querylog.purge_key(DATA_TABLE, key)
+        self.decisions.purge_unit(str(key))
+        self.engine.wal.purge_key(DATA_TABLE, key)
+        self._deletes_since_maintenance += 1
+        if self._deletes_since_maintenance >= self.config.vacuum_full_interval:
+            self.engine.vacuum_full(DATA_TABLE)
+            self._deletes_since_maintenance = 0

@@ -1,0 +1,94 @@
+"""Space accounting — Table 2.
+
+    "To evaluate the 'Metadata explosion' associated with each grounding /
+     implementation, we define space factor as the ratio of the total size
+     of the database to the total size of personal data in it."
+
+Components register byte providers under one of three classes — personal
+data, metadata, index — and the accountant renders the Table-2 row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SpaceReport:
+    """One Table-2 row."""
+
+    system: str
+    personal_bytes: int
+    metadata_bytes: int
+    index_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.personal_bytes + self.metadata_bytes + self.index_bytes
+
+    @property
+    def space_factor(self) -> float:
+        if self.personal_bytes == 0:
+            return float("inf") if self.total_bytes else 0.0
+        return self.total_bytes / self.personal_bytes
+
+    @property
+    def personal_mb(self) -> float:
+        return self.personal_bytes / MB
+
+    @property
+    def metadata_mb(self) -> float:
+        return self.metadata_bytes / MB
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / MB
+
+    def row(self) -> Tuple[str, str, str, str, str]:
+        """(system, personal MB, metadata MB, total MB, space factor)."""
+        return (
+            self.system,
+            f"{self.personal_mb:.0f}",
+            f"{self.metadata_mb:.0f}",
+            f"{self.total_mb:.0f}",
+            f"{self.space_factor:.1f}x",
+        )
+
+
+class SpaceAccountant:
+    """Registry of byte providers, grouped by storage class."""
+
+    CLASSES = ("personal", "metadata", "index")
+
+    def __init__(self, system: str) -> None:
+        self._system = system
+        self._providers: List[Tuple[str, str, Callable[[], int]]] = []
+
+    def register(
+        self, name: str, storage_class: str, provider: Callable[[], int]
+    ) -> None:
+        if storage_class not in self.CLASSES:
+            raise ValueError(
+                f"storage_class must be one of {self.CLASSES}, got {storage_class!r}"
+            )
+        if any(n == name for n, _c, _p in self._providers):
+            raise ValueError(f"provider {name!r} already registered")
+        self._providers.append((name, storage_class, provider))
+
+    def breakdown(self) -> Dict[str, int]:
+        """Bytes per registered provider."""
+        return {name: provider() for name, _cls, provider in self._providers}
+
+    def report(self) -> SpaceReport:
+        totals = {cls: 0 for cls in self.CLASSES}
+        for _name, cls, provider in self._providers:
+            totals[cls] += provider()
+        return SpaceReport(
+            system=self._system,
+            personal_bytes=totals["personal"],
+            metadata_bytes=totals["metadata"],
+            index_bytes=totals["index"],
+        )

@@ -1,0 +1,38 @@
+"""Workload generators.
+
+Deterministic (seeded) reimplementations of the benchmarks the paper
+evaluates with:
+
+* :mod:`repro.workloads.gdprbench` — GDPRBench [68]: the Controller (WCon),
+  Processor (WPro) and Customer (WCus) mixes, plus the Figure-4(a) erasure
+  study workload (20% deletes / 80% reads);
+* :mod:`repro.workloads.ycsb` — YCSB [20] Workload C (100% zipfian reads);
+* :mod:`repro.workloads.mall` — the Mall dataset [51]: simulated personal-
+  device observations in a shopping complex, SmartBench-style records [35].
+"""
+
+from repro.workloads.base import KeyPool, OpKind, Operation, Workload
+from repro.workloads.zipf import ZipfianSampler
+from repro.workloads.gdprbench import (
+    controller_workload,
+    customer_workload,
+    erasure_study_workload,
+    processor_workload,
+)
+from repro.workloads.ycsb import ycsb_c_workload
+from repro.workloads.mall import MallDataset, MallRecord
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "Workload",
+    "KeyPool",
+    "ZipfianSampler",
+    "controller_workload",
+    "processor_workload",
+    "customer_workload",
+    "erasure_study_workload",
+    "ycsb_c_workload",
+    "MallDataset",
+    "MallRecord",
+]

@@ -1,0 +1,159 @@
+"""Workload model — operations, key management, workload containers."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class OpKind(Enum):
+    """Operation kinds across the GDPRBench/YCSB mixes.
+
+    ``*_META`` operations touch the metadata store (policies, subject
+    records) rather than personal data; ``READ_BY_META`` reads data located
+    through a metadata predicate (GDPRBench's "reads of data using
+    metadata").
+    """
+
+    CREATE = "create"
+    READ = "read"
+    UPDATE = "update"
+    DELETE = "delete"
+    READ_META = "read-metadata"
+    UPDATE_META = "update-metadata"
+    READ_BY_META = "read-by-metadata"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One benchmark operation."""
+
+    kind: OpKind
+    key: int
+    payload: Any = None
+
+
+class KeyPool:
+    """Tracks live keys so deletes always target an existing record.
+
+    O(1) uniform sampling and removal via the swap-pop idiom; creates mint
+    monotonically increasing fresh keys.
+    """
+
+    def __init__(self, initial: int, rng: random.Random) -> None:
+        if initial < 0:
+            raise ValueError("initial key count must be non-negative")
+        self._rng = rng
+        self._alive: List[int] = list(range(initial))
+        self._position: Dict[int, int] = {k: k for k in self._alive}
+        self._next_key = initial
+
+    def __len__(self) -> int:
+        return len(self._alive)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._position
+
+    def sample(self) -> int:
+        """A uniformly random live key."""
+        if not self._alive:
+            raise IndexError("key pool is empty")
+        return self._alive[self._rng.randrange(len(self._alive))]
+
+    def create(self) -> int:
+        key = self._next_key
+        self._next_key += 1
+        self._position[key] = len(self._alive)
+        self._alive.append(key)
+        return key
+
+    def remove_random(self) -> int:
+        key = self.sample()
+        self.remove(key)
+        return key
+
+    def remove(self, key: int) -> None:
+        pos = self._position.pop(key)
+        last = self._alive.pop()
+        if last != key:
+            self._alive[pos] = last
+            self._position[last] = pos
+
+    def live_keys(self) -> Sequence[int]:
+        return tuple(self._alive)
+
+
+@dataclass
+class Workload:
+    """A named operation mix over a loaded dataset.
+
+    ``operations`` is materialized so a run is exactly reproducible and the
+    same workload object can be replayed against every profile.
+    """
+
+    name: str
+    record_count: int
+    operations: List[Operation]
+    description: str = ""
+
+    @property
+    def transaction_count(self) -> int:
+        return len(self.operations)
+
+    def mix(self) -> Dict[OpKind, float]:
+        """Observed operation-kind fractions — sanity-checked in tests
+        against the paper's stated percentages."""
+        if not self.operations:
+            return {}
+        counts: Dict[OpKind, int] = {}
+        for op in self.operations:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        total = len(self.operations)
+        return {kind: count / total for kind, count in counts.items()}
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+
+def build_mixed_workload(
+    name: str,
+    record_count: int,
+    n_transactions: int,
+    mix: Sequence[Tuple[OpKind, float]],
+    seed: int,
+    description: str = "",
+) -> Workload:
+    """Generate a workload from a (kind, weight) mix.
+
+    Keys for READ/UPDATE/DELETE come from a shared :class:`KeyPool` so the
+    stream never touches a deleted record; CREATEs mint fresh keys.  If the
+    pool ever empties (extreme delete-heavy mixes), remaining delete slots
+    degrade to creates, keeping the stream executable.
+    """
+    weights = [w for _k, w in mix]
+    if any(w < 0 for w in weights) or not weights or sum(weights) <= 0:
+        raise ValueError("mix weights must be non-negative and sum > 0")
+    rng = random.Random(seed)
+    pool = KeyPool(record_count, rng)
+    kinds = [k for k, _w in mix]
+    operations: List[Operation] = []
+    for _ in range(n_transactions):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == OpKind.CREATE:
+            operations.append(Operation(kind, pool.create()))
+        elif kind == OpKind.DELETE:
+            if len(pool) == 0:
+                operations.append(Operation(OpKind.CREATE, pool.create()))
+            else:
+                operations.append(Operation(kind, pool.remove_random()))
+        else:
+            if len(pool) == 0:
+                operations.append(Operation(OpKind.CREATE, pool.create()))
+            else:
+                operations.append(Operation(kind, pool.sample()))
+    return Workload(name, record_count, operations, description)

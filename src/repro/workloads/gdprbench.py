@@ -1,0 +1,105 @@
+"""GDPRBench workloads [68], as specified in the paper (§4.2):
+
+* **Controller (WCon)** — "25% create, 25% deletes, and 50% updates to
+  metadata";
+* **Processor (WPro)** — "80% reads of data using keys, and 20% reads of
+  data using metadata";
+* **Customer (WCus)** — "20% each of reads, updates, and deletes of data,
+  and reads and updates of metadata";
+* the **erasure study** customer mix of Figure 4(a) — "20% deletes on
+  data, rest are reads".
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import OpKind, Workload, build_mixed_workload
+
+
+def controller_workload(
+    record_count: int, n_transactions: int, seed: int = 1
+) -> Workload:
+    """WCon: create/delete churn plus metadata maintenance."""
+    return build_mixed_workload(
+        "WCon",
+        record_count,
+        n_transactions,
+        [
+            (OpKind.CREATE, 0.25),
+            (OpKind.DELETE, 0.25),
+            (OpKind.UPDATE_META, 0.50),
+        ],
+        seed,
+        description="GDPRBench Controller: 25% create, 25% delete, "
+        "50% metadata update",
+    )
+
+
+def processor_workload(
+    record_count: int, n_transactions: int, seed: int = 2
+) -> Workload:
+    """WPro: read-only processing, partly located via metadata."""
+    return build_mixed_workload(
+        "WPro",
+        record_count,
+        n_transactions,
+        [
+            (OpKind.READ, 0.80),
+            (OpKind.READ_BY_META, 0.20),
+        ],
+        seed,
+        description="GDPRBench Processor: 80% key reads, 20% metadata reads",
+    )
+
+
+def customer_workload(
+    record_count: int, n_transactions: int, seed: int = 3
+) -> Workload:
+    """WCus: the data-subject exercising rights — everything in equal parts."""
+    return build_mixed_workload(
+        "WCus",
+        record_count,
+        n_transactions,
+        [
+            (OpKind.READ, 0.20),
+            (OpKind.UPDATE, 0.20),
+            (OpKind.DELETE, 0.20),
+            (OpKind.READ_META, 0.20),
+            (OpKind.UPDATE_META, 0.20),
+        ],
+        seed,
+        description="GDPRBench Customer: 20% each data read/update/delete, "
+        "metadata read/update",
+    )
+
+
+def erasure_study_workload(
+    record_count: int, n_transactions: int, seed: int = 4
+) -> Workload:
+    """The Figure-4(a) mix: 20% deletes on data, rest reads."""
+    return build_mixed_workload(
+        "WCus-erasure",
+        record_count,
+        n_transactions,
+        [
+            (OpKind.DELETE, 0.20),
+            (OpKind.READ, 0.80),
+        ],
+        seed,
+        description="Erasure study (Fig 4a): 20% deletes, 80% reads",
+    )
+
+
+def pure_delete_workload(
+    record_count: int, n_transactions: int, seed: int = 5
+) -> Workload:
+    """100% deletes — the control the paper cites: on this mix VACUUM is
+    pure overhead and plain DELETE wins ("the expected performance is
+    observed for a workload composed only of deletions")."""
+    return build_mixed_workload(
+        "W-delete-only",
+        record_count,
+        n_transactions,
+        [(OpKind.DELETE, 1.0)],
+        seed,
+        description="Deletion-only control workload",
+    )

@@ -1,0 +1,31 @@
+"""YCSB Workload C [20] — 100% reads, zipfian request distribution.
+
+The paper uses it as the non-GDPR control: no metadata operations, so it
+measures the residual overhead compliance machinery imposes on ordinary
+traffic ("the impact of changes required for compliance is small on
+non-GDPR operations").
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import OpKind, Operation, Workload
+from repro.workloads.zipf import ZipfianSampler
+
+
+def ycsb_c_workload(
+    record_count: int,
+    n_transactions: int,
+    seed: int = 10,
+    theta: float = 0.99,
+) -> Workload:
+    """Workload C: read-only, zipfian-skewed keys."""
+    sampler = ZipfianSampler(record_count, theta=theta, seed=seed)
+    operations = [
+        Operation(OpKind.READ, sampler.sample()) for _ in range(n_transactions)
+    ]
+    return Workload(
+        "YCSB-C",
+        record_count,
+        operations,
+        description="YCSB Workload C: 100% zipfian reads",
+    )

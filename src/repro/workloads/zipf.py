@@ -1,0 +1,53 @@
+"""Zipfian sampling — YCSB's request distribution.
+
+A precomputed-CDF sampler: exact, deterministic under a seed, and O(log n)
+per draw via binary search.  YCSB's default skew constant is 0.99.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional
+
+
+class ZipfianSampler:
+    """Draws item ranks in ``[0, n)`` with P(rank i) ∝ 1/(i+1)^theta."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self._n = n
+        self._theta = theta
+        self._rng = random.Random(seed)
+        cdf: List[float] = []
+        total = 0.0
+        for i in range(n):
+            total += 1.0 / ((i + 1) ** theta)
+            cdf.append(total)
+        self._cdf = [c / total for c in cdf]
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def theta(self) -> float:
+        return self._theta
+
+    def sample(self) -> int:
+        """One rank draw; rank 0 is the hottest item."""
+        u = self._rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """Exact probability mass of ``rank``."""
+        if not 0 <= rank < self._n:
+            raise IndexError(f"rank out of range: {rank}")
+        previous = self._cdf[rank - 1] if rank else 0.0
+        return self._cdf[rank] - previous

@@ -1,0 +1,175 @@
+"""Failure injection: every Figure-1 invariant catches its violation.
+
+For each requirement category of Figure 1 we build a deployment, inject the
+corresponding misbehaviour at whatever layer it would really occur (gate
+bypass, missing consent, skipped PIA, forgotten notification, log loss…),
+and assert that exactly the right invariant fails — the compliance checker
+is only worth its name if violations are *attributable*.
+"""
+
+import pytest
+
+from repro.core.actions import ActionType
+from repro.core.consistency import regulation_requires_any_of
+from repro.core.dataunit import DataUnit
+from repro.core.entities import controller, data_subject, processor
+from repro.core.invariants import PreProcessingInvariant, figure1_invariants
+from repro.core.policy import Policy, Purpose
+from repro.systems.database import CompliantDatabase
+
+METASPACE = controller("MetaSpace")
+USER = data_subject("user-1")
+WINDOW = (0, 10**12)
+
+REQUIRED = regulation_requires_any_of(
+    Purpose.COMPLIANCE_ERASE, Purpose.CONTRACT, "subject-access"
+)
+
+
+def healthy_db(with_pia=True):
+    db = CompliantDatabase(METASPACE)
+    if with_pia:
+        db.log.record(
+            PreProcessingInvariant.PIA_UNIT,
+            Purpose.AUDIT,
+            METASPACE,
+            ActionType.CONTRACT,
+            0,
+        )
+    db.collect(
+        "u1",
+        USER,
+        "app",
+        {"v": 1},
+        policies=[Policy(Purpose.SERVICE, METASPACE, *WINDOW)],
+        erase_deadline=10**12,
+    )
+    return db
+
+
+def run_invariants(db, encrypted=True):
+    invariants = figure1_invariants(
+        required_by_regulation=REQUIRED,
+        encrypted_at_rest=lambda: encrypted,
+    )
+    return db.check_compliance(invariants)
+
+
+def failing_names(report):
+    return {v.invariant for v in report.verdicts if not v.holds}
+
+
+def test_baseline_is_fully_compliant():
+    report = run_invariants(healthy_db())
+    assert report.compliant, report.render()
+
+
+def test_I_collection_without_disclosure():
+    """Inject: data created with no prior consent contract on record."""
+    db = healthy_db()
+    db.engine.insert("data_units", "sneaky", {"v": 2})
+    unit = DataUnit("sneaky", USER, "scraper")
+    unit.write({"v": 2}, db.clock.now)
+    db.model.add(unit)
+    db.log.record("sneaky", Purpose.SERVICE, METASPACE, ActionType.CREATE,
+                  db.clock.now)
+    report = run_invariants(db)
+    assert "I-disclosure" in failing_names(report)
+
+
+def test_II_unit_without_policies():
+    """Inject: a stored unit whose policies were dropped — no right can be
+    addressed against it."""
+    db = healthy_db()
+    db.model.get("u1").policies.remove_all()
+    report = run_invariants(db)
+    names = failing_names(report)
+    assert "II-storage-rights" in names
+
+
+def test_III_processing_before_assessment():
+    """Inject: skip the PIA entirely."""
+    db = healthy_db(with_pia=False)
+    report = run_invariants(db)
+    assert "III-pre-processing" in failing_names(report)
+
+
+def test_IV_indiscriminate_sharing():
+    """Inject: a SHARE to a third party nobody consented to."""
+    db = healthy_db()
+    broker = processor("data-broker")
+    db.log.record("u1", Purpose.ADVERTISING, broker, ActionType.SHARE,
+                  db.clock.now)
+    report = run_invariants(db)
+    names = failing_names(report)
+    assert "IV-sharing-processing" in names
+
+
+def test_V_eternal_storage():
+    """Inject: a unit with no compliance-erase policy at all."""
+    db = healthy_db()
+    db.engine.insert("data_units", "immortal", {"v": 3})
+    unit = DataUnit("immortal", USER, "app")
+    unit.write({"v": 3}, db.clock.now)
+    unit.policies.add(Policy(Purpose.SERVICE, METASPACE, *WINDOW))
+    db.model.add(unit)
+    db.log.record("immortal", Purpose.CONTRACT, USER, ActionType.CONTRACT, 0)
+    db.log.record("immortal", Purpose.CONTRACT, METASPACE, ActionType.CREATE,
+                  db.clock.now)
+    report = run_invariants(db)
+    assert "V-erasure" in failing_names(report)
+
+
+def test_VI_unencrypted_at_rest():
+    """Inject: deployment declares no at-rest protection."""
+    db = healthy_db()
+    report = run_invariants(db, encrypted=False)
+    assert failing_names(report) == {"VI-design-security"}
+
+
+def test_VII_unit_missing_from_history():
+    """Inject: log loss — a unit exists but its history is gone."""
+    db = healthy_db()
+    db.log.purge_unit("u1")
+    report = run_invariants(db)
+    names = failing_names(report)
+    assert "VII-record-keeping" in names
+    # losing the history also breaks demonstrability and disclosure evidence
+    assert "IX-demonstrability" in names
+
+
+def test_VIII_breach_without_notification():
+    """Inject: a gate bypass reads without authorization; nobody tells the
+    data subject."""
+    db = healthy_db()
+    snooper = processor("snooper")
+    db.log.record("u1", Purpose.ANALYTICS, snooper, ActionType.READ,
+                  db.clock.now)
+    report = run_invariants(db)
+    names = failing_names(report)
+    assert "VIII-obligations" in names
+
+    # Notifying the subject afterwards discharges the obligation.
+    db.log.record(
+        "u1", "breach-notification", METASPACE, ActionType.SHARE, db.clock.now
+    )
+    report2 = run_invariants(db)
+    assert "VIII-obligations" not in failing_names(report2)
+
+
+def test_IX_unlogged_mutation():
+    """Inject: a write that bypassed the action log."""
+    db = healthy_db()
+    db.engine.update("data_units", "u1", {"v": 99})
+    db.model.get("u1").write({"v": 99}, db.clock.now)  # model knows…
+    # …but no UPDATE tuple was recorded.
+    report = run_invariants(db)
+    assert "IX-demonstrability" in failing_names(report)
+
+
+def test_violations_point_at_the_guilty_unit():
+    db = healthy_db()
+    db.model.get("u1").policies.remove_all()
+    report = run_invariants(db)
+    storage_violations = report.verdict("II-storage-rights").violations
+    assert all(v.unit_id == "u1" for v in storage_violations)

@@ -1,0 +1,169 @@
+"""Integration: the paper's figure shapes at test scale.
+
+The benchmarks regenerate the figures at paper scale; these tests pin the
+*shape claims* at a reduced scale so the full suite stays fast.  If a code
+change breaks a shape, these fail before the (slow) benches do.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ErasureConfig,
+    fig4a,
+    fig4a_pure_delete_control,
+    fig4b,
+    fig4c,
+    table2,
+)
+
+RECORDS = 20_000
+TXNS = 2_000
+
+
+@pytest.fixture(scope="module")
+def fig4b_results():
+    return fig4b(record_count=RECORDS, n_transactions=TXNS)
+
+
+class TestFig4aShapes:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig4a(record_count=RECORDS, txn_counts=(2_000, 6_000))
+
+    def test_legend_ordering_at_largest_point(self, series):
+        finals = {c: pts[-1].seconds for c, pts in series.items()}
+        assert (
+            finals[ErasureConfig.DELETE_VACUUM_FULL]
+            > finals[ErasureConfig.TOMBSTONES]
+            > finals[ErasureConfig.DELETE]
+            > finals[ErasureConfig.DELETE_VACUUM]
+        )
+
+    def test_vacuum_full_is_the_outlier(self, series):
+        finals = {c: pts[-1].seconds for c, pts in series.items()}
+        assert finals[ErasureConfig.DELETE_VACUUM_FULL] > 2 * finals[ErasureConfig.DELETE]
+
+    def test_series_monotone_in_txns(self, series):
+        for config, points in series.items():
+            seconds = [p.seconds for p in points]
+            assert seconds == sorted(seconds), config
+
+    def test_pure_delete_control_flips(self):
+        control = fig4a_pure_delete_control(10_000, 2_000)
+        assert control[ErasureConfig.DELETE] < control[ErasureConfig.DELETE_VACUUM]
+
+
+class TestFig4bShapes:
+    def test_strictness_ordering_on_gdpr_workloads(self, fig4b_results):
+        for wname in ("WPro", "WCon", "WCus"):
+            row = fig4b_results[wname]
+            minutes = {p: r.total_minutes for p, r in row.items()}
+            assert minutes["P_SYS"] > minutes["P_GBench"] > minutes["P_Base"], wname
+
+    def test_ycsb_impact_of_compliance_is_small(self, fig4b_results):
+        """On non-GDPR traffic the three interpretations are near-equal —
+        'the impact of changes required for compliance is small on non-GDPR
+        operations'."""
+        minutes = [r.total_minutes for r in fig4b_results["YCSB-C"].values()]
+        assert max(minutes) < 1.1 * min(minutes)
+
+    def test_ycsb_is_cheapest_per_profile(self, fig4b_results):
+        for profile in ("P_Base", "P_GBench", "P_SYS"):
+            ycsb = fig4b_results["YCSB-C"][profile].total_minutes
+            for wname in ("WPro", "WCon", "WCus"):
+                assert ycsb < fig4b_results[wname][profile].total_minutes
+
+    def test_wcon_maximizes_base_gbench_gap(self, fig4b_results):
+        def gap(w):
+            return (
+                fig4b_results[w]["P_GBench"].total_minutes
+                - fig4b_results[w]["P_Base"].total_minutes
+            )
+
+        assert gap("WCon") > gap("WCus") > gap("WPro")
+
+    def test_psys_policy_share_peaks_on_wpro(self, fig4b_results):
+        def share(w):
+            r = fig4b_results[w]["P_SYS"]
+            return r.breakdown.get("policy", 0.0) / sum(r.breakdown.values())
+
+        assert share("WPro") > share("WCus")
+        assert share("WPro") > share("WCon")
+
+    def test_deletions_trigger_maintenance(self):
+        """P_Base vacuums on WCus (deletes present); P_GBench never does."""
+        from repro.systems import make_profile
+        from repro.systems.profiles import ProfileConfig
+        from repro.workloads.gdprbench import customer_workload
+
+        config = ProfileConfig(vacuum_interval=100, vacuum_full_interval=100)
+        workload = customer_workload(5_000, 2_000)
+        base = make_profile("P_Base", config=config)
+        base_result = base.run(workload)
+        assert base_result.vacuum_count > 0
+        gbench = make_profile("P_GBench", config=config)
+        gbench_result = gbench.run(customer_workload(5_000, 2_000))
+        assert gbench_result.vacuum_count == 0
+        assert gbench_result.vacuum_full_count == 0
+        psys = make_profile("P_SYS", config=config)
+        psys_result = psys.run(customer_workload(5_000, 2_000))
+        assert psys_result.vacuum_full_count > 0
+
+
+class TestFig4cShapes:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig4c(record_counts=(10_000, 20_000, 40_000), n_transactions=TXNS)
+
+    def test_series_grow_with_records(self, results):
+        for table in results.values():
+            sizes = sorted(table)
+            for profile in ("P_Base", "P_GBench", "P_SYS"):
+                series = [table[n][profile] for n in sizes]
+                assert series == sorted(series)
+
+    def test_slope_ordering(self, results):
+        wcus = results["WCus"]
+        sizes = sorted(wcus)
+
+        def slope(profile):
+            return (wcus[sizes[-1]][profile] - wcus[sizes[0]][profile]) / (
+                sizes[-1] - sizes[0]
+            )
+
+        assert slope("P_SYS") > slope("P_GBench") > slope("P_Base")
+
+    def test_ycsb_grows_slower_than_wcus(self, results):
+        sizes = sorted(results["WCus"])
+
+        def slope(table, profile):
+            return (table[sizes[-1]][profile] - table[sizes[0]][profile]) / (
+                sizes[-1] - sizes[0]
+            )
+
+        for profile in ("P_Base", "P_GBench", "P_SYS"):
+            assert slope(results["YCSB-C"], profile) < slope(results["WCus"], profile)
+
+
+class TestTable2Shapes:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {r.system: r for r in table2(RECORDS, TXNS)}
+
+    def test_personal_identical(self, reports):
+        assert len({r.personal_bytes for r in reports.values()}) == 1
+
+    def test_factor_ordering_and_bands(self, reports):
+        base = reports["P_Base"].space_factor
+        gbench = reports["P_GBench"].space_factor
+        psys = reports["P_SYS"].space_factor
+        assert psys > gbench > base
+        assert 2.5 <= base <= 4.5
+        assert 3.0 <= gbench <= 5.0
+        assert 14.0 <= psys <= 21.0
+
+    def test_metadata_explosion_is_sieve(self, reports):
+        assert (
+            reports["P_SYS"].metadata_bytes
+            > 5 * reports["P_GBench"].metadata_bytes
+        )

@@ -1,0 +1,86 @@
+"""Integration: the scalable policy catalog must agree decision-for-decision
+with the real FGAC/Sieve middlewares it stands in for (DESIGN.md §1.3)."""
+
+import pytest
+
+from repro.access.fgac import FgacController
+from repro.access.sieve import SieveMiddleware
+from repro.core.entities import controller, processor
+from repro.core.policy import Policy, Purpose
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.systems.policycat import ScalablePolicyCatalog
+
+OPERATOR = processor("op")
+STRANGER = controller("stranger")
+
+TEMPLATE = [
+    Policy(Purpose.SERVICE, OPERATOR, 0, 1),        # expired
+    Policy(Purpose.SERVICE, OPERATOR, 0, 10**9),    # active
+    Policy(Purpose.RETENTION, OPERATOR, 0, 10**9),
+    Policy(Purpose.ANALYTICS, OPERATOR, 100, 200),  # narrow window
+]
+
+UNITS = [f"u{i}" for i in range(20)]
+PROBES = [
+    (OPERATOR, Purpose.SERVICE, 50),
+    (OPERATOR, Purpose.SERVICE, 10**10),
+    (OPERATOR, Purpose.RETENTION, 5),
+    (OPERATOR, Purpose.ANALYTICS, 150),
+    (OPERATOR, Purpose.ANALYTICS, 250),
+    (OPERATOR, Purpose.ADVERTISING, 50),
+    (STRANGER, Purpose.SERVICE, 50),
+]
+
+
+def make_cost():
+    return CostModel(SimClock(), CostBook())
+
+
+def build_real(controller_cls):
+    ctl = controller_cls(make_cost())
+    for unit in UNITS:
+        for policy in TEMPLATE:
+            ctl.attach(unit, policy)
+    return ctl
+
+
+def build_catalog(mode):
+    cat = ScalablePolicyCatalog(make_cost(), mode, TEMPLATE)
+    for i, _unit in enumerate(UNITS):
+        cat.attach_unit(i)
+    return cat
+
+
+@pytest.mark.parametrize("mode,real_cls", [
+    ("joined", FgacController),
+    ("sieve", SieveMiddleware),
+])
+def test_decisions_agree(mode, real_cls):
+    real = build_real(real_cls)
+    catalog = build_catalog(mode)
+    for i, unit in enumerate(UNITS):
+        for entity, purpose, at in PROBES:
+            real_allowed, _ = real.evaluate(unit, entity, purpose, at)
+            cat_allowed, _ = catalog.evaluate(i, entity, purpose, at)
+            assert real_allowed == cat_allowed, (unit, entity.name, purpose, at)
+
+
+def test_detached_unit_denied_in_both():
+    real = build_real(SieveMiddleware)
+    catalog = build_catalog("sieve")
+    real.detach_unit("u3")
+    catalog.detach_unit(3)
+    assert real.evaluate("u3", OPERATOR, Purpose.SERVICE, 50) == (False, 0)
+    allowed, _ = catalog.evaluate(3, OPERATOR, Purpose.SERVICE, 50)
+    assert not allowed
+
+
+def test_sieve_candidate_counts_agree():
+    """Sieve evaluates only the (entity, purpose) guard's candidates — the
+    catalog must charge the same candidate count."""
+    real = build_real(SieveMiddleware)
+    catalog = build_catalog("sieve")
+    _, real_evaluated = real.evaluate("u0", OPERATOR, Purpose.SERVICE, 50)
+    _, cat_evaluated = catalog.evaluate(0, OPERATOR, Purpose.SERVICE, 50)
+    assert real_evaluated == cat_evaluated == 2  # expired + active

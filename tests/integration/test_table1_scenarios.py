@@ -1,0 +1,31 @@
+"""Integration: Table 1 regenerated from live erase scenarios.
+
+The bench prints this table; here we assert the *executed* characterization
+matches the paper's claims exactly, row by row.
+"""
+
+from repro.bench.experiments import table1
+from repro.core.erasure import PAPER_TABLE1, ErasureInterpretation
+
+
+def test_observed_matrix_equals_paper():
+    rows = {r.interpretation: r for r in table1()}
+    assert set(rows) == set(ErasureInterpretation)
+    for interpretation, observed in rows.items():
+        expected = PAPER_TABLE1[interpretation]
+        assert observed.illegal_read == expected.illegal_read
+        assert observed.illegal_inference == expected.illegal_inference
+        assert observed.invertible == expected.invertible
+        assert observed.supported == expected.supported
+
+
+def test_reversible_row_is_the_only_invertible_one():
+    rows = table1()
+    invertible = [r.interpretation for r in rows if r.invertible]
+    assert invertible == [ErasureInterpretation.REVERSIBLY_INACCESSIBLE]
+
+
+def test_strong_delete_kills_inference_that_delete_leaves():
+    by = {r.interpretation: r for r in table1()}
+    assert by[ErasureInterpretation.DELETED].illegal_inference
+    assert not by[ErasureInterpretation.STRONGLY_DELETED].illegal_inference

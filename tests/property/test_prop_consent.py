@@ -1,0 +1,87 @@
+"""Property tests: consent ledger integrity and manager state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consent.ledger import ConsentLedger
+from repro.consent.manager import ConsentManager, ConsentState
+from repro.core.dataunit import Database, DataUnit
+from repro.core.entities import controller, data_subject
+
+USER = data_subject("u1")
+NETFLIX = controller("Netflix")
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["grant", "withdraw", "renew"]),
+        st.text(alphabet="abc", min_size=1, max_size=3),  # purpose
+        st.integers(min_value=0, max_value=1_000),        # t_begin
+        st.integers(min_value=1, max_value=1_000),        # duration
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(entries=events)
+@settings(max_examples=50, deadline=None)
+def test_ledger_always_verifies_and_tamper_always_detected(entries):
+    ledger = ConsentLedger()
+    for event, purpose, begin, duration in entries:
+        ledger.append(event, "u1", "netflix", purpose, begin, begin + duration, begin)
+    assert ledger.verify()
+    # Tamper with each position in turn: verification must fail every time.
+    for index in range(len(ledger)):
+        ledger.tamper_for_testing(index, purpose="forged")
+        assert not ledger.verify()
+        ledger.tamper_for_testing(
+            index, purpose=entries[index][1]
+        )  # restore payload…
+        # …but the receipt id was recomputed? No: tamper keeps the original
+        # id, so restoring the payload restores the chain.
+        assert ledger.verify()
+
+
+@given(
+    steps=st.lists(
+        st.sampled_from(["grant", "withdraw", "renew"]), min_size=1, max_size=20
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_manager_state_machine_never_corrupts(steps):
+    """Random grant/withdraw/renew sequences: the manager either performs
+    the operation or rejects it cleanly; the ledger always verifies and
+    withdrawn consents never authorize anything afterwards."""
+    db = Database([DataUnit("a", USER, "origin")])
+    manager = ConsentManager(db)
+    receipts = []
+    now = 0
+    for step in steps:
+        now += 10
+        if step == "grant":
+            receipts.append(
+                manager.grant(USER, NETFLIX, "p", now, now + 100, now=now)
+            )
+        elif step == "withdraw" and receipts:
+            try:
+                manager.withdraw(receipts[-1].receipt_id, now=now)
+            except ValueError:
+                pass  # already withdrawn — clean rejection
+        elif step == "renew" and receipts:
+            try:
+                receipts.append(
+                    manager.renew(receipts[-1].receipt_id, now + 500, now=now)
+                )
+            except ValueError:
+                pass  # withdrawn or non-extending — clean rejection
+    assert manager.ledger.verify()
+    for receipt in receipts:
+        state = manager.state(receipt.receipt_id, now + 10_000)
+        assert state in (ConsentState.EXPIRED, ConsentState.WITHDRAWN, ConsentState.ACTIVE)
+        if state is ConsentState.WITHDRAWN:
+            unit = db.get("a")
+            # no policy window of this consent authorizes past-withdrawal use
+            consent = manager._require(receipt.receipt_id)
+            assert not consent.policy.authorizes(
+                "p", NETFLIX, max(now + 10_000, consent.withdrawn_at or 0)
+            ) or consent.policy.t_final < (consent.withdrawn_at or 0)

@@ -1,0 +1,100 @@
+"""Property tests: the B+-tree against a dict model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.index import BTreeIndex
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.index = BTreeIndex()
+        self.model = {}
+        self.counter = 0
+
+    @rule(key=st.integers(min_value=0, max_value=200))
+    def insert(self, key):
+        if key in self.model:
+            return
+        tid = (key, self.counter)
+        self.counter += 1
+        self.index.insert(key, tid)
+        self.model[key] = tid
+
+    @rule(key=st.integers(min_value=0, max_value=200))
+    def mark_dead(self, key):
+        expected = key in self.model
+        assert self.index.mark_dead(key) == expected
+        self.model.pop(key, None)
+
+    @rule(key=st.integers(min_value=0, max_value=200))
+    def reinsert_after_delete(self, key):
+        if key in self.model:
+            return
+        tid = (key, self.counter)
+        self.counter += 1
+        self.index.insert(key, tid)
+        self.model[key] = tid
+
+    @rule()
+    def cleanup(self):
+        self.index.cleanup()
+        assert self.index.dead_entries == 0
+
+    @invariant()
+    def lookups_agree(self):
+        for key in range(0, 201, 17):
+            assert self.index.get(key) == self.model.get(key)
+
+    @invariant()
+    def full_scan_is_sorted_model(self):
+        assert list(self.index.range()) == sorted(self.model.items())
+
+    @invariant()
+    def live_count_agrees(self):
+        assert len(self.index) == len(self.model)
+
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+
+@given(keys=st.lists(st.integers(), unique=True, min_size=1, max_size=500))
+@settings(max_examples=30, deadline=None)
+def test_insert_then_range_scan_sorted(keys):
+    index = BTreeIndex()
+    for key in keys:
+        index.insert(key, (0, key & 0xFF))
+    assert [k for k, _ in index.range()] == sorted(keys)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=-1000, max_value=1000), unique=True,
+                  min_size=5, max_size=200),
+    bounds=st.tuples(st.integers(min_value=-1000, max_value=1000),
+                     st.integers(min_value=-1000, max_value=1000)),
+)
+@settings(max_examples=40, deadline=None)
+def test_bounded_range_matches_filter(keys, bounds):
+    lo, hi = min(bounds), max(bounds)
+    index = BTreeIndex()
+    for key in keys:
+        index.insert(key, (0, 0))
+    got = [k for k, _ in index.range(lo, hi)]
+    assert got == sorted(k for k in keys if lo <= k <= hi)
+
+
+@given(keys=st.lists(st.integers(), unique=True, min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_rebuild_equals_incremental(keys):
+    incremental = BTreeIndex()
+    for key in keys:
+        incremental.insert(key, (1, 2))
+    bulk = BTreeIndex()
+    bulk.rebuild(sorted((k, (1, 2)) for k in keys))
+    assert list(bulk.range()) == list(incremental.range())
+    assert len(bulk) == len(incremental)

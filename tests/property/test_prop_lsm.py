@@ -1,0 +1,115 @@
+"""Property tests: the LSM engine against a dict model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.lsm.engine import LSMEngine
+from repro.lsm.memtable import TOMBSTONE
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+
+
+def make_engine(memtable_capacity=8, tier_threshold=3):
+    cost = CostModel(SimClock(), CostBook())
+    return LSMEngine(
+        cost,
+        payload_bytes=16,
+        memtable_capacity=memtable_capacity,
+        tier_threshold=tier_threshold,
+    )
+
+
+class LSMMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = make_engine()
+        self.model = {}
+
+    @rule(key=st.integers(min_value=0, max_value=60),
+          value=st.integers(min_value=0, max_value=10**6))
+    def put(self, key, value):
+        self.engine.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(min_value=0, max_value=60))
+    def delete(self, key):
+        self.engine.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.engine.flush()
+
+    @rule()
+    def full_compaction(self):
+        self.engine.full_compaction()
+        assert self.engine.tombstone_count == 0
+        assert self.engine.run_count <= 1
+
+    @invariant()
+    def gets_agree(self):
+        for key in range(0, 61, 7):
+            assert self.engine.get(key) == self.model.get(key)
+
+    @invariant()
+    def range_agrees(self):
+        got = self.engine.range(0, 60)
+        assert got == sorted(self.model.items())
+
+
+TestLSMMachine = LSMMachine.TestCase
+TestLSMMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.integers(min_value=0, max_value=40),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_full_compaction_purges_every_deleted_value(ops):
+    engine = make_engine(memtable_capacity=4, tier_threshold=3)
+    model = {}
+    for op, key in ops:
+        if op == "put":
+            engine.put(key, key * 2)
+            model[key] = key * 2
+        else:
+            engine.delete(key)
+            model.pop(key, None)
+    engine.full_compaction()
+    for key in range(41):
+        assert engine.get(key) == model.get(key)
+        if key not in model:
+            # physical removal after full compaction — no retained values
+            assert not engine.physically_present(key)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60)
+)
+@settings(max_examples=40, deadline=None)
+def test_retention_records_only_for_currently_deleted(keys):
+    engine = make_engine(memtable_capacity=4)
+    for key in keys:
+        engine.put(key, key)
+    deleted = set()
+    for key in keys[: len(keys) // 2]:
+        engine.delete(key)
+        deleted.add(key)
+    recorded = {r.key for r in engine.retention_records()}
+    assert recorded == deleted
+    # re-inserting cancels the retention question
+    for key in list(deleted)[:2]:
+        engine.put(key, key + 1)
+        deleted.discard(key)
+    recorded = {r.key for r in engine.retention_records()}
+    assert recorded == deleted

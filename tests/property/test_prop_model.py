@@ -1,0 +1,130 @@
+"""Property tests: Data-CASE model invariants (policies, erasure order,
+clock, workloads)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import Entity, Role
+from repro.core.erasure import ErasureInterpretation
+from repro.core.policy import Policy, PolicySet
+from repro.sim.clock import SimClock
+from repro.workloads.base import OpKind, build_mixed_workload
+from repro.workloads.zipf import ZipfianSampler
+
+entities = st.sampled_from(
+    [Entity("a", frozenset({Role.CONTROLLER})),
+     Entity("b", frozenset({Role.PROCESSOR}))]
+)
+purposes = st.sampled_from(["billing", "retention", "analytics"])
+
+
+@st.composite
+def policies(draw):
+    begin = draw(st.integers(min_value=0, max_value=1_000))
+    length = draw(st.integers(min_value=0, max_value=1_000))
+    return Policy(draw(purposes), draw(entities), begin, begin + length)
+
+
+class TestPolicyAlgebra:
+    @given(policy=policies(), t=st.integers(min_value=0, max_value=3_000))
+    @settings(max_examples=60, deadline=None)
+    def test_active_iff_in_window(self, policy, t):
+        assert policy.active_at(t) == (policy.t_begin <= t <= policy.t_final)
+
+    @given(policy=policies(), lo=st.integers(0, 2_000), hi=st.integers(0, 2_000))
+    @settings(max_examples=60, deadline=None)
+    def test_restriction_shrinks(self, policy, lo, hi):
+        assume(lo <= hi)
+        clipped = policy.restricted_to(lo, hi)
+        if clipped is not None:
+            assert clipped.t_begin >= policy.t_begin
+            assert clipped.t_final <= policy.t_final
+            assert lo <= clipped.t_begin and clipped.t_final <= hi
+
+    @given(a=st.lists(policies(), max_size=5), b=st.lists(policies(), max_size=5),
+           t=st.integers(0, 2_000))
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_is_conservative(self, a, b, t):
+        """An access authorized by A∩B is authorized by both A and B —
+        derived data never gains authority over its bases."""
+        sa, sb = PolicySet(a), PolicySet(b)
+        joint = sa.intersect(sb)
+        for policy in joint:
+            if policy.active_at(t):
+                assert sa.authorizing(policy.purpose, policy.entity, t)
+                assert sb.authorizing(policy.purpose, policy.entity, t)
+
+    @given(ps=st.lists(policies(), max_size=6), t=st.integers(0, 2_000))
+    @settings(max_examples=60, deadline=None)
+    def test_withdraw_never_extends(self, ps, t):
+        policy_set = PolicySet(ps)
+        before = policy_set.active_at(t)
+        for p in list(policy_set):
+            policy_set.withdraw(p, at=0)
+        assert policy_set.active_at(t) <= before or len(before) == 0
+
+
+class TestErasureOrder:
+    @given(
+        a=st.sampled_from(list(ErasureInterpretation)),
+        b=st.sampled_from(list(ErasureInterpretation)),
+        c=st.sampled_from(list(ErasureInterpretation)),
+    )
+    @settings(max_examples=64, deadline=None)
+    def test_implication_is_a_total_order(self, a, b, c):
+        assert a.implies(a)
+        if a.implies(b) and b.implies(c):
+            assert a.implies(c)
+        assert a.implies(b) or b.implies(a)
+        if a.implies(b) and b.implies(a):
+            assert a is b
+
+
+class TestClock:
+    @given(charges=st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_conserving(self, charges):
+        clock = SimClock()
+        last = 0
+        for c in charges:
+            now = clock.charge(c, "x")
+            assert now >= last
+            last = now
+        assert clock.spent("x") == sum(charges)
+        assert abs(clock.now - sum(charges)) <= 1  # integral position
+
+
+class TestWorkloadGeneration:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        weights=st.tuples(
+            st.floats(min_value=0.1, max_value=1.0),
+            st.floats(min_value=0.1, max_value=1.0),
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_streams_are_replayable_and_safe(self, seed, weights):
+        mix = [(OpKind.READ, weights[0]), (OpKind.DELETE, weights[1])]
+        a = build_mixed_workload("w", 300, 200, mix, seed)
+        b = build_mixed_workload("w", 300, 200, mix, seed)
+        assert a.operations == b.operations
+        deleted = set()
+        for op in a:
+            if op.kind is OpKind.DELETE:
+                assert op.key not in deleted
+                deleted.add(op.key)
+            elif op.kind is OpKind.READ:
+                assert op.key not in deleted
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        theta=st.floats(min_value=0.0, max_value=1.2),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_zipf_bounds_and_mass(self, n, theta, seed):
+        sampler = ZipfianSampler(n, theta, seed)
+        draws = sampler.sample_many(100)
+        assert all(0 <= d < n for d in draws)
+        total = sum(sampler.probability(i) for i in range(n))
+        assert abs(total - 1.0) < 1e-9

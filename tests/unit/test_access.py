@@ -1,0 +1,193 @@
+"""Unit tests for the access-control substrate (RBAC / FGAC / Sieve)."""
+
+import pytest
+
+from repro.access.errors import AccessDenied
+from repro.access.fgac import FgacController, PolicyStore
+from repro.access.rbac import Permission, RbacController
+from repro.access.sieve import SieveMiddleware
+from repro.core.entities import controller, processor
+from repro.core.policy import Policy, Purpose
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+
+NETFLIX = controller("Netflix")
+AWS = processor("AWS")
+
+
+def make_cost():
+    return CostModel(SimClock(), CostBook())
+
+
+class TestRbac:
+    def setup_method(self):
+        self.cost = make_cost()
+        self.rbac = RbacController(self.cost)
+        self.rbac.create_role("billing-service", team="payments")
+        self.rbac.grant("billing-service", Permission("users", "read", Purpose.BILLING))
+        self.rbac.add_member("netflix", "billing-service")
+
+    def test_allowed(self):
+        assert self.rbac.is_allowed("netflix", "users", "read", Purpose.BILLING)
+
+    def test_wrong_operation_denied(self):
+        assert not self.rbac.is_allowed("netflix", "users", "delete", Purpose.BILLING)
+
+    def test_wrong_purpose_denied(self):
+        assert not self.rbac.is_allowed("netflix", "users", "read", Purpose.ANALYTICS)
+
+    def test_wildcard_purpose(self):
+        self.rbac.create_role("admin")
+        self.rbac.grant("admin", Permission("users", "read", "*"))
+        self.rbac.add_member("root", "admin")
+        assert self.rbac.is_allowed("root", "users", "read", "anything")
+
+    def test_nonmember_denied(self):
+        assert not self.rbac.is_allowed("stranger", "users", "read", Purpose.BILLING)
+
+    def test_check_raises(self):
+        with pytest.raises(AccessDenied) as err:
+            self.rbac.check("stranger", "users", "read", Purpose.BILLING)
+        assert err.value.entity == "stranger"
+
+    def test_remove_member(self):
+        self.rbac.remove_member("netflix", "billing-service")
+        assert not self.rbac.is_allowed("netflix", "users", "read", Purpose.BILLING)
+
+    def test_duplicate_role_rejected(self):
+        with pytest.raises(ValueError):
+            self.rbac.create_role("billing-service")
+
+    def test_unknown_role(self):
+        with pytest.raises(KeyError):
+            self.rbac.add_member("x", "no-such-role")
+
+    def test_check_is_cheap(self):
+        before = self.cost.clock.now
+        self.rbac.is_allowed("netflix", "users", "read", Purpose.BILLING)
+        assert self.cost.clock.now - before == CostBook().rbac_check
+
+    def test_size_bytes_grows(self):
+        empty = RbacController(make_cost()).size_bytes
+        assert self.rbac.size_bytes > empty
+
+
+class TestPolicyStore:
+    def test_add_and_query(self):
+        store = PolicyStore()
+        store.add("x", Policy(Purpose.BILLING, NETFLIX, 0, 10))
+        assert store.policy_count == 1
+        assert store.unit_count == 1
+        assert len(store.policies_of("x")) == 1
+        assert store.policies_of("ghost") == []
+
+    def test_remove_unit(self):
+        store = PolicyStore()
+        store.add("x", Policy(Purpose.BILLING, NETFLIX, 0, 10))
+        store.add("x", Policy(Purpose.RETENTION, AWS, 0, 10))
+        assert store.remove_unit("x") == 2
+        assert store.policy_count == 0
+
+    def test_size_bytes(self):
+        store = PolicyStore()
+        assert store.size_bytes == 0
+        store.add("x", Policy(Purpose.BILLING, NETFLIX, 0, 10))
+        assert store.size_bytes > 0
+
+
+class TestFgac:
+    def setup_method(self):
+        self.cost = make_cost()
+        self.fgac = FgacController(self.cost)
+        self.fgac.attach("x", Policy(Purpose.BILLING, NETFLIX, 0, 100))
+        self.fgac.attach("x", Policy(Purpose.RETENTION, AWS, 0, 100))
+
+    def test_allowed(self):
+        allowed, evaluated = self.fgac.evaluate("x", NETFLIX, Purpose.BILLING, 50)
+        assert allowed and evaluated >= 1
+
+    def test_denied_wrong_entity(self):
+        allowed, _ = self.fgac.evaluate("x", AWS, Purpose.BILLING, 50)
+        assert not allowed
+
+    def test_denied_expired(self):
+        allowed, _ = self.fgac.evaluate("x", NETFLIX, Purpose.BILLING, 200)
+        assert not allowed
+
+    def test_check_raises_on_denial(self):
+        with pytest.raises(AccessDenied):
+            self.fgac.check("x", AWS, Purpose.BILLING, 50)
+
+    def test_scan_evaluates_all_on_miss(self):
+        _allowed, evaluated = self.fgac.evaluate("x", AWS, Purpose.BILLING, 50)
+        assert evaluated == 2  # scanned everything before denying
+
+    def test_join_per_check_costs_more(self):
+        plain_cost, join_cost = make_cost(), make_cost()
+        plain = FgacController(plain_cost)
+        joined = FgacController(join_cost, join_per_check=True)
+        for ctl in (plain, joined):
+            ctl.attach("x", Policy(Purpose.BILLING, NETFLIX, 0, 100))
+        plain.evaluate("x", NETFLIX, Purpose.BILLING, 50)
+        joined.evaluate("x", NETFLIX, Purpose.BILLING, 50)
+        assert join_cost.clock.spent("policy") > plain_cost.clock.spent("policy")
+
+
+class TestSieve:
+    def setup_method(self):
+        self.cost = make_cost()
+        self.sieve = SieveMiddleware(self.cost)
+
+    def _load(self, n_units=10, policies_per_unit=5):
+        for u in range(n_units):
+            for p in range(policies_per_unit):
+                self.sieve.attach(
+                    f"u{u}",
+                    Policy(f"purpose-{p}", NETFLIX, 0, 100),
+                )
+
+    def test_allowed_via_guard(self):
+        self._load()
+        allowed, evaluated = self.sieve.evaluate("u3", NETFLIX, "purpose-2", 50)
+        assert allowed
+        assert evaluated == 1  # guard held exactly the right candidates
+
+    def test_denied_unknown_purpose(self):
+        self._load()
+        allowed, _ = self.sieve.evaluate("u3", NETFLIX, "no-such", 50)
+        assert not allowed
+
+    def test_check_raises(self):
+        self._load()
+        with pytest.raises(AccessDenied):
+            self.sieve.check("u3", AWS, "purpose-0", 50)
+
+    def test_evaluates_fewer_candidates_than_naive_fgac(self):
+        """Sieve's point: candidate set ≪ unit's full policy list."""
+        naive = FgacController(make_cost())
+        for p in range(20):
+            policy = Policy(f"purpose-{p}", NETFLIX, 0, 100)
+            naive.attach("u", policy)
+            self.sieve.attach("u", policy)
+        _, naive_evaluated = naive.evaluate("u", NETFLIX, "purpose-19", 50)
+        _, sieve_evaluated = self.sieve.evaluate("u", NETFLIX, "purpose-19", 50)
+        assert sieve_evaluated < naive_evaluated
+
+    def test_metadata_footprint_exceeds_plain_store(self):
+        """Sieve trades space for time (Table 2's 17.1×)."""
+        self._load()
+        assert self.sieve.size_bytes > self.sieve.store.size_bytes * 2
+
+    def test_detach_unit_drops_guards(self):
+        self._load()
+        guards_before = self.sieve.guard_count
+        removed = self.sieve.detach_unit("u0")
+        assert removed == 5
+        assert self.sieve.guard_count < guards_before
+        allowed, _ = self.sieve.evaluate("u0", NETFLIX, "purpose-0", 50)
+        assert not allowed
+
+    def test_expired_policy_denied_even_in_guard(self):
+        self.sieve.attach("u", Policy(Purpose.BILLING, NETFLIX, 0, 10))
+        allowed, _ = self.sieve.evaluate("u", NETFLIX, Purpose.BILLING, 50)
+        assert not allowed

@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.actions — action-history tuples and H(X)."""
+
+import pytest
+
+from repro.core.actions import (
+    Action,
+    ActionHistory,
+    ActionHistoryTuple,
+    ActionType,
+)
+from repro.core.entities import controller
+
+NETFLIX = controller("Netflix")
+
+
+def entry(uid="x", purpose="billing", action_type=ActionType.READ, t=10):
+    return ActionHistoryTuple(uid, purpose, NETFLIX, Action(action_type), t)
+
+
+class TestActionHistoryTuple:
+    def test_paper_example_read_tuple(self):
+        """(X, billing, Netflix, read(credit_card), t) from §2.1."""
+        e = ActionHistoryTuple(
+            "cc-1234",
+            "billing",
+            NETFLIX,
+            Action(ActionType.READ, "credit_card"),
+            1_000,
+        )
+        assert e.is_read and not e.is_erase
+        assert "read(credit_card)" in str(e)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            entry(t=-1)
+
+    def test_erase_flag(self):
+        assert entry(action_type=ActionType.ERASE).is_erase
+
+    def test_action_str_without_detail(self):
+        assert str(Action(ActionType.UPDATE)) == "update"
+
+
+class TestActionHistory:
+    def test_of_returns_H_of_X_in_time_order(self):
+        h = ActionHistory()
+        h.record(entry(t=10))
+        h.record(entry(t=20))
+        h.record(entry(uid="other", t=5))
+        assert [e.timestamp for e in h.of("x")] == [10, 20]
+        assert len(h) == 3
+
+    def test_late_arrival_is_resorted(self):
+        h = ActionHistory()
+        h.record(entry(t=20))
+        h.record(entry(t=10))
+        assert [e.timestamp for e in h.of("x")] == [10, 20]
+
+    def test_last(self):
+        h = ActionHistory([entry(t=10), entry(t=30), entry(t=20)])
+        assert h.last("x").timestamp == 30
+        assert h.last("missing") is None
+
+    def test_last_of_type(self):
+        h = ActionHistory(
+            [
+                entry(t=10, action_type=ActionType.CREATE),
+                entry(t=20, action_type=ActionType.READ),
+                entry(t=30, action_type=ActionType.ERASE),
+                entry(t=40, action_type=ActionType.READ),
+            ]
+        )
+        assert h.last_of_type("x", ActionType.ERASE).timestamp == 30
+        assert h.last_of_type("x", ActionType.READ).timestamp == 40
+        assert h.last_of_type("x", ActionType.UPDATE) is None
+
+    def test_reads_after(self):
+        h = ActionHistory(
+            [
+                entry(t=10),
+                entry(t=30),
+                entry(t=30, action_type=ActionType.UPDATE),
+                entry(t=50),
+            ]
+        )
+        reads = h.reads_after("x", 20)
+        assert [e.timestamp for e in reads] == [30, 50]
+        assert all(e.is_read for e in reads)
+
+    def test_reads_after_is_strict(self):
+        h = ActionHistory([entry(t=20)])
+        assert h.reads_after("x", 20) == []
+
+    def test_forget_unit_purges_history(self):
+        h = ActionHistory([entry(t=10), entry(t=20), entry(uid="y", t=5)])
+        assert h.forget_unit("x") == 2
+        assert h.of("x") == ()
+        assert len(h) == 1
+        assert "x" not in h and "y" in h
+
+    def test_forget_missing_unit_is_zero(self):
+        assert ActionHistory().forget_unit("nope") == 0
+
+    def test_by_entity(self):
+        other = controller("Hulu")
+        h = ActionHistory(
+            [
+                entry(t=10),
+                ActionHistoryTuple("x", "p", other, Action(ActionType.READ), 20),
+            ]
+        )
+        assert len(h.by_entity(NETFLIX)) == 1
+        assert len(h.by_entity(other)) == 1
+
+    def test_all_tuples_and_units(self):
+        h = ActionHistory([entry(uid="a", t=1), entry(uid="b", t=2)])
+        assert {e.unit_id for e in h.all_tuples()} == {"a", "b"}
+        assert set(h.units()) == {"a", "b"}

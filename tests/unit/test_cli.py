@@ -1,0 +1,69 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Interpretations of erasure" in out
+        assert "DELETE + VACUUM" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--records", "2000", "--txns", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "Space factor" in out
+        assert "P_SYS" in out
+
+    def test_fig4a_small(self, capsys):
+        assert main(
+            ["fig4a", "--records", "2000", "--txns", "500", "1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+        assert "Tombstones (Indexing)" in out
+
+    def test_fig4b_small(self, capsys):
+        assert main(["fig4b", "--records", "2000", "--txns", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(b)" in out
+        assert "YCSB-C" in out
+
+    def test_fig4c_small(self, capsys):
+        assert main(
+            ["fig4c", "--txns", "500", "--records", "1000", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(c)" in out
+        assert "WCus" in out
+
+    def test_audit_clean_profile(self, capsys):
+        assert main(["audit", "--profile", "P_Base"]) == 0
+        assert "no grounding incompatibilities" in capsys.readouterr().out
+
+    def test_audit_conflicted_profile_exits_nonzero(self, capsys):
+        assert main(["audit", "--profile", "P_GBench"]) == 2
+        out = capsys.readouterr().out
+        assert "conflict" in out
+
+    def test_audit_warning_profile_exits_zero(self, capsys):
+        assert main(["audit", "--profile", "P_SYS"]) == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_regulations_filtered(self, capsys):
+        assert main(["regulations", "--name", "CCPA"]) == 0
+        out = capsys.readouterr().out
+        assert "CCPA" in out and "GDPR" not in out
+
+    def test_regulations_all(self, capsys):
+        assert main(["regulations"]) == 0
+        out = capsys.readouterr().out
+        for name in ("GDPR", "CCPA", "VDPA", "PIPEDA"):
+            assert name in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

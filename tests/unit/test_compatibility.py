@@ -1,0 +1,108 @@
+"""Unit tests for grounding-interaction compatibility (§3.2, §6)."""
+
+import pytest
+
+from repro.core.compatibility import (
+    DeploymentSelection,
+    HistoryGrounding,
+    Incompatibility,
+    Severity,
+    check_compatibility,
+    has_conflicts,
+    profile_selection,
+)
+
+
+def healthy_selection(**overrides):
+    base = dict(
+        erasure_strictness=2,
+        purges_logs_on_erase=False,
+        history=HistoryGrounding.OPERATIONS,
+        encrypts_at_rest=True,
+        log_retention_bounded=True,
+    )
+    base.update(overrides)
+    return DeploymentSelection(**base)
+
+
+class TestRules:
+    def test_healthy_selection_has_no_findings(self):
+        assert check_compatibility(healthy_selection()) == []
+
+    def test_strict_erase_with_eternal_logs_conflicts(self):
+        findings = check_compatibility(
+            healthy_selection(history=HistoryGrounding.OPERATIONS_FOREVER)
+        )
+        assert has_conflicts(findings)
+        assert any("illegal retention" in f.message for f in findings)
+
+    def test_eternal_logs_with_purge_on_erase_is_fine(self):
+        findings = check_compatibility(
+            healthy_selection(
+                history=HistoryGrounding.OPERATIONS_FOREVER,
+                purges_logs_on_erase=True,
+            )
+        )
+        # the purge discharges the retention conflict but raises the
+        # demonstrability warning
+        assert not has_conflicts(findings)
+        assert any(f.concepts == ("erasure", "record-keeping") for f in findings)
+
+    def test_log_purge_warns_about_demonstrability(self):
+        findings = check_compatibility(
+            healthy_selection(purges_logs_on_erase=True)
+        )
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+
+    def test_reversible_erase_without_encryption_conflicts(self):
+        findings = check_compatibility(
+            healthy_selection(erasure_strictness=1, encrypts_at_rest=False)
+        )
+        assert has_conflicts(findings)
+
+    def test_reversible_erase_with_encryption_is_fine(self):
+        findings = check_compatibility(
+            healthy_selection(erasure_strictness=1, encrypts_at_rest=True)
+        )
+        assert findings == []
+
+    def test_ephemeral_logs_warn(self):
+        findings = check_compatibility(
+            healthy_selection(history=HistoryGrounding.EPHEMERAL)
+        )
+        assert any("supervisory authority" in f.message for f in findings)
+        assert not has_conflicts(findings)
+
+    def test_unbounded_log_retention_warns(self):
+        findings = check_compatibility(
+            healthy_selection(log_retention_bounded=False)
+        )
+        assert any("storage limitation" in f.message for f in findings)
+
+    def test_str_rendering(self):
+        findings = check_compatibility(
+            healthy_selection(purges_logs_on_erase=True)
+        )
+        assert "[warning] erasure × record-keeping" in str(findings[0])
+
+
+class TestProfilePresets:
+    def test_pbase_is_clean(self):
+        assert check_compatibility(profile_selection("P_Base")) == []
+
+    def test_pgbench_has_the_eternal_log_conflict(self):
+        """P_GBench deletes data but keeps all query/response logs forever:
+        the traces of 'erased' data persist — a real interaction problem
+        the paper's §3.2 warns about."""
+        findings = check_compatibility(profile_selection("P_GBench"))
+        assert has_conflicts(findings)
+
+    def test_psys_trades_retention_for_demonstrability(self):
+        findings = check_compatibility(profile_selection("P_SYS"))
+        assert not has_conflicts(findings)
+        assert any(f.concepts == ("erasure", "record-keeping") for f in findings)
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile_selection("P_Nope")

@@ -1,0 +1,95 @@
+"""Unit tests for the compliance checker and report."""
+
+import pytest
+
+from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
+from repro.core.compliance import ComplianceChecker, ComplianceReport
+from repro.core.dataunit import Database, DataUnit
+from repro.core.entities import controller, data_subject
+from repro.core.invariants import G6PolicyConsistency, G17ErasureDeadline
+from repro.core.policy import Policy, PolicySet, Purpose
+
+USER = data_subject("1234")
+NETFLIX = controller("Netflix")
+
+
+def compliant_unit(uid="x", deadline=1_000):
+    u = DataUnit(
+        uid,
+        USER,
+        "form",
+        policies=PolicySet(
+            [
+                Policy(Purpose.BILLING, NETFLIX, 0, deadline),
+                Policy(Purpose.COMPLIANCE_ERASE, NETFLIX, 0, deadline),
+            ]
+        ),
+    )
+    return u
+
+
+def read(uid="x", t=10):
+    return ActionHistoryTuple(uid, Purpose.BILLING, NETFLIX, Action(ActionType.READ), t)
+
+
+class TestComplianceChecker:
+    def test_default_invariants_are_g6_and_g17(self):
+        names = {i.name for i in ComplianceChecker().invariants}
+        assert names == {"G6-policy-consistency", "G17-erasure-deadline"}
+
+    def test_compliant_deployment(self):
+        db = Database([compliant_unit()])
+        h = ActionHistory([read()])
+        report = ComplianceChecker().check(db, h, now=100)
+        assert report.compliant
+        assert report.summary() == {
+            "G6-policy-consistency": True,
+            "G17-erasure-deadline": True,
+        }
+
+    def test_violations_surface_in_report(self):
+        u = compliant_unit()
+        db = Database([u])
+        h = ActionHistory([read(t=5_000)])  # after every policy expired
+        report = ComplianceChecker().check(db, h, now=5_001)
+        assert not report.compliant
+        assert len(report.violations) >= 2  # G6 breach + G17 deadline passed
+        assert not report.verdict("G6-policy-consistency").holds
+
+    def test_verdict_lookup_unknown_raises(self):
+        report = ComplianceChecker().check(Database(), ActionHistory(), 0)
+        with pytest.raises(KeyError):
+            report.verdict("no-such-invariant")
+        assert "G6-policy-consistency" in report
+
+    def test_add_invariant(self):
+        checker = ComplianceChecker([G6PolicyConsistency()])
+        checker.add(G17ErasureDeadline())
+        assert len(checker.invariants) == 2
+
+    def test_check_unit_scopes_to_one_unit(self):
+        good = compliant_unit("good")
+        bad = DataUnit("bad", USER, "form")  # no policies: violates G17
+        db = Database([good, bad])
+        checker = ComplianceChecker()
+        assert checker.check_unit(db, ActionHistory(), "good", now=10).compliant
+        assert not checker.check_unit(db, ActionHistory(), "bad", now=10).compliant
+
+    def test_render_includes_status_lines(self):
+        db = Database([DataUnit("bad", USER, "form")])
+        report = ComplianceChecker().check(db, ActionHistory(), now=10)
+        text = report.render()
+        assert "NON-COMPLIANT" in text
+        assert "[FAIL]" in text and "[PASS]" in text
+
+    def test_render_truncates_violations(self):
+        db = Database(
+            [DataUnit(f"bad{i}", USER, "form") for i in range(10)]
+        )
+        report = ComplianceChecker().check(db, ActionHistory(), now=10)
+        text = report.render(max_violations=3)
+        assert "… and 7 more" in text
+
+    def test_report_evaluated_at(self):
+        report = ComplianceChecker().check(Database(), ActionHistory(), now=77)
+        assert report.evaluated_at == 77

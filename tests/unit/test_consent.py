@@ -1,0 +1,147 @@
+"""Unit tests for the consent-management middleware."""
+
+import pytest
+
+from repro.consent.ledger import GENESIS, ConsentLedger
+from repro.consent.manager import ConsentManager, ConsentState
+from repro.core.dataunit import Database, DataUnit
+from repro.core.entities import controller, data_subject
+from repro.core.policy import Purpose
+
+USER = data_subject("u1")
+OTHER = data_subject("u2")
+NETFLIX = controller("Netflix")
+
+
+def make_world():
+    db = Database()
+    for uid, subject in (("a", USER), ("b", USER), ("c", OTHER)):
+        db.add(DataUnit(uid, subject, "origin"))
+    return db, ConsentManager(db)
+
+
+class TestLedger:
+    def test_chain_starts_at_genesis(self):
+        ledger = ConsentLedger()
+        receipt = ledger.append("grant", "u1", "e", "p", 0, 10, 0)
+        assert receipt.previous_id == GENESIS
+        assert ledger.verify()
+
+    def test_chain_links(self):
+        ledger = ConsentLedger()
+        r1 = ledger.append("grant", "u1", "e", "p", 0, 10, 0)
+        r2 = ledger.append("withdraw", "u1", "e", "p", 0, 5, 5)
+        assert r2.previous_id == r1.receipt_id
+        assert ledger.verify()
+        assert len(ledger) == 2
+
+    def test_tampering_detected(self):
+        ledger = ConsentLedger()
+        ledger.append("grant", "u1", "e", "p", 0, 10, 0)
+        ledger.append("grant", "u1", "e", "q", 0, 10, 1)
+        ledger.tamper_for_testing(0, purpose="forged-purpose")
+        assert not ledger.verify()
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            ConsentLedger().append("revoke", "u", "e", "p", 0, 1, 0)
+
+    def test_get_and_for_subject(self):
+        ledger = ConsentLedger()
+        r = ledger.append("grant", "u1", "e", "p", 0, 10, 0)
+        ledger.append("grant", "u2", "e", "p", 0, 10, 0)
+        assert ledger.get(r.receipt_id) == r
+        assert len(ledger.for_subject("u1")) == 1
+        with pytest.raises(KeyError):
+            ledger.get("missing")
+
+
+class TestGrant:
+    def test_grant_attaches_policy_to_subject_units(self):
+        _db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        assert set(manager.covered_units(receipt.receipt_id)) == {"a", "b"}
+        db_unit = _db.get("a")
+        assert db_unit.policies.authorizing(Purpose.BILLING, NETFLIX, 50)
+
+    def test_grant_restricted_to_units(self):
+        _db, manager = make_world()
+        receipt = manager.grant(
+            USER, NETFLIX, Purpose.BILLING, 0, 100, unit_ids=["a"]
+        )
+        assert manager.covered_units(receipt.receipt_id) == ("a",)
+        assert not _db.get("b").policies.authorizing(Purpose.BILLING, NETFLIX, 50)
+
+    def test_grant_cannot_cover_foreign_units(self):
+        _db, manager = make_world()
+        with pytest.raises(ValueError, match="own data"):
+            manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100, unit_ids=["c"])
+
+    def test_state_lifecycle(self):
+        _db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        assert manager.state(receipt.receipt_id, 50) is ConsentState.ACTIVE
+        assert manager.state(receipt.receipt_id, 101) is ConsentState.EXPIRED
+
+
+class TestWithdraw:
+    def test_withdraw_clips_authorization(self):
+        db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        manager.withdraw(receipt.receipt_id, now=50)
+        unit = db.get("a")
+        assert unit.policies.authorizing(Purpose.BILLING, NETFLIX, 49)
+        assert not unit.policies.authorizing(Purpose.BILLING, NETFLIX, 50)
+        assert manager.state(receipt.receipt_id, 60) is ConsentState.WITHDRAWN
+
+    def test_withdraw_appends_receipt_and_keeps_chain(self):
+        _db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        manager.withdraw(receipt.receipt_id, now=50)
+        assert len(manager.ledger) == 2
+        assert manager.ledger.verify()
+
+    def test_double_withdraw_rejected(self):
+        _db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        manager.withdraw(receipt.receipt_id, now=50)
+        with pytest.raises(ValueError, match="already withdrawn"):
+            manager.withdraw(receipt.receipt_id, now=60)
+
+    def test_unknown_receipt(self):
+        _db, manager = make_world()
+        with pytest.raises(KeyError):
+            manager.withdraw("nope", now=1)
+
+
+class TestRenew:
+    def test_renew_extends_window(self):
+        db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        renewal = manager.renew(receipt.receipt_id, new_t_final=500, now=90)
+        unit = db.get("a")
+        assert unit.policies.authorizing(Purpose.BILLING, NETFLIX, 400)
+        assert manager.state(renewal.receipt_id, 400) is ConsentState.ACTIVE
+
+    def test_renew_withdrawn_rejected(self):
+        _db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        manager.withdraw(receipt.receipt_id, now=10)
+        with pytest.raises(ValueError, match="withdrawn"):
+            manager.renew(receipt.receipt_id, new_t_final=500, now=20)
+
+    def test_renewal_must_extend(self):
+        _db, manager = make_world()
+        receipt = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        with pytest.raises(ValueError, match="extend"):
+            manager.renew(receipt.receipt_id, new_t_final=100, now=50)
+
+
+class TestQueries:
+    def test_active_consents_for_subject(self):
+        _db, manager = make_world()
+        r1 = manager.grant(USER, NETFLIX, Purpose.BILLING, 0, 100)
+        manager.grant(USER, NETFLIX, Purpose.ANALYTICS, 0, 10)
+        manager.grant(OTHER, NETFLIX, Purpose.BILLING, 0, 100)
+        active = manager.active_consents(USER, now=50)
+        assert [r.receipt_id for r in active] == [r1.receipt_id]

@@ -1,0 +1,90 @@
+"""Unit tests for policy-consistency — the paper's lawfulness abstraction."""
+
+import pytest
+
+from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
+from repro.core.consistency import (
+    is_history_consistent,
+    is_policy_consistent,
+    policy_violations,
+    regulation_requires_any_of,
+)
+from repro.core.dataunit import DataUnit
+from repro.core.entities import controller, data_subject, processor
+from repro.core.policy import Policy, PolicySet, Purpose
+
+USER = data_subject("1234")
+NETFLIX = controller("Netflix")
+AWS = processor("AWS")
+
+
+def make_unit(policies=None):
+    x = DataUnit("cc", USER, "form", policies=PolicySet(policies or []))
+    x.write("data", 0)
+    return x
+
+
+def read(entity=NETFLIX, purpose=Purpose.BILLING, t=50, uid="cc"):
+    return ActionHistoryTuple(uid, purpose, entity, Action(ActionType.READ), t)
+
+
+class TestIsPolicyConsistent:
+    def test_authorized_access_is_consistent(self):
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 0, 100)])
+        assert is_policy_consistent(x, read(t=50))
+
+    def test_wrong_purpose_is_inconsistent(self):
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 0, 100)])
+        assert not is_policy_consistent(x, read(purpose=Purpose.ANALYTICS))
+
+    def test_wrong_entity_is_inconsistent(self):
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 0, 100)])
+        assert not is_policy_consistent(x, read(entity=AWS))
+
+    def test_policy_window_checked_at_action_time(self):
+        """Later consent does not launder an earlier access."""
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 60, 100)])
+        assert not is_policy_consistent(x, read(t=50))
+        assert is_policy_consistent(x, read(t=60))
+
+    def test_expired_policy_is_inconsistent(self):
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 0, 40)])
+        assert not is_policy_consistent(x, read(t=50))
+
+    def test_regulation_required_action_is_consistent(self):
+        """The 'required by a data regulation' escape hatch of §2.1."""
+        x = make_unit()  # no policies at all
+        erase = ActionHistoryTuple(
+            "cc", Purpose.COMPLIANCE_ERASE, NETFLIX, Action(ActionType.ERASE), 50
+        )
+        required = regulation_requires_any_of(Purpose.COMPLIANCE_ERASE)
+        assert is_policy_consistent(x, erase, required)
+        assert not is_policy_consistent(x, erase)
+
+    def test_wrong_unit_raises(self):
+        x = make_unit()
+        with pytest.raises(ValueError, match="is about"):
+            is_policy_consistent(x, read(uid="other"))
+
+
+class TestHistoryConsistency:
+    def test_all_consistent(self):
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 0, 100)])
+        h = ActionHistory([read(t=10), read(t=20)])
+        assert is_history_consistent(x, h)
+        assert policy_violations(x, h) == []
+
+    def test_violations_reported_in_time_order(self):
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 0, 15)])
+        h = ActionHistory([read(t=10), read(t=20), read(t=30)])
+        violations = policy_violations(x, h)
+        assert [v.timestamp for v in violations] == [20, 30]
+        assert not is_history_consistent(x, h)
+
+    def test_history_of_other_units_ignored(self):
+        x = make_unit([Policy(Purpose.BILLING, NETFLIX, 0, 100)])
+        h = ActionHistory([read(uid="other", t=999)])
+        assert is_history_consistent(x, h)
+
+    def test_empty_history_is_consistent(self):
+        assert is_history_consistent(make_unit(), ActionHistory())

@@ -1,0 +1,175 @@
+"""Unit tests for repro.core.dataunit — X = (S, O, V, P) and the database."""
+
+import pytest
+
+from repro.core.dataunit import (
+    Database,
+    DataCategory,
+    DataUnit,
+    ValueVersion,
+    derive,
+)
+from repro.core.entities import controller, data_subject, processor
+from repro.core.policy import Policy, PolicySet, Purpose
+
+USER = data_subject("1234")
+OTHER = data_subject("5678")
+NETFLIX = controller("Netflix")
+AWS = processor("AWS")
+
+
+def unit(uid="cc-1234", subject=USER, origin="signup-form"):
+    return DataUnit(uid, subject, origin)
+
+
+class TestDataUnit:
+    def test_paper_running_example(self):
+        """Netflix stores user 1234's credit card with π1, π2 attached."""
+        policies = PolicySet(
+            [
+                Policy(Purpose.BILLING, NETFLIX, 0, 1000),
+                Policy(Purpose.RETENTION, AWS, 0, 1000),
+            ]
+        )
+        x = DataUnit("cc-1234", USER, "signup-form", policies=policies)
+        x.write("4111-1111", timestamp=5)
+        state = x.state(10)
+        assert state.value == "4111-1111"
+        assert state.subjects == frozenset({USER})
+        assert len(state.policies) == 2
+
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            DataUnit("", USER, "o")
+
+    def test_value_versions_answer_V_of_t(self):
+        x = unit()
+        x.write("v1", 10)
+        x.write("v2", 20)
+        assert x.value_at(9) is None
+        assert x.value_at(10) == "v1"
+        assert x.value_at(15) == "v1"
+        assert x.value_at(20) == "v2"
+        assert x.current_value == "v2"
+
+    def test_versions_must_be_time_ordered(self):
+        x = unit()
+        x.write("v1", 10)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            x.write("v2", 5)
+
+    def test_same_timestamp_rewrite_allowed(self):
+        x = unit()
+        x.write("v1", 10)
+        x.write("v2", 10)
+        assert x.value_at(10) == "v2"
+
+    def test_erasure_hides_value(self):
+        x = unit()
+        x.write("secret", 10)
+        x.mark_erased(50)
+        assert x.value_at(49) == "secret"
+        assert x.value_at(50) is None
+        assert x.current_value is None
+        assert x.is_erased and x.erased_at == 50
+
+    def test_double_erase_rejected(self):
+        x = unit()
+        x.mark_erased(10)
+        with pytest.raises(ValueError, match="already erased"):
+            x.mark_erased(20)
+
+    def test_state_is_immutable_snapshot(self):
+        x = unit()
+        x.write("v1", 10)
+        snap = x.state(10)
+        x.write("v2", 20)
+        assert snap.value == "v1"
+
+    def test_negative_version_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            ValueVersion("v", -1)
+
+
+class TestDerive:
+    def _base(self, uid, subject, window=(0, 100)):
+        policies = PolicySet([Policy(Purpose.ANALYTICS, NETFLIX, *window)])
+        x = DataUnit(uid, subject, f"origin-{uid}", policies=policies)
+        x.write(f"value-{uid}", 1)
+        return x
+
+    def test_subjects_and_origins_are_unions(self):
+        a = self._base("a", USER)
+        b = self._base("b", OTHER)
+        y = derive("y", [a, b], value=42, timestamp=10)
+        assert y.subjects == frozenset({USER, OTHER})
+        assert y.origins == frozenset({"origin-a", "origin-b"})
+        assert y.category == DataCategory.DERIVED
+
+    def test_policies_are_intersection(self):
+        a = self._base("a", USER, window=(0, 100))
+        b = self._base("b", OTHER, window=(50, 200))
+        y = derive("y", [a, b], value=42, timestamp=10)
+        only = next(iter(y.policies))
+        assert (only.t_begin, only.t_final) == (50, 100)
+
+    def test_single_base_keeps_policies(self):
+        a = self._base("a", USER)
+        y = derive("y", [a], value=1, timestamp=10)
+        assert len(y.policies) == 1
+
+    def test_policy_window_restricts_further(self):
+        a = self._base("a", USER, window=(0, 100))
+        y = derive("y", [a], value=1, timestamp=10, policy_window=(0, 30))
+        only = next(iter(y.policies))
+        assert only.t_final == 30
+
+    def test_empty_bases_rejected(self):
+        with pytest.raises(ValueError, match="at least one base"):
+            derive("y", [], value=1, timestamp=10)
+
+    def test_value_written_at_derivation_time(self):
+        a = self._base("a", USER)
+        y = derive("y", [a], value="agg", timestamp=33)
+        assert y.value_at(33) == "agg"
+        assert y.value_at(32) is None
+
+
+class TestDatabase:
+    def test_add_get_contains(self):
+        db = Database()
+        x = db.add(unit())
+        assert db.get("cc-1234") is x
+        assert "cc-1234" in db and len(db) == 1
+
+    def test_duplicate_id_rejected(self):
+        db = Database([unit()])
+        with pytest.raises(ValueError, match="duplicate"):
+            db.add(unit())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown data unit"):
+            Database().get("nope")
+
+    def test_units_of_subject(self):
+        db = Database([unit("a", USER), unit("b", OTHER), unit("c", USER)])
+        assert {u.unit_id for u in db.units_of_subject(USER)} == {"a", "c"}
+
+    def test_by_category(self):
+        meta = DataUnit("m", USER, "sys", category=DataCategory.METADATA)
+        db = Database([unit("a"), meta])
+        assert [u.unit_id for u in db.by_category(DataCategory.METADATA)] == ["m"]
+
+    def test_state_snapshots_every_unit(self):
+        db = Database([unit("a"), unit("b")])
+        db.get("a").write("v", 5)
+        state = db.state(10)
+        assert set(state) == {"a", "b"}
+        assert state["a"].value == "v"
+        assert state["b"].value is None
+
+    def test_discard_removes_record(self):
+        db = Database([unit("a")])
+        assert db.discard("a") is not None
+        assert "a" not in db
+        assert db.discard("a") is None

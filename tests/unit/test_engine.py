@@ -1,0 +1,256 @@
+"""Unit tests for the relational engine — PSQL-like mechanics."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.storage.engine import RelationalEngine
+from repro.storage.errors import (
+    DuplicateKeyError,
+    StorageError,
+    TableExistsError,
+    TableNotFoundError,
+    TupleNotFoundError,
+)
+
+
+def make_engine(**kwargs):
+    clock = SimClock()
+    cost = CostModel(clock, CostBook())
+    return RelationalEngine(cost, **kwargs), clock
+
+
+class TestDDL:
+    def test_create_and_drop(self):
+        eng, _ = make_engine()
+        eng.create_table("t", row_bytes=70)
+        assert eng.has_table("t")
+        assert eng.tables() == ["t"]
+        eng.drop_table("t")
+        assert not eng.has_table("t")
+
+    def test_duplicate_table_rejected(self):
+        eng, _ = make_engine()
+        eng.create_table("t", row_bytes=70)
+        with pytest.raises(TableExistsError):
+            eng.create_table("t", row_bytes=70)
+
+    def test_missing_table_rejected(self):
+        eng, _ = make_engine()
+        with pytest.raises(TableNotFoundError):
+            eng.read("ghost", 1)
+
+    def test_invalid_schema(self):
+        eng, _ = make_engine()
+        with pytest.raises(ValueError):
+            eng.create_table("t", row_bytes=0)
+
+
+class TestCRUD:
+    def setup_method(self):
+        self.eng, self.clock = make_engine()
+        self.eng.create_table("t", row_bytes=70)
+
+    def test_insert_read_roundtrip(self):
+        self.eng.insert("t", 1, {"name": "alice"})
+        assert self.eng.read("t", 1) == {"name": "alice"}
+
+    def test_duplicate_key_rejected(self):
+        self.eng.insert("t", 1, "a")
+        with pytest.raises(DuplicateKeyError):
+            self.eng.insert("t", 1, "b")
+
+    def test_read_missing_raises(self):
+        with pytest.raises(TupleNotFoundError):
+            self.eng.read("t", 404)
+
+    def test_update_creates_dead_version(self):
+        """MVCC: update = new version + dead old version."""
+        self.eng.insert("t", 1, "v1")
+        self.eng.update("t", 1, "v2")
+        assert self.eng.read("t", 1) == "v2"
+        stats = self.eng.stats("t")
+        assert stats.live_tuples == 1
+        assert stats.dead_tuples == 1
+
+    def test_update_missing_raises(self):
+        with pytest.raises(TupleNotFoundError):
+            self.eng.update("t", 404, "v")
+
+    def test_delete_marks_dead_only(self):
+        self.eng.insert("t", 1, "v")
+        self.eng.delete("t", 1)
+        with pytest.raises(TupleNotFoundError):
+            self.eng.read("t", 1)
+        stats = self.eng.stats("t")
+        assert stats.dead_tuples == 1
+        assert stats.live_tuples == 0
+        # physically retained until vacuum:
+        assert ("1" and (1, False)) is not None
+        assert (1, False) in self.eng.forensic_scan("t")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(TupleNotFoundError):
+            self.eng.delete("t", 404)
+
+    def test_exists(self):
+        self.eng.insert("t", 1, "v")
+        assert self.eng.exists("t", 1)
+        self.eng.delete("t", 1)
+        assert not self.eng.exists("t", 1)
+
+    def test_wal_records_mutations(self):
+        self.eng.insert("t", 1, "v")
+        self.eng.update("t", 1, "v2")
+        self.eng.delete("t", 1)
+        types = [str(r.type) for r in self.eng.wal.records()]
+        assert types == ["insert", "update", "delete"]
+
+
+class TestVacuumMechanics:
+    def setup_method(self):
+        self.eng, self.clock = make_engine()
+        self.eng.create_table("t", row_bytes=70)
+        for i in range(200):
+            self.eng.insert("t", i, f"v{i}")
+
+    def _delete_range(self, n):
+        for i in range(n):
+            self.eng.delete("t", i)
+
+    def test_vacuum_prunes_heap_and_index(self):
+        self._delete_range(50)
+        reclaimed = self.eng.vacuum("t")
+        assert reclaimed == 50
+        stats = self.eng.stats("t")
+        assert stats.dead_tuples == 0
+        assert stats.index_dead_entries == 0
+        assert self.eng.vacuum_count == 1
+
+    def test_vacuum_does_not_shrink_file(self):
+        pages_before = self.eng.stats("t").pages
+        self._delete_range(100)
+        self.eng.vacuum("t")
+        assert self.eng.stats("t").pages == pages_before
+
+    def test_vacuum_full_shrinks_file(self):
+        self._delete_range(150)
+        pages_before = self.eng.stats("t").pages
+        removed = self.eng.vacuum_full("t")
+        assert removed == 150
+        stats = self.eng.stats("t")
+        assert stats.pages < pages_before
+        assert stats.live_tuples == 50
+        assert self.eng.vacuum_full_count == 1
+
+    def test_vacuum_full_preserves_reads(self):
+        self._delete_range(100)
+        self.eng.vacuum_full("t")
+        assert self.eng.read("t", 150) == "v150"
+        with pytest.raises(TupleNotFoundError):
+            self.eng.read("t", 50)
+
+    def test_reads_cost_more_on_bloated_table(self):
+        """The Figure-4(a) mechanism: dead tuples degrade read cost."""
+        eng_clean, clock_clean = make_engine()
+        eng_clean.create_table("t", row_bytes=70)
+        for i in range(200):
+            eng_clean.insert("t", i, "v")
+        watch = clock_clean.stopwatch()
+        for i in range(100, 200):
+            eng_clean.read("t", i)
+        clean_cost = watch.stop()
+
+        self._delete_range(100)  # bloat: 100 dead of 200
+        watch = self.clock.stopwatch()
+        for i in range(100, 200):
+            self.eng.read("t", i)
+        bloated_cost = watch.stop()
+        assert bloated_cost > clean_cost
+
+    def test_vacuum_restores_read_cost(self):
+        self._delete_range(100)
+        self.eng.vacuum("t")
+        watch = self.clock.stopwatch()
+        self.eng.read("t", 150)
+        vacuumed = watch.stop()
+
+        eng2, clock2 = make_engine()
+        eng2.create_table("t", row_bytes=70)
+        for i in range(200):
+            eng2.insert("t", i, "v")
+        watch2 = clock2.stopwatch()
+        eng2.read("t", 150)
+        clean = watch2.stop()
+        assert vacuumed == clean
+
+    def test_autovacuum_triggers_at_threshold(self):
+        eng, _ = make_engine(autovacuum_threshold=10)
+        eng.create_table("t", row_bytes=70)
+        for i in range(50):
+            eng.insert("t", i, "v")
+        for i in range(10):
+            eng.delete("t", i)
+        assert eng.vacuum_count == 1
+        assert eng.stats("t").dead_tuples == 0
+
+
+class TestScans:
+    def setup_method(self):
+        self.eng, self.clock = make_engine()
+        self.eng.create_table("t", row_bytes=70)
+        for i in range(20):
+            self.eng.insert("t", i, i * 10)
+
+    def test_seq_scan_all(self):
+        rows = self.eng.seq_scan("t")
+        assert len(rows) == 20
+
+    def test_seq_scan_predicate(self):
+        rows = self.eng.seq_scan("t", lambda k, v: v >= 150)
+        assert [k for k, _ in rows] == [15, 16, 17, 18, 19]
+
+    def test_range_scan(self):
+        rows = self.eng.range_scan("t", 5, 8)
+        assert [k for k, _ in rows] == [5, 6, 7, 8]
+
+    def test_seq_scan_charges_by_pages(self):
+        before = self.clock.spent("storage")
+        self.eng.seq_scan("t")
+        assert self.clock.spent("storage") > before
+
+
+class TestFlagColumn:
+    def test_set_flag_requires_retrofit(self):
+        eng, _ = make_engine()
+        eng.create_table("plain", row_bytes=70)
+        eng.insert("plain", 1, "v")
+        with pytest.raises(StorageError, match="retrofit"):
+            eng.set_flag("plain", 1, True)
+
+    def test_flag_roundtrip_is_reversible(self):
+        """Reversible inaccessibility: data still present, flag flips."""
+        eng, _ = make_engine()
+        eng.create_table("t", row_bytes=70, flag_column=True)
+        eng.insert("t", 1, "secret")
+        eng.set_flag("t", 1, True)
+        assert eng.is_flagged("t", 1)
+        # The value is still physically there (invertible transformation).
+        eng.set_flag("t", 1, False)
+        assert not eng.is_flagged("t", 1)
+
+    def test_flag_missing_key(self):
+        eng, _ = make_engine()
+        eng.create_table("t", row_bytes=70, flag_column=True)
+        with pytest.raises(TupleNotFoundError):
+            eng.set_flag("t", 404, True)
+
+
+class TestSpaceAccounting:
+    def test_total_bytes_counts_heap_index_wal(self):
+        eng, _ = make_engine()
+        eng.create_table("t", row_bytes=70)
+        for i in range(100):
+            eng.insert("t", i, "v")
+        stats = eng.stats("t")
+        assert eng.total_bytes() == stats.heap_bytes + stats.index_bytes + eng.wal.size_bytes

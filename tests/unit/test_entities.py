@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.entities."""
+
+import pytest
+
+from repro.core.entities import (
+    Entity,
+    EntityRegistry,
+    Role,
+    auditor,
+    controller,
+    data_subject,
+    processor,
+)
+
+
+class TestEntity:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Entity("")
+
+    def test_roles_are_frozen(self):
+        e = Entity("netflix", {Role.CONTROLLER})
+        assert isinstance(e.roles, frozenset)
+        assert e.has_role(Role.CONTROLLER)
+        assert not e.has_role(Role.PROCESSOR)
+
+    def test_role_properties(self):
+        assert data_subject("u1").is_data_subject
+        assert controller("netflix").is_controller
+        assert processor("aws").is_processor
+        assert auditor("edpb").has_role(Role.AUDITOR)
+
+    def test_with_role_adds_role(self):
+        e = controller("netflix").with_role(Role.PROCESSOR)
+        assert e.is_controller and e.is_processor
+
+    def test_equality_is_by_value(self):
+        assert controller("x") == controller("x")
+        assert controller("x") != processor("x")
+        assert controller("x") != controller("y")
+
+    def test_hashable_for_policy_keys(self):
+        assert len({controller("x"), controller("x"), processor("x")}) == 2
+
+    def test_jurisdiction_is_part_of_identity(self):
+        assert controller("x", "EU") != controller("x", "US")
+
+    def test_str_is_name(self):
+        assert str(controller("netflix")) == "netflix"
+
+
+class TestEntityRegistry:
+    def test_register_and_get(self):
+        reg = EntityRegistry()
+        e = reg.register(controller("netflix"))
+        assert reg.get("netflix") is e
+        assert "netflix" in reg
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown entity"):
+            EntityRegistry().get("nobody")
+
+    def test_reregistering_same_entity_is_idempotent(self):
+        reg = EntityRegistry()
+        reg.register(controller("netflix"))
+        reg.register(controller("netflix"))
+        assert len(reg) == 1
+
+    def test_conflicting_roles_rejected(self):
+        reg = EntityRegistry()
+        reg.register(controller("x"))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(processor("x"))
+
+    def test_with_role_query(self):
+        reg = EntityRegistry([controller("c1"), processor("p1"), processor("p2")])
+        assert {e.name for e in reg.with_role(Role.PROCESSOR)} == {"p1", "p2"}
+
+    def test_constructor_registers_iterable(self):
+        reg = EntityRegistry([data_subject("u1"), data_subject("u2")])
+        assert len(reg) == 2
+        assert all(e.is_data_subject for e in reg)

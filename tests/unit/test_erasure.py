@@ -1,0 +1,241 @@
+"""Unit tests for the erasure grounding (§3.1, Fig 3, Table 1)."""
+
+import pytest
+
+from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
+from repro.core.dataunit import Database, DataUnit
+from repro.core.entities import controller, data_subject
+from repro.core.erasure import (
+    ErasureInterpretation,
+    ErasureTimeline,
+    PAPER_TABLE1,
+    characterize,
+    erase_transformation_is_invertible,
+    has_erasure_inconsistent_inference,
+    has_erasure_inconsistent_read,
+    paper_table1,
+    register_erasure,
+)
+from repro.core.grounding import GroundingRegistry
+from repro.core.policy import Policy, PolicySet, Purpose
+from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
+
+USER = data_subject("1234")
+NETFLIX = controller("Netflix")
+
+
+def make_unit(uid="x", policies=None):
+    u = DataUnit(uid, USER, "form", policies=PolicySet(policies or []))
+    u.write("v", 0)
+    return u
+
+
+def tup(uid, action_type, t, purpose=Purpose.BILLING, detail=None):
+    return ActionHistoryTuple(
+        uid, purpose, NETFLIX, Action(action_type, detail), t
+    )
+
+
+class TestStrictnessOrder:
+    def test_total_order_matches_paper(self):
+        ri = ErasureInterpretation.REVERSIBLY_INACCESSIBLE
+        d = ErasureInterpretation.DELETED
+        sd = ErasureInterpretation.STRONGLY_DELETED
+        pd = ErasureInterpretation.PERMANENTLY_DELETED
+        assert pd.implies(sd) and sd.implies(d) and d.implies(ri)
+        assert not ri.implies(d)
+        assert sd.implies(sd)
+
+    def test_labels(self):
+        assert ErasureInterpretation.DELETED.label == "delete"
+        assert str(ErasureInterpretation.STRONGLY_DELETED) == "strong delete"
+
+
+class TestIllegalRead:
+    def test_read_without_active_policy_is_ir(self):
+        unit = make_unit(policies=[Policy(Purpose.BILLING, NETFLIX, 0, 10)])
+        h = ActionHistory([tup("x", ActionType.READ, 50)])
+        assert has_erasure_inconsistent_read(unit, h)
+
+    def test_read_with_any_active_policy_is_not_ir(self):
+        unit = make_unit(policies=[Policy(Purpose.RETENTION, NETFLIX, 0, 100)])
+        h = ActionHistory([tup("x", ActionType.READ, 50)])
+        assert not has_erasure_inconsistent_read(unit, h)
+
+    def test_non_read_actions_ignored(self):
+        unit = make_unit()
+        h = ActionHistory([tup("x", ActionType.UPDATE, 50)])
+        assert not has_erasure_inconsistent_read(unit, h)
+
+
+class TestIllegalInference:
+    def _world(self, invertible):
+        unit = make_unit("x")
+        derived = make_unit("y")
+        db = Database([unit, derived])
+        prov = ProvenanceGraph()
+        prov.record(
+            Dependency("x", "y", DependencyKind.TRANSFORM, invertible=invertible)
+        )
+        h = ActionHistory([tup("x", ActionType.ERASE, 60)])
+        unit.mark_erased(60)
+        return unit, h, prov, db
+
+    def test_invertible_surviving_derivation_is_ii(self):
+        unit, h, prov, db = self._world(invertible=True)
+        assert has_erasure_inconsistent_inference(unit, h, prov, db)
+
+    def test_lossy_derivation_is_not_ii(self):
+        unit, h, prov, db = self._world(invertible=False)
+        assert not has_erasure_inconsistent_inference(unit, h, prov, db)
+
+    def test_no_erase_no_ii(self):
+        unit = make_unit("x")
+        db = Database([unit])
+        assert not has_erasure_inconsistent_inference(
+            unit, ActionHistory(), ProvenanceGraph(), db
+        )
+
+    def test_erased_derivation_is_not_a_witness(self):
+        unit, h, prov, db = self._world(invertible=True)
+        db.get("y").mark_erased(61)
+        assert not has_erasure_inconsistent_inference(unit, h, prov, db)
+
+
+class TestInvertibility:
+    def test_reversible_erase_detail_is_invertible(self):
+        h = ActionHistory([tup("x", ActionType.ERASE, 10, detail="reversible-flag")])
+        assert erase_transformation_is_invertible(make_unit(), h)
+
+    def test_physical_erase_is_not_invertible(self):
+        h = ActionHistory([tup("x", ActionType.ERASE, 10, detail="DELETE+VACUUM")])
+        assert not erase_transformation_is_invertible(make_unit(), h)
+
+    def test_restore_after_erase_proves_invertibility(self):
+        h = ActionHistory(
+            [tup("x", ActionType.ERASE, 10), tup("x", ActionType.RESTORE, 20)]
+        )
+        assert erase_transformation_is_invertible(make_unit(), h)
+
+    def test_restore_before_erase_does_not(self):
+        h = ActionHistory(
+            [tup("x", ActionType.RESTORE, 5), tup("x", ActionType.ERASE, 10)]
+        )
+        assert not erase_transformation_is_invertible(make_unit(), h)
+
+    def test_no_erase_means_not_invertible(self):
+        assert not erase_transformation_is_invertible(make_unit(), ActionHistory())
+
+
+class TestTimeline:
+    def test_figure3_ordering_enforced(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ErasureTimeline(collected_at=100, deleted_at=50)
+
+    def test_durations(self):
+        tl = ErasureTimeline(
+            collected_at=0,
+            inaccessible_at=10,
+            deleted_at=30,
+            strongly_deleted_at=70,
+            permanently_deleted_at=150,
+        )
+        assert tl.time_to_live == 10
+        assert tl.time_to_delete == 30
+        assert tl.time_to_strong_delete == 70
+        assert tl.time_to_permanent_delete == 150
+
+    def test_unreached_milestones_are_none(self):
+        tl = ErasureTimeline(collected_at=0, deleted_at=30)
+        assert tl.time_to_live is None
+        assert tl.time_to_permanent_delete is None
+        assert tl.reached(ErasureInterpretation.DELETED)
+        assert not tl.reached(ErasureInterpretation.PERMANENTLY_DELETED)
+
+    def test_render_mentions_unreached(self):
+        tl = ErasureTimeline(collected_at=0, deleted_at=30)
+        text = tl.render()
+        assert "never reached" in text
+        assert "Deleted" in text
+
+    def test_skipped_milestones_allowed(self):
+        """A deployment may go straight to deletion (no inaccessible phase)."""
+        tl = ErasureTimeline(collected_at=0, strongly_deleted_at=99)
+        assert tl.milestone(ErasureInterpretation.STRONGLY_DELETED) == 99
+
+
+class TestPaperTable1:
+    def test_four_rows_in_order(self):
+        rows = paper_table1()
+        assert [r.interpretation for r in rows] == list(ErasureInterpretation)
+
+    def test_ir_infeasible_everywhere(self):
+        assert all(not r.illegal_read for r in paper_table1())
+
+    def test_ii_feasible_only_for_weak_interpretations(self):
+        by = {r.interpretation: r for r in paper_table1()}
+        assert by[ErasureInterpretation.REVERSIBLY_INACCESSIBLE].illegal_inference
+        assert by[ErasureInterpretation.DELETED].illegal_inference
+        assert not by[ErasureInterpretation.STRONGLY_DELETED].illegal_inference
+        assert not by[ErasureInterpretation.PERMANENTLY_DELETED].illegal_inference
+
+    def test_only_reversible_is_invertible(self):
+        by = {r.interpretation: r for r in paper_table1()}
+        assert by[ErasureInterpretation.REVERSIBLY_INACCESSIBLE].invertible
+        assert not by[ErasureInterpretation.DELETED].invertible
+
+    def test_permanent_delete_unsupported_in_psql(self):
+        row = PAPER_TABLE1[ErasureInterpretation.PERMANENTLY_DELETED]
+        assert not row.supported
+        assert row.row()[-1] == "Not supported"
+
+    def test_row_rendering_uses_check_and_cross(self):
+        row = PAPER_TABLE1[ErasureInterpretation.DELETED].row()
+        assert row == ("delete", "×", "✓", "×", "DELETE + VACUUM")
+
+
+class TestCharacterize:
+    def test_observed_profile_for_clean_strong_delete(self):
+        unit = make_unit("x", policies=[Policy(Purpose.BILLING, NETFLIX, 0, 100)])
+        db = Database([unit])
+        prov = ProvenanceGraph()
+        h = ActionHistory(
+            [
+                tup("x", ActionType.READ, 10),
+                tup("x", ActionType.ERASE, 50, detail="DELETE+VACUUM FULL"),
+            ]
+        )
+        unit.mark_erased(50)
+        row = characterize(
+            ErasureInterpretation.STRONGLY_DELETED,
+            unit,
+            h,
+            prov,
+            db,
+            ["DELETE", "VACUUM FULL"],
+        )
+        expected = PAPER_TABLE1[ErasureInterpretation.STRONGLY_DELETED]
+        assert row.illegal_read == expected.illegal_read
+        assert row.illegal_inference == expected.illegal_inference
+        assert row.invertible == expected.invertible
+
+
+class TestRegisterErasure:
+    def test_registers_four_interpretations_with_psql_and_lsm_groundings(self):
+        reg = GroundingRegistry()
+        interps = register_erasure(reg)
+        assert len(interps) == 4
+        assert len(reg.interpretations("erasure")) == 4
+        psql = reg.groundings_for("erasure", "psql")
+        assert [g.interpretation.strictness for g in psql] == [1, 2, 3, 4]
+        # permanent delete is registered but not implementable on psql
+        assert not psql[-1].is_implementable
+        assert len(reg.groundings_for("erasure", "lsm")) == 4
+
+    def test_grounding_actions_match_paper_column(self):
+        reg = GroundingRegistry()
+        register_erasure(reg)
+        g = reg.grounding("erasure", "delete", "psql")
+        assert [a.name for a in g.system_actions] == ["DELETE", "VACUUM"]
+        g = reg.grounding("erasure", "strong delete", "psql")
+        assert [a.name for a in g.system_actions] == ["DELETE", "VACUUM FULL"]

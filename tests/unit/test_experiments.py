@@ -1,0 +1,78 @@
+"""Unit tests for the experiment drivers (small scales)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ErasureConfig,
+    fig4a,
+    fig4b,
+    run_erasure_config,
+    table1,
+    table2,
+)
+from repro.core.erasure import ErasureInterpretation
+from repro.workloads.gdprbench import erasure_study_workload
+
+
+class TestRunErasureConfig:
+    def test_returns_positive_seconds(self):
+        for config in ErasureConfig:
+            seconds = run_erasure_config(config, 1_000, 300)
+            assert seconds > 0
+
+    def test_same_workload_same_result(self):
+        a = run_erasure_config(ErasureConfig.DELETE, 1_000, 300, seed=9)
+        b = run_erasure_config(ErasureConfig.DELETE, 1_000, 300, seed=9)
+        assert a == b  # fully deterministic
+
+    def test_different_seeds_differ(self):
+        a = run_erasure_config(ErasureConfig.DELETE, 1_000, 300, seed=1)
+        b = run_erasure_config(ErasureConfig.DELETE, 1_000, 300, seed=2)
+        assert a != b
+
+    def test_explicit_workload_reused(self):
+        workload = erasure_study_workload(1_000, 300, seed=5)
+        a = run_erasure_config(ErasureConfig.DELETE, 1_000, 300, workload=workload)
+        b = run_erasure_config(
+            ErasureConfig.DELETE_VACUUM, 1_000, 300, workload=workload
+        )
+        assert a > 0 and b > 0
+
+    def test_maintenance_interval_matters_for_vacuum_full(self):
+        frequent = run_erasure_config(
+            ErasureConfig.DELETE_VACUUM_FULL, 2_000, 1_000,
+            maintenance_interval=50,
+        )
+        rare = run_erasure_config(
+            ErasureConfig.DELETE_VACUUM_FULL, 2_000, 1_000,
+            maintenance_interval=10_000,
+        )
+        assert frequent > rare
+
+
+class TestDrivers:
+    def test_fig4a_structure(self):
+        series = fig4a(record_count=1_000, txn_counts=(200, 400))
+        assert set(series) == set(ErasureConfig)
+        for points in series.values():
+            assert [p.transactions for p in points] == [200, 400]
+
+    def test_fig4b_structure(self):
+        results = fig4b(record_count=1_000, n_transactions=200,
+                        workload_names=("WCus",), profile_names=("P_Base",))
+        assert set(results) == {"WCus"}
+        assert set(results["WCus"]) == {"P_Base"}
+        result = results["WCus"]["P_Base"]
+        assert result.total_seconds > 0
+
+    def test_fig4b_unknown_workload(self):
+        with pytest.raises(KeyError):
+            fig4b(record_count=100, n_transactions=10, workload_names=("WFoo",))
+
+    def test_table1_covers_all_interpretations(self):
+        rows = table1()
+        assert [r.interpretation for r in rows] == list(ErasureInterpretation)
+
+    def test_table2_three_reports(self):
+        reports = table2(record_count=1_000, n_transactions=200)
+        assert [r.system for r in reports] == ["P_Base", "P_GBench", "P_SYS"]

@@ -1,0 +1,148 @@
+"""Unit tests for the grounding machinery (Fig 2 / §3)."""
+
+import pytest
+
+from repro.core.grounding import (
+    Concept,
+    Grounding,
+    GroundingRegistry,
+    Interpretation,
+    SystemAction,
+)
+
+ERASURE = Concept("erasure", "removal of personal data")
+
+
+def interp(name="delete", strictness=2, concept=ERASURE):
+    return Interpretation(concept, name, strictness)
+
+
+class TestConceptAndInterpretation:
+    def test_concept_needs_name(self):
+        with pytest.raises(ValueError):
+            Concept("")
+
+    def test_interpretation_needs_name(self):
+        with pytest.raises(ValueError):
+            interp(name="")
+
+    def test_strictness_implication_within_concept(self):
+        weak = interp("inaccessible", 1)
+        strong = interp("strong-delete", 3)
+        assert strong.implies(weak)
+        assert strong.implies(strong)
+        assert not weak.implies(strong)
+
+    def test_no_implication_across_concepts(self):
+        other = Interpretation(Concept("purpose"), "strict", 9)
+        assert not other.implies(interp())
+
+
+class TestGrounding:
+    def test_implementable_iff_all_actions_supported(self):
+        g = Grounding(
+            interp(),
+            (SystemAction("psql", "DELETE"), SystemAction("psql", "VACUUM")),
+        )
+        assert g.is_implementable
+        bad = Grounding(
+            interp(), (SystemAction("psql", "sanitize", supported=False),)
+        )
+        assert not bad.is_implementable
+
+    def test_engines(self):
+        g = Grounding(interp(), (SystemAction("psql", "DELETE"),))
+        assert g.engines == ("psql",)
+
+
+class TestGroundingRegistry:
+    def setup_method(self):
+        self.reg = GroundingRegistry()
+        self.reg.register_concept(ERASURE)
+
+    def test_interpretation_requires_registered_concept(self):
+        with pytest.raises(KeyError, match="register concept"):
+            self.reg.register_interpretation(
+                Interpretation(Concept("unknown"), "x", 1)
+            )
+
+    def test_interpretations_sorted_by_strictness(self):
+        self.reg.register_interpretation(interp("strong", 3))
+        self.reg.register_interpretation(interp("weak", 1))
+        names = [i.name for i in self.reg.interpretations("erasure")]
+        assert names == ["weak", "strong"]
+
+    def test_duplicate_strictness_rejected(self):
+        self.reg.register_interpretation(interp("a", 1))
+        with pytest.raises(ValueError, match="distinct strictness"):
+            self.reg.register_interpretation(interp("b", 1))
+
+    def test_reregistering_identical_interpretation_ok(self):
+        i = interp()
+        assert self.reg.register_interpretation(i) is not None
+        assert self.reg.register_interpretation(i).name == i.name
+
+    def test_conflicting_redefinition_rejected(self):
+        self.reg.register_interpretation(interp("delete", 2))
+        with pytest.raises(ValueError, match="registered differently"):
+            self.reg.register_interpretation(
+                Interpretation(ERASURE, "delete", 2, "different text")
+            )
+
+    def test_grounding_needs_actions(self):
+        i = self.reg.register_interpretation(interp())
+        with pytest.raises(ValueError, match="at least one"):
+            self.reg.register_grounding(i, [])
+
+    def test_grounding_single_engine(self):
+        i = self.reg.register_interpretation(interp())
+        with pytest.raises(ValueError, match="one engine"):
+            self.reg.register_grounding(
+                i, [SystemAction("psql", "DELETE"), SystemAction("lsm", "tombstone")]
+            )
+
+    def test_register_and_fetch_grounding(self):
+        i = self.reg.register_interpretation(interp())
+        g = self.reg.register_grounding(i, [SystemAction("psql", "DELETE")])
+        assert self.reg.grounding("erasure", "delete", "psql") is g
+        with pytest.raises(KeyError, match="no grounding"):
+            self.reg.grounding("erasure", "delete", "mongodb")
+
+    def test_groundings_for_engine_sorted(self):
+        weak = self.reg.register_interpretation(interp("weak", 1))
+        strong = self.reg.register_interpretation(interp("strong", 3))
+        self.reg.register_grounding(strong, [SystemAction("psql", "VACUUM FULL")])
+        self.reg.register_grounding(weak, [SystemAction("psql", "flag")])
+        names = [g.interpretation.name for g in self.reg.groundings_for("erasure", "psql")]
+        assert names == ["weak", "strong"]
+
+    def test_select_and_satisfies(self):
+        weak = self.reg.register_interpretation(interp("weak", 1))
+        strong = self.reg.register_interpretation(interp("strong", 3))
+        g = self.reg.register_grounding(strong, [SystemAction("psql", "VACUUM FULL")])
+        self.reg.select(g)
+        assert self.reg.selected("erasure", "psql") is g
+        # A regulator requiring only the weak interpretation is satisfied.
+        assert self.reg.satisfies("erasure", "psql", weak)
+        assert self.reg.satisfies("erasure", "psql", strong)
+
+    def test_weak_selection_does_not_satisfy_strict_requirement(self):
+        weak = self.reg.register_interpretation(interp("weak", 1))
+        strong = self.reg.register_interpretation(interp("strong", 3))
+        g = self.reg.register_grounding(weak, [SystemAction("psql", "flag")])
+        self.reg.select(g)
+        assert not self.reg.satisfies("erasure", "psql", strong)
+
+    def test_cannot_select_unimplementable(self):
+        i = self.reg.register_interpretation(interp("permanent", 4))
+        g = self.reg.register_grounding(
+            i, [SystemAction("psql", "sanitize", supported=False)]
+        )
+        with pytest.raises(ValueError, match="unimplementable"):
+            self.reg.select(g)
+
+    def test_render_mentions_selection(self):
+        i = self.reg.register_interpretation(interp())
+        g = self.reg.register_grounding(i, [SystemAction("psql", "DELETE")])
+        self.reg.select(g)
+        assert "(selected)" in self.reg.render()

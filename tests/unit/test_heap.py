@@ -1,0 +1,143 @@
+"""Unit tests for heap files — vacuum vs rewrite semantics."""
+
+import pytest
+
+from repro.storage.heap import HeapFile
+from repro.storage.page import PAGE_SIZE, TUPLE_OVERHEAD
+
+
+def fill(heap, n, size=100, prefix="k"):
+    return {f"{prefix}{i}": heap.insert(f"{prefix}{i}", f"v{i}", size) for i in range(n)}
+
+
+class TestHeapInsert:
+    def test_spills_to_new_pages(self):
+        heap = HeapFile("t")
+        per_page = PAGE_SIZE // (100 + TUPLE_OVERHEAD)
+        fill(heap, per_page + 1)
+        assert heap.page_count == 2
+
+    def test_fetch_returns_inserted_tuple(self):
+        heap = HeapFile("t")
+        tid = heap.insert("k", "payload", 50)
+        slot = heap.fetch(tid)
+        assert slot.key == "k" and slot.payload == "payload"
+
+    def test_statistics(self):
+        heap = HeapFile("t")
+        fill(heap, 10)
+        assert heap.live_tuples == 10
+        assert heap.dead_tuples == 0
+        assert heap.live_bytes == 10 * (100 + TUPLE_OVERHEAD)
+        assert heap.total_bytes == heap.page_count * PAGE_SIZE
+
+
+class TestHeapDelete:
+    def test_mark_dead_updates_stats(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 10)
+        heap.mark_dead(tids["k0"])
+        heap.mark_dead(tids["k1"])
+        assert heap.live_tuples == 8
+        assert heap.dead_tuples == 2
+        assert heap.dead_fraction == pytest.approx(0.2)
+
+    def test_dead_fraction_empty_heap(self):
+        assert HeapFile("t").dead_fraction == 0.0
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_but_file_does_not_shrink(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 200)
+        pages_before = heap.page_count
+        for i in range(100):
+            heap.mark_dead(tids[f"k{i}"])
+        assert heap.vacuum() == 100
+        assert heap.dead_tuples == 0
+        assert heap.page_count == pages_before  # VACUUM never shrinks
+        assert heap.live_tuples == 100
+
+    def test_vacuum_makes_space_reusable(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 200)
+        pages_before = heap.page_count
+        for k in list(tids)[:100]:
+            heap.mark_dead(tids[k])
+        heap.vacuum()
+        fill(heap, 90, prefix="new")
+        assert heap.page_count == pages_before  # reused the holes
+
+    def test_without_vacuum_deletes_grow_the_file(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 200)
+        pages_before = heap.page_count
+        for k in list(tids)[:100]:
+            heap.mark_dead(tids[k])
+        fill(heap, 100, prefix="new")  # no vacuum: holes not reusable
+        assert heap.page_count > pages_before
+
+    def test_vacuum_keeps_tids_valid(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 50)
+        heap.mark_dead(tids["k0"])
+        heap.vacuum()
+        assert heap.fetch(tids["k10"]).key == "k10"
+
+    def test_vacuum_on_clean_heap_is_zero(self):
+        heap = HeapFile("t")
+        fill(heap, 10)
+        assert heap.vacuum() == 0
+
+
+class TestRewrite:
+    def test_rewrite_shrinks_file(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 200)
+        for k in list(tids)[:150]:
+            heap.mark_dead(tids[k])
+        pages_before = heap.page_count
+        mapping = heap.rewrite()
+        assert heap.page_count < pages_before
+        assert heap.live_tuples == 50
+        assert heap.dead_tuples == 0
+        assert len(mapping) == 50
+
+    def test_rewrite_mapping_points_at_survivors(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 20)
+        heap.mark_dead(tids["k3"])
+        mapping = heap.rewrite()
+        assert "k3" not in mapping
+        tid, slot = mapping["k7"]
+        assert heap.fetch(tid).payload == slot.payload == "v7"
+
+    def test_rewrite_of_empty_heap(self):
+        heap = HeapFile("t")
+        assert heap.rewrite() == {}
+        assert heap.page_count == 0
+
+
+class TestScans:
+    def test_scan_yields_live_only(self):
+        heap = HeapFile("t")
+        tids = fill(heap, 5)
+        heap.mark_dead(tids["k2"])
+        keys = [slot.key for _tid, slot in heap.scan()]
+        assert keys == ["k0", "k1", "k3", "k4"]
+
+    def test_scan_all_shows_physically_retained_dead(self):
+        """The illegal-retention window: dead data visible to forensics."""
+        heap = HeapFile("t")
+        tids = fill(heap, 3)
+        heap.mark_dead(tids["k1"])
+        dead_keys = [s.key for _t, s in heap.scan_all() if not s.live]
+        assert dead_keys == ["k1"]
+        heap.vacuum()
+        assert all(s.live for _t, s in heap.scan_all())
+
+    def test_overwrite_in_place(self):
+        heap = HeapFile("t")
+        tid = heap.insert("k", "old", 10)
+        heap.overwrite(tid, "new")
+        assert heap.fetch(tid).payload == "new"

@@ -1,0 +1,284 @@
+"""Unit tests for the LSM substrate — tombstones and retention."""
+
+import pytest
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.engine import LSMEngine
+from repro.lsm.memtable import TOMBSTONE, Memtable
+from repro.lsm.sstable import SSTable
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+
+
+def make_engine(**kwargs):
+    clock = SimClock()
+    cost = CostModel(clock, CostBook())
+    kwargs.setdefault("memtable_capacity", 8)
+    kwargs.setdefault("tier_threshold", 3)
+    return LSMEngine(cost, **kwargs), clock
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(1_000)
+        for i in range(1_000):
+            bloom.add(f"key-{i}")
+        assert all(f"key-{i}" in bloom for i in range(1_000))
+
+    def test_low_false_positive_rate(self):
+        bloom = BloomFilter(1_000, fp_rate=0.01)
+        for i in range(1_000):
+            bloom.add(f"key-{i}")
+        fps = sum(1 for i in range(10_000) if f"absent-{i}" in bloom)
+        assert fps < 300  # ~1% expected; generous bound
+
+    def test_invalid_fp_rate(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, fp_rate=1.5)
+
+    def test_sizing(self):
+        small = BloomFilter(10)
+        big = BloomFilter(100_000)
+        assert big.bit_size > small.bit_size
+        assert big.size_bytes > small.size_bytes
+        assert small.hash_count >= 1
+
+
+class TestMemtable:
+    def test_put_get(self):
+        mt = Memtable(4)
+        mt.put("a", 1, seqno=1)
+        assert mt.get("a") == (1, 1)
+        assert mt.get("missing") is None
+
+    def test_overwrite_keeps_latest(self):
+        mt = Memtable(4)
+        mt.put("a", 1, seqno=1)
+        mt.put("a", 2, seqno=5)
+        assert mt.get("a") == (5, 2)
+        assert len(mt) == 1
+
+    def test_is_full(self):
+        mt = Memtable(2)
+        mt.put("a", 1, 1)
+        assert not mt.is_full
+        mt.put("b", 2, 2)
+        assert mt.is_full
+
+    def test_sorted_entries(self):
+        mt = Memtable(8)
+        mt.put("c", 3, 3)
+        mt.put("a", 1, 1)
+        mt.put("b", 2, 2)
+        assert [k for k, _s, _v in mt.sorted_entries()] == ["a", "b", "c"]
+
+    def test_tombstone_count(self):
+        mt = Memtable(8)
+        mt.put("a", TOMBSTONE, 1)
+        mt.put("b", 2, 2)
+        assert mt.tombstone_count() == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Memtable(0)
+
+
+class TestSSTable:
+    def _run(self, entries=None):
+        entries = entries or [("a", 1, "va"), ("b", 2, TOMBSTONE), ("c", 3, "vc")]
+        return SSTable(entries, payload_bytes=70, created_at=0)
+
+    def test_get(self):
+        run = self._run()
+        assert run.get("a") == (1, "va")
+        assert run.get("b") == (2, TOMBSTONE)
+        assert run.get("zz") is None
+
+    def test_bloom_negative(self):
+        run = self._run()
+        assert run.might_contain("a")
+
+    def test_counts(self):
+        run = self._run()
+        assert len(run) == 3
+        assert run.tombstone_count == 1
+        assert run.value_count == 2
+
+    def test_size_bytes_tombstones_cheaper(self):
+        values = SSTable([("a", 1, "v"), ("b", 2, "v")], 70, 0)
+        tombs = SSTable([("a", 1, TOMBSTONE), ("b", 2, TOMBSTONE)], 70, 0)
+        assert tombs.size_bytes < values.size_bytes
+
+    def test_range(self):
+        run = self._run()
+        assert [k for k, _s, _v in run.range("a", "b")] == ["a", "b"]
+
+    def test_min_max_key(self):
+        run = self._run()
+        assert run.min_key == "a" and run.max_key == "c"
+
+    def test_physically_contains_value(self):
+        run = self._run()
+        assert run.physically_contains_value("a")
+        assert not run.physically_contains_value("b")  # tombstone, not value
+
+
+class TestLSMEngineBasics:
+    def test_put_get_roundtrip(self):
+        eng, _ = make_engine()
+        eng.put("k", "v")
+        assert eng.get("k") == "v"
+        assert eng.get("missing") is None
+
+    def test_delete_hides_value(self):
+        eng, _ = make_engine()
+        eng.put("k", "v")
+        eng.delete("k")
+        assert eng.get("k") is None
+
+    def test_flush_on_capacity(self):
+        eng, _ = make_engine(memtable_capacity=4)
+        for i in range(4):
+            eng.put(f"k{i}", i)
+        assert eng.flush_count == 1
+        assert eng.run_count == 1
+        assert eng.get("k2") == 2
+
+    def test_get_across_runs_prefers_newest(self):
+        eng, _ = make_engine(memtable_capacity=2, tier_threshold=10)
+        eng.put("k", "old")
+        eng.put("x1", 1)  # flush 1
+        eng.put("k", "new")
+        eng.put("x2", 2)  # flush 2
+        assert eng.get("k") == "new"
+
+    def test_range_merges_and_skips_tombstones(self):
+        eng, _ = make_engine(memtable_capacity=4, tier_threshold=10)
+        for i in range(8):
+            eng.put(f"k{i}", i)
+        eng.delete("k3")
+        got = eng.range("k0", "k9")
+        assert ("k3", 3) not in got
+        assert ("k5", 5) in got
+        assert got == sorted(got)
+
+    def test_flush_empty_memtable_is_noop(self):
+        eng, _ = make_engine()
+        assert eng.flush() is None
+
+    def test_invalid_tier_threshold(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            LSMEngine(CostModel(clock), tier_threshold=1)
+
+
+class TestCompaction:
+    def test_tiered_compaction_bounds_run_count(self):
+        eng, _ = make_engine(memtable_capacity=4, tier_threshold=3)
+        for i in range(100):
+            eng.put(f"k{i:03d}", i)
+        assert eng.run_count < 6
+        assert eng.compaction_count >= 1
+        for i in range(0, 100, 17):
+            assert eng.get(f"k{i:03d}") == i
+
+    def test_compaction_drops_overwritten_versions(self):
+        eng, _ = make_engine(memtable_capacity=2, tier_threshold=2)
+        for round_ in range(6):
+            eng.put("hot", round_)
+            eng.put(f"filler{round_}", round_)
+        assert eng.get("hot") == 5
+
+    def test_tombstone_survives_intermediate_compaction(self):
+        """A tombstone must not be dropped while older runs hold the value."""
+        eng, _ = make_engine(memtable_capacity=2, tier_threshold=10)
+        eng.put("k", "v")
+        eng.put("a1", 1)  # run with the value (oldest)
+        eng.delete("k")
+        eng.put("a2", 2)  # run with tombstone
+        # compact only the two newest runs: output is NOT the oldest run
+        eng._compact(list(eng.runs())[:1])
+        assert eng.get("k") is None  # still deleted
+
+    def test_full_compaction_purges_tombstones(self):
+        eng, _ = make_engine(memtable_capacity=2, tier_threshold=10)
+        eng.put("k", "v")
+        eng.put("a1", 1)
+        eng.delete("k")
+        eng.put("a2", 2)
+        assert eng.tombstone_count >= 1
+        eng.full_compaction()
+        assert eng.tombstone_count == 0
+        assert eng.run_count == 1
+        assert eng.get("k") is None
+
+
+class TestRetention:
+    def test_deleted_value_physically_retained_until_compaction(self):
+        """The §1 hazard: tombstoned data recoverable from older runs."""
+        eng, _ = make_engine(memtable_capacity=2, tier_threshold=10)
+        eng.put("pii", "sensitive")
+        eng.put("f1", 1)  # flush the value into a run
+        eng.delete("pii")
+        eng.put("f2", 2)  # flush the tombstone
+        assert eng.get("pii") is None          # logically gone
+        assert eng.physically_present("pii")   # physically retained!
+        assert len(eng.unpurged_deletions()) == 1
+        eng.full_compaction()
+        assert not eng.physically_present("pii")
+        assert eng.unpurged_deletions() == []
+
+    def test_retention_window_measured(self):
+        eng, clock = make_engine(memtable_capacity=2, tier_threshold=10)
+        eng.put("pii", "x")
+        eng.put("f1", 1)
+        eng.delete("pii")
+        eng.put("f2", 2)
+        clock.charge(10_000)  # time passes with the value still on disk
+        eng.full_compaction()
+        record = eng.retention_records()[0]
+        assert record.purged_at is not None
+        assert record.window >= 10_000
+
+    def test_reinsert_cancels_retention_question(self):
+        eng, _ = make_engine(memtable_capacity=100)
+        eng.put("k", "v1")
+        eng.delete("k")
+        eng.put("k", "v2")
+        assert eng.retention_records() == []
+        assert eng.get("k") == "v2"
+
+    def test_delete_never_flushed_purges_at_flush(self):
+        eng, _ = make_engine(memtable_capacity=100)
+        eng.put("k", "v")
+        eng.delete("k")   # both still in memtable
+        eng.flush()       # value never hits a run without its tombstone...
+        # the tombstone shadows within the same run: value was overwritten
+        assert not eng.physically_present("k")
+
+
+class TestCosts:
+    def test_reads_cost_grows_with_runs(self):
+        """Read amplification: more runs -> more probes for missing keys."""
+        few, clock_few = make_engine(memtable_capacity=4, tier_threshold=100)
+        many, clock_many = make_engine(memtable_capacity=4, tier_threshold=100)
+        for i in range(8):
+            few.put(f"k{i}", i)
+        for i in range(64):
+            many.put(f"k{i}", i)
+        w1 = clock_few.stopwatch()
+        for i in range(8):
+            few.get(f"k{i}")
+        cost_few = w1.stop()
+        w2 = clock_many.stopwatch()
+        for i in range(8):
+            many.get(f"k{i}")
+        cost_many = w2.stop()
+        assert cost_many > cost_few
+
+    def test_delete_is_cheap(self):
+        eng, clock = make_engine(memtable_capacity=1_000)
+        eng.put("k", "v")
+        before = clock.now
+        eng.delete("k")
+        assert clock.now - before == CostBook().memtable_op

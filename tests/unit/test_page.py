@@ -1,0 +1,122 @@
+"""Unit tests for heap pages — out-of-place deletes and pruning."""
+
+import pytest
+
+from repro.storage.errors import PageFullError
+from repro.storage.page import PAGE_SIZE, TUPLE_OVERHEAD, Page
+
+
+class TestPageInsert:
+    def test_insert_returns_stable_slot_numbers(self):
+        page = Page(0)
+        assert page.insert("a", "va", 100) == 0
+        assert page.insert("b", "vb", 100) == 1
+        assert page.slot(0).key == "a"
+
+    def test_free_space_accounting(self):
+        page = Page(0)
+        page.insert("a", "v", 100)
+        assert page.free_bytes == PAGE_SIZE - 100 - TUPLE_OVERHEAD
+        assert page.live_bytes == 100 + TUPLE_OVERHEAD
+
+    def test_fits(self):
+        page = Page(0)
+        assert page.fits(PAGE_SIZE - TUPLE_OVERHEAD)
+        assert not page.fits(PAGE_SIZE)
+
+    def test_overflow_raises(self):
+        page = Page(0)
+        page.insert("a", "v", PAGE_SIZE - TUPLE_OVERHEAD)
+        with pytest.raises(PageFullError):
+            page.insert("b", "v", 1)
+
+
+class TestPageDelete:
+    def test_mark_dead_keeps_space_occupied(self):
+        page = Page(0)
+        page.insert("a", "v", 100)
+        free_before = page.free_bytes
+        page.mark_dead(0)
+        assert page.free_bytes == free_before  # DELETE frees nothing
+        assert page.live_count == 0
+        assert page.dead_count == 1
+        assert page.dead_bytes == 100 + TUPLE_OVERHEAD
+
+    def test_double_delete_rejected(self):
+        page = Page(0)
+        page.insert("a", "v", 100)
+        page.mark_dead(0)
+        with pytest.raises(ValueError, match="already dead"):
+            page.mark_dead(0)
+
+    def test_dead_slot_still_fetchable(self):
+        """Dead tuples are physically present — the retention hazard."""
+        page = Page(0)
+        page.insert("a", "secret", 100)
+        page.mark_dead(0)
+        assert page.slot(0).payload == "secret"
+        assert not page.slot(0).live
+
+
+class TestPagePrune:
+    def test_prune_reclaims_dead_space(self):
+        page = Page(0)
+        page.insert("a", "v", 100)
+        page.insert("b", "v", 100)
+        page.mark_dead(0)
+        assert page.prune() == 1
+        assert page.dead_count == 0
+        assert page.dead_bytes == 0
+        assert page.free_bytes == PAGE_SIZE - 100 - TUPLE_OVERHEAD
+
+    def test_prune_keeps_slot_numbers_stable(self):
+        page = Page(0)
+        page.insert("a", "v", 100)
+        page.insert("b", "v", 100)
+        page.mark_dead(0)
+        page.prune()
+        assert page.slot(1).key == "b"  # survivor kept its slot number
+        with pytest.raises(IndexError, match="vacuumed away"):
+            page.slot(0)
+
+    def test_prune_idempotent(self):
+        page = Page(0)
+        page.insert("a", "v", 100)
+        page.mark_dead(0)
+        page.prune()
+        assert page.prune() == 0
+
+    def test_pruned_space_is_reusable(self):
+        page = Page(0)
+        big = PAGE_SIZE - TUPLE_OVERHEAD
+        page.insert("a", "v", big)
+        page.mark_dead(0)
+        assert not page.fits(big)
+        page.prune()
+        assert page.fits(big)
+        page.insert("b", "v", big)
+
+
+class TestPageIteration:
+    def test_live_slots_excludes_dead_and_holes(self):
+        page = Page(0)
+        page.insert("a", "v", 10)
+        page.insert("b", "v", 10)
+        page.insert("c", "v", 10)
+        page.mark_dead(1)
+        assert [s.key for _, s in page.live_slots()] == ["a", "c"]
+        page.prune()
+        assert [s.key for _, s in page.live_slots()] == ["a", "c"]
+
+    def test_all_slots_includes_dead_but_not_holes(self):
+        page = Page(0)
+        page.insert("a", "v", 10)
+        page.insert("b", "v", 10)
+        page.mark_dead(0)
+        assert [s.key for _, s in page.all_slots()] == ["a", "b"]
+        page.prune()
+        assert [s.key for _, s in page.all_slots()] == ["b"]
+
+    def test_missing_slot_raises(self):
+        with pytest.raises(IndexError, match="no slot"):
+            Page(0).slot(5)

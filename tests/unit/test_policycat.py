@@ -1,0 +1,137 @@
+"""Unit tests for the scalable policy catalog."""
+
+import pytest
+
+from repro.core.policy import Policy, Purpose
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.systems.policycat import ScalablePolicyCatalog
+from repro.systems.profiles import OPERATOR
+from repro.core.entities import controller
+
+OTHER = controller("someone-else")
+
+
+def make_catalog(mode="sieve", template=None):
+    cost = CostModel(SimClock(), CostBook())
+    if template is None:
+        template = [
+            Policy(Purpose.SERVICE, OPERATOR, 0, 10**9),
+            Policy(Purpose.SERVICE, OPERATOR, 0, 1),  # expired
+            Policy(Purpose.RETENTION, OPERATOR, 0, 10**9),
+        ]
+    return ScalablePolicyCatalog(cost, mode, template), cost
+
+
+class TestCatalogBasics:
+    def test_invalid_mode(self):
+        cost = CostModel(SimClock(), CostBook())
+        with pytest.raises(ValueError):
+            ScalablePolicyCatalog(cost, "naive", [Policy(Purpose.SERVICE, OPERATOR, 0, 1)])
+
+    def test_empty_template_rejected(self):
+        cost = CostModel(SimClock(), CostBook())
+        with pytest.raises(ValueError):
+            ScalablePolicyCatalog(cost, "sieve", [])
+
+    def test_attach_detach_counts(self):
+        cat, _ = make_catalog()
+        cat.attach_unit(1)
+        cat.attach_unit(2)
+        assert cat.unit_count == 2
+        assert cat.policy_count == 6
+        assert cat.detach_unit(1) == 3
+        assert cat.detach_unit(1) == 0
+        assert cat.unit_count == 1
+
+    def test_policies_per_unit(self):
+        cat, _ = make_catalog()
+        assert cat.policies_per_unit == 3
+
+
+class TestCatalogDecisions:
+    def test_member_allowed_for_covered_purpose(self):
+        cat, _ = make_catalog()
+        cat.attach_unit(7)
+        allowed, evaluated = cat.evaluate(7, OPERATOR, Purpose.SERVICE, at=100)
+        assert allowed and evaluated >= 1
+
+    def test_member_denied_for_uncovered_purpose(self):
+        cat, _ = make_catalog()
+        cat.attach_unit(7)
+        allowed, _ = cat.evaluate(7, OPERATOR, Purpose.ADVERTISING, at=100)
+        assert not allowed
+
+    def test_wrong_entity_denied(self):
+        cat, _ = make_catalog()
+        cat.attach_unit(7)
+        allowed, _ = cat.evaluate(7, OTHER, Purpose.SERVICE, at=100)
+        assert not allowed
+
+    def test_nonmember_denied(self):
+        cat, _ = make_catalog()
+        allowed, evaluated = cat.evaluate(99, OPERATOR, Purpose.SERVICE, at=100)
+        assert not allowed and evaluated == 0
+
+    def test_expired_window_denied(self):
+        cat, _ = make_catalog(
+            template=[Policy(Purpose.SERVICE, OPERATOR, 0, 10)]
+        )
+        cat.attach_unit(1)
+        allowed, _ = cat.evaluate(1, OPERATOR, Purpose.SERVICE, at=100)
+        assert not allowed
+
+    def test_sieve_evaluates_guard_candidates_only(self):
+        """Sieve looks only at the (entity, purpose) guard's policies."""
+        cat, _ = make_catalog("sieve")
+        cat.attach_unit(1)
+        _allowed, evaluated = cat.evaluate(1, OPERATOR, Purpose.RETENTION, 100)
+        assert evaluated == 1  # one retention policy, not the whole template
+
+    def test_joined_scans_template(self):
+        cat, _ = make_catalog("joined")
+        cat.attach_unit(1)
+        _allowed, evaluated = cat.evaluate(1, OPERATOR, Purpose.RETENTION, 100)
+        assert evaluated == 3  # scanned service x2 before retention
+
+
+class TestCatalogCosts:
+    def test_joined_charges_join(self):
+        cat, cost = make_catalog("joined")
+        cat.attach_unit(1)
+        before = cost.clock.spent("policy")
+        cat.evaluate(1, OPERATOR, Purpose.SERVICE, 100)
+        spent = cost.clock.spent("policy") - before
+        assert spent >= CostBook().policy_table_join
+
+    def test_sieve_charges_lookup_and_guard_inserts(self):
+        cat, cost = make_catalog("sieve")
+        cat.attach_unit(1)
+        attach_spend = cost.clock.spent("policy")
+        # 3 template policies: row insert + guard maintenance each
+        expected = 3 * (CostBook().policy_insert + CostBook().sieve_guard_insert)
+        assert attach_spend == pytest.approx(expected)
+        cat.evaluate(1, OPERATOR, Purpose.SERVICE, 100)
+        assert cost.clock.spent("policy") - attach_spend >= CostBook().sieve_index_lookup
+
+    def test_joined_attach_cheaper_than_sieve(self):
+        joined, jcost = make_catalog("joined")
+        sieve, scost = make_catalog("sieve")
+        joined.attach_unit(1)
+        sieve.attach_unit(1)
+        assert scost.clock.spent("policy") > jcost.clock.spent("policy")
+
+
+class TestCatalogSpace:
+    def test_joined_adds_no_bytes_beyond_meta_table(self):
+        cat, _ = make_catalog("joined")
+        cat.attach_unit(1)
+        assert cat.size_bytes == 0
+
+    def test_sieve_bytes_scale_with_units(self):
+        cat, _ = make_catalog("sieve")
+        cat.attach_unit(1)
+        one = cat.size_bytes
+        cat.attach_unit(2)
+        assert cat.size_bytes == 2 * one
+        assert one > 0

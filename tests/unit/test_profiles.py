@@ -1,0 +1,140 @@
+"""Unit tests for the three compliance profiles (§4.2 mechanics)."""
+
+import pytest
+
+from repro.systems import PROFILES, make_profile
+from repro.systems.profiles import (
+    DATA_TABLE,
+    META_TABLE,
+    PLAIN_TABLE,
+    ProfileConfig,
+)
+from repro.workloads.base import OpKind, Operation
+from repro.workloads.gdprbench import customer_workload
+from repro.workloads.ycsb import ycsb_c_workload
+
+
+def loaded_profile(name, n=200, **config_overrides):
+    config = ProfileConfig(**config_overrides) if config_overrides else None
+    profile = make_profile(name, config=config)
+    profile.load(n)
+    return profile
+
+
+class TestFactory:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"P_Base", "P_GBench", "P_SYS"}
+        for name in PROFILES:
+            assert make_profile(name).name == name
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            make_profile("P_Unknown")
+
+
+class TestLoadPhase:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_load_populates_data_table(self, name):
+        profile = loaded_profile(name)
+        assert profile.engine.stats(DATA_TABLE).live_tuples == 200
+        assert profile.space.report().personal_bytes == 200 * 70
+
+    def test_pbase_inlines_metadata(self):
+        profile = loaded_profile("P_Base")
+        assert not profile.engine.has_table(META_TABLE)
+
+    @pytest.mark.parametrize("name", ["P_GBench", "P_SYS"])
+    def test_separate_metadata_table(self, name):
+        profile = loaded_profile(name)
+        assert profile.engine.stats(META_TABLE).live_tuples == 200
+
+    def test_pbase_logs_loads_rowlevel(self):
+        profile = loaded_profile("P_Base")
+        assert profile.csvlog.row_count == 200
+
+    def test_pgbench_loads_statement_level(self):
+        profile = loaded_profile("P_GBench")
+        assert profile.querylog.record_count == 0
+
+    def test_psys_logs_decisions_on_load(self):
+        profile = loaded_profile("P_SYS")
+        assert profile.decisions.record_count == 200
+        assert profile.querylog.record_count == 0
+
+
+class TestExecutePaths:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_crud_cycle(self, name):
+        profile = loaded_profile(name, vacuum_interval=10, vacuum_full_interval=10)
+        profile.execute(Operation(OpKind.READ, 5))
+        profile.execute(Operation(OpKind.UPDATE, 5))
+        profile.execute(Operation(OpKind.READ_META, 5))
+        profile.execute(Operation(OpKind.UPDATE_META, 5))
+        profile.execute(Operation(OpKind.DELETE, 5))
+        profile.execute(Operation(OpKind.CREATE, 900))
+        profile.execute(Operation(OpKind.READ_BY_META, 900))
+        assert profile.denials == 0
+
+    def test_pbase_erase_vacuums_at_interval(self):
+        profile = loaded_profile("P_Base", vacuum_interval=3)
+        for key in (1, 2, 3):
+            profile.execute(Operation(OpKind.DELETE, key))
+        assert profile.engine.vacuum_count == 1
+        assert profile.engine.stats(DATA_TABLE).dead_tuples == 0
+
+    def test_pgbench_erase_leaves_dead_tuples(self):
+        profile = loaded_profile("P_GBench")
+        for key in range(10):
+            profile.execute(Operation(OpKind.DELETE, key))
+        assert profile.engine.vacuum_count == 0
+        assert profile.engine.stats(DATA_TABLE).dead_tuples == 10
+
+    def test_psys_erase_purges_prior_traces(self):
+        """Every pre-erase trace is purged; the erase's own record survives
+        (written after the purge) — the evidence that the erase happened."""
+        profile = loaded_profile("P_SYS")
+        profile.execute(Operation(OpKind.READ, 7))
+        profile.execute(Operation(OpKind.UPDATE, 7))
+        profile.execute(Operation(OpKind.DELETE, 7))
+        qlog = profile.querylog.records_for_key(DATA_TABLE, 7)
+        assert [r.query.split()[0] for r in qlog] == ["DELETE"]
+        decisions = profile.decisions.decisions_for_unit("7")
+        assert len(decisions) == 1
+        assert profile.engine.wal.records_for_key(DATA_TABLE, 7) == []
+
+    def test_psys_vacuum_full_at_interval(self):
+        profile = loaded_profile("P_SYS", vacuum_full_interval=4)
+        for key in range(4):
+            profile.execute(Operation(OpKind.DELETE, key))
+        assert profile.engine.vacuum_full_count == 1
+
+    def test_nonpersonal_ops_skip_machinery(self):
+        profile = make_profile("P_SYS")
+        result = profile.run(ycsb_c_workload(100, 50), personal=False)
+        assert profile.engine.has_table(PLAIN_TABLE)
+        assert profile.decisions.record_count == 0
+        assert profile.querylog.record_count == 0
+        assert result.denials == 0
+
+
+class TestRunResults:
+    def test_result_fields(self):
+        profile = make_profile("P_Base")
+        result = profile.run(customer_workload(500, 100))
+        assert result.profile == "P_Base"
+        assert result.workload == "WCus"
+        assert result.record_count == 500
+        assert result.transaction_count == 100
+        assert result.total_seconds == pytest.approx(
+            result.load_seconds + result.txn_seconds
+        )
+        assert result.total_minutes == pytest.approx(result.total_seconds / 60)
+        assert sum(result.breakdown.values()) == pytest.approx(
+            result.total_seconds, rel=1e-6
+        )
+
+    def test_space_report_attached(self):
+        profile = make_profile("P_GBench")
+        result = profile.run(customer_workload(500, 100))
+        assert result.space.system == "P_GBench"
+        assert result.space.personal_bytes == 500 * 70

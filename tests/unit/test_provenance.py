@@ -1,0 +1,96 @@
+"""Unit tests for the provenance graph — strong delete & II inputs."""
+
+import pytest
+
+from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
+
+
+def dep(base="x", derived="y", kind=DependencyKind.COPY, invertible=True, identifying=True):
+    return Dependency(base, derived, kind, invertible, identifying)
+
+
+class TestProvenanceGraph:
+    def test_record_and_query(self):
+        g = ProvenanceGraph()
+        g.record(dep())
+        assert "x" in g and "y" in g
+        assert [d.derived_id for d in g.derivations_of("x")] == ["y"]
+        assert [d.base_id for d in g.dependencies_of("y")] == ["x"]
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="cannot derive from itself"):
+            ProvenanceGraph().record(dep(base="x", derived="x"))
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = ProvenanceGraph()
+        g.record(dep("a", "b"))
+        g.record(dep("b", "c"))
+        with pytest.raises(ValueError, match="cycle"):
+            g.record(dep("c", "a"))
+        # graph unchanged by the failed insert
+        assert g.edge_count() == 2
+
+    def test_descendants_transitive(self):
+        g = ProvenanceGraph()
+        g.record(dep("a", "b"))
+        g.record(dep("b", "c"))
+        g.record(dep("a", "d"))
+        assert g.descendants("a") == {"b", "c", "d"}
+        assert g.ancestors("c") == {"a", "b"}
+
+    def test_identifying_descendants_stops_at_anonymizing_edge(self):
+        """Strong delete only cascades where the subject is identifiable."""
+        g = ProvenanceGraph()
+        g.record(dep("a", "b", identifying=True))
+        g.record(dep("b", "c", identifying=False))  # anonymized beyond here
+        g.record(dep("c", "d", identifying=True))
+        assert g.identifying_descendants("a") == {"b"}
+
+    def test_reconstruction_witnesses_forward_invertible(self):
+        """x erased, y = f(x) survives with invertible f ⇒ II witness."""
+        g = ProvenanceGraph()
+        g.record(dep("x", "y", DependencyKind.COPY, invertible=True))
+        assert len(g.reconstruction_witnesses("x", ["y"])) == 1
+
+    def test_no_witness_for_lossy_derivation(self):
+        g = ProvenanceGraph()
+        g.record(dep("x", "y", DependencyKind.AGGREGATE, invertible=False))
+        assert g.reconstruction_witnesses("x", ["y"]) == []
+
+    def test_no_witness_when_derivation_also_erased(self):
+        g = ProvenanceGraph()
+        g.record(dep("x", "y", DependencyKind.COPY, invertible=True))
+        assert g.reconstruction_witnesses("x", []) == []
+
+    def test_witness_via_surviving_base_copy(self):
+        """x was a copy of base b; b survives ⇒ x recomputable."""
+        g = ProvenanceGraph()
+        g.record(dep("b", "x", DependencyKind.COPY, invertible=False))
+        assert len(g.reconstruction_witnesses("x", ["b"])) == 1
+
+    def test_no_witness_via_surviving_base_inference(self):
+        g = ProvenanceGraph()
+        g.record(dep("b", "x", DependencyKind.INFERENCE, invertible=False))
+        assert g.reconstruction_witnesses("x", ["b"]) == []
+
+    def test_forget_removes_node_and_edges(self):
+        g = ProvenanceGraph()
+        g.record(dep("a", "b"))
+        g.forget("b")
+        assert "b" not in g
+        assert g.derivations_of("a") == []
+        g.forget("not-present")  # no-op
+
+    def test_queries_on_unknown_units_are_empty(self):
+        g = ProvenanceGraph()
+        assert g.descendants("ghost") == set()
+        assert g.ancestors("ghost") == set()
+        assert g.dependencies_of("ghost") == []
+        assert g.derivations_of("ghost") == []
+
+    def test_len_and_units(self):
+        g = ProvenanceGraph()
+        g.add_unit("solo")
+        g.record(dep("a", "b"))
+        assert len(g) == 3
+        assert set(g.units()) == {"solo", "a", "b"}

@@ -1,0 +1,79 @@
+"""Unit tests for the regulation catalogs (Figure 1, §4.3)."""
+
+import pytest
+
+from repro.core.regulation import (
+    Category,
+    all_regulations,
+    ccpa,
+    gdpr,
+    pipeda,
+    vdpa,
+)
+
+
+class TestGDPRCatalog:
+    def test_figure1_category_assignments(self):
+        reg = gdpr()
+        assert {a.number for a in reg.by_category(Category.DISCLOSURE)} == {"13", "14"}
+        assert {a.number for a in reg.by_category(Category.ERASURE)} == {"17"}
+        assert {a.number for a in reg.by_category(Category.RECORD_KEEPING)} == {"30"}
+        assert {a.number for a in reg.by_category(Category.PRE_PROCESSING)} == {
+            "35",
+            "36",
+        }
+        assert {a.number for a in reg.by_category(Category.DESIGN_AND_SECURITY)} == {
+            "25",
+            "32",
+        }
+
+    def test_sharing_category_contains_g6(self):
+        art6 = gdpr().article("6")
+        assert art6.category == Category.SHARING_AND_PROCESSING
+        assert "Lawfulness" in art6.title
+
+    def test_obligations_include_breach_articles(self):
+        numbers = {a.number for a in gdpr().by_category(Category.OBLIGATIONS)}
+        assert {"19", "33", "34", "24", "31"} <= numbers
+
+    def test_unknown_article_raises(self):
+        with pytest.raises(KeyError):
+            gdpr().article("999")
+
+    def test_render_figure1_lists_all_categories(self):
+        text = gdpr().render_figure1()
+        for category in Category:
+            assert category.value in text
+        assert "Do not store data eternally." in text
+
+    def test_every_category_has_invariant_text(self):
+        for article in gdpr():
+            assert article.invariant
+
+
+class TestOtherRegulations:
+    def test_all_four_regulations(self):
+        regs = all_regulations()
+        assert [r.name for r in regs] == ["GDPR", "CCPA", "VDPA", "PIPEDA"]
+
+    def test_every_regulation_has_an_erasure_concept(self):
+        """§4.3: erasure appears in every catalog — with different articles."""
+        for reg in all_regulations():
+            erasure = reg.by_category(Category.ERASURE)
+            assert erasure, f"{reg.name} lacks an erasure category"
+
+    def test_ccpa_delete_right(self):
+        assert ccpa().article("1798.105").category == Category.ERASURE
+
+    def test_vdpa_has_assessment_requirement(self):
+        assert vdpa().by_category(Category.PRE_PROCESSING)
+
+    def test_pipeda_principles(self):
+        assert pipeda().article("4.3").category == Category.SHARING_AND_PROCESSING
+
+    def test_jurisdictions_differ(self):
+        assert len({r.jurisdiction for r in all_regulations()}) == 4
+
+    def test_len_and_iter(self):
+        reg = gdpr()
+        assert len(reg) == len(list(reg)) == 34

@@ -1,0 +1,75 @@
+"""Unit tests for the bench renderers."""
+
+from repro.bench.experiments import Fig4aPoint, ErasureConfig
+from repro.bench.reporting import (
+    render_fig4a,
+    render_fig4b,
+    render_fig4c,
+    render_run_breakdown,
+    render_table1,
+    render_table2,
+)
+from repro.core.erasure import paper_table1
+from repro.systems.profiles import RunResult
+from repro.systems.space import MB, SpaceReport
+
+
+def fake_result(profile="P_Base", workload="WCus", minutes=5.0):
+    return RunResult(
+        profile=profile,
+        workload=workload,
+        record_count=1000,
+        transaction_count=100,
+        load_seconds=minutes * 30,
+        txn_seconds=minutes * 30,
+        breakdown={"storage": minutes * 40, "policy": minutes * 20},
+        space=SpaceReport(profile, 7 * MB, 14 * MB, 0),
+        denials=0,
+        vacuum_count=1,
+        vacuum_full_count=0,
+    )
+
+
+class TestRenderers:
+    def test_table1_contains_all_rows(self):
+        text = render_table1(paper_table1())
+        for label in ("reversibly inaccessible", "delete", "strong delete",
+                      "permanently delete"):
+            assert label in text
+        assert "Not supported" in text
+
+    def test_fig4a_grid(self):
+        series = {
+            config: [Fig4aPoint(1000, 10.0), Fig4aPoint(2000, 20.0)]
+            for config in ErasureConfig
+        }
+        text = render_fig4a(series)
+        assert "1000" in text and "2000" in text
+        assert str(ErasureConfig.TOMBSTONES) in text
+
+    def test_fig4b_rows(self):
+        results = {
+            "WCus": {"P_Base": fake_result(), "P_SYS": fake_result("P_SYS")},
+            "YCSB-C": {"P_Base": fake_result(), "P_SYS": fake_result("P_SYS")},
+        }
+        text = render_fig4b(results)
+        assert "WCus" in text and "YCSB-C" in text
+        assert "P_SYS" in text
+
+    def test_fig4c_lines_and_bars(self):
+        results = {
+            "WCus": {1000: {"P_Base": 1.0}, 2000: {"P_Base": 2.0}},
+            "YCSB-C": {1000: {"P_Base": 0.5}, 2000: {"P_Base": 0.6}},
+        }
+        text = render_fig4c(results)
+        assert "(lines)" in text and "(bars)" in text
+
+    def test_table2_includes_factor(self):
+        text = render_table2([SpaceReport("P_Base", 7 * MB, 14 * MB, 0)])
+        assert "3.0x" in text
+        assert "indices" in text
+
+    def test_run_breakdown_percentages(self):
+        text = render_run_breakdown(fake_result())
+        assert "storage" in text and "%" in text
+        assert "P_Base on WCus" in text

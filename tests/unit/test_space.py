@@ -1,0 +1,64 @@
+"""Unit tests for the space accountant (Table 2 machinery)."""
+
+import pytest
+
+from repro.systems.space import MB, SpaceAccountant, SpaceReport
+
+
+class TestSpaceReport:
+    def test_totals_and_factor(self):
+        report = SpaceReport("X", personal_bytes=7 * MB, metadata_bytes=14 * MB,
+                             index_bytes=0)
+        assert report.total_bytes == 21 * MB
+        assert report.space_factor == pytest.approx(3.0)
+        assert report.personal_mb == pytest.approx(7.0)
+
+    def test_paper_row_rendering(self):
+        report = SpaceReport("P_Base", 7 * MB, 14 * MB, 0)
+        assert report.row() == ("P_Base", "7", "14", "21", "3.0x")
+
+    def test_zero_personal_data(self):
+        assert SpaceReport("X", 0, 0, 0).space_factor == 0.0
+        assert SpaceReport("X", 0, 5, 0).space_factor == float("inf")
+
+    def test_indices_counted_in_total(self):
+        report = SpaceReport("P_GBench", 7 * MB, 10 * MB, 9 * MB)
+        assert report.total_mb == pytest.approx(26.0)
+        assert report.space_factor == pytest.approx(26 / 7)
+
+
+class TestSpaceAccountant:
+    def test_register_and_report(self):
+        acc = SpaceAccountant("sys")
+        acc.register("data", "personal", lambda: 100)
+        acc.register("logs", "metadata", lambda: 50)
+        acc.register("pkey", "index", lambda: 25)
+        report = acc.report()
+        assert report.personal_bytes == 100
+        assert report.metadata_bytes == 50
+        assert report.index_bytes == 25
+
+    def test_providers_are_live(self):
+        acc = SpaceAccountant("sys")
+        state = {"n": 10}
+        acc.register("x", "personal", lambda: state["n"])
+        assert acc.report().personal_bytes == 10
+        state["n"] = 99
+        assert acc.report().personal_bytes == 99
+
+    def test_invalid_class_rejected(self):
+        acc = SpaceAccountant("sys")
+        with pytest.raises(ValueError, match="storage_class"):
+            acc.register("x", "junk", lambda: 0)
+
+    def test_duplicate_provider_rejected(self):
+        acc = SpaceAccountant("sys")
+        acc.register("x", "personal", lambda: 0)
+        with pytest.raises(ValueError, match="already registered"):
+            acc.register("x", "metadata", lambda: 0)
+
+    def test_breakdown(self):
+        acc = SpaceAccountant("sys")
+        acc.register("a", "personal", lambda: 1)
+        acc.register("b", "metadata", lambda: 2)
+        assert acc.breakdown() == {"a": 1, "b": 2}

@@ -1,0 +1,68 @@
+"""Unit tests for subject access requests (GDPR Art. 15)."""
+
+import pytest
+
+from repro.core.erasure import ErasureInterpretation
+from repro.core.entities import controller, data_subject
+from repro.core.policy import Policy, Purpose
+from repro.systems.database import SUBJECT_ACCESS_PURPOSE, CompliantDatabase
+
+NETFLIX = controller("Netflix")
+USER = data_subject("u1")
+OTHER = data_subject("u2")
+WINDOW = (0, 10**12)
+
+
+@pytest.fixture
+def db():
+    database = CompliantDatabase(NETFLIX)
+    for uid, subject in (("a", USER), ("b", USER), ("c", OTHER)):
+        database.collect(
+            uid,
+            subject,
+            "app",
+            {"unit": uid},
+            policies=[Policy(Purpose.SERVICE, NETFLIX, *WINDOW)],
+            erase_deadline=10**12,
+        )
+    return database
+
+
+class TestSubjectAccess:
+    def test_returns_only_the_subjects_units(self, db):
+        result = db.subject_access_request(USER)
+        assert {u.unit_id for u in result.units} == {"a", "b"}
+
+    def test_includes_values_policies_and_history_counts(self, db):
+        db.read("a", NETFLIX, Purpose.SERVICE)
+        result = db.subject_access_request(USER)
+        unit = next(u for u in result.units if u.unit_id == "a")
+        assert unit.value == {"unit": "a"}
+        purposes = {p[0] for p in unit.policies}
+        assert Purpose.SERVICE in purposes
+        assert Purpose.COMPLIANCE_ERASE in purposes
+        assert unit.action_count >= 3  # contract + create + read
+
+    def test_erased_units_reported_without_value(self, db):
+        db.erase("a", interpretation=ErasureInterpretation.DELETED)
+        result = db.subject_access_request(USER)
+        unit = next(u for u in result.units if u.unit_id == "a")
+        assert unit.erased and unit.value is None
+
+    def test_sar_reads_are_lawful_and_recorded(self, db):
+        db.subject_access_request(USER)
+        entries = [
+            e for e in db.history.of("a") if e.purpose == SUBJECT_ACCESS_PURPOSE
+        ]
+        assert len(entries) == 1
+        assert db.check_compliance().compliant
+
+    def test_render_lists_units(self, db):
+        text = db.subject_access_request(USER).render()
+        assert "2 data unit(s)" in text
+        assert "policy ⟨" in text
+
+    def test_unknown_subject_gets_empty_result(self, db):
+        stranger = data_subject("nobody")
+        result = db.subject_access_request(stranger)
+        assert result.units == ()

@@ -1,0 +1,85 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.storage.wal import RECORD_BYTES, WalRecordType, WriteAheadLog
+
+
+def make_wal(group_size=4):
+    clock = SimClock()
+    cost = CostModel(clock, CostBook())
+    return WriteAheadLog(cost, group_size=group_size), clock
+
+
+class TestAppend:
+    def test_lsns_are_monotone(self):
+        wal, _ = make_wal()
+        r1 = wal.append(WalRecordType.INSERT, "t", "k1")
+        r2 = wal.append(WalRecordType.DELETE, "t", "k2")
+        assert r2.lsn == r1.lsn + 1
+
+    def test_group_commit_batches_fsyncs(self):
+        wal, clock = make_wal(group_size=4)
+        for i in range(8):
+            wal.append(WalRecordType.INSERT, "t", i)
+        assert wal.flush_count == 2  # two groups of four
+
+    def test_explicit_flush(self):
+        wal, _ = make_wal(group_size=100)
+        wal.append(WalRecordType.INSERT, "t", 1)
+        wal.flush()
+        assert wal.flush_count == 1
+        wal.flush()  # nothing pending
+        assert wal.flush_count == 1
+
+    def test_append_charges_log_cost(self):
+        wal, clock = make_wal(group_size=100)
+        wal.append(WalRecordType.INSERT, "t", 1)
+        assert clock.spent("logging") == CostBook().log_append
+
+    def test_size_bytes(self):
+        wal, _ = make_wal()
+        for i in range(5):
+            wal.append(WalRecordType.INSERT, "t", i)
+        assert wal.size_bytes == 5 * RECORD_BYTES
+
+    def test_invalid_group_size(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            WriteAheadLog(CostModel(clock), group_size=0)
+
+
+class TestQueriesAndRetention:
+    def test_records_for_key(self):
+        wal, _ = make_wal()
+        wal.append(WalRecordType.INSERT, "t", "k")
+        wal.append(WalRecordType.UPDATE, "t", "k")
+        wal.append(WalRecordType.INSERT, "t", "other")
+        assert len(wal.records_for_key("t", "k")) == 2
+
+    def test_purge_key_scrubs_history(self):
+        """The P_SYS erase grounding must leave no trace in the log."""
+        wal, clock = make_wal()
+        wal.append(WalRecordType.INSERT, "t", "k")
+        wal.append(WalRecordType.DELETE, "t", "k")
+        wal.append(WalRecordType.INSERT, "t", "other")
+        assert wal.purge_key("t", "k") == 2
+        assert wal.records_for_key("t", "k") == []
+        assert wal.record_count == 1
+        assert clock.spent("logging") > 0
+
+    def test_purge_missing_key_free(self):
+        wal, clock = make_wal()
+        spent = clock.spent("logging")
+        assert wal.purge_key("t", "ghost") == 0
+        assert clock.spent("logging") == spent
+
+    def test_truncate_before(self):
+        wal, _ = make_wal()
+        for i in range(10):
+            wal.append(WalRecordType.INSERT, "t", i)
+        assert wal.truncate_before(lsn=6) == 5
+        assert wal.record_count == 5
+        assert next(wal.records()).lsn == 6

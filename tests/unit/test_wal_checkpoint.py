@@ -1,0 +1,67 @@
+"""Unit tests for WAL auto-checkpointing (segment recycling)."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.storage.wal import RECORD_BYTES, WalRecordType, WriteAheadLog
+
+
+def make_wal(checkpoint_every=None, group_size=4):
+    cost = CostModel(SimClock(), CostBook())
+    return (
+        WriteAheadLog(cost, group_size=group_size, checkpoint_every=checkpoint_every),
+        cost.clock,
+    )
+
+
+class TestAutoCheckpoint:
+    def test_bounds_wal_size(self):
+        wal, _ = make_wal(checkpoint_every=10)
+        for i in range(35):
+            wal.append(WalRecordType.INSERT, "t", i)
+        # three checkpoints happened; at most 10 records remain
+        assert wal.checkpoint_count == 3
+        assert wal.record_count <= 10
+        assert wal.size_bytes <= 10 * RECORD_BYTES
+
+    def test_disabled_by_default(self):
+        wal, _ = make_wal()
+        for i in range(100):
+            wal.append(WalRecordType.INSERT, "t", i)
+        assert wal.checkpoint_count == 0
+        assert wal.record_count == 100
+
+    def test_checkpoint_charges_fsync(self):
+        wal, clock = make_wal(group_size=1000)
+        before = clock.spent("storage")
+        wal.append(WalRecordType.INSERT, "t", 1)
+        wal.checkpoint()
+        # flush (pending record) + checkpoint fsync
+        assert clock.spent("storage") >= 2 * CostBook().fsync
+
+    def test_manual_checkpoint_empties_log(self):
+        wal, _ = make_wal()
+        for i in range(5):
+            wal.append(WalRecordType.INSERT, "t", i)
+        removed = wal.checkpoint()
+        assert removed == 5
+        assert wal.record_count == 0
+
+    def test_lsns_keep_growing_across_checkpoints(self):
+        wal, _ = make_wal(checkpoint_every=3)
+        records = [wal.append(WalRecordType.INSERT, "t", i) for i in range(9)]
+        lsns = [r.lsn for r in records]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 9
+
+    def test_invalid_checkpoint_interval(self):
+        cost = CostModel(SimClock(), CostBook())
+        with pytest.raises(ValueError):
+            WriteAheadLog(cost, checkpoint_every=0)
+
+    def test_purge_after_checkpoint_is_safe(self):
+        wal, _ = make_wal(checkpoint_every=2)
+        wal.append(WalRecordType.INSERT, "t", "k")
+        wal.append(WalRecordType.INSERT, "t", "other")  # triggers checkpoint
+        assert wal.purge_key("t", "k") == 0  # already recycled
