@@ -1,0 +1,202 @@
+"""Backend comparison — PSQL vs LSM erase latency and physical retention.
+
+For every supported Table-1 interpretation (reversibly inaccessible,
+delete, strong delete) this bench drives an identical high-volume workload
+through both storage backends via the facade's batch APIs: bulk-collect N
+units (every tenth unit gets an identifying derived copy so strong delete
+has something to cascade over), then batch-erase half of them.  Reported
+per (backend, interpretation):
+
+* simulated erase-phase completion time and mean per-erase latency;
+* how many erased units remain physically recoverable afterwards
+  (the §1 retention hazard — by design N/2 for the reversible grounding,
+  0 for the physical ones);
+* the physical-retention window: simulated time between a unit's logical
+  delete and the batch's reclamation pass (VACUUM / full compaction).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py [--smoke]
+
+or under pytest-benchmark like the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backends.py
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.entities import controller, data_subject
+from repro.core.erasure import ErasureInterpretation
+from repro.core.policy import Policy, Purpose
+from repro.core.provenance import DependencyKind
+from repro.systems.database import CompliantDatabase
+
+BACKENDS = ("psql", "lsm")
+
+#: The three interpretations either backend can ground (Table 1's fourth,
+#: permanent deletion, is unsupported on both — that is the point).
+INTERPRETATIONS = (
+    ErasureInterpretation.REVERSIBLY_INACCESSIBLE,
+    ErasureInterpretation.DELETED,
+    ErasureInterpretation.STRONGLY_DELETED,
+)
+
+DERIVE_EVERY = 10
+
+
+@dataclass(frozen=True)
+class BackendRunResult:
+    """One (backend, interpretation) cell of the comparison."""
+
+    backend: str
+    interpretation: ErasureInterpretation
+    n_units: int
+    n_erased: int
+    erase_seconds: float
+    mean_erase_us: float
+    retained_after: int
+    mean_window_us: Optional[float]
+    max_window_us: Optional[int]
+
+
+def run_backend_erasure(
+    backend: str,
+    interpretation: ErasureInterpretation,
+    n_records: int = 2_000,
+    erase_fraction: float = 0.5,
+) -> BackendRunResult:
+    """Load N units through the batch path, erase a fraction, measure."""
+    metaspace = controller("MetaSpace")
+    user = data_subject("user-1")
+    window = (0, 10**12)
+    db = CompliantDatabase(metaspace, backend=backend)
+    db.collect_many(
+        (
+            (
+                f"u{i:06d}",
+                user,
+                "app",
+                {"i": i},
+                [Policy(Purpose.SERVICE, metaspace, *window)],
+            )
+            for i in range(n_records)
+        ),
+        erase_deadline=10**12,
+    )
+    for i in range(0, n_records, DERIVE_EVERY):
+        db.derive_unit(
+            f"u{i:06d}-cache",
+            [f"u{i:06d}"],
+            {"i": i},
+            metaspace,
+            Purpose.SERVICE,
+            kind=DependencyKind.COPY,
+            invertible=True,
+            identifying=True,
+        )
+    erase_ids = [f"u{i:06d}" for i in range(int(n_records * erase_fraction))]
+    t0 = db.clock.now
+    outcomes = db.erase_many(erase_ids, interpretation=interpretation)
+    t1 = db.clock.now
+    retained = sum(1 for uid in erase_ids if db.physically_present(uid))
+    if interpretation is ErasureInterpretation.REVERSIBLY_INACCESSIBLE:
+        windows: List[int] = []  # never purged — retention is open-ended
+    else:
+        # Gap between each unit's logical delete and the batch reclamation.
+        windows = [t1 - o.timestamp for o in outcomes]
+    return BackendRunResult(
+        backend=backend,
+        interpretation=interpretation,
+        n_units=n_records,
+        n_erased=len(erase_ids),
+        erase_seconds=(t1 - t0) / 1e6,
+        mean_erase_us=(t1 - t0) / max(1, len(erase_ids)),
+        retained_after=retained,
+        mean_window_us=(sum(windows) / len(windows)) if windows else None,
+        max_window_us=max(windows) if windows else None,
+    )
+
+
+def compare_backends(
+    n_records: int = 2_000, erase_fraction: float = 0.5
+) -> List[BackendRunResult]:
+    """The full grid: every backend × every supported interpretation."""
+    return [
+        run_backend_erasure(backend, interpretation, n_records, erase_fraction)
+        for backend in BACKENDS
+        for interpretation in INTERPRETATIONS
+    ]
+
+
+def render_comparison(results: Sequence[BackendRunResult]) -> str:
+    header = (
+        f"{'backend':<8} {'interpretation':<24} {'erase s':>8} "
+        f"{'µs/erase':>9} {'retained':>9} {'mean win µs':>12} {'max win µs':>11}"
+    )
+    lines = [
+        "Backend comparison: erase latency and physical-retention windows "
+        f"(N={results[0].n_units}, erased={results[0].n_erased})",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        mean_w = f"{r.mean_window_us:.0f}" if r.mean_window_us is not None else "∞"
+        max_w = f"{r.max_window_us}" if r.max_window_us is not None else "∞"
+        lines.append(
+            f"{r.backend:<8} {r.interpretation.label:<24} "
+            f"{r.erase_seconds:>8.3f} {r.mean_erase_us:>9.1f} "
+            f"{r.retained_after:>9} {mean_w:>12} {max_w:>11}"
+        )
+    return "\n".join(lines)
+
+
+def check_invariants(results: Sequence[BackendRunResult]) -> None:
+    """The claims the comparison must uphold, on every backend."""
+    for r in results:
+        if r.interpretation is ErasureInterpretation.REVERSIBLY_INACCESSIBLE:
+            # Invertible grounding: every erased value stays recoverable.
+            assert r.retained_after == r.n_erased, r
+        else:
+            # Physical groundings: nothing recoverable once reclaimed.
+            assert r.retained_after == 0, r
+        assert r.erase_seconds > 0, r
+    assert {r.backend for r in results} == set(BACKENDS)
+
+
+def test_bench_backends(once):
+    from conftest import emit, scaled
+
+    results = once(compare_backends, scaled(2_000, minimum=500))
+    check_invariants(results)
+    emit("bench_backends", render_comparison(results))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="PSQL vs LSM erase latency / retention comparison"
+    )
+    parser.add_argument("--records", type=int, default=2_000)
+    parser.add_argument("--erase-fraction", type=float, default=0.5)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run asserting the comparison's invariants (CI gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.records < 1:
+        parser.error("--records must be >= 1")
+    if not 0.0 < args.erase_fraction <= 1.0:
+        parser.error("--erase-fraction must be in (0, 1]")
+    n_records = 200 if args.smoke else args.records
+    results = compare_backends(n_records, args.erase_fraction)
+    check_invariants(results)
+    print(render_comparison(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,27 @@ def show_groundings() -> None:
     print()
 
 
+def show_backend_portability() -> None:
+    """Figure 2's promise: the same interpretations, re-grounded onto an
+    LSM store's system-actions, exhibit the identical IR/II/Inv profile."""
+    print(render_table1(table1(backend="lsm"), engine="LSM"))
+    print()
+    metaspace = controller("MetaSpace")
+    user = data_subject("user-77")
+    db = CompliantDatabase(metaspace, backend="lsm")
+    db.collect(
+        "loc-77", user, "wifi-ap", {"zone": "food-court"},
+        policies=[Policy(Purpose.SERVICE, metaspace, 0, 10**12)],
+        erase_deadline=10**12,
+    )
+    outcome = db.erase("loc-77", interpretation=ErasureInterpretation.DELETED)
+    print(
+        f"LSM erase of loc-77 ran: {' + '.join(outcome.system_actions)}; "
+        f"physically present afterwards: {db.physically_present('loc-77')}"
+    )
+    print()
+
+
 def show_timelines() -> None:
     metaspace = controller("MetaSpace")
     user = data_subject("user-77")
@@ -89,5 +110,6 @@ def show_costs() -> None:
 
 if __name__ == "__main__":
     show_groundings()
+    show_backend_portability()
     show_timelines()
     show_costs()

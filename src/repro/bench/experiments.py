@@ -11,7 +11,6 @@ from repro.core.entities import controller, data_subject, processor
 from repro.core.erasure import (
     ErasureCharacterization,
     ErasureInterpretation,
-    PAPER_TABLE1,
     characterize,
 )
 from repro.core.policy import Policy, Purpose
@@ -42,6 +41,7 @@ PROFILE_NAMES = ("P_Base", "P_GBench", "P_SYS")
 
 def _erasure_scenario(
     interpretation: ErasureInterpretation,
+    backend: str = "psql",
 ) -> ErasureCharacterization:
     """Run one erase interpretation end-to-end and characterize it.
 
@@ -50,10 +50,16 @@ def _erasure_scenario(
     replica of it, the user exercises G17, and the deployment erases under
     the given interpretation.  The observed IR/II/Inv profile is computed
     from the real action history, provenance, and engine state.
+
+    ``backend`` selects the grounding substrate: "psql" reproduces the
+    paper's Table-1 column verbatim; "lsm" executes the same
+    interpretations through their LSM system-actions (flag write,
+    tombstone + full compaction) and must exhibit the identical property
+    profile — the point of grounding portability.
     """
     metaspace = controller("MetaSpace")
     user = data_subject("user-1234")
-    db = CompliantDatabase(metaspace)
+    db = CompliantDatabase(metaspace, backend=backend)
     window = (0, 10**12)
     db.collect(
         "loc-1234",
@@ -78,32 +84,37 @@ def _erasure_scenario(
         identifying=True,
     )
     db.read("loc-1234", metaspace, Purpose.SERVICE)  # lawful read
-    grounding = PAPER_TABLE1[interpretation]
-    supported = grounding.supported
+    registered = db.groundings.grounding(
+        "erasure", interpretation.label, db.backend.name
+    )
+    supported = registered.is_implementable
     if supported:
         db.erase("loc-1234", interpretation=interpretation)
         unit = db.model.get("loc-1234")
+        actions = tuple(a.name for a in registered.system_actions)
     else:
-        # Permanent deletion has no PSQL system-action (Table 1); its
-        # property profile equals strong deletion's — the paper notes the
-        # two differ only in the extra sanitization step.  Characterize the
-        # strong-delete execution and mark the row unsupported.
+        # Permanent deletion has no system-action on either engine
+        # (Table 1); its property profile equals strong deletion's — the
+        # paper notes the two differ only in the extra sanitization step.
+        # Characterize the strong-delete execution and mark the row
+        # unsupported.
         db.erase("loc-1234", interpretation=ErasureInterpretation.STRONGLY_DELETED)
         unit = db.model.get("loc-1234")
+        actions = ()
     return characterize(
         interpretation,
         unit,
         db.history,
         db.provenance,
         db.model,
-        grounding.system_actions,
+        actions,
         supported=supported,
     )
 
 
-def table1() -> List[ErasureCharacterization]:
-    """Regenerate Table 1 by executing each interpretation."""
-    return [_erasure_scenario(i) for i in ErasureInterpretation]
+def table1(backend: str = "psql") -> List[ErasureCharacterization]:
+    """Regenerate Table 1 by executing each interpretation on ``backend``."""
+    return [_erasure_scenario(i, backend) for i in ErasureInterpretation]
 
 
 # ===========================================================================

@@ -13,9 +13,11 @@ def _rule(width: int) -> str:
     return "-" * width
 
 
-def render_table1(rows: Sequence[ErasureCharacterization]) -> str:
+def render_table1(
+    rows: Sequence[ErasureCharacterization], engine: str = "PSQL"
+) -> str:
     """Table 1: interpretations of erasure and their characteristics."""
-    header = f"{'Erasure':<24} {'IR':^4} {'II':^4} {'Inv':^5} PSQL System-Action(s)"
+    header = f"{'Erasure':<24} {'IR':^4} {'II':^4} {'Inv':^5} {engine} System-Action(s)"
     lines = [
         "Table 1: Interpretations of erasure and their characteristics.",
         header,

@@ -35,8 +35,12 @@ from repro.core.compatibility import (
 from repro.core.regulation import all_regulations
 
 
-def _cmd_table1(_args: argparse.Namespace) -> int:
-    print(render_table1(table1()))
+def _cmd_table1(args: argparse.Namespace) -> int:
+    backends = ("psql", "lsm") if args.backend == "both" else (args.backend,)
+    for i, backend in enumerate(backends):
+        if i:
+            print()
+        print(render_table1(table1(backend=backend), engine=backend.upper()))
     return 0
 
 
@@ -92,9 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="erasure characterization matrix").set_defaults(
-        func=_cmd_table1
-    )
+    p = sub.add_parser("table1", help="erasure characterization matrix")
+    p.add_argument("--backend", default="psql", choices=["psql", "lsm", "both"],
+                   help="storage backend to ground the interpretations on")
+    p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="space factors (Table 2)")
     p.add_argument("--records", type=int, default=100_000)

@@ -28,6 +28,27 @@ delete                   ×   ✓    ×    DELETE + VACUUM
 strong delete            ×   ×    ×    DELETE + VACUUM FULL
 permanently delete       ×   ×    ×    Not supported
 ====================== ==== ==== ==== ============================
+
+The same interpretations ground onto the LSM engine with engine-specific
+system-actions but the *identical* property profile — the portability the
+paper's Figure 2 promises (asserted by
+``tests/integration/test_cross_backend.py``):
+
+====================== ============================================
+Erasure                 LSM system-action(s)
+====================== ============================================
+reversibly inaccessible flag write (overwrite with flagged value)
+delete                  tombstone + full compaction
+strong delete           tombstone cascade + full compaction
+permanently delete      Not supported
+====================== ============================================
+
+The tombstone alone is *not* a grounding of "delete": it leaves shadowed
+values physically recoverable in older runs (the §1 retention hazard the
+LSM engine's retention records quantify); only the paired full compaction
+makes the value unrecoverable.  :func:`register_erasure` registers both
+engines' groundings; a deployment selects the set matching its
+:class:`~repro.systems.backends.StorageBackend` at construction.
 """
 
 from __future__ import annotations

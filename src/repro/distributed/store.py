@@ -7,7 +7,9 @@ read — mirroring how real async replicas trail the primary.  Reads may be
 served from a per-node cache whose entries expire after ``cache_ttl``.
 
 Every location that ever physically held a unit's value is recorded by the
-copy tracker; the erasure questions of §1 become queries over it:
+copy tracker — primaries, replicas, caches, *and the replication log
+itself*, whose PUT/UPDATE entries carry values until a grounded erase
+scrubs them; the erasure questions of §1 become queries over it:
 
 * where do copies of X live right now? (:meth:`ReplicatedStore.copies_of`)
 * did the naive primary-only delete actually remove X? (it did not —
@@ -19,7 +21,7 @@ copy tracker; the erasure questions of §1 become queries over it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -43,14 +45,21 @@ class _LogEntry:
     key: Any
     value: Any
     ready_at: int  # model time when a replica may apply it
+    scrubbed: bool = False  # value redacted by a grounded erase
 
 
 class CopyLocation(Enum):
-    """Where a physical copy of a value can live."""
+    """Where a physical copy of a value can live.
+
+    ``LOG`` is the replication log itself: PUT/UPDATE entries carry the
+    value, so the log is a retention location just like any replica — a
+    grounded erase must scrub it, or "verified clean" is a lie.
+    """
 
     PRIMARY = "primary"
     REPLICA = "replica"
     CACHE = "cache"
+    LOG = "log"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -72,6 +81,7 @@ class DistributedEraseReport:
     caches_invalidated: int
     dead_tuples_vacuumed: int
     verified_clean: bool
+    log_values_scrubbed: int = 0
 
 
 class _Node:
@@ -134,7 +144,9 @@ class ReplicatedStore:
                 continue
             if not force and entry.ready_at > self._now:
                 break  # later entries are even younger
-            if entry.op is _OpType.PUT:
+            if entry.scrubbed and entry.op is not _OpType.DELETE:
+                pass  # value redacted by erase; the delete entry follows
+            elif entry.op is _OpType.PUT:
                 node.engine.insert(TABLE, entry.key, entry.value)
             elif entry.op is _OpType.UPDATE:
                 node.engine.update(TABLE, entry.key, entry.value)
@@ -198,7 +210,35 @@ class ReplicatedStore:
                 found.append((CopyLocation.REPLICA, node.name))
             if key in node.cache:
                 found.append((CopyLocation.CACHE, node.name))
+        if self._log_holds_value(key):
+            found.append((CopyLocation.LOG, "primary"))
         return found
+
+    def _log_holds_value(self, key: Any) -> bool:
+        """Whether any unscrubbed replication-log entry retains the value."""
+        return any(
+            e.key == key and e.op is not _OpType.DELETE and not e.scrubbed
+            for e in self._log
+        )
+
+    def _scrub_log(self, key: Any) -> int:
+        """Redact the value from every log entry for ``key``.
+
+        Safe only once every replica has applied those entries (the erase
+        barrier force-applies first); scrubbed PUT/UPDATE entries become
+        no-ops on replay.
+        """
+        scrubbed = 0
+        for i, entry in enumerate(self._log):
+            # DELETE entries never carried a value — nothing to redact.
+            if (
+                entry.key == key
+                and entry.op is not _OpType.DELETE
+                and not entry.scrubbed
+            ):
+                self._log[i] = replace(entry, value=None, scrubbed=True)
+                scrubbed += 1
+        return scrubbed
 
     def lingering_copies(self, key: Any) -> List[Tuple[CopyLocation, str]]:
         """Copies surviving a delete — the §1 compliance hazard."""
@@ -229,12 +269,17 @@ class ReplicatedStore:
                 nodes_deleted += 1
             node.cache.pop(key, None)
             vacuumed += node.engine.vacuum(TABLE)
+        # Every replica is now caught up past the key's log entries, so the
+        # values they carried can be redacted — the log is a copy location
+        # (§1) and must not outlive the erase.
+        scrubbed = self._scrub_log(key)
         return DistributedEraseReport(
             key=key,
             nodes_deleted=nodes_deleted,
             caches_invalidated=caches,
             dead_tuples_vacuumed=vacuumed,
             verified_clean=not self.copies_of(key),
+            log_values_scrubbed=scrubbed,
         )
 
     # ------------------------------------------------------------- statistics

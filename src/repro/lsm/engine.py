@@ -19,7 +19,7 @@ retention window*, the quantity [62] showed can violate "undue delay".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.lsm.memtable import TOMBSTONE, Memtable
 from repro.lsm.sstable import SSTable
@@ -76,11 +76,34 @@ class LSMEngine:
             self.flush()
 
     def delete(self, key: Any) -> None:
-        """Logical delete: write a tombstone.  O(1), nothing is removed."""
+        """Logical delete: write a tombstone.  O(1), nothing is removed.
+
+        Tombstones occupy memtable slots just like values, so the delete
+        path honours the same capacity bound as :meth:`put` — a delete-only
+        workload flushes instead of overrunning the buffer.
+        """
         self._seqno += 1
         self._cost.charge_memtable_op()
         self._memtable.put(key, TOMBSTONE, self._seqno)
         self._retention[key] = RetentionRecord(key, self._now())
+        if self._memtable.is_full:
+            self.flush()
+
+    def put_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        """Bulk upsert; flush-on-full applies exactly as in :meth:`put`."""
+        count = 0
+        for key, value in items:
+            self.put(key, value)
+            count += 1
+        return count
+
+    def delete_many(self, keys: Iterable[Any]) -> int:
+        """Bulk tombstone writes; flush-on-full applies as in :meth:`delete`."""
+        count = 0
+        for key in keys:
+            self.delete(key)
+            count += 1
+        return count
 
     def flush(self) -> Optional[SSTable]:
         """Freeze the memtable into a new newest run."""
@@ -217,6 +240,10 @@ class LSMEngine:
 
     def runs(self) -> Iterator[SSTable]:
         return iter(self._runs)
+
+    def memtable_entries(self) -> Iterator[Tuple[Any, Tuple[int, Any]]]:
+        """``(key, (seqno, value))`` pairs currently buffered in memory."""
+        return self._memtable.items()
 
     def _now(self) -> int:
         return self._cost.clock.now

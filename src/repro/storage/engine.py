@@ -24,7 +24,7 @@ tuple costs on 20% of operations to keep the other 80% at density ~1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sim.costs import CostModel
 from repro.storage.catalog import Catalog, Table, TableSchema
@@ -165,6 +165,39 @@ class RelationalEngine:
         """
         t = self._catalog.get(table)
         size = self._row_size(t, payload_size)
+        self._insert_row(t, table, key, payload, size, check_duplicate)
+
+    def insert_many(
+        self,
+        table: str,
+        items: Iterable[Tuple[Any, Any]],
+        payload_size: Optional[int] = None,
+        check_duplicate: bool = False,
+    ) -> int:
+        """Bulk INSERT: one catalog/schema resolution for the whole batch.
+
+        Per-row cost charging is identical to :meth:`insert`; only the
+        Python-level per-call overhead (catalog lookup, size computation)
+        is amortized.  Defaults to the COPY-style no-duplicate-probe path.
+        """
+        t = self._catalog.get(table)
+        size = self._row_size(t, payload_size)
+        count = 0
+        for key, payload in items:
+            self._insert_row(t, table, key, payload, size, check_duplicate)
+            count += 1
+        return count
+
+    def _insert_row(
+        self,
+        t: Table,
+        table: str,
+        key: Any,
+        payload: Any,
+        size: int,
+        check_duplicate: bool,
+    ) -> None:
+        """One heap append + index insert + WAL record, fully charged."""
         if check_duplicate:
             probe = t.index.probe(key)
             self._cost.charge_index_probe(probe.depth)
@@ -185,6 +218,16 @@ class RelationalEngine:
         heap fetch, and decryption if the table is sealed.
         """
         t = self._catalog.get(table)
+        return self._read_row(t, table, key)
+
+    def read_many(self, table: str, keys: Sequence[Any]) -> List[Any]:
+        """Batch point SELECTs: catalog resolution amortized, per-key index
+        descent and heap fetch charged exactly as :meth:`read`."""
+        t = self._catalog.get(table)
+        return [self._read_row(t, table, key) for key in keys]
+
+    def _read_row(self, t: Table, table: str, key: Any) -> Any:
+        """One fully-charged point read: probe, fetch, unwrap, decrypt."""
         probe = t.index.probe(key)
         self._cost.charge_index_probe(probe.depth)
         if probe.dead_stepped:

@@ -10,6 +10,14 @@
 * :mod:`repro.systems.space` — the Table-2 space accounting.
 """
 
+from repro.systems.backends import (
+    BACKENDS,
+    BackendStats,
+    LsmBackend,
+    PsqlBackend,
+    StorageBackend,
+    make_backend,
+)
 from repro.systems.database import CompliantDatabase, EraseOutcome
 from repro.systems.profiles import ComplianceProfile, ProfileConfig, RunResult
 from repro.systems.pbase import PBase
@@ -32,6 +40,12 @@ def make_profile(name: str, **kwargs) -> ComplianceProfile:
 
 
 __all__ = [
+    "BACKENDS",
+    "BackendStats",
+    "LsmBackend",
+    "PsqlBackend",
+    "StorageBackend",
+    "make_backend",
     "CompliantDatabase",
     "EraseOutcome",
     "ComplianceProfile",

@@ -1,0 +1,410 @@
+"""Storage backends — engine-specific system-actions behind one protocol.
+
+The paper's grounding schema (Figure 2) maps a chosen interpretation of a
+concept to *engine-specific* system-actions: "reversibly inaccessible" is a
+flag-column write in PSQL but a flagged-value overwrite in an LSM store;
+"delete" is DELETE+VACUUM in PSQL but tombstone + full compaction in an LSM
+store.  :class:`StorageBackend` is the seam where those mappings plug into
+:class:`~repro.systems.database.CompliantDatabase`: the facade speaks the
+concept-level vocabulary (insert / read / make-inaccessible / delete /
+reclaim / forensic-scan) and each backend realizes it with its engine's own
+operations, preserving that engine's cost and retention behaviour.
+
+Two backends ground the evaluation:
+
+* :class:`PsqlBackend` — wraps :class:`~repro.storage.engine.RelationalEngine`
+  with the exact semantics the paper's Table 1 assumes (flag column,
+  DELETE+VACUUM, DELETE+VACUUM FULL);
+* :class:`LsmBackend` — wraps :class:`~repro.lsm.engine.LSMEngine`, grounding
+  "reversibly inaccessible" as a flag write (overwrite with a flagged value),
+  "delete" as tombstone + full compaction, and "strong delete" as a tombstone
+  cascade + full compaction.
+
+Both register their erasure groundings in
+:func:`repro.core.erasure.register_erasure`; the facade selects the grounding
+matching :attr:`StorageBackend.name` at construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.lsm.engine import LSMEngine
+from repro.lsm.memtable import TOMBSTONE
+from repro.sim.costs import CostModel
+from repro.storage.engine import FlaggedPayload, RelationalEngine
+from repro.storage.errors import StorageError, TupleNotFoundError
+
+#: The facade's storage namespace: the PSQL table name (LSM stores have a
+#: single keyspace and don't use it).
+DATA_TABLE = "data_units"
+
+
+@dataclass(frozen=True)
+class BackendStats:
+    """Engine-neutral physical statistics for one backend.
+
+    ``dead_entries`` counts physically retained but logically dead data —
+    dead MVCC tuples in PSQL; tombstones plus shadowed (superseded or
+    deleted-but-uncompacted) values in an LSM store.  That count is the
+    illegal-retention surface of the paper's §1.
+    """
+
+    backend: str
+    live_entries: int
+    dead_entries: int
+    total_bytes: int
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+
+class StorageBackend(ABC):
+    """The system-action surface a :class:`CompliantDatabase` drives.
+
+    ``name`` identifies the engine in the :class:`GroundingRegistry`
+    ("psql", "lsm", …); the facade looks up and selects the erasure
+    grounding registered under it.
+    """
+
+    #: Engine identifier used for grounding lookup.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------- DML
+    @abstractmethod
+    def insert(self, unit_id: Any, value: Any) -> None:
+        """Store a new unit's value."""
+
+    @abstractmethod
+    def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        """Bulk-load ``(unit_id, value)`` pairs; returns the count stored.
+
+        The facade guarantees fresh ids (its model rejects duplicates), so
+        backends may skip per-key uniqueness probes — the COPY-style path.
+        """
+
+    @abstractmethod
+    def read(self, unit_id: Any) -> Any:
+        """The unit's current value; raises ``TupleNotFoundError`` if the
+        unit holds no live value.  Reversibly-inaccessible values are
+        returned unwrapped — visibility policy is the facade's job."""
+
+    @abstractmethod
+    def read_many(self, unit_ids: Sequence[Any]) -> List[Any]:
+        """Batch point reads, same semantics as :meth:`read` per id."""
+
+    @abstractmethod
+    def update(self, unit_id: Any, value: Any) -> None:
+        """Replace the unit's value."""
+
+    # ------------------------------------------- reversible inaccessibility
+    @abstractmethod
+    def make_inaccessible(self, unit_id: Any) -> None:
+        """The weakest erasure grounding: hide the value reversibly."""
+
+    @abstractmethod
+    def restore(self, unit_id: Any) -> None:
+        """Invert :meth:`make_inaccessible`."""
+
+    @abstractmethod
+    def is_inaccessible(self, unit_id: Any) -> bool:
+        """Whether the unit is currently reversibly inaccessible."""
+
+    # ------------------------------------------------------ physical erasure
+    @abstractmethod
+    def delete(self, unit_id: Any) -> None:
+        """Logically remove the value (dead tuple / tombstone) without
+        reclaiming physical space."""
+
+    @abstractmethod
+    def reclaim(self) -> None:
+        """Make logically deleted values physically unrecoverable — the
+        second half of the "delete" grounding (VACUUM / full compaction)."""
+
+    @abstractmethod
+    def reclaim_full(self) -> None:
+        """The strongest reclamation the engine offers (VACUUM FULL / full
+        compaction) — the second half of the "strong delete" grounding."""
+
+    def erase(self, unit_id: Any) -> None:
+        """The full "delete" grounding: logical delete + reclamation."""
+        self.delete(unit_id)
+        self.reclaim()
+
+    def erase_many(self, unit_ids: Sequence[Any], strong: bool = False) -> int:
+        """Batch physical erase: delete every unit, then reclaim once.
+
+        Amortizing the reclamation over the batch is exactly how a real
+        deployment grounds high-volume erasure; single-unit semantics are
+        preserved by :meth:`erase`.
+        """
+        count = 0
+        for unit_id in unit_ids:
+            self.delete(unit_id)
+            count += 1
+        if strong:
+            self.reclaim_full()
+        else:
+            self.reclaim()
+        return count
+
+    # -------------------------------------------------------------- forensics
+    @abstractmethod
+    def physically_present(self, unit_id: Any) -> bool:
+        """Whether a disk inspection would still recover the unit's value."""
+
+    @abstractmethod
+    def forensic_scan(self) -> List[Tuple[Any, bool]]:
+        """Every physical entry as ``(unit_id, live)`` pairs, logically dead
+        data included — the illegal-retention primitive."""
+
+    @abstractmethod
+    def exists(self, unit_id: Any) -> bool:
+        """Whether a live value exists for the unit."""
+
+    @abstractmethod
+    def stats(self) -> BackendStats:
+        """Physical statistics for the bench harness."""
+
+
+class PsqlBackend(StorageBackend):
+    """Table-1's PSQL column, verbatim.
+
+    All calls delegate to one :class:`RelationalEngine` table created with
+    the retrofit flag column; semantics and cost charging are exactly those
+    of the engine methods the facade previously called inline.
+    """
+
+    name = "psql"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        row_bytes: int = 70,
+        table: str = DATA_TABLE,
+        engine: Optional[RelationalEngine] = None,
+    ) -> None:
+        self.table = table
+        self.engine = engine if engine is not None else RelationalEngine(cost)
+        if not self.engine.has_table(table):
+            self.engine.create_table(table, row_bytes, flag_column=True)
+
+    # ------------------------------------------------------------------- DML
+    def insert(self, unit_id: Any, value: Any) -> None:
+        self.engine.insert(self.table, unit_id, value)
+
+    def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        return self.engine.insert_many(self.table, items, check_duplicate=False)
+
+    def read(self, unit_id: Any) -> Any:
+        return self.engine.read(self.table, unit_id)
+
+    def read_many(self, unit_ids: Sequence[Any]) -> List[Any]:
+        return self.engine.read_many(self.table, unit_ids)
+
+    def update(self, unit_id: Any, value: Any) -> None:
+        self.engine.update(self.table, unit_id, value)
+
+    # ------------------------------------------- reversible inaccessibility
+    def make_inaccessible(self, unit_id: Any) -> None:
+        self.engine.set_flag(self.table, unit_id, True)
+
+    def restore(self, unit_id: Any) -> None:
+        self.engine.set_flag(self.table, unit_id, False)
+
+    def is_inaccessible(self, unit_id: Any) -> bool:
+        return self.engine.is_flagged(self.table, unit_id)
+
+    # ------------------------------------------------------ physical erasure
+    def delete(self, unit_id: Any) -> None:
+        self.engine.delete(self.table, unit_id)
+
+    def reclaim(self) -> None:
+        self.engine.vacuum(self.table)
+
+    def reclaim_full(self) -> None:
+        self.engine.vacuum_full(self.table)
+
+    # -------------------------------------------------------------- forensics
+    def physically_present(self, unit_id: Any) -> bool:
+        return any(
+            key == unit_id for key, _live in self.engine.forensic_scan(self.table)
+        )
+
+    def forensic_scan(self) -> List[Tuple[Any, bool]]:
+        return self.engine.forensic_scan(self.table)
+
+    def exists(self, unit_id: Any) -> bool:
+        return self.engine.exists(self.table, unit_id)
+
+    def stats(self) -> BackendStats:
+        s = self.engine.stats(self.table)
+        return BackendStats(
+            backend=self.name,
+            live_entries=s.live_tuples,
+            dead_entries=s.dead_tuples,
+            total_bytes=s.total_bytes,
+            detail=(
+                ("pages", s.pages),
+                ("index_dead_entries", s.index_dead_entries),
+                ("dead_fraction", s.dead_fraction),
+            ),
+        )
+
+
+class LsmBackend(StorageBackend):
+    """The LSM grounding of Table 1.
+
+    * "reversibly inaccessible" ↦ *flag write*: overwrite the key with a
+      :class:`FlaggedPayload`-wrapped value — invertible, and the value stays
+      physically present (same Inv/II profile as PSQL's flag column);
+    * "delete" ↦ *tombstone + full compaction*: the tombstone alone leaves
+      shadowed values in older runs (the §1 retention hazard); the paired
+      full compaction drops them and the tombstone;
+    * "strong delete" ↦ *tombstone cascade + full compaction*: tombstone the
+      unit and its identifying descendants, then compact once.
+
+    Keys are upserted (LSM put semantics); the facade's model layer enforces
+    unit-id uniqueness.
+    """
+
+    name = "lsm"
+
+    def __init__(
+        self,
+        cost: CostModel,
+        row_bytes: int = 70,
+        engine: Optional[LSMEngine] = None,
+        memtable_capacity: int = 4096,
+        tier_threshold: int = 4,
+    ) -> None:
+        self._row_bytes = row_bytes
+        self.engine = (
+            engine
+            if engine is not None
+            else LSMEngine(
+                cost,
+                payload_bytes=row_bytes,
+                memtable_capacity=memtable_capacity,
+                tier_threshold=tier_threshold,
+            )
+        )
+
+    # ------------------------------------------------------------------- DML
+    def insert(self, unit_id: Any, value: Any) -> None:
+        self.engine.put(unit_id, value)
+
+    def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        return self.engine.put_many(items)
+
+    def read(self, unit_id: Any) -> Any:
+        value = self.engine.get(unit_id)
+        if value is None:
+            raise TupleNotFoundError(f"lsm: no live value for key {unit_id!r}")
+        if isinstance(value, FlaggedPayload):
+            value = value.value
+        return value
+
+    def read_many(self, unit_ids: Sequence[Any]) -> List[Any]:
+        return [self.read(unit_id) for unit_id in unit_ids]
+
+    def update(self, unit_id: Any, value: Any) -> None:
+        if self.engine.get(unit_id) is None:
+            raise TupleNotFoundError(f"lsm: no live value for key {unit_id!r}")
+        self.engine.put(unit_id, value)
+
+    # ------------------------------------------- reversible inaccessibility
+    def make_inaccessible(self, unit_id: Any) -> None:
+        value = self.engine.get(unit_id)
+        if value is None:
+            raise TupleNotFoundError(f"lsm: no live value for key {unit_id!r}")
+        if isinstance(value, FlaggedPayload):
+            value.flagged = True
+            return
+        self.engine.put(unit_id, FlaggedPayload(True, value))
+
+    def restore(self, unit_id: Any) -> None:
+        value = self.engine.get(unit_id)
+        if not isinstance(value, FlaggedPayload):
+            raise StorageError(f"lsm: key {unit_id!r} is not flagged")
+        self.engine.put(unit_id, value.value)
+
+    def is_inaccessible(self, unit_id: Any) -> bool:
+        value = self.engine.get(unit_id)
+        if value is None:
+            raise TupleNotFoundError(f"lsm: no live value for key {unit_id!r}")
+        return isinstance(value, FlaggedPayload) and value.flagged
+
+    # ------------------------------------------------------ physical erasure
+    def delete(self, unit_id: Any) -> None:
+        self.engine.delete(unit_id)
+
+    def reclaim(self) -> None:
+        self.engine.full_compaction()
+
+    def reclaim_full(self) -> None:
+        self.engine.full_compaction()
+
+    # -------------------------------------------------------------- forensics
+    def physically_present(self, unit_id: Any) -> bool:
+        return self.engine.physically_present(unit_id)
+
+    def forensic_scan(self) -> List[Tuple[Any, bool]]:
+        newest: Dict[Any, Tuple[int, Any]] = {}
+        physical: List[Tuple[Any, int, Any]] = []
+        for key, (seqno, value) in self.engine.memtable_entries():
+            physical.append((key, seqno, value))
+            if key not in newest or seqno > newest[key][0]:
+                newest[key] = (seqno, value)
+        for run in self.engine.runs():
+            for key, seqno, value in run.entries():
+                physical.append((key, seqno, value))
+                if key not in newest or seqno > newest[key][0]:
+                    newest[key] = (seqno, value)
+        out: List[Tuple[Any, bool]] = []
+        for key, seqno, value in physical:
+            if value is TOMBSTONE:
+                continue  # tombstones carry no recoverable value
+            top_seqno, top_value = newest[key]
+            out.append((key, seqno == top_seqno and top_value is not TOMBSTONE))
+        return out
+
+    def exists(self, unit_id: Any) -> bool:
+        return self.engine.get(unit_id) is not None
+
+    def stats(self) -> BackendStats:
+        scan = self.forensic_scan()
+        live = sum(1 for _key, is_live in scan if is_live)
+        buffered = sum(1 for _ in self.engine.memtable_entries())
+        return BackendStats(
+            backend=self.name,
+            live_entries=live,
+            dead_entries=(len(scan) - live) + self.engine.tombstone_count,
+            total_bytes=self.engine.total_bytes() + buffered * self._row_bytes,
+            detail=(
+                ("runs", self.engine.run_count),
+                ("tombstones", self.engine.tombstone_count),
+                ("flushes", self.engine.flush_count),
+                ("compactions", self.engine.compaction_count),
+            ),
+        )
+
+
+#: Backend name → constructor, the facade's selection table.
+BACKENDS: Dict[str, Type[StorageBackend]] = {
+    PsqlBackend.name: PsqlBackend,
+    LsmBackend.name: LsmBackend,
+}
+
+
+def make_backend(
+    name: str, cost: CostModel, row_bytes: int = 70, **kwargs: Any
+) -> StorageBackend:
+    """Construct a backend by engine name ("psql" or "lsm")."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return cls(cost, row_bytes=row_bytes, **kwargs)

@@ -8,17 +8,29 @@ system-actions of the *selected grounding* (Figure 2's step 3); and
 compliance is demonstrable — :meth:`check_compliance` evaluates the formal
 invariants over the actual history.
 
-The engine is the PSQL simulator, so the Table-1 semantics hold literally:
-"reversibly inaccessible" flips the retrofit flag column, "delete" runs
-DELETE+VACUUM, "strong delete" runs DELETE+VACUUM FULL and cascades over the
-provenance graph, and "permanently delete" raises — PSQL has no system-action
-for drive sanitization.
+Storage is **engine-pluggable**: the facade drives a
+:class:`~repro.systems.backends.StorageBackend` and selects the erasure
+grounding registered for that backend's engine in the
+:class:`~repro.core.grounding.GroundingRegistry`.  With the default
+``backend="psql"`` the Table-1 semantics hold literally: "reversibly
+inaccessible" flips the retrofit flag column, "delete" runs DELETE+VACUUM,
+"strong delete" runs DELETE+VACUUM FULL and cascades over the provenance
+graph.  With ``backend="lsm"`` the same interpretations ground as a flag
+write, tombstone + full compaction, and tombstone cascade + full compaction.
+On either backend "permanently delete" raises — neither engine has a
+system-action for drive sanitization, so the deployment must be retrofitted
+(paper §1).
+
+Batch entry points (:meth:`collect_many`, :meth:`read_many`,
+:meth:`erase_many`) keep the same policy/history semantics per unit while
+amortizing engine-level per-call overhead — the path the bench harness uses
+to drive high-volume workloads.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.access.errors import AccessDenied
 from repro.core.actions import ActionType
@@ -38,9 +50,7 @@ from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
 from repro.audit.log import ActionLog
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
-from repro.storage.engine import RelationalEngine
-
-DATA_TABLE = "data_units"
+from repro.systems.backends import DATA_TABLE, StorageBackend, make_backend
 
 #: Purpose recorded for GDPR Art. 15 subject-access reads — lawful by
 #: regulation, no stored policy required.
@@ -61,9 +71,10 @@ class SubjectAccessResult:
             f"@ t={self.requested_at}: {len(self.units)} data unit(s)"
         ]
         for unit in self.units:
+            state = "inaccessible" if unit.inaccessible else f"erased={unit.erased}"
             lines.append(
                 f"  {unit.unit_id}: value={unit.value!r} "
-                f"(erased={unit.erased}, origin={','.join(sorted(unit.origins))})"
+                f"({state}, origin={','.join(sorted(unit.origins))})"
             )
             for purpose, entity, t_begin, t_final in unit.policies:
                 lines.append(
@@ -75,7 +86,12 @@ class SubjectAccessResult:
 
 @dataclass(frozen=True)
 class SubjectAccessUnit:
-    """One unit's disclosure within a subject-access response."""
+    """One unit's disclosure within a subject-access response.
+
+    ``inaccessible`` marks a reversibly-inaccessible unit: §3.1 hides such
+    values from data subjects, so an Art. 15 response must report the unit's
+    existence without disclosing the value.
+    """
 
     unit_id: str
     value: Any
@@ -83,6 +99,7 @@ class SubjectAccessUnit:
     origins: Tuple[str, ...]
     policies: Tuple[Tuple[str, str, int, int], ...]
     action_count: int
+    inaccessible: bool = False
 
 
 class UnsupportedGroundingError(RuntimeError):
@@ -102,7 +119,8 @@ class EraseOutcome:
 
 
 class CompliantDatabase:
-    """A policy-enforcing, history-keeping data store over the PSQL engine."""
+    """A policy-enforcing, history-keeping data store over a pluggable
+    storage backend ("psql" by default, or "lsm")."""
 
     def __init__(
         self,
@@ -110,14 +128,19 @@ class CompliantDatabase:
         default_erasure: ErasureInterpretation = ErasureInterpretation.DELETED,
         row_bytes: int = 70,
         cost_book: Optional[CostBook] = None,
+        backend: Union[str, StorageBackend] = "psql",
     ) -> None:
         if not controller.is_controller:
             raise ValueError("the owning entity must hold the controller role")
         self.controller = controller
         self.clock = SimClock()
         self.cost = CostModel(self.clock, cost_book or CostBook())
-        self.engine = RelationalEngine(self.cost)
-        self.engine.create_table(DATA_TABLE, row_bytes, flag_column=True)
+        if isinstance(backend, str):
+            backend = make_backend(backend, self.cost, row_bytes=row_bytes)
+        self.backend = backend
+        #: The raw engine object (RelationalEngine or LSMEngine) — exposed
+        #: for forensics, fault injection, and engine-level statistics.
+        self.engine = backend.engine
         self.model = Database()
         self.provenance = ProvenanceGraph()
         self.log = ActionLog(self.cost)
@@ -134,17 +157,26 @@ class CompliantDatabase:
 
     # -------------------------------------------------------------- grounding
     def _select_erasure(self, interpretation: ErasureInterpretation) -> None:
-        if interpretation is ErasureInterpretation.PERMANENTLY_DELETED:
-            raise UnsupportedGroundingError(
-                "PSQL has no system-action for drive sanitization "
-                "(Table 1: 'Not supported'); retrofit the engine or choose "
-                "a weaker interpretation"
-            )
         grounding = self.groundings.grounding(
-            "erasure", interpretation.label, "psql"
+            "erasure", interpretation.label, self.backend.name
         )
-        self.groundings.select(grounding, "psql")
+        if not grounding.is_implementable:
+            raise UnsupportedGroundingError(
+                f"{self.backend.name} has no system-action for "
+                f"{interpretation.label!r} (Table 1: 'Not supported'); "
+                "retrofit the engine or choose a weaker interpretation"
+            )
+        self.groundings.select(grounding, self.backend.name)
         self.default_erasure = interpretation
+
+    def _grounding_actions(
+        self, interpretation: ErasureInterpretation
+    ) -> Tuple[str, ...]:
+        """The backend's registered system-action names for an interpretation."""
+        grounding = self.groundings.grounding(
+            "erasure", interpretation.label, self.backend.name
+        )
+        return tuple(a.name for a in grounding.system_actions)
 
     @property
     def selected_erasure(self) -> ErasureInterpretation:
@@ -170,7 +202,63 @@ class CompliantDatabase:
         before the CREATE; attaches the given policies plus a
         compliance-erase policy if ``erase_deadline`` is set (G17).
         """
+        # Guard before touching the engine: LSM inserts are upserts, so a
+        # duplicate id would silently overwrite the stored value while the
+        # model still holds the old one.
+        if unit_id in self.model:
+            raise ValueError(f"unit {unit_id!r} already collected")
         self.entities.register(subject)
+        unit = self._contracted_unit(
+            unit_id, subject, origin, policies, erase_deadline
+        )
+        self.backend.insert(unit_id, value)
+        self._admit(unit, value)
+        return unit
+
+    def collect_many(
+        self,
+        records: Iterable[Tuple[str, Entity, str, Any, Iterable[Policy]]],
+        erase_deadline: Optional[int] = None,
+    ) -> List[DataUnit]:
+        """Bulk collection: ``(unit_id, subject, origin, value, policies)``
+        records, loaded through the backend's COPY-style batch path.
+
+        Per-unit semantics are preserved — a CONTRACT record precedes every
+        CREATE, and each unit gets the same policy treatment as
+        :meth:`collect` — but catalog resolution and uniqueness probing are
+        amortized over the batch.
+        """
+        materialized = list(records)
+        # Validate every id before logging any CONTRACT: duplicates are
+        # checked against the model *and* the batch itself (the COPY-style
+        # engine path skips uniqueness probes), and a rejected batch must
+        # not leave audit records attesting contracts for uncollected data.
+        staged_ids: set = set()
+        for unit_id, *_rest in materialized:
+            if unit_id in self.model or unit_id in staged_ids:
+                raise ValueError(f"unit {unit_id!r} already collected")
+            staged_ids.add(unit_id)
+        staged: List[Tuple[DataUnit, Any]] = []
+        for unit_id, subject, origin, value, policies in materialized:
+            self.entities.register(subject)
+            unit = self._contracted_unit(
+                unit_id, subject, origin, policies, erase_deadline
+            )
+            staged.append((unit, value))
+        self.backend.insert_many((u.unit_id, v) for u, v in staged)
+        for unit, value in staged:
+            self._admit(unit, value)
+        return [unit for unit, _value in staged]
+
+    def _contracted_unit(
+        self,
+        unit_id: str,
+        subject: Entity,
+        origin: str,
+        policies: Iterable[Policy],
+        erase_deadline: Optional[int],
+    ) -> DataUnit:
+        """Build the modelled unit and record its CONTRACT action."""
         policy_set = PolicySet(policies)
         if erase_deadline is not None:
             policy_set.add(
@@ -185,31 +273,50 @@ class CompliantDatabase:
         self.log.record(
             unit_id, Purpose.CONTRACT, subject, ActionType.CONTRACT, self.clock.now
         )
-        self.engine.insert(DATA_TABLE, unit_id, value)
+        return unit
+
+    def _admit(self, unit: DataUnit, value: Any) -> None:
+        """Register a freshly stored unit in the model, provenance, history."""
         now = self.clock.now
         unit.write(value, now)
         self.model.add(unit)
-        self.provenance.add_unit(unit_id)
+        self.provenance.add_unit(unit.unit_id)
         self.log.record(
-            unit_id, Purpose.CONTRACT, self.controller, ActionType.CREATE, now
+            unit.unit_id, Purpose.CONTRACT, self.controller, ActionType.CREATE, now
         )
-        return unit
 
     # ----------------------------------------------------------------- access
+    def _authorize(self, unit_id: str, entity: Entity, purpose: str) -> DataUnit:
+        """G6 enforcement at the gate: policy check plus §3.1 visibility
+        (reversibly-inaccessible values are hidden from data subjects)."""
+        unit = self.model.get(unit_id)
+        if unit.policies.authorizing(purpose, entity, self.clock.now) is None:
+            raise AccessDenied(entity.name, purpose, unit_id)
+        if entity.is_data_subject and self.backend.is_inaccessible(unit_id):
+            raise AccessDenied(entity.name, purpose, unit_id)
+        return unit
+
     def read(self, unit_id: str, entity: Entity, purpose: str) -> Any:
         """Policy-checked read; raises :class:`AccessDenied` when no policy
         authorizes (entity, purpose) now — G6 enforcement at the gate."""
-        unit = self.model.get(unit_id)
-        now = self.clock.now
-        if unit.policies.authorizing(purpose, entity, now) is None:
-            raise AccessDenied(entity.name, purpose, unit_id)
-        if self.engine.is_flagged(DATA_TABLE, unit_id) and entity.is_data_subject:
-            # Reversibly inaccessible: hidden from data subjects, visible to
-            # controller/processor (§3.1).
-            raise AccessDenied(entity.name, purpose, unit_id)
-        value = self.engine.read(DATA_TABLE, unit_id)
+        self._authorize(unit_id, entity, purpose)
+        value = self.backend.read(unit_id)
         self.log.record(unit_id, purpose, entity, ActionType.READ, self.clock.now)
         return value
+
+    def read_many(
+        self, unit_ids: Sequence[str], entity: Entity, purpose: str
+    ) -> List[Any]:
+        """Batch policy-checked reads: every unit is authorized exactly as
+        in :meth:`read`, the values come back through the backend's batch
+        path, and one READ action is recorded per unit."""
+        for unit_id in unit_ids:
+            self._authorize(unit_id, entity, purpose)
+        values = self.backend.read_many(unit_ids)
+        now = self.clock.now
+        for unit_id in unit_ids:
+            self.log.record(unit_id, purpose, entity, ActionType.READ, now)
+        return values
 
     def update(
         self, unit_id: str, entity: Entity, purpose: str, value: Any
@@ -218,7 +325,7 @@ class CompliantDatabase:
         now = self.clock.now
         if unit.policies.authorizing(purpose, entity, now) is None:
             raise AccessDenied(entity.name, purpose, unit_id)
-        self.engine.update(DATA_TABLE, unit_id, value)
+        self.backend.update(unit_id, value)
         now = self.clock.now
         unit.write(value, now)
         self.log.record(unit_id, purpose, entity, ActionType.UPDATE, now)
@@ -235,13 +342,15 @@ class CompliantDatabase:
         identifying: bool = True,
     ) -> DataUnit:
         """Produce derived data (§2.1) and record its provenance."""
+        if new_id in self.model:
+            raise ValueError(f"unit {new_id!r} already collected")
         bases = [self.model.get(b) for b in base_ids]
         now = self.clock.now
         for base in bases:
             if base.policies.authorizing(purpose, entity, now) is None:
                 raise AccessDenied(entity.name, purpose, base.unit_id)
         unit = derive(new_id, bases, value, now)
-        self.engine.insert(DATA_TABLE, new_id, value)
+        self.backend.insert(new_id, value)
         self.model.add(unit)
         self.provenance.add_unit(new_id)
         for base in bases:
@@ -272,11 +381,94 @@ class CompliantDatabase:
         if interpretation is ErasureInterpretation.STRONGLY_DELETED:
             return self._erase_strong(unit, entity)
         raise UnsupportedGroundingError(
-            "permanent deletion is not supported on PSQL (Table 1)"
+            f"permanent deletion is not supported on {self.backend.name} (Table 1)"
         )
 
+    def erase_many(
+        self,
+        unit_ids: Sequence[str],
+        entity: Optional[Entity] = None,
+        interpretation: Optional[ErasureInterpretation] = None,
+    ) -> List[EraseOutcome]:
+        """Batch erasure under one interpretation.
+
+        Physical interpretations batch their reclamation: every victim is
+        logically deleted first, then the backend reclaims once (one VACUUM
+        / full compaction for the whole batch) — how a real deployment
+        grounds high-volume Art. 17 streams without per-request rewrites.
+        """
+        interpretation = interpretation or self.default_erasure
+        entity = entity or self.controller
+        if interpretation is ErasureInterpretation.REVERSIBLY_INACCESSIBLE:
+            return [
+                self._erase_reversible(self.model.get(u), entity)
+                for u in unit_ids
+            ]
+        if interpretation is ErasureInterpretation.PERMANENTLY_DELETED:
+            raise UnsupportedGroundingError(
+                f"permanent deletion is not supported on {self.backend.name} "
+                "(Table 1)"
+            )
+        return self._erase_physical(list(unit_ids), interpretation, entity)
+
+    def _erase_physical(
+        self,
+        unit_ids: Sequence[str],
+        interpretation: ErasureInterpretation,
+        entity: Entity,
+    ) -> List[EraseOutcome]:
+        """Physically erase units (and, for strong delete, their identifying
+        descendants per §3.1): logically delete every victim, then reclaim
+        once for the whole batch."""
+        strong = interpretation is ErasureInterpretation.STRONGLY_DELETED
+        actions = self._grounding_actions(interpretation)
+        detail = "+".join(actions) + (" (strong cascade)" if strong else "")
+        # Reject double-erasure of any *target* up front (a retry must not
+        # yield an EraseOutcome for system-actions that never ran); cascade
+        # victims reached twice are skipped below, which is legitimate.
+        for unit_id in unit_ids:
+            if self.model.get(unit_id).is_erased:
+                raise ValueError(f"data unit {unit_id!r} already erased")
+        outcomes: List[EraseOutcome] = []
+        for unit_id in unit_ids:
+            cascade: List[str] = []
+            if strong:
+                cascade = sorted(self.provenance.identifying_descendants(unit_id))
+            for victim_id in [unit_id] + cascade:
+                victim = self.model.get(victim_id)
+                if victim.is_erased:
+                    continue
+                self.backend.delete(victim_id)
+                now = self.clock.now
+                victim.mark_erased(now)
+                self.log.record(
+                    victim_id,
+                    Purpose.COMPLIANCE_ERASE,
+                    entity,
+                    ActionType.ERASE,
+                    now,
+                    detail=detail,
+                )
+            outcomes.append(
+                EraseOutcome(
+                    unit_id,
+                    interpretation,
+                    actions,
+                    cascaded_units=tuple(cascade),
+                    timestamp=self.clock.now,
+                )
+            )
+        if strong:
+            self.backend.reclaim_full()
+        else:
+            self.backend.reclaim()
+        return outcomes
+
     def _erase_reversible(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
-        self.engine.set_flag(DATA_TABLE, unit.unit_id, True)
+        actions = self._grounding_actions(
+            ErasureInterpretation.REVERSIBLY_INACCESSIBLE
+        )
+        self.backend.make_inaccessible(unit.unit_id)
         now = self.clock.now
         self.log.record(
             unit.unit_id,
@@ -284,68 +476,32 @@ class CompliantDatabase:
             entity,
             ActionType.ERASE,
             now,
-            detail="reversible-flag (Add new attribute)",
+            detail=f"reversible-flag ({' + '.join(actions)})",
         )
         return EraseOutcome(
             unit.unit_id,
             ErasureInterpretation.REVERSIBLY_INACCESSIBLE,
-            ("Add new attribute",),
+            actions,
             timestamp=now,
         )
 
     def _erase_delete(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
-        self.engine.delete(DATA_TABLE, unit.unit_id)
-        self.engine.vacuum(DATA_TABLE)
-        now = self.clock.now
-        unit.mark_erased(now)
-        self.log.record(
-            unit.unit_id,
-            Purpose.COMPLIANCE_ERASE,
-            entity,
-            ActionType.ERASE,
-            now,
-            detail="DELETE+VACUUM",
-        )
-        return EraseOutcome(
-            unit.unit_id,
-            ErasureInterpretation.DELETED,
-            ("DELETE", "VACUUM"),
-            timestamp=now,
-        )
+        return self._erase_physical(
+            [unit.unit_id], ErasureInterpretation.DELETED, entity
+        )[0]
 
     def _erase_strong(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
         """Delete the unit and every identifying dependent (§3.1)."""
-        cascade = sorted(self.provenance.identifying_descendants(unit.unit_id))
-        for victim_id in [unit.unit_id] + cascade:
-            victim = self.model.get(victim_id)
-            if victim.is_erased:
-                continue
-            self.engine.delete(DATA_TABLE, victim_id)
-            now = self.clock.now
-            victim.mark_erased(now)
-            self.log.record(
-                victim_id,
-                Purpose.COMPLIANCE_ERASE,
-                entity,
-                ActionType.ERASE,
-                now,
-                detail="DELETE+VACUUM FULL (strong cascade)",
-            )
-        self.engine.vacuum_full(DATA_TABLE)
-        return EraseOutcome(
-            unit.unit_id,
-            ErasureInterpretation.STRONGLY_DELETED,
-            ("DELETE", "VACUUM FULL"),
-            cascaded_units=tuple(cascade),
-            timestamp=self.clock.now,
-        )
+        return self._erase_physical(
+            [unit.unit_id], ErasureInterpretation.STRONGLY_DELETED, entity
+        )[0]
 
     def restore(self, unit_id: str, entity: Optional[Entity] = None) -> None:
         """Undo reversible inaccessibility (the transformation is invertible)."""
         entity = entity or self.controller
-        if not self.engine.is_flagged(DATA_TABLE, unit_id):
+        if not self.backend.is_inaccessible(unit_id):
             raise ValueError(f"unit {unit_id!r} is not flagged inaccessible")
-        self.engine.set_flag(DATA_TABLE, unit_id, False)
+        self.backend.restore(unit_id)
         self.log.record(
             unit_id,
             Purpose.COMPLIANCE_ERASE,
@@ -360,14 +516,23 @@ class CompliantDatabase:
         """GDPR Art. 15: everything held about ``subject``, with policies
         and processing-history counts.  The reads are lawful by regulation
         (no stored policy needed) and are themselves recorded in the action
-        history — an auditor can see that the right was honoured."""
+        history — an auditor can see that the right was honoured.
+
+        Reversibly-inaccessible units are disclosed as existing but their
+        values are withheld: §3.1 hides such values from data subjects, and
+        an Art. 15 response to the subject must not become a side channel
+        around that grounding.
+        """
         units: List[SubjectAccessUnit] = []
         for unit in self.model.units_of_subject(subject):
             value = None
+            inaccessible = False
             if not unit.is_erased:
                 try:
-                    value = self.engine.read(DATA_TABLE, unit.unit_id)
-                except Exception:  # engine-level hole (e.g. flagged)
+                    inaccessible = self.backend.is_inaccessible(unit.unit_id)
+                    if not inaccessible:
+                        value = self.backend.read(unit.unit_id)
+                except Exception:  # engine-level hole
                     value = None
             self.log.record(
                 unit.unit_id,
@@ -387,6 +552,7 @@ class CompliantDatabase:
                         for p in unit.policies
                     ),
                     action_count=len(self.history.of(unit.unit_id)),
+                    inaccessible=inaccessible,
                 )
             )
         return SubjectAccessResult(
@@ -408,7 +574,12 @@ class CompliantDatabase:
         )
 
     def timeline(self, unit_id: str) -> ErasureTimeline:
-        """The unit's Figure-3 erasure timeline, from the action history."""
+        """The unit's Figure-3 erasure timeline, from the action history.
+
+        Detail strings are backend-specific ("DELETE+VACUUM" on psql,
+        "tombstone+full compaction" on lsm); milestones are detected by the
+        physical-delete markers either backend records.
+        """
         entries = self.log.history.of(unit_id)
         collected = next(
             (e.timestamp for e in entries if e.action.type == ActionType.CREATE),
@@ -421,11 +592,15 @@ class CompliantDatabase:
         for e in entries:
             if e.action.type == ActionType.ERASE:
                 detail = e.action.detail or ""
+                physical = "DELETE" in detail or "tombstone" in detail
                 if inaccessible is None:
                     inaccessible = e.timestamp
-                if "DELETE" in detail and deleted is None:
+                if physical and deleted is None:
                     deleted = e.timestamp
-                if "VACUUM FULL" in detail and strong is None:
+                if (
+                    ("VACUUM FULL" in detail or "strong cascade" in detail)
+                    and strong is None
+                ):
                     strong = e.timestamp
             if e.action.type == ActionType.SANITIZE and permanent is None:
                 permanent = e.timestamp
@@ -439,10 +614,8 @@ class CompliantDatabase:
 
     # ------------------------------------------------------------- forensics
     def physically_present(self, unit_id: str) -> bool:
-        """Whether any tuple (live or dead) for the unit is still on disk."""
-        return any(
-            key == unit_id for key, _live in self.engine.forensic_scan(DATA_TABLE)
-        )
+        """Whether any physical copy (live or dead) of the unit remains."""
+        return self.backend.physically_present(unit_id)
 
     @property
     def history(self):

@@ -1,0 +1,177 @@
+"""Unit tests for the storage-backend protocol implementations."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.storage.errors import StorageError, TupleNotFoundError
+from repro.systems.backends import (
+    BACKENDS,
+    LsmBackend,
+    PsqlBackend,
+    make_backend,
+)
+
+
+def make_cost():
+    return CostModel(SimClock(), CostBook())
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request):
+    return make_backend(request.param, make_cost())
+
+
+class TestFactory:
+    def test_known_backends(self):
+        assert set(BACKENDS) == {"psql", "lsm"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            make_backend("mongodb", make_cost())
+
+    def test_names_match_registry_keys(self):
+        for name in BACKENDS:
+            assert make_backend(name, make_cost()).name == name
+
+
+class TestCommonContract:
+    """Behaviour every backend must share — the facade relies on it."""
+
+    def test_insert_read_update_roundtrip(self, backend):
+        backend.insert("k", {"v": 1})
+        assert backend.read("k") == {"v": 1}
+        backend.update("k", {"v": 2})
+        assert backend.read("k") == {"v": 2}
+
+    def test_read_missing_raises(self, backend):
+        with pytest.raises(TupleNotFoundError):
+            backend.read("ghost")
+
+    def test_update_missing_raises(self, backend):
+        with pytest.raises(TupleNotFoundError):
+            backend.update("ghost", 1)
+
+    def test_flag_roundtrip_preserves_value(self, backend):
+        backend.insert("k", "secret")
+        assert not backend.is_inaccessible("k")
+        backend.make_inaccessible("k")
+        assert backend.is_inaccessible("k")
+        assert backend.read("k") == "secret"  # visibility is the facade's job
+        assert backend.physically_present("k")
+        backend.restore("k")
+        assert not backend.is_inaccessible("k")
+        assert backend.read("k") == "secret"
+
+    def test_erase_removes_physical_presence(self, backend):
+        backend.insert("k", "secret")
+        backend.erase("k")
+        assert not backend.exists("k")
+        assert not backend.physically_present("k")
+        with pytest.raises(TupleNotFoundError):
+            backend.read("k")
+
+    def test_reclaim_guarantees_physical_removal(self, backend):
+        backend.insert("k", "secret")
+        backend.delete("k")
+        assert not backend.exists("k")
+        backend.reclaim()
+        assert not backend.physically_present("k")
+
+    def test_insert_many_and_read_many(self, backend):
+        assert backend.insert_many((f"k{i}", i) for i in range(10)) == 10
+        assert backend.read_many([f"k{i}" for i in range(10)]) == list(range(10))
+
+    def test_erase_many_batches_reclamation(self, backend):
+        backend.insert_many((f"k{i}", i) for i in range(10))
+        assert backend.erase_many([f"k{i}" for i in range(5)]) == 5
+        for i in range(5):
+            assert not backend.physically_present(f"k{i}")
+        for i in range(5, 10):
+            assert backend.read(f"k{i}") == i
+
+    def test_forensic_scan_lists_live_entries(self, backend):
+        backend.insert_many((f"k{i}", i) for i in range(4))
+        scan = backend.forensic_scan()
+        assert {key for key, live in scan if live} == {f"k{i}" for i in range(4)}
+
+    def test_stats_track_live_and_dead(self, backend):
+        backend.insert_many((f"k{i}", i) for i in range(8))
+        backend.delete("k0")
+        stats = backend.stats()
+        assert stats.backend == backend.name
+        assert stats.live_entries == 7
+        assert stats.dead_entries >= 1
+        assert stats.total_bytes > 0
+
+
+class TestPsqlSpecific:
+    def test_reclaim_full_counts_vacuum_full(self):
+        b = PsqlBackend(make_cost())
+        b.insert("k", 1)
+        b.delete("k")
+        b.reclaim_full()
+        assert b.engine.vacuum_full_count == 1
+
+    def test_table_created_with_flag_column(self):
+        b = PsqlBackend(make_cost())
+        assert b.engine.has_table("data_units")
+        b.insert("k", 1)
+        b.make_inaccessible("k")  # would raise without the retrofit column
+
+    def test_delete_without_reclaim_retains_dead_tuple(self):
+        """MVCC: DELETE only marks the tuple dead — the §1 retention hazard."""
+        b = PsqlBackend(make_cost())
+        b.insert("k", "secret")
+        b.delete("k")
+        assert b.physically_present("k")
+        assert ("k", False) in b.forensic_scan()
+        b.reclaim()
+        assert not b.physically_present("k")
+
+
+class TestLsmSpecific:
+    def test_restore_unflagged_raises(self):
+        b = LsmBackend(make_cost())
+        b.insert("k", 1)
+        with pytest.raises(StorageError, match="not flagged"):
+            b.restore("k")
+
+    def test_flag_missing_key_raises(self):
+        b = LsmBackend(make_cost())
+        with pytest.raises(TupleNotFoundError):
+            b.make_inaccessible("ghost")
+        with pytest.raises(TupleNotFoundError):
+            b.is_inaccessible("ghost")
+
+    def test_erase_runs_full_compaction(self):
+        b = LsmBackend(make_cost(), memtable_capacity=4)
+        b.insert_many((f"k{i}", i) for i in range(16))
+        before = b.engine.compaction_count
+        b.erase("k3")
+        assert b.engine.compaction_count > before
+        assert b.engine.tombstone_count == 0  # full compaction drops them
+
+    def test_tombstone_without_compaction_retains_shadowed_value(self):
+        """A tombstone shadows — but does not remove — the value sitting in
+        an older run: the §1 retention hazard, until full compaction."""
+        b = LsmBackend(make_cost(), memtable_capacity=2, tier_threshold=10)
+        b.insert("k", "secret")
+        b.insert("pad", 1)  # flush: the run now holds the value
+        b.delete("k")
+        assert b.physically_present("k")
+        assert ("k", False) in b.forensic_scan()
+        b.reclaim()
+        assert not b.physically_present("k")
+
+    def test_shadowed_versions_visible_to_forensics_until_compaction(self):
+        b = LsmBackend(make_cost(), memtable_capacity=2, tier_threshold=10)
+        b.insert("k", "v1")
+        b.insert("pad1", 1)  # flush: run holds v1
+        b.update("k", "v2")
+        b.insert("pad2", 2)  # flush: run holds v2
+        entries = [key for key, _live in b.forensic_scan() if key == "k"]
+        assert len(entries) == 2  # both physical versions visible
+        b.reclaim()
+        entries = [key for key, _live in b.forensic_scan() if key == "k"]
+        assert len(entries) == 1

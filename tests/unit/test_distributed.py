@@ -160,6 +160,57 @@ class TestGroundedDistributedErase:
         assert report.verified_clean
         assert report.nodes_deleted == 0
 
+
+class TestReplicationLogRetention:
+    """Regression: the replication log kept ``entry.value`` forever, so
+    ``erase_all_copies`` reported ``verified_clean=True`` while the erased
+    value still sat in the log — and ``copies_of`` never counted the log."""
+
+    def test_log_is_a_copy_location(self):
+        store, _ = make_store()
+        store.put("pii", "sensitive")
+        locations = {loc for loc, _name in store.copies_of("pii")}
+        assert CopyLocation.LOG in locations
+
+    def test_naive_delete_leaves_value_in_log(self):
+        store, _ = make_store()
+        store.put("pii", "sensitive")
+        store.naive_delete("pii")
+        locations = {loc for loc, _name in store.lingering_copies("pii")}
+        assert CopyLocation.LOG in locations
+
+    def test_erase_all_copies_scrubs_log(self):
+        store, clock = make_store()
+        store.put("pii", "sensitive")
+        store.update("pii", "still sensitive")
+        advance(clock, 60_000)
+        store.read("pii", replica=0)
+        report = store.erase_all_copies("pii")
+        # Exactly the put and the update — delete entries carry no value.
+        assert report.log_values_scrubbed == 2
+        assert report.verified_clean
+        locations = {loc for loc, _name in store.copies_of("pii")}
+        assert CopyLocation.LOG not in locations
+
+    def test_verified_clean_would_be_false_without_scrub(self):
+        """The log alone keeps verified_clean honest: a value that only
+        survives in the log must still count as a lingering copy."""
+        store, _ = make_store(n_replicas=0, cache_ttl=0)
+        store.put("pii", "sensitive")
+        store.primary.engine.delete("replicated_data", "pii")
+        store.primary.engine.vacuum("replicated_data")
+        # no node, cache, or dead tuple holds the value — only the log does
+        assert store.copies_of("pii") == [(CopyLocation.LOG, "primary")]
+
+    def test_scrubbed_entries_do_not_break_later_replication(self):
+        store, clock = make_store()
+        store.put("pii", "sensitive")
+        store.erase_all_copies("pii")
+        store.put("other", "fine")
+        advance(clock, 60_000)
+        assert store.read("other", replica=0) == "fine"
+        assert store.replication_backlog(0) == 0
+
     def test_other_keys_survive_targeted_erase(self):
         store, clock = make_store()
         store.put("a", 1)

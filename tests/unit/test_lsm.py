@@ -144,6 +144,32 @@ class TestLSMEngineBasics:
         assert eng.run_count == 1
         assert eng.get("k2") == 2
 
+    def test_delete_only_workload_flushes_on_capacity(self):
+        """Regression: tombstone writes must honour the memtable capacity
+        bound exactly like puts — a delete-heavy workload used to overrun
+        the buffer because only the put path checked ``is_full``."""
+        eng, _ = make_engine(memtable_capacity=4, tier_threshold=10)
+        for i in range(64):
+            eng.delete(f"k{i}")
+            assert len(eng._memtable) < 4 or eng.flush_count > 0
+            assert len(eng._memtable) <= 4
+        assert eng.flush_count == 16
+
+    def test_mixed_put_delete_workload_bounds_memtable(self):
+        eng, _ = make_engine(memtable_capacity=4, tier_threshold=10)
+        for i in range(32):
+            eng.put(f"p{i}", i)
+            eng.delete(f"p{i}")
+            assert len(eng._memtable) <= 4
+
+    def test_put_many_and_delete_many_batch_paths(self):
+        eng, _ = make_engine(memtable_capacity=4, tier_threshold=10)
+        assert eng.put_many((f"k{i}", i) for i in range(10)) == 10
+        assert eng.get("k7") == 7
+        assert eng.delete_many(f"k{i}" for i in range(10)) == 10
+        assert eng.get("k7") is None
+        assert len(eng._memtable) <= 4
+
     def test_get_across_runs_prefers_newest(self):
         eng, _ = make_engine(memtable_capacity=2, tier_threshold=10)
         eng.put("k", "old")

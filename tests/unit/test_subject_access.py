@@ -49,6 +49,31 @@ class TestSubjectAccess:
         unit = next(u for u in result.units if u.unit_id == "a")
         assert unit.erased and unit.value is None
 
+    def test_reversibly_inaccessible_value_not_disclosed(self, db):
+        """Regression (Art. 15 leak): the engine's read path unwraps the
+        inaccessibility flag transparently, so the SAR used to disclose a
+        reversibly-inaccessible value that ``read()`` correctly blocked.
+        The unit must be reported as inaccessible, without the value."""
+        db.erase(
+            "a", interpretation=ErasureInterpretation.REVERSIBLY_INACCESSIBLE
+        )
+        result = db.subject_access_request(USER)
+        unit = next(u for u in result.units if u.unit_id == "a")
+        assert unit.inaccessible
+        assert unit.value is None
+        assert not unit.erased
+        assert "inaccessible" in result.render()
+
+    def test_restored_unit_discloses_value_again(self, db):
+        db.erase(
+            "a", interpretation=ErasureInterpretation.REVERSIBLY_INACCESSIBLE
+        )
+        db.restore("a")
+        result = db.subject_access_request(USER)
+        unit = next(u for u in result.units if u.unit_id == "a")
+        assert not unit.inaccessible
+        assert unit.value == {"unit": "a"}
+
     def test_sar_reads_are_lawful_and_recorded(self, db):
         db.subject_access_request(USER)
         entries = [
