@@ -1,18 +1,25 @@
-"""Backend comparison — PSQL vs LSM erase latency and physical retention.
+"""Backend comparison — PSQL vs LSM vs crypto-shred erase latency/retention.
 
-For every supported Table-1 interpretation (reversibly inaccessible,
-delete, strong delete) this bench drives an identical high-volume workload
-through both storage backends via the facade's batch APIs: bulk-collect N
-units (every tenth unit gets an identifying derived copy so strong delete
-has something to cascade over), then batch-erase half of them.  Reported
-per (backend, interpretation):
+For every Table-1 interpretation a backend can ground, this bench drives an
+identical high-volume workload through the storage backends via the
+facade's batch APIs: bulk-collect N units (every tenth unit gets an
+identifying derived copy so strong delete has something to cascade over),
+then batch-erase half of them.  Reported per (backend, interpretation):
 
 * simulated erase-phase completion time and mean per-erase latency;
 * how many erased units remain physically recoverable afterwards
   (the §1 retention hazard — by design N/2 for the reversible grounding,
   0 for the physical ones);
 * the physical-retention window: simulated time between a unit's logical
-  delete and the batch's reclamation pass (VACUUM / full compaction).
+  delete and the batch's reclamation pass (VACUUM / full compaction /
+  key shred).
+
+The crypto-shred backend additionally runs the **permanently delete** row —
+the cell Table 1 marks "Not supported" on the native engines.
+
+A second comparison isolates the LSM block cache: the same read-heavy
+workload with the cache disabled vs enabled, reporting simulated seconds
+and hit rates (the read-amplification cost the cache removes).
 
 Run standalone::
 
@@ -33,17 +40,22 @@ from repro.core.entities import controller, data_subject
 from repro.core.erasure import ErasureInterpretation
 from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.systems.backends import LsmBackend
 from repro.systems.database import CompliantDatabase
 
-BACKENDS = ("psql", "lsm")
+BACKENDS = ("psql", "lsm", "crypto-shred")
 
-#: The three interpretations either backend can ground (Table 1's fourth,
-#: permanent deletion, is unsupported on both — that is the point).
+#: The three interpretations every backend can ground.
 INTERPRETATIONS = (
     ErasureInterpretation.REVERSIBLY_INACCESSIBLE,
     ErasureInterpretation.DELETED,
     ErasureInterpretation.STRONGLY_DELETED,
 )
+
+#: Backends whose grounding registry makes Table 1's fourth row executable.
+SANITIZING_BACKENDS = ("crypto-shred",)
 
 DERIVE_EVERY = 10
 
@@ -124,17 +136,121 @@ def run_backend_erasure(
 def compare_backends(
     n_records: int = 2_000, erase_fraction: float = 0.5
 ) -> List[BackendRunResult]:
-    """The full grid: every backend × every supported interpretation."""
+    """The full grid: every backend × every interpretation it supports."""
+    results = []
+    for backend in BACKENDS:
+        interpretations = list(INTERPRETATIONS)
+        if backend in SANITIZING_BACKENDS:
+            interpretations.append(ErasureInterpretation.PERMANENTLY_DELETED)
+        for interpretation in interpretations:
+            results.append(
+                run_backend_erasure(
+                    backend, interpretation, n_records, erase_fraction
+                )
+            )
+    return results
+
+
+# ===========================================================================
+# LSM block cache — before/after on a read-heavy mix
+# ===========================================================================
+
+@dataclass(frozen=True)
+class CacheRunResult:
+    """One LSM read-phase run with the block cache off or on."""
+
+    cache_capacity: int
+    n_records: int
+    n_reads: int
+    read_seconds: float
+    mean_read_us: float
+    cache_hits: int
+    cache_misses: int
+    bloom_negatives: int
+
+
+def run_lsm_read_phase(
+    cache_capacity: int, n_records: int = 2_000, n_reads: int = 8_000
+) -> CacheRunResult:
+    """Bulk-load an LSM backend, then hammer a hot read set (the Figure-4
+    read-heavy shape): ~80% of reads hit a hot tenth of the keyspace, so a
+    small cache absorbs the repeated run probes."""
+    cost = CostModel(SimClock(), CostBook())
+    backend = LsmBackend(
+        cost,
+        memtable_capacity=max(64, n_records // 16),
+        block_cache_capacity=cache_capacity,
+    )
+    backend.insert_many((f"u{i:06d}", (i, "payload")) for i in range(n_records))
+    hot = max(1, n_records // 10)
+    t0 = cost.clock.now
+    for i in range(n_reads):
+        if i % 5 == 0:
+            key = f"u{(i * 7919) % n_records:06d}"      # cold tail
+        else:
+            key = f"u{(i * 31) % hot:06d}"              # hot set
+        backend.read(key)
+    t1 = cost.clock.now
+    return CacheRunResult(
+        cache_capacity=cache_capacity,
+        n_records=n_records,
+        n_reads=n_reads,
+        read_seconds=(t1 - t0) / 1e6,
+        mean_read_us=(t1 - t0) / max(1, n_reads),
+        cache_hits=backend.engine.cache_hits,
+        cache_misses=backend.engine.cache_misses,
+        bloom_negatives=backend.engine.bloom_negatives,
+    )
+
+
+def compare_lsm_cache(
+    n_records: int = 2_000, n_reads: int = 8_000
+) -> List[CacheRunResult]:
+    """Before/after: block cache disabled vs default capacity."""
     return [
-        run_backend_erasure(backend, interpretation, n_records, erase_fraction)
-        for backend in BACKENDS
-        for interpretation in INTERPRETATIONS
+        run_lsm_read_phase(0, n_records, n_reads),
+        run_lsm_read_phase(1024, n_records, n_reads),
     ]
+
+
+def render_cache_comparison(results: Sequence[CacheRunResult]) -> str:
+    header = (
+        f"{'cache':>6} {'reads':>7} {'read s':>8} {'µs/read':>9} "
+        f"{'hits':>7} {'misses':>7} {'bloom neg':>10}"
+    )
+    lines = [
+        "LSM block cache: read-heavy phase, cache off vs on "
+        f"(N={results[0].n_records}, reads={results[0].n_reads})",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        label = "off" if r.cache_capacity == 0 else str(r.cache_capacity)
+        lines.append(
+            f"{label:>6} {r.n_reads:>7} {r.read_seconds:>8.3f} "
+            f"{r.mean_read_us:>9.1f} {r.cache_hits:>7} {r.cache_misses:>7} "
+            f"{r.bloom_negatives:>10}"
+        )
+    off, on = results[0], results[-1]
+    if on.read_seconds > 0:
+        lines.append(
+            f"speedup: {off.read_seconds / on.read_seconds:.1f}x "
+            f"(hit rate {on.cache_hits / max(1, on.cache_hits + on.cache_misses):.0%})"
+        )
+    return "\n".join(lines)
+
+
+def check_cache_invariants(results: Sequence[CacheRunResult]) -> None:
+    off, on = results[0], results[-1]
+    assert off.cache_hits == 0, off
+    assert on.cache_hits > 0, on
+    # The cache must make the identical read phase strictly cheaper.
+    assert on.read_seconds < off.read_seconds, (off, on)
 
 
 def render_comparison(results: Sequence[BackendRunResult]) -> str:
     header = (
-        f"{'backend':<8} {'interpretation':<24} {'erase s':>8} "
+        f"{'backend':<13} {'interpretation':<24} {'erase s':>8} "
         f"{'µs/erase':>9} {'retained':>9} {'mean win µs':>12} {'max win µs':>11}"
     )
     lines = [
@@ -147,7 +263,7 @@ def render_comparison(results: Sequence[BackendRunResult]) -> str:
         mean_w = f"{r.mean_window_us:.0f}" if r.mean_window_us is not None else "∞"
         max_w = f"{r.max_window_us}" if r.max_window_us is not None else "∞"
         lines.append(
-            f"{r.backend:<8} {r.interpretation.label:<24} "
+            f"{r.backend:<13} {r.interpretation.label:<24} "
             f"{r.erase_seconds:>8.3f} {r.mean_erase_us:>9.1f} "
             f"{r.retained_after:>9} {mean_w:>12} {max_w:>11}"
         )
@@ -165,6 +281,13 @@ def check_invariants(results: Sequence[BackendRunResult]) -> None:
             assert r.retained_after == 0, r
         assert r.erase_seconds > 0, r
     assert {r.backend for r in results} == set(BACKENDS)
+    # Table 1's last row runs for real on the sanitizing backends only.
+    permanent = {
+        r.backend
+        for r in results
+        if r.interpretation is ErasureInterpretation.PERMANENTLY_DELETED
+    }
+    assert permanent == set(SANITIZING_BACKENDS)
 
 
 def test_bench_backends(once):
@@ -175,9 +298,17 @@ def test_bench_backends(once):
     emit("bench_backends", render_comparison(results))
 
 
+def test_bench_lsm_cache(once):
+    from conftest import emit, scaled
+
+    results = once(compare_lsm_cache, scaled(2_000, minimum=500))
+    check_cache_invariants(results)
+    emit("bench_lsm_cache", render_cache_comparison(results))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="PSQL vs LSM erase latency / retention comparison"
+        description="PSQL vs LSM vs crypto-shred erase latency / retention"
     )
     parser.add_argument("--records", type=int, default=2_000)
     parser.add_argument("--erase-fraction", type=float, default=0.5)
@@ -195,6 +326,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     results = compare_backends(n_records, args.erase_fraction)
     check_invariants(results)
     print(render_comparison(results))
+    cache_results = compare_lsm_cache(
+        n_records, n_reads=max(800, 4 * n_records)
+    )
+    check_cache_invariants(cache_results)
+    print()
+    print(render_cache_comparison(cache_results))
     return 0
 
 

@@ -1,0 +1,223 @@
+"""Sharded distributed erasure — batch ``erase_many`` throughput vs shards.
+
+The grounded distributed erase must remove *every* copy — primaries,
+replicas, caches, replication logs, node WALs (§1).  Done per key, that
+costs one reclamation pass per node per key; the batch path deletes every
+victim first and reclaims **once per node**, and sharding splits the batch
+into independent groups that reclaim in parallel.  This bench measures, per
+(backend, shard count):
+
+* the naive per-key loop (``erase_all_copies`` per victim) — the baseline;
+* the batch ``erase_many`` total simulated work and its critical path
+  (the slowest shard — what a parallel deployment actually waits for);
+* reclamation passes run, and erase throughput on the critical path.
+
+Invariants gated in CI (``--smoke``): every configuration verifies clean
+(no copy survives anywhere), the batch path beats the per-key loop, batch
+reclamations equal ``shards × (replicas + 1)``, and critical-path
+throughput scales up with the shard count.  The smoke run also drives the
+crypto-shred backend through a sharded batch erase, covering the
+"permanently delete"-capable engine in the distributed topology.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py [--smoke]
+
+or under pytest-benchmark like the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sharding.py
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.distributed.store import ReplicatedStore
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+
+N_REPLICAS = 1
+REPLICATION_LAG = 50_000
+
+
+@dataclass(frozen=True)
+class ShardingRunResult:
+    """One (backend, shards) cell of the comparison."""
+
+    backend: str
+    shards: int
+    shards_touched: int
+    n_keys: int
+    n_erased: int
+    per_key_seconds: float       # naive loop: erase_all_copies per victim
+    batch_seconds: float         # erase_many, total simulated work
+    critical_path_seconds: float  # slowest shard (parallel completion time)
+    batch_reclamations: int
+    per_key_reclamations: int
+    throughput_keys_per_s: float  # on the critical path
+    verified_clean: bool
+
+
+def _loaded_store(
+    backend: str, shards: int, n_keys: int, cost: CostModel
+) -> ReplicatedStore:
+    """A store with n_keys spread over the shards, replicas caught up and
+    caches warmed — every copy location populated before the erase."""
+    store = ReplicatedStore(
+        cost,
+        n_replicas=N_REPLICAS,
+        replication_lag=REPLICATION_LAG,
+        cache_ttl=10**12,
+        shards=shards,
+        backend=backend,
+    )
+    for i in range(n_keys):
+        store.put(f"u{i:06d}", (i, "payload"))
+    cost.clock.charge(REPLICATION_LAG + 10_000, "idle")  # lag elapses
+    for i in range(n_keys):
+        store.read(f"u{i:06d}", replica=0)  # replicas apply + cache
+    return store
+
+
+def run_sharded_erase(
+    backend: str, shards: int, n_keys: int = 400, erase_fraction: float = 0.5
+) -> ShardingRunResult:
+    """Measure the per-key baseline and the batch path on fresh stores."""
+    victims = [f"u{i:06d}" for i in range(int(n_keys * erase_fraction))]
+
+    # Baseline: one grounded erase per key (reclaims every node per key).
+    cost = CostModel(SimClock(), CostBook())
+    store = _loaded_store(backend, shards, n_keys, cost)
+    t0 = cost.clock.now
+    for key in victims:
+        store.erase_all_copies(key)
+    per_key_seconds = (cost.clock.now - t0) / 1e6
+    per_key_reclaims = len(victims) * (N_REPLICAS + 1)
+
+    # Batch: the public erase_many fans out per shard with one reclamation
+    # pass per node; its per-shard timings give the critical path a
+    # parallel deployment waits for.
+    cost = CostModel(SimClock(), CostBook())
+    store = _loaded_store(backend, shards, n_keys, cost)
+    report = store.erase_many(victims)
+    batch_seconds = sum(report.shard_seconds)
+    critical = max(report.shard_seconds) if report.shard_seconds else 0.0
+    return ShardingRunResult(
+        backend=backend,
+        shards=shards,
+        shards_touched=report.shards_touched,
+        n_keys=n_keys,
+        n_erased=len(victims),
+        per_key_seconds=per_key_seconds,
+        batch_seconds=batch_seconds,
+        critical_path_seconds=critical,
+        batch_reclamations=report.reclamations,
+        per_key_reclamations=per_key_reclaims,
+        throughput_keys_per_s=len(victims) / critical if critical else 0.0,
+        verified_clean=report.verified_clean,
+    )
+
+
+def compare_sharding(
+    n_keys: int = 400,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    backends: Sequence[str] = ("psql", "lsm"),
+) -> List[ShardingRunResult]:
+    return [
+        run_sharded_erase(backend, shards, n_keys)
+        for backend in backends
+        for shards in shard_counts
+    ]
+
+
+def render_sharding(results: Sequence[ShardingRunResult]) -> str:
+    header = (
+        f"{'backend':<13} {'shards':>6} {'erased':>7} {'per-key s':>10} "
+        f"{'batch s':>8} {'crit s':>7} {'reclaims':>9} {'keys/s':>8}"
+    )
+    lines = [
+        "Sharded batch erase_many vs per-key erase_all_copies "
+        f"(N={results[0].n_keys}, {N_REPLICAS} replica(s)/shard)",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(
+            f"{r.backend:<13} {r.shards:>6} {r.n_erased:>7} "
+            f"{r.per_key_seconds:>10.3f} {r.batch_seconds:>8.3f} "
+            f"{r.critical_path_seconds:>7.3f} "
+            f"{r.batch_reclamations:>4}/{r.per_key_reclamations:<4} "
+            f"{r.throughput_keys_per_s:>8.0f}"
+        )
+    return "\n".join(lines)
+
+
+def check_invariants(results: Sequence[ShardingRunResult]) -> None:
+    for r in results:
+        assert r.verified_clean, r
+        # Batch reclamation is amortized: one pass per node on every shard
+        # that received victims, not one per key.
+        assert r.batch_reclamations == r.shards_touched * (N_REPLICAS + 1), r
+        assert r.batch_reclamations <= r.per_key_reclamations, r
+        if r.batch_reclamations < r.per_key_reclamations:
+            # Strictly fewer passes must mean strictly less work.
+            assert r.batch_seconds < r.per_key_seconds, r
+    by_backend: dict = {}
+    for r in results:
+        by_backend.setdefault(r.backend, []).append(r)
+    for backend, rows in by_backend.items():
+        rows.sort(key=lambda r: r.shards)
+        if len(rows) > 1:
+            # Critical-path throughput must scale with the shard count.
+            first, last = rows[0], rows[-1]
+            assert (
+                last.throughput_keys_per_s > first.throughput_keys_per_s
+            ), (backend, first, last)
+
+
+def test_bench_sharding(once):
+    from conftest import emit, scaled
+
+    results = once(compare_sharding, scaled(400, minimum=200))
+    check_invariants(results)
+    emit("bench_sharding", render_sharding(results))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded erase_many throughput vs shard count"
+    )
+    parser.add_argument("--keys", type=int, default=400)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument(
+        "--backends", nargs="+", default=["psql", "lsm"],
+        choices=["psql", "lsm", "crypto-shred"],
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run asserting the sharding invariants (CI gate), "
+             "including a crypto-shred sharded erase",
+    )
+    args = parser.parse_args(argv)
+    if args.keys < 1:
+        parser.error("--keys must be >= 1")
+    n_keys = 120 if args.smoke else args.keys
+    shard_counts = [1, 2, 4] if args.smoke else sorted(set(args.shards))
+    backends = ["psql", "lsm"] if args.smoke else args.backends
+    results = compare_sharding(n_keys, shard_counts, backends)
+    check_invariants(results)
+    print(render_sharding(results))
+    if args.smoke:
+        # Crypto-shred in the sharded topology: one batch, verified clean.
+        shred = run_sharded_erase("crypto-shred", 2, n_keys=60)
+        check_invariants([shred])
+        print()
+        print(render_sharding([shred]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,7 +55,9 @@ def _erasure_scenario(
     paper's Table-1 column verbatim; "lsm" executes the same
     interpretations through their LSM system-actions (flag write,
     tombstone + full compaction) and must exhibit the identical property
-    profile — the point of grounding portability.
+    profile — the point of grounding portability; "crypto-shred" is the
+    retrofit whose key-shredding system-actions make even "permanently
+    delete" executable, filling the paper's "Not supported" cell.
     """
     metaspace = controller("MetaSpace")
     user = data_subject("user-1234")
@@ -93,11 +95,12 @@ def _erasure_scenario(
         unit = db.model.get("loc-1234")
         actions = tuple(a.name for a in registered.system_actions)
     else:
-        # Permanent deletion has no system-action on either engine
+        # Permanent deletion has no system-action on the native engines
         # (Table 1); its property profile equals strong deletion's — the
         # paper notes the two differ only in the extra sanitization step.
         # Characterize the strong-delete execution and mark the row
-        # unsupported.
+        # unsupported.  (On crypto-shred the grounding IS implementable,
+        # so this branch never runs there.)
         db.erase("loc-1234", interpretation=ErasureInterpretation.STRONGLY_DELETED)
         unit = db.model.get("loc-1234")
         actions = ()
@@ -253,14 +256,20 @@ def fig4b(
     n_transactions: int = 10_000,
     workload_names: Sequence[str] = WORKLOAD_ORDER,
     profile_names: Sequence[str] = PROFILE_NAMES,
+    backend: str = "psql",
 ) -> Dict[str, Dict[str, RunResult]]:
-    """Regenerate Figure 4(b): ``results[workload][profile] -> RunResult``."""
+    """Regenerate Figure 4(b): ``results[workload][profile] -> RunResult``.
+
+    ``backend`` selects the storage substrate the whole grid runs on —
+    the profile machinery is backend-generic, so the same profile ×
+    workload matrix regenerates on "psql", "lsm", or "crypto-shred".
+    """
     results: Dict[str, Dict[str, RunResult]] = {}
     for wname in workload_names:
         row: Dict[str, RunResult] = {}
         for pname in profile_names:
             workload, personal = _make_workload(wname, record_count, n_transactions)
-            profile = make_profile(pname)
+            profile = make_profile(pname, backend=backend)
             row[pname] = profile.run(workload, personal=personal)
         results[wname] = row
     return results
@@ -275,8 +284,9 @@ def fig4c(
     n_transactions: int = 10_000,
     profile_names: Sequence[str] = PROFILE_NAMES,
     include_ycsb: bool = True,
+    backend: str = "psql",
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
-    """Regenerate Figure 4(c).
+    """Regenerate Figure 4(c) on the chosen storage backend.
 
     Returns ``{"WCus": {records: {profile: minutes}},
     "YCSB-C": {records: {profile: minutes}}}`` — WCus are the lines, YCSB-C
@@ -289,7 +299,9 @@ def fig4c(
         out["WCus"][records] = {}
         for pname in profile_names:
             workload, personal = _make_workload("WCus", records, n_transactions)
-            result = make_profile(pname).run(workload, personal=personal)
+            result = make_profile(pname, backend=backend).run(
+                workload, personal=personal
+            )
             out["WCus"][records][pname] = result.total_minutes
         if include_ycsb:
             out["YCSB-C"][records] = {}
@@ -297,7 +309,9 @@ def fig4c(
                 workload, personal = _make_workload(
                     "YCSB-C", records, n_transactions
                 )
-                result = make_profile(pname).run(workload, personal=personal)
+                result = make_profile(pname, backend=backend).run(
+                    workload, personal=personal
+                )
                 out["YCSB-C"][records][pname] = result.total_minutes
     return out
 
@@ -307,12 +321,14 @@ def fig4c(
 # ===========================================================================
 
 def table2(
-    record_count: int = 100_000, n_transactions: int = 10_000
+    record_count: int = 100_000,
+    n_transactions: int = 10_000,
+    backend: str = "psql",
 ) -> List[SpaceReport]:
     """Regenerate Table 2: run WCus on each profile, report space."""
     reports: List[SpaceReport] = []
     for pname in PROFILE_NAMES:
         workload, _personal = _make_workload("WCus", record_count, n_transactions)
-        result = make_profile(pname).run(workload)
+        result = make_profile(pname, backend=backend).run(workload)
         reports.append(result.space)
     return reports

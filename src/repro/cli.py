@@ -33,10 +33,21 @@ from repro.core.compatibility import (
     profile_selection,
 )
 from repro.core.regulation import all_regulations
+from repro.systems.backends import BACKENDS
+
+#: Storage backends every backend-generic experiment can run on — derived
+#: from the registry so a new backend is CLI-selectable the moment it
+#: registers.
+BACKEND_CHOICES = tuple(sorted(BACKENDS))
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    backends = ("psql", "lsm") if args.backend == "both" else (args.backend,)
+    if args.backend == "both":
+        backends = ("psql", "lsm")
+    elif args.backend == "all":
+        backends = BACKEND_CHOICES
+    else:
+        backends = (args.backend,)
     for i, backend in enumerate(backends):
         if i:
             print()
@@ -45,7 +56,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    print(render_table2(table2(args.records, args.txns)))
+    print(render_table2(table2(args.records, args.txns, backend=args.backend)))
     return 0
 
 
@@ -56,13 +67,21 @@ def _cmd_fig4a(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig4b(args: argparse.Namespace) -> int:
-    results = fig4b(record_count=args.records, n_transactions=args.txns)
+    results = fig4b(
+        record_count=args.records,
+        n_transactions=args.txns,
+        backend=args.backend,
+    )
     print(render_fig4b(results))
     return 0
 
 
 def _cmd_fig4c(args: argparse.Namespace) -> int:
-    results = fig4c(record_counts=tuple(args.records), n_transactions=args.txns)
+    results = fig4c(
+        record_counts=tuple(args.records),
+        n_transactions=args.txns,
+        backend=args.backend,
+    )
     print(render_fig4c(results))
     return 0
 
@@ -97,13 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("table1", help="erasure characterization matrix")
-    p.add_argument("--backend", default="psql", choices=["psql", "lsm", "both"],
-                   help="storage backend to ground the interpretations on")
+    p.add_argument("--backend", default="psql",
+                   choices=[*BACKEND_CHOICES, "both", "all"],
+                   help="storage backend to ground the interpretations on "
+                        "('both' = psql+lsm, 'all' = every backend)")
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="space factors (Table 2)")
     p.add_argument("--records", type=int, default=100_000)
     p.add_argument("--txns", type=int, default=10_000)
+    p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
+                   help="storage backend the profiles run on")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("fig4a", help="erasure implementations on PSQL")
@@ -117,6 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig4b", help="profiles × workloads completion time")
     p.add_argument("--records", type=int, default=100_000)
     p.add_argument("--txns", type=int, default=10_000)
+    p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
+                   help="storage backend the profile grid runs on")
     p.set_defaults(func=_cmd_fig4b)
 
     p = sub.add_parser("fig4c", help="scalability in record count")
@@ -125,6 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--records", type=int, nargs="+",
         default=[100_000, 200_000, 300_000, 400_000, 500_000],
     )
+    p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
+                   help="storage backend the profile grid runs on")
     p.set_defaults(func=_cmd_fig4c)
 
     p = sub.add_parser("audit", help="grounding compatibility audit")

@@ -90,7 +90,13 @@ class ActionHistoryTuple:
 
     @property
     def is_erase(self) -> bool:
-        return self.action.type == ActionType.ERASE
+        """Whether the action erases (or completes an erasure of) the unit.
+
+        SANITIZE counts: permanent deletion records the key-shred ERASE and
+        the follow-on sector sanitization, and the latter must not read as
+        "processing after the erase" (G17's last-action check).
+        """
+        return self.action.type in (ActionType.ERASE, ActionType.SANITIZE)
 
     def __str__(self) -> str:
         return (

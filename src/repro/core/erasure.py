@@ -46,9 +46,30 @@ permanently delete      Not supported
 The tombstone alone is *not* a grounding of "delete": it leaves shadowed
 values physically recoverable in older runs (the §1 retention hazard the
 LSM engine's retention records quantify); only the paired full compaction
-makes the value unrecoverable.  :func:`register_erasure` registers both
-engines' groundings; a deployment selects the set matching its
+makes the value unrecoverable.
+
+"Not supported" is a statement about the *engine*, not the interpretation:
+the paper's §1 remedy is retrofitting.  The crypto-shredding backend
+(:class:`~repro.systems.backends.CryptoShredBackend`) is that retrofit —
+every value is encrypted under a per-unit volume key, so destroying the key
+("key shred") plus a multi-pass overwrite of the ciphertext sectors grounds
+the fourth row with the full property profile (IR ×, II ×, Inv ×):
+
+====================== ============================================
+Erasure                 crypto-shred system-action(s)
+====================== ============================================
+reversibly inaccessible flag entry (key retained, value hidden)
+delete                  logical delete + key shred
+strong delete           logical delete cascade + key shred
+permanently delete      key shred + sector sanitize
+====================== ============================================
+
+:func:`register_erasure` registers all three engines' groundings; a
+deployment selects the set matching its
 :class:`~repro.systems.backends.StorageBackend` at construction.
+:data:`PAPER_TABLE1` remains the paper's PSQL ground truth (its last row
+stays "Not supported"); :func:`backend_table1` renders the matrix a given
+backend actually achieves.
 """
 
 from __future__ import annotations
@@ -170,6 +191,68 @@ PAPER_TABLE1: Dict[ErasureInterpretation, ErasureCharacterization] = {
 def paper_table1() -> List[ErasureCharacterization]:
     """The four rows in the paper's order."""
     return [PAPER_TABLE1[i] for i in ErasureInterpretation]
+
+
+#: System-actions per backend, keyed by engine name — the Figure-2 step-3
+#: mapping that :func:`register_erasure` records in the registry.  The
+#: boolean marks whether the engine supports the interpretation at all.
+BACKEND_SYSTEM_ACTIONS: Dict[str, Dict[ErasureInterpretation, Tuple[Tuple[str, ...], bool]]] = {
+    "psql": {
+        ErasureInterpretation.REVERSIBLY_INACCESSIBLE: (("Add new attribute",), True),
+        ErasureInterpretation.DELETED: (("DELETE", "VACUUM"), True),
+        ErasureInterpretation.STRONGLY_DELETED: (("DELETE", "VACUUM FULL"), True),
+        ErasureInterpretation.PERMANENTLY_DELETED: ((), False),
+    },
+    "lsm": {
+        ErasureInterpretation.REVERSIBLY_INACCESSIBLE: (("flag write",), True),
+        ErasureInterpretation.DELETED: (("tombstone", "full compaction"), True),
+        ErasureInterpretation.STRONGLY_DELETED: (
+            ("tombstone cascade", "full compaction"),
+            True,
+        ),
+        ErasureInterpretation.PERMANENTLY_DELETED: ((), False),
+    },
+    "crypto-shred": {
+        ErasureInterpretation.REVERSIBLY_INACCESSIBLE: (("flag entry",), True),
+        ErasureInterpretation.DELETED: (("logical delete", "key shred"), True),
+        ErasureInterpretation.STRONGLY_DELETED: (
+            ("logical delete cascade", "key shred"),
+            True,
+        ),
+        ErasureInterpretation.PERMANENTLY_DELETED: (
+            ("key shred", "sector sanitize"),
+            True,
+        ),
+    },
+}
+
+
+def backend_table1(backend: str) -> List[ErasureCharacterization]:
+    """The Table-1 matrix a backend actually achieves.
+
+    Property profiles are the paper's (they characterize the interpretation,
+    not the engine); system-actions and supportedness are the backend's.
+    Crypto-shredding is the only backend whose fourth row is supported.
+    """
+    try:
+        actions = BACKEND_SYSTEM_ACTIONS[backend]
+    except KeyError:
+        raise KeyError(f"unknown backend {backend!r}") from None
+    rows = []
+    for interpretation in ErasureInterpretation:
+        paper = PAPER_TABLE1[interpretation]
+        system_actions, supported = actions[interpretation]
+        rows.append(
+            ErasureCharacterization(
+                interpretation=interpretation,
+                illegal_read=paper.illegal_read,
+                illegal_inference=paper.illegal_inference,
+                invertible=paper.invertible,
+                system_actions=system_actions,
+                supported=supported,
+            )
+        )
+    return rows
 
 
 # --------------------------------------------------------------------------
@@ -359,9 +442,21 @@ ERASURE_CONCEPT = Concept(
 )
 
 
+#: Human detail for selected system-actions, keyed by (engine, action name).
+_ACTION_DETAILS = {
+    ("psql", "Add new attribute"): "visibility flag column",
+    ("lsm", "flag write"): "overwrite with flagged value",
+    ("crypto-shred", "flag entry"): "visibility flag beside the key slot",
+    ("crypto-shred", "key shred"): "destroy the per-unit volume master key",
+    ("crypto-shred", "sector sanitize"): (
+        "multi-pass overwrite of the ciphertext sectors"
+    ),
+}
+
+
 def register_erasure(registry: GroundingRegistry) -> Dict[ErasureInterpretation, Interpretation]:
-    """Register the erasure concept, its four interpretations, and the PSQL
-    and LSM groundings used throughout the evaluation."""
+    """Register the erasure concept, its four interpretations, and the PSQL,
+    LSM, and crypto-shred groundings used throughout the evaluation."""
     registry.register_concept(ERASURE_CONCEPT)
     interps: Dict[ErasureInterpretation, Interpretation] = {}
     descriptions = {
@@ -386,40 +481,23 @@ def register_erasure(registry: GroundingRegistry) -> Dict[ErasureInterpretation,
             )
         )
 
-    psql = {
-        ErasureInterpretation.REVERSIBLY_INACCESSIBLE: [
-            SystemAction("psql", "Add new attribute", True, "visibility flag column"),
-        ],
-        ErasureInterpretation.DELETED: [
-            SystemAction("psql", "DELETE"),
-            SystemAction("psql", "VACUUM"),
-        ],
-        ErasureInterpretation.STRONGLY_DELETED: [
-            SystemAction("psql", "DELETE"),
-            SystemAction("psql", "VACUUM FULL"),
-        ],
-        ErasureInterpretation.PERMANENTLY_DELETED: [
-            SystemAction("psql", "drive sanitization", False, "not supported by PSQL"),
-        ],
-    }
-    lsm = {
-        ErasureInterpretation.REVERSIBLY_INACCESSIBLE: [
-            SystemAction("lsm", "flag write", True, "overwrite with flagged value"),
-        ],
-        ErasureInterpretation.DELETED: [
-            SystemAction("lsm", "tombstone"),
-            SystemAction("lsm", "full compaction"),
-        ],
-        ErasureInterpretation.STRONGLY_DELETED: [
-            SystemAction("lsm", "tombstone cascade"),
-            SystemAction("lsm", "full compaction"),
-        ],
-        ErasureInterpretation.PERMANENTLY_DELETED: [
-            SystemAction("lsm", "drive sanitization", False, "not supported"),
-        ],
-    }
-    for member, actions in psql.items():
-        registry.register_grounding(interps[member], actions)
-    for member, actions in lsm.items():
-        registry.register_grounding(interps[member], actions)
+    for engine, table in BACKEND_SYSTEM_ACTIONS.items():
+        for member, (names, supported) in table.items():
+            if supported:
+                actions = [
+                    SystemAction(
+                        engine, n, True, _ACTION_DETAILS.get((engine, n), "")
+                    )
+                    for n in names
+                ]
+            else:
+                actions = [
+                    SystemAction(
+                        engine,
+                        "drive sanitization",
+                        False,
+                        f"not supported by {engine}",
+                    )
+                ]
+            registry.register_grounding(interps[member], actions)
     return interps

@@ -111,6 +111,24 @@ class LuksVolume:
         """Ciphertext as a forensic scan would see it (no key required)."""
         return self._sectors[sector_no]
 
+    def discard_sectors(self, start: int = 0) -> int:
+        """Drop ciphertext sectors numbered ``start`` and above.
+
+        The TRIM/overwrite half of space release and sanitization: a
+        shrinking rewrite must not leave stale tail ciphertext recoverable,
+        and a full discard (``start=0``) releases the payload area
+        entirely.  Works on shredded volumes too (sanitize runs after the
+        key shred).  Returns the number of sectors discarded.
+        """
+        victims = [s for s in self._sectors if s >= start]
+        for sector_no in victims:
+            del self._sectors[sector_no]
+        return len(victims)
+
+    @property
+    def sector_count(self) -> int:
+        return len(self._sectors)
+
     # ---------------------------------------------------------------- erase
     def shred(self) -> None:
         """Destroy the header (master key + key slots): crypto-shredding.

@@ -1,33 +1,47 @@
-"""Replicated store with asynchronous replication and read caches.
+"""Sharded, replicated store with asynchronous replication and read caches.
 
-Replication model: the primary appends every mutation to a replication log;
-a log entry becomes *applicable* at ``now + replication_lag`` (asynchronous
-shipping).  Replicas apply their backlog lazily — whenever they serve a
-read — mirroring how real async replicas trail the primary.  Reads may be
-served from a per-node cache whose entries expire after ``cache_ttl``.
+Topology: ``shards`` independent shard groups, each a primary plus
+``n_replicas`` asynchronous replicas; keys route to their shard by a stable
+content hash.  Every node is a :class:`~repro.systems.backends.StorageBackend`
+(``psql``, ``lsm``, or ``crypto-shred``), so the distributed erase story is
+engine-pluggable: the same copy-tracking machinery runs over MVCC dead
+tuples, LSM shadowed values, or unshredded key volumes.
+
+Replication model (per shard): the primary appends every mutation to a
+replication log; a log entry becomes *applicable* at ``now +
+replication_lag`` (asynchronous shipping).  Replicas apply their backlog
+lazily — whenever they serve a read — mirroring how real async replicas
+trail the primary.  Reads may be served from a per-node cache whose entries
+expire after ``cache_ttl``.
 
 Every location that ever physically held a unit's value is recorded by the
-copy tracker — primaries, replicas, caches, *and the replication log
-itself*, whose PUT/UPDATE entries carry values until a grounded erase
-scrubs them; the erasure questions of §1 become queries over it:
+copy tracker — primaries, replicas, caches, the replication log, *and each
+node's write-ahead log* (whose INSERT/UPDATE records carry row images until
+a grounded erase scrubs them); the erasure questions of §1 become queries
+over it:
 
 * where do copies of X live right now? (:meth:`ReplicatedStore.copies_of`)
 * did the naive primary-only delete actually remove X? (it did not —
   :meth:`lingering_copies` lists replicas still holding it, caches still
-  serving it, and dead tuples not yet vacuumed on any node);
+  serving it, dead data not yet reclaimed on any node, and logs still
+  carrying the value);
 * run the *grounded* distributed erase and verify nothing lingers
-  (:meth:`erase_all_copies`).
+  (:meth:`erase_all_copies`), or amortize a whole Art. 17 stream with
+  :meth:`erase_many`, which fans the deletions out per shard and runs **one
+  reclamation pass per node per batch** — the same batching the engine-level
+  ``erase_many`` helpers use.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sim.costs import CostModel
-from repro.storage.engine import RelationalEngine
 from repro.storage.errors import TupleNotFoundError
+from repro.systems.backends import StorageBackend, make_backend
 
 TABLE = "replicated_data"
 
@@ -53,13 +67,17 @@ class CopyLocation(Enum):
 
     ``LOG`` is the replication log itself: PUT/UPDATE entries carry the
     value, so the log is a retention location just like any replica — a
-    grounded erase must scrub it, or "verified clean" is a lie.
+    grounded erase must scrub it, or "verified clean" is a lie.  ``WAL`` is
+    a node's engine-level write-ahead log, which keeps row images
+    replayable until the node's reclamation pass scrubs them — the same
+    hazard one storage layer down.
     """
 
     PRIMARY = "primary"
     REPLICA = "replica"
     CACHE = "cache"
     LOG = "log"
+    WAL = "wal"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -82,44 +100,93 @@ class DistributedEraseReport:
     dead_tuples_vacuumed: int
     verified_clean: bool
     log_values_scrubbed: int = 0
+    shard: int = 0
+
+
+@dataclass(frozen=True)
+class BatchEraseReport:
+    """What a batch distributed erase did, aggregated over shards.
+
+    ``reclamations`` counts reclamation passes actually run — with N shards
+    of R+1 nodes each and K keys, the batch path runs at most
+    ``shards_touched × (R+1)`` passes instead of ``K × (R+1)``.
+    ``shard_seconds`` is the simulated work per shard touched (shard-index
+    order); shards are independent groups, so its max is the critical path
+    a parallel deployment waits for.
+    """
+
+    n_keys: int
+    shards_touched: int
+    nodes_deleted: int
+    caches_invalidated: int
+    dead_tuples_vacuumed: int
+    log_values_scrubbed: int
+    reclamations: int
+    verified_clean: bool
+    shard_seconds: Tuple[float, ...] = ()
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic content hash for shard routing (``hash()`` is salted)."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 class _Node:
-    """One storage node: an engine plus a read cache."""
+    """One storage node: a backend plus a read cache."""
 
-    def __init__(self, name: str, cost: CostModel, row_bytes: int) -> None:
+    def __init__(
+        self, name: str, cost: CostModel, row_bytes: int, backend: str
+    ) -> None:
         self.name = name
-        self.engine = RelationalEngine(cost, wal_checkpoint_every=5_000)
-        self.engine.create_table(TABLE, row_bytes)
+        if backend == "psql":
+            self.backend: StorageBackend = make_backend(
+                backend,
+                cost,
+                row_bytes=row_bytes,
+                table=TABLE,
+                wal_checkpoint_every=5_000,
+            )
+        else:
+            self.backend = make_backend(backend, cost, row_bytes=row_bytes)
+        #: The raw engine object — exposed for forensics and fault injection.
+        self.engine = getattr(self.backend, "engine", None)
         self.cache: Dict[Any, CacheEntry] = {}
         self.applied_seqno = 0
 
-    def physically_holds(self, key: Any) -> bool:
-        """Live *or dead* tuples count — retention is physical."""
-        return any(k == key for k, _live in self.engine.forensic_scan(TABLE))
+    def heap_holds(self, key: Any) -> bool:
+        """Live *or dead* physical entries count — retention is physical."""
+        return any(k == key for k, _live in self.backend.forensic_scan())
+
+    def log_holds(self, key: Any) -> bool:
+        """Whether the node's WAL still retains the key's row image."""
+        return self.backend.log_holds_value(key)
 
 
-class ReplicatedStore:
-    """A primary plus N asynchronous replicas with read caches."""
+class _Shard:
+    """One replication group: a primary, N replicas, and their log."""
 
     def __init__(
         self,
+        index: int,
         cost: CostModel,
-        n_replicas: int = 2,
-        replication_lag: int = 50_000,
-        cache_ttl: int = 500_000,
-        row_bytes: int = 70,
+        n_replicas: int,
+        replication_lag: int,
+        cache_ttl: int,
+        row_bytes: int,
+        backend: str,
+        solo: bool,
     ) -> None:
-        if n_replicas < 0:
-            raise ValueError("n_replicas must be non-negative")
-        if replication_lag < 0 or cache_ttl < 0:
-            raise ValueError("lag and TTL must be non-negative")
+        self.index = index
         self._cost = cost
         self._lag = replication_lag
         self._cache_ttl = cache_ttl
-        self.primary = _Node("primary", cost, row_bytes)
+        # Single-shard deployments keep the legacy node names.
+        prefix = "" if solo else f"shard-{index}/"
+        self.primary = _Node(f"{prefix}primary", cost, row_bytes, backend)
         self.replicas = [
-            _Node(f"replica-{i}", cost, row_bytes) for i in range(n_replicas)
+            _Node(f"{prefix}replica-{i}", cost, row_bytes, backend)
+            for i in range(n_replicas)
         ]
         self._log: List[_LogEntry] = []
         self._seqno = 0
@@ -128,6 +195,10 @@ class ReplicatedStore:
     @property
     def _now(self) -> int:
         return self._cost.clock.now
+
+    def nodes(self) -> Iterator[_Node]:
+        yield self.primary
+        yield from self.replicas
 
     def _append_log(self, op: _OpType, key: Any, value: Any) -> None:
         self._seqno += 1
@@ -147,12 +218,12 @@ class ReplicatedStore:
             if entry.scrubbed and entry.op is not _OpType.DELETE:
                 pass  # value redacted by erase; the delete entry follows
             elif entry.op is _OpType.PUT:
-                node.engine.insert(TABLE, entry.key, entry.value)
+                node.backend.insert(entry.key, entry.value)
             elif entry.op is _OpType.UPDATE:
-                node.engine.update(TABLE, entry.key, entry.value)
+                node.backend.update(entry.key, entry.value)
             else:
                 try:
-                    node.engine.delete(TABLE, entry.key)
+                    node.backend.delete(entry.key)
                 except TupleNotFoundError:
                     pass  # never replicated in the first place
                 node.cache.pop(entry.key, None)
@@ -162,25 +233,21 @@ class ReplicatedStore:
 
     # ----------------------------------------------------------------- writes
     def put(self, key: Any, value: Any) -> None:
-        self.primary.engine.insert(TABLE, key, value)
+        self.primary.backend.insert(key, value)
         self._append_log(_OpType.PUT, key, value)
 
     def update(self, key: Any, value: Any) -> None:
-        self.primary.engine.update(TABLE, key, value)
+        self.primary.backend.update(key, value)
         self._append_log(_OpType.UPDATE, key, value)
 
     def naive_delete(self, key: Any) -> None:
-        """The under-specified erase: DELETE at the primary, replication
-        does the rest *eventually* — replicas and caches keep serving and
-        holding the value until lag/TTL/vacuum catch up."""
-        self.primary.engine.delete(TABLE, key)
+        self.primary.backend.delete(key)
         self._append_log(_OpType.DELETE, key, None)
 
     # ------------------------------------------------------------------ reads
     def read(
         self, key: Any, replica: Optional[int] = None, use_cache: bool = True
     ) -> Any:
-        """Read from a replica (or the primary when ``replica`` is None)."""
         node = self.primary if replica is None else self.replicas[replica]
         if node is not self.primary:
             self._apply_backlog(node)
@@ -191,31 +258,33 @@ class ReplicatedStore:
                     self._cost.charge_tuple_cpu()
                     return entry.value
                 del node.cache[key]
-        value = node.engine.read(TABLE, key)
+        value = node.backend.read(key)
         if use_cache:
-            node.cache[key] = CacheEntry(value, self._now, self._now + self._cache_ttl)
+            node.cache[key] = CacheEntry(
+                value, self._now, self._now + self._cache_ttl
+            )
         return value
 
     # -------------------------------------------------------------- forensics
     def copies_of(self, key: Any) -> List[Tuple[CopyLocation, str]]:
-        """Every location physically holding the value right now —
-        live tuples, dead (unvacuumed) tuples, and cache entries."""
         found: List[Tuple[CopyLocation, str]] = []
-        if self.primary.physically_holds(key):
-            found.append((CopyLocation.PRIMARY, self.primary.name))
-        if key in self.primary.cache:
-            found.append((CopyLocation.CACHE, self.primary.name))
-        for node in self.replicas:
-            if node.physically_holds(key):
-                found.append((CopyLocation.REPLICA, node.name))
+        for node in self.nodes():
+            role = (
+                CopyLocation.PRIMARY
+                if node is self.primary
+                else CopyLocation.REPLICA
+            )
+            if node.heap_holds(key):
+                found.append((role, node.name))
             if key in node.cache:
                 found.append((CopyLocation.CACHE, node.name))
+            if node.log_holds(key):
+                found.append((CopyLocation.WAL, node.name))
         if self._log_holds_value(key):
-            found.append((CopyLocation.LOG, "primary"))
+            found.append((CopyLocation.LOG, self.primary.name))
         return found
 
     def _log_holds_value(self, key: Any) -> bool:
-        """Whether any unscrubbed replication-log entry retains the value."""
         return any(
             e.key == key and e.op is not _OpType.DELETE and not e.scrubbed
             for e in self._log
@@ -240,35 +309,57 @@ class ReplicatedStore:
                 scrubbed += 1
         return scrubbed
 
-    def lingering_copies(self, key: Any) -> List[Tuple[CopyLocation, str]]:
-        """Copies surviving a delete — the §1 compliance hazard."""
-        return self.copies_of(key)
-
     # ---------------------------------------------------------------- erasure
-    def erase_all_copies(self, key: Any) -> DistributedEraseReport:
-        """The grounded distributed erase: track and delete every copy.
+    def _reclaim_node(self, node: _Node) -> int:
+        """One reclamation pass; returns the dead entries it made
+        unrecoverable (and scrubs the node's WAL as a side effect)."""
+        dead = node.backend.stats().dead_entries
+        node.backend.reclaim()
+        return dead
 
-        Deletes at the primary (if still live), force-applies the deletion
-        to every replica (synchronous erase barrier), invalidates every
-        cache entry, vacuums every node so no dead tuple retains the value,
-        and verifies via the tracker.
+    def _delete_everywhere(self, key: Any) -> Tuple[int, int]:
+        """Logical deletes + cache invalidation on every node (no reclaim).
+
+        Returns ``(nodes_deleted, caches_invalidated)``.  Replicas must be
+        force-applied past the key's log entries *before* calling.
         """
         nodes_deleted = 0
+        caches = 0
+        for node in self.nodes():
+            if key in node.cache:
+                caches += 1
+            if node is self.primary:
+                if node.backend.exists(key):
+                    node.backend.delete(key)
+                    self._append_log(_OpType.DELETE, key, None)
+                    nodes_deleted += 1
+            elif node.backend.exists(key):
+                # The hot path of a batch erase: the erase barrier only
+                # caught replicas up to pre-batch entries, so this batch's
+                # DELETEs have not replicated yet — delete directly.
+                node.backend.delete(key)
+                nodes_deleted += 1
+            node.cache.pop(key, None)
+        return nodes_deleted, caches
+
+    def erase_all_copies(self, key: Any) -> DistributedEraseReport:
+        """The grounded distributed erase: track and delete every copy."""
         # Count cache copies before the erase barrier touches them.
         caches = sum(1 for node in self.nodes() if key in node.cache)
-        if self.primary.engine.exists(TABLE, key):
-            self.primary.engine.delete(TABLE, key)
+        nodes_deleted = 0
+        if self.primary.backend.exists(key):
+            self.primary.backend.delete(key)
             self._append_log(_OpType.DELETE, key, None)
             nodes_deleted += 1
         self.primary.cache.pop(key, None)
-        vacuumed = self.primary.engine.vacuum(TABLE)
+        vacuumed = self._reclaim_node(self.primary)
         for node in self.replicas:
             self._apply_backlog(node, force=True)
-            if node.engine.exists(TABLE, key):  # pragma: no cover - safety
-                node.engine.delete(TABLE, key)
+            if node.backend.exists(key):  # pragma: no cover - safety
+                node.backend.delete(key)
                 nodes_deleted += 1
             node.cache.pop(key, None)
-            vacuumed += node.engine.vacuum(TABLE)
+            vacuumed += self._reclaim_node(node)
         # Every replica is now caught up past the key's log entries, so the
         # values they carried can be redacted — the log is a copy location
         # (§1) and must not outlive the erase.
@@ -280,18 +371,182 @@ class ReplicatedStore:
             dead_tuples_vacuumed=vacuumed,
             verified_clean=not self.copies_of(key),
             log_values_scrubbed=scrubbed,
+            shard=self.index,
         )
 
-    # ------------------------------------------------------------- statistics
-    @property
-    def replica_count(self) -> int:
-        return len(self.replicas)
+    def erase_many(self, keys: Sequence[Any]) -> Tuple[int, int, int, int, int]:
+        """Batch grounded erase within the shard: every key is logically
+        deleted on every node, then each node reclaims **once**.
+
+        Returns ``(nodes_deleted, caches, vacuumed, scrubbed, reclaims)``.
+        """
+        # Erase barrier first: replicas catch up past every victim's
+        # entries so the deletes and the log scrub are safe.
+        for node in self.replicas:
+            self._apply_backlog(node, force=True)
+        nodes_deleted = 0
+        caches = 0
+        for key in keys:
+            d, c = self._delete_everywhere(key)
+            nodes_deleted += d
+            caches += c
+        # Force the just-appended DELETE entries onto the replicas too, so
+        # no replica resurrects a victim later.
+        for node in self.replicas:
+            self._apply_backlog(node, force=True)
+        vacuumed = 0
+        reclaims = 0
+        for node in self.nodes():
+            vacuumed += self._reclaim_node(node)
+            reclaims += 1
+        scrubbed = sum(self._scrub_log(key) for key in keys)
+        return nodes_deleted, caches, vacuumed, scrubbed, reclaims
 
     def replication_backlog(self, replica: int) -> int:
-        """Log entries the replica has not applied yet."""
         node = self.replicas[replica]
         return sum(1 for e in self._log if e.seqno > node.applied_seqno)
 
+
+class ReplicatedStore:
+    """``shards`` primaries, each with N asynchronous read-cached replicas,
+    over a pluggable storage backend."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        n_replicas: int = 2,
+        replication_lag: int = 50_000,
+        cache_ttl: int = 500_000,
+        row_bytes: int = 70,
+        shards: int = 1,
+        backend: str = "psql",
+    ) -> None:
+        if n_replicas < 0:
+            raise ValueError("n_replicas must be non-negative")
+        if replication_lag < 0 or cache_ttl < 0:
+            raise ValueError("lag and TTL must be non-negative")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._cost = cost
+        self.backend_name = backend
+        self._shards = [
+            _Shard(
+                index,
+                cost,
+                n_replicas,
+                replication_lag,
+                cache_ttl,
+                row_bytes,
+                backend,
+                solo=(shards == 1),
+            )
+            for index in range(shards)
+        ]
+
+    # -------------------------------------------------------------- topology
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, key: Any) -> int:
+        """The shard the key routes to (stable content hash)."""
+        return _stable_hash(key) % len(self._shards)
+
+    def _shard(self, key: Any) -> _Shard:
+        return self._shards[self.shard_of(key)]
+
+    def shards(self) -> Iterator[_Shard]:
+        return iter(self._shards)
+
+    @property
+    def primary(self) -> _Node:
+        """Legacy single-shard accessor: shard 0's primary."""
+        return self._shards[0].primary
+
+    @property
+    def replicas(self) -> List[_Node]:
+        """Legacy single-shard accessor: shard 0's replicas."""
+        return self._shards[0].replicas
+
+    @property
+    def replica_count(self) -> int:
+        """Replicas per shard."""
+        return len(self._shards[0].replicas)
+
     def nodes(self) -> Iterator[_Node]:
-        yield self.primary
-        yield from self.replicas
+        for shard in self._shards:
+            yield from shard.nodes()
+
+    # ----------------------------------------------------------------- writes
+    def put(self, key: Any, value: Any) -> None:
+        self._shard(key).put(key, value)
+
+    def update(self, key: Any, value: Any) -> None:
+        self._shard(key).update(key, value)
+
+    def naive_delete(self, key: Any) -> None:
+        """The under-specified erase: DELETE at the owning shard's primary,
+        replication does the rest *eventually* — replicas and caches keep
+        serving and holding the value until lag/TTL/reclamation catch up."""
+        self._shard(key).naive_delete(key)
+
+    # ------------------------------------------------------------------ reads
+    def read(
+        self, key: Any, replica: Optional[int] = None, use_cache: bool = True
+    ) -> Any:
+        """Read from the owning shard (primary, or one of its replicas)."""
+        return self._shard(key).read(key, replica=replica, use_cache=use_cache)
+
+    # -------------------------------------------------------------- forensics
+    def copies_of(self, key: Any) -> List[Tuple[CopyLocation, str]]:
+        """Every location physically holding the value right now — live
+        entries, dead (unreclaimed) data, cache entries, and log/WAL
+        row images — on the key's owning shard."""
+        return self._shard(key).copies_of(key)
+
+    def lingering_copies(self, key: Any) -> List[Tuple[CopyLocation, str]]:
+        """Copies surviving a delete — the §1 compliance hazard."""
+        return self.copies_of(key)
+
+    # ---------------------------------------------------------------- erasure
+    def erase_all_copies(self, key: Any) -> DistributedEraseReport:
+        """The grounded distributed erase: track and delete every copy on
+        the key's shard — primary, replicas, caches, replication log, and
+        each node's WAL — then verify via the tracker."""
+        return self._shard(key).erase_all_copies(key)
+
+    def erase_many(self, keys: Sequence[Any]) -> BatchEraseReport:
+        """Batch grounded erase: fan the victims out per shard, delete every
+        copy, and run **one reclamation pass per node** instead of one per
+        key — the distributed analogue of the engine batch helpers."""
+        by_shard: Dict[int, List[Any]] = {}
+        for key in keys:
+            by_shard.setdefault(self.shard_of(key), []).append(key)
+        nodes_deleted = caches = vacuumed = scrubbed = reclaims = 0
+        shard_seconds: List[float] = []
+        for shard_index, shard_keys in sorted(by_shard.items()):
+            before = self._cost.clock.now
+            d, c, v, s, r = self._shards[shard_index].erase_many(shard_keys)
+            shard_seconds.append((self._cost.clock.now - before) / 1e6)
+            nodes_deleted += d
+            caches += c
+            vacuumed += v
+            scrubbed += s
+            reclaims += r
+        clean = all(not self.copies_of(key) for key in keys)
+        return BatchEraseReport(
+            n_keys=len(list(keys)),
+            shards_touched=len(by_shard),
+            nodes_deleted=nodes_deleted,
+            caches_invalidated=caches,
+            dead_tuples_vacuumed=vacuumed,
+            log_values_scrubbed=scrubbed,
+            reclamations=reclaims,
+            verified_clean=clean,
+            shard_seconds=tuple(shard_seconds),
+        )
+
+    # ------------------------------------------------------------- statistics
+    def replication_backlog(self, replica: int, shard: int = 0) -> int:
+        """Log entries the replica has not applied yet."""
+        return self._shards[shard].replication_backlog(replica)

@@ -88,6 +88,11 @@ class SSTable:
         )
 
     @property
+    def bloom_bytes(self) -> int:
+        """Bytes held by the run's Bloom filter (the run's "index")."""
+        return self._bloom.size_bytes
+
+    @property
     def min_key(self) -> Optional[Any]:
         return self._keys[0] if self._keys else None
 

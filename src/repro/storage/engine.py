@@ -130,6 +130,10 @@ class RelationalEngine:
         )
         self.vacuum_count = 0
         self.vacuum_full_count = 0
+        # Deleted keys whose WAL row images await scrubbing: the grounded
+        # erase pairs DELETE with a reclamation pass, and that pass must
+        # also make the *log* copy unrecoverable (WAL retention hazard).
+        self._wal_scrub_pending: Dict[str, set] = {}
 
     # ----------------------------------------------------------------- DDL
     def create_table(
@@ -203,13 +207,19 @@ class RelationalEngine:
             self._cost.charge_index_probe(probe.depth)
             if probe.found:
                 raise DuplicateKeyError(f"{table}: key {key!r} already exists")
+        # A re-insert after deletion makes the key live again: its WAL
+        # images are ordinary superseded versions now, not erased data —
+        # the next reclamation must not redact a live row's log copy.
+        pending = self._wal_scrub_pending.get(table)
+        if pending is not None:
+            pending.discard(key)
         stored = self._seal(payload, size)
         tid = t.heap.insert(key, stored, size)
         t.index.insert(key, tid)
         self._cost.charge_index_insert()
         self._cost.charge_tuple_cpu()
         self._charge_heap_write(size)
-        self.wal.append(WalRecordType.INSERT, table, key, size)
+        self.wal.append(WalRecordType.INSERT, table, key, size, payload=stored)
 
     def read(self, table: str, key: Any) -> Any:
         """Point SELECT by primary key.
@@ -261,7 +271,7 @@ class RelationalEngine:
         self._cost.charge_index_insert()
         self._cost.charge_tuple_cpu()
         self._charge_heap_write(size)
-        self.wal.append(WalRecordType.UPDATE, table, key, size)
+        self.wal.append(WalRecordType.UPDATE, table, key, size, payload=stored)
         self._maybe_autovacuum(table)
 
     def delete(self, table: str, key: Any) -> None:
@@ -278,6 +288,7 @@ class RelationalEngine:
         # Hint-bit style page dirtying: a fraction of a page write.
         self._charge_heap_write(0)
         self.wal.append(WalRecordType.DELETE, table, key)
+        self._wal_scrub_pending.setdefault(table, set()).add(key)
         self._maybe_autovacuum(table)
 
     def set_flag(self, table: str, key: Any, flagged: bool) -> None:
@@ -358,12 +369,18 @@ class RelationalEngine:
 
     # --------------------------------------------------------------- vacuums
     def vacuum(self, table: str) -> int:
-        """VACUUM: prune dead tuples + dead index entries."""
+        """VACUUM: prune dead tuples + dead index entries.
+
+        Reclamation is the second half of the grounded "delete", so it also
+        scrubs the WAL row images of every key deleted since the last pass —
+        otherwise the log would keep the erased values recoverable.
+        """
         t = self._catalog.get(table)
         dead = t.heap.dead_tuples
         self._cost.charge_vacuum(dead)
         reclaimed = t.heap.vacuum()
         t.index.cleanup()
+        self._scrub_deleted_wal(table)
         self.wal.append(WalRecordType.VACUUM, table)
         self.wal.flush()
         self.vacuum_count += 1
@@ -378,10 +395,25 @@ class RelationalEngine:
         mapping = t.heap.rewrite()
         items = sorted((key, tid) for key, (tid, _slot) in mapping.items())
         t.index.rebuild(items)
+        self._scrub_deleted_wal(table)
         self.wal.append(WalRecordType.VACUUM_FULL, table)
         self.wal.flush()
         self.vacuum_full_count += 1
         return dead
+
+    def _scrub_deleted_wal(self, table: str) -> int:
+        """Redact WAL row images of keys deleted since the last reclamation."""
+        pending = self._wal_scrub_pending.pop(table, None)
+        if not pending:
+            return 0
+        scrubbed = 0
+        for key in pending:
+            scrubbed += self.wal.scrub_key(table, key)
+        return scrubbed
+
+    def wal_holds_value(self, table: str, key: Any) -> bool:
+        """Whether the WAL still retains a recoverable row image of the key."""
+        return self.wal.holds_payload_for(table, key)
 
     def _maybe_autovacuum(self, table: str) -> None:
         if self._autovacuum_threshold is None:

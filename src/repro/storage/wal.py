@@ -11,11 +11,19 @@ for a long duration … logs directly impact requirements like demonstrating
 compliance, system recovery, and data erasure"): :meth:`purge_key` exists
 precisely so the strictest profile (P_SYS) can scrub a data unit's traces
 from the log when erasing it.
+
+The WAL is itself a *copy location*: INSERT/UPDATE records carry the row
+image (that is what makes them replayable), so an erased unit's payload
+survives in the log until a checkpoint recycles the segment.  That is the
+same §1 hazard as the replication log — a grounded erase must scrub it or
+"physically gone" is a lie.  :meth:`holds_payload_for` answers the copy-
+tracking question and :meth:`scrub_key` redacts the payloads while keeping
+the records (LSNs and types stay — recovery metadata is not personal data).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Any, Iterator, List, Optional
 
@@ -46,6 +54,9 @@ class WalRecord:
     table: str
     key: Any
     payload_size: int = 0
+    #: The row image an INSERT/UPDATE must carry to be replayable — and the
+    #: reason the WAL is a tracked copy location.  ``None`` once scrubbed.
+    payload: Any = None
 
 
 class WriteAheadLog:
@@ -84,8 +95,11 @@ class WriteAheadLog:
         table: str,
         key: Any = None,
         payload_size: int = 0,
+        payload: Any = None,
     ) -> WalRecord:
-        record = WalRecord(self._next_lsn, record_type, table, key, payload_size)
+        record = WalRecord(
+            self._next_lsn, record_type, table, key, payload_size, payload
+        )
         self._next_lsn += 1
         self._buckets.setdefault((table, key), []).append(record)
         self._count += 1
@@ -131,6 +145,39 @@ class WriteAheadLog:
         return list(self._buckets.get((table, key), ()))
 
     # -------------------------------------------------------------- retention
+    def holds_payload_for(self, table: str, key: Any) -> bool:
+        """Whether any log record still retains the key's row image.
+
+        This is the WAL's copy-tracking primitive: until it returns False,
+        a disk inspection of the log segments would recover the value, so
+        the key is *physically present* regardless of heap state.
+        """
+        return any(
+            r.payload is not None for r in self._buckets.get((table, key), ())
+        )
+
+    def scrub_key(self, table: str, key: Any) -> int:
+        """Redact the row images from every record about ``key``.
+
+        Unlike :meth:`purge_key` the records themselves survive — LSNs and
+        record types are recovery metadata, not personal data — only the
+        carried payloads are overwritten.  This is what a grounded erase
+        runs when reclamation makes the heap copy unrecoverable: the log
+        copy must not outlive it.  Returns the number of records redacted
+        and charges the per-record segment-rewrite share.
+        """
+        bucket = self._buckets.get((table, key))
+        if not bucket:
+            return 0
+        scrubbed = 0
+        for i, record in enumerate(bucket):
+            if record.payload is not None:
+                bucket[i] = replace(record, payload=None)
+                scrubbed += 1
+        if scrubbed:
+            self._cost.charge_log_purge(scrubbed)
+        return scrubbed
+
     def purge_key(self, table: str, key: Any) -> int:
         """Scrub every record about ``key`` (erase-grounding log purge).
 

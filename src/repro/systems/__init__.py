@@ -12,7 +12,9 @@
 
 from repro.systems.backends import (
     BACKENDS,
+    BackendGroup,
     BackendStats,
+    CryptoShredBackend,
     LsmBackend,
     PsqlBackend,
     StorageBackend,
@@ -41,7 +43,9 @@ def make_profile(name: str, **kwargs) -> ComplianceProfile:
 
 __all__ = [
     "BACKENDS",
+    "BackendGroup",
     "BackendStats",
+    "CryptoShredBackend",
     "LsmBackend",
     "PsqlBackend",
     "StorageBackend",

@@ -5,40 +5,82 @@ concept to *engine-specific* system-actions: "reversibly inaccessible" is a
 flag-column write in PSQL but a flagged-value overwrite in an LSM store;
 "delete" is DELETE+VACUUM in PSQL but tombstone + full compaction in an LSM
 store.  :class:`StorageBackend` is the seam where those mappings plug into
-:class:`~repro.systems.database.CompliantDatabase`: the facade speaks the
+the system layer: :class:`~repro.systems.database.CompliantDatabase`, the
+§4.2 :class:`~repro.systems.profiles.ComplianceProfile` runners, and the
+sharded :class:`~repro.distributed.store.ReplicatedStore` all speak the
 concept-level vocabulary (insert / read / make-inaccessible / delete /
-reclaim / forensic-scan) and each backend realizes it with its engine's own
-operations, preserving that engine's cost and retention behaviour.
+reclaim / sanitize / forensic-scan) and each backend realizes it with its
+engine's own operations, preserving that engine's cost and retention
+behaviour.
 
-Two backends ground the evaluation:
+Three backends ground the evaluation:
 
 * :class:`PsqlBackend` — wraps :class:`~repro.storage.engine.RelationalEngine`
   with the exact semantics the paper's Table 1 assumes (flag column,
-  DELETE+VACUUM, DELETE+VACUUM FULL);
+  DELETE+VACUUM, DELETE+VACUUM FULL; "permanently delete" unsupported);
 * :class:`LsmBackend` — wraps :class:`~repro.lsm.engine.LSMEngine`, grounding
   "reversibly inaccessible" as a flag write (overwrite with a flagged value),
   "delete" as tombstone + full compaction, and "strong delete" as a tombstone
-  cascade + full compaction.
+  cascade + full compaction ("permanently delete" unsupported);
+* :class:`CryptoShredBackend` — per-unit LUKS key volumes
+  (:mod:`repro.crypto.luks`): every value lives encrypted under its own
+  volume master key, so destroying the key (``shred``) makes the ciphertext
+  unrecoverable, and pairing the shred with a multi-pass sector overwrite
+  grounds **"permanently delete"** — the retrofit that fills the Table-1 row
+  both native engines mark "Not supported".
 
-Both register their erasure groundings in
+Table 1, per backend (``×`` = impossible, ``✓`` = may occur):
+
+======================= ==== ==== ==== ==============================
+Erasure (psql)           IR   II   Inv  system-action(s)
+======================= ==== ==== ==== ==============================
+reversibly inaccessible  ×   ✓    ✓    Add new attribute
+delete                   ×   ✓    ×    DELETE + VACUUM
+strong delete            ×   ×    ×    DELETE + VACUUM FULL
+permanently delete       ×   ×    ×    Not supported
+======================= ==== ==== ==== ==============================
+
+======================= ==============================================
+Erasure (lsm)            system-action(s)
+======================= ==============================================
+reversibly inaccessible  flag write (overwrite with flagged value)
+delete                   tombstone + full compaction
+strong delete            tombstone cascade + full compaction
+permanently delete       Not supported
+======================= ==============================================
+
+======================= ==============================================
+Erasure (crypto-shred)   system-action(s)
+======================= ==============================================
+reversibly inaccessible  flag entry (key retained, value hidden)
+delete                   logical delete + key shred
+strong delete            logical delete cascade + key shred
+permanently delete       key shred + sector sanitize  ← **supported**
+======================= ==============================================
+
+All three register their erasure groundings in
 :func:`repro.core.erasure.register_erasure`; the facade selects the grounding
 matching :attr:`StorageBackend.name` at construction.
 """
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
 
+from repro.crypto.luks import SECTOR, LuksVolume
 from repro.lsm.engine import LSMEngine
 from repro.lsm.memtable import TOMBSTONE
 from repro.sim.costs import CostModel
 from repro.storage.engine import FlaggedPayload, RelationalEngine
 from repro.storage.errors import StorageError, TupleNotFoundError
+from repro.storage.page import PAGE_SIZE
 
-#: The facade's storage namespace: the PSQL table name (LSM stores have a
-#: single keyspace and don't use it).
+#: The facade's storage namespace: the PSQL table name (LSM and crypto-shred
+#: stores have a single keyspace and don't use it).
 DATA_TABLE = "data_units"
 
 
@@ -48,7 +90,8 @@ class BackendStats:
 
     ``dead_entries`` counts physically retained but logically dead data —
     dead MVCC tuples in PSQL; tombstones plus shadowed (superseded or
-    deleted-but-uncompacted) values in an LSM store.  That count is the
+    deleted-but-uncompacted) values in an LSM store; deleted-but-not-yet-
+    shredded volumes in a crypto-shredding store.  That count is the
     illegal-retention surface of the paper's §1.
     """
 
@@ -60,20 +103,35 @@ class BackendStats:
 
 
 class StorageBackend(ABC):
-    """The system-action surface a :class:`CompliantDatabase` drives.
+    """The system-action surface the system layer drives.
 
     ``name`` identifies the engine in the :class:`GroundingRegistry`
-    ("psql", "lsm", …); the facade looks up and selects the erasure
-    grounding registered under it.
+    ("psql", "lsm", "crypto-shred", …); consumers look up and select the
+    erasure grounding registered under it.
     """
 
     #: Engine identifier used for grounding lookup.
     name: str = "abstract"
 
+    #: Whether the engine offers a "permanently delete" system-action
+    #: (advanced sanitization).  Table 1 marks the native engines False;
+    #: the crypto-shredding retrofit flips it.
+    supports_sanitize: bool = False
+
+    def __init__(self) -> None:
+        #: Reclamation passes run (VACUUM / full compaction / key-shred
+        #: sweeps) — the profile runners report these per Figure 4.
+        self.reclaim_count = 0
+        self.reclaim_full_count = 0
+
     # ------------------------------------------------------------------- DML
     @abstractmethod
-    def insert(self, unit_id: Any, value: Any) -> None:
-        """Store a new unit's value."""
+    def insert(self, unit_id: Any, value: Any, fresh: bool = False) -> None:
+        """Store a new unit's value.
+
+        ``fresh=True`` is the COPY-style bulk-load contract: the caller
+        guarantees the id is unused, so engines may skip uniqueness probes.
+        """
 
     @abstractmethod
     def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
@@ -97,6 +155,10 @@ class StorageBackend(ABC):
     def update(self, unit_id: Any, value: Any) -> None:
         """Replace the unit's value."""
 
+    def commit(self) -> None:
+        """Durability point after a user-visible transaction (WAL flush on
+        engines that keep one; a no-op elsewhere)."""
+
     # ------------------------------------------- reversible inaccessibility
     @abstractmethod
     def make_inaccessible(self, unit_id: Any) -> None:
@@ -113,18 +175,30 @@ class StorageBackend(ABC):
     # ------------------------------------------------------ physical erasure
     @abstractmethod
     def delete(self, unit_id: Any) -> None:
-        """Logically remove the value (dead tuple / tombstone) without
-        reclaiming physical space."""
+        """Logically remove the value (dead tuple / tombstone / dead volume)
+        without reclaiming physical space."""
 
     @abstractmethod
+    def _reclaim(self) -> None:
+        """Engine-specific reclamation (VACUUM / full compaction / shred
+        sweep) — wrapped by :meth:`reclaim`, which counts the passes."""
+
+    @abstractmethod
+    def _reclaim_full(self) -> None:
+        """The strongest reclamation the engine offers — wrapped by
+        :meth:`reclaim_full`."""
+
     def reclaim(self) -> None:
         """Make logically deleted values physically unrecoverable — the
-        second half of the "delete" grounding (VACUUM / full compaction)."""
+        second half of the "delete" grounding."""
+        self.reclaim_count += 1
+        self._reclaim()
 
-    @abstractmethod
     def reclaim_full(self) -> None:
-        """The strongest reclamation the engine offers (VACUUM FULL / full
-        compaction) — the second half of the "strong delete" grounding."""
+        """The strongest reclamation (VACUUM FULL / full compaction / shred
+        + space release) — the second half of the "strong delete" grounding."""
+        self.reclaim_full_count += 1
+        self._reclaim_full()
 
     def erase(self, unit_id: Any) -> None:
         """The full "delete" grounding: logical delete + reclamation."""
@@ -148,10 +222,31 @@ class StorageBackend(ABC):
             self.reclaim()
         return count
 
+    def sanitize(self, unit_id: Any) -> None:
+        """The "permanently delete" system-action: advanced sanitization of
+        the unit's physical footprint.  Unsupported by default — the paper's
+        point is that native engines must be *retrofitted* (§1)."""
+        raise StorageError(
+            f"{self.name} has no sanitization system-action "
+            "(Table 1: permanently delete = Not supported)"
+        )
+
+    def purge_history(self, unit_id: Any) -> int:
+        """Scrub the unit's traces from the engine's recovery log, if it
+        keeps one (the P_SYS erase grounding).  Returns records purged."""
+        return 0
+
+    def log_holds_value(self, unit_id: Any) -> bool:
+        """Whether the engine's recovery log still retains a recoverable
+        copy of the unit's value — a tracked copy location (§1)."""
+        return False
+
     # -------------------------------------------------------------- forensics
     @abstractmethod
     def physically_present(self, unit_id: Any) -> bool:
-        """Whether a disk inspection would still recover the unit's value."""
+        """Whether a disk inspection would still recover the unit's value
+        from *any* physical location the engine controls (heap, runs,
+        recovery log)."""
 
     @abstractmethod
     def forensic_scan(self) -> List[Tuple[Any, bool]]:
@@ -166,13 +261,28 @@ class StorageBackend(ABC):
     def stats(self) -> BackendStats:
         """Physical statistics for the bench harness."""
 
+    # -------------------------------------------------------- space accounting
+    def data_bytes(self) -> int:
+        """Bytes attributable to stored values (heap / runs / sectors)."""
+        return self.stats().total_bytes
+
+    def index_bytes(self) -> int:
+        """Bytes attributable to access structures (B-tree, Bloom filters)."""
+        return 0
+
+    def log_bytes(self) -> int:
+        """Bytes held by the engine's recovery log, if any."""
+        return 0
+
 
 class PsqlBackend(StorageBackend):
     """Table-1's PSQL column, verbatim.
 
-    All calls delegate to one :class:`RelationalEngine` table created with
-    the retrofit flag column; semantics and cost charging are exactly those
-    of the engine methods the facade previously called inline.
+    All calls delegate to one :class:`RelationalEngine` table; semantics and
+    cost charging are exactly those of the engine methods the facade
+    previously called inline.  The engine's WAL is a tracked copy location:
+    :meth:`physically_present` counts row images lingering in the log, and
+    the reclamation passes scrub them (see :mod:`repro.storage.wal`).
     """
 
     name = "psql"
@@ -183,15 +293,20 @@ class PsqlBackend(StorageBackend):
         row_bytes: int = 70,
         table: str = DATA_TABLE,
         engine: Optional[RelationalEngine] = None,
+        flag_column: bool = True,
+        **engine_opts: Any,
     ) -> None:
+        super().__init__()
         self.table = table
-        self.engine = engine if engine is not None else RelationalEngine(cost)
+        self.engine = (
+            engine if engine is not None else RelationalEngine(cost, **engine_opts)
+        )
         if not self.engine.has_table(table):
-            self.engine.create_table(table, row_bytes, flag_column=True)
+            self.engine.create_table(table, row_bytes, flag_column=flag_column)
 
     # ------------------------------------------------------------------- DML
-    def insert(self, unit_id: Any, value: Any) -> None:
-        self.engine.insert(self.table, unit_id, value)
+    def insert(self, unit_id: Any, value: Any, fresh: bool = False) -> None:
+        self.engine.insert(self.table, unit_id, value, check_duplicate=not fresh)
 
     def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
         return self.engine.insert_many(self.table, items, check_duplicate=False)
@@ -204,6 +319,9 @@ class PsqlBackend(StorageBackend):
 
     def update(self, unit_id: Any, value: Any) -> None:
         self.engine.update(self.table, unit_id, value)
+
+    def commit(self) -> None:
+        self.engine.wal.flush()
 
     # ------------------------------------------- reversible inaccessibility
     def make_inaccessible(self, unit_id: Any) -> None:
@@ -219,17 +337,27 @@ class PsqlBackend(StorageBackend):
     def delete(self, unit_id: Any) -> None:
         self.engine.delete(self.table, unit_id)
 
-    def reclaim(self) -> None:
+    def _reclaim(self) -> None:
         self.engine.vacuum(self.table)
 
-    def reclaim_full(self) -> None:
+    def _reclaim_full(self) -> None:
         self.engine.vacuum_full(self.table)
+
+    def purge_history(self, unit_id: Any) -> int:
+        return self.engine.wal.purge_key(self.table, unit_id)
+
+    def log_holds_value(self, unit_id: Any) -> bool:
+        return self.engine.wal_holds_value(self.table, unit_id)
 
     # -------------------------------------------------------------- forensics
     def physically_present(self, unit_id: Any) -> bool:
-        return any(
+        if any(
             key == unit_id for key, _live in self.engine.forensic_scan(self.table)
-        )
+        ):
+            return True
+        # The WAL keeps row images replayable until scrubbed/recycled — a
+        # disk inspection of the log segments recovers them just the same.
+        return self.engine.wal_holds_value(self.table, unit_id)
 
     def forensic_scan(self) -> List[Tuple[Any, bool]]:
         return self.engine.forensic_scan(self.table)
@@ -250,6 +378,15 @@ class PsqlBackend(StorageBackend):
                 ("dead_fraction", s.dead_fraction),
             ),
         )
+
+    def data_bytes(self) -> int:
+        return self.engine.stats(self.table).heap_bytes
+
+    def index_bytes(self) -> int:
+        return self.engine.stats(self.table).index_bytes
+
+    def log_bytes(self) -> int:
+        return self.engine.wal.size_bytes
 
 
 class LsmBackend(StorageBackend):
@@ -277,7 +414,9 @@ class LsmBackend(StorageBackend):
         engine: Optional[LSMEngine] = None,
         memtable_capacity: int = 4096,
         tier_threshold: int = 4,
+        block_cache_capacity: int = 1024,
     ) -> None:
+        super().__init__()
         self._row_bytes = row_bytes
         self.engine = (
             engine
@@ -287,11 +426,12 @@ class LsmBackend(StorageBackend):
                 payload_bytes=row_bytes,
                 memtable_capacity=memtable_capacity,
                 tier_threshold=tier_threshold,
+                block_cache_capacity=block_cache_capacity,
             )
         )
 
     # ------------------------------------------------------------------- DML
-    def insert(self, unit_id: Any, value: Any) -> None:
+    def insert(self, unit_id: Any, value: Any, fresh: bool = False) -> None:
         self.engine.put(unit_id, value)
 
     def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
@@ -339,10 +479,10 @@ class LsmBackend(StorageBackend):
     def delete(self, unit_id: Any) -> None:
         self.engine.delete(unit_id)
 
-    def reclaim(self) -> None:
+    def _reclaim(self) -> None:
         self.engine.full_compaction()
 
-    def reclaim_full(self) -> None:
+    def _reclaim_full(self) -> None:
         self.engine.full_compaction()
 
     # -------------------------------------------------------------- forensics
@@ -386,21 +526,314 @@ class LsmBackend(StorageBackend):
                 ("tombstones", self.engine.tombstone_count),
                 ("flushes", self.engine.flush_count),
                 ("compactions", self.engine.compaction_count),
+                ("cache_hits", self.engine.cache_hits),
+                ("cache_misses", self.engine.cache_misses),
             ),
         )
 
+    def data_bytes(self) -> int:
+        buffered = sum(1 for _ in self.engine.memtable_entries())
+        return (
+            self.engine.total_bytes()
+            - self.index_bytes()
+            + buffered * self._row_bytes
+        )
 
-#: Backend name → constructor, the facade's selection table.
+    def index_bytes(self) -> int:
+        return sum(run.bloom_bytes for run in self.engine.runs())
+
+
+class _ShredVolume:
+    """One unit's encrypted footprint: a LUKS volume plus bookkeeping."""
+
+    __slots__ = ("volume", "sectors", "nbytes", "live", "flagged", "sanitized")
+
+    def __init__(self, volume: LuksVolume, sectors: int, nbytes: int) -> None:
+        self.volume = volume
+        self.sectors = sectors
+        self.nbytes = nbytes
+        self.live = True
+        self.flagged = False
+        self.sanitized = False
+
+
+class CryptoShredBackend(StorageBackend):
+    """Crypto-shredding: the retrofit that grounds "permanently delete".
+
+    Every unit's value is pickled and encrypted onto its **own**
+    :class:`LuksVolume` under a per-unit master key; the plaintext never
+    exists at rest.  The erasure interpretations then ground as:
+
+    * "reversibly inaccessible" ↦ *flag entry*: a visibility flag beside the
+      key slot — the key survives, so the transformation is invertible and
+      the value stays recoverable (same Inv/II profile as the flag column);
+    * "delete" ↦ *logical delete + key shred*: marking the entry dead is the
+      O(1) step; the paired reclamation destroys the dead volumes' headers
+      (master key + key slots), after which the ciphertext is unrecoverable
+      — the crypto-erase analogue of VACUUM;
+    * "strong delete" ↦ the same shred applied over the cascade;
+    * "permanently delete" ↦ *key shred + sector sanitize*: in addition to
+      the header destruction, every ciphertext sector is multi-pass
+      overwritten (NIST SP 800-88 "Purge"), charged through
+      :meth:`CostModel.charge_sanitize` — the Table-1 row no native engine
+      supports.
+
+    Retention honesty: between ``delete`` and the reclamation the key still
+    exists, so the value is *recoverable* — those entries count as
+    ``dead_entries`` and show up in :meth:`forensic_scan`, exactly like dead
+    MVCC tuples or shadowed LSM values (§1).
+    """
+
+    name = "crypto-shred"
+    supports_sanitize = True
+
+    def __init__(self, cost: CostModel, row_bytes: int = 70) -> None:
+        super().__init__()
+        self._cost = cost
+        self._row_bytes = row_bytes
+        self._entries: Dict[Any, _ShredVolume] = {}
+        # Dead volumes displaced by a re-insert over their unit id: their
+        # keys are still intact, so they stay in the retention accounting
+        # until a reclamation pass shreds them (§1 honesty).
+        self._graveyard: List[Tuple[Any, _ShredVolume]] = []
+        # Ciphertext bytes of shredded graveyard volumes: unrecoverable
+        # noise still occupying disk until a full reclamation releases it.
+        self._residue_bytes = 0
+        self._key_counter = 0
+        self.shred_count = 0
+        self.sanitize_count = 0
+
+    # --------------------------------------------------------------- internals
+    def _master_key(self, unit_id: Any) -> bytes:
+        self._key_counter += 1
+        seed = f"unit-key/{self._key_counter}/{unit_id!r}".encode()
+        return hashlib.sha256(seed).digest()
+
+    def _entry(self, unit_id: Any) -> _ShredVolume:
+        entry = self._entries.get(unit_id)
+        if entry is None or not entry.live:
+            raise TupleNotFoundError(
+                f"crypto-shred: no live value for key {unit_id!r}"
+            )
+        return entry
+
+    def _write_value(self, entry: _ShredVolume, value: Any) -> None:
+        blob = pickle.dumps(value)
+        entry.nbytes = len(blob)
+        entry.sectors = max(1, (len(blob) + SECTOR - 1) // SECTOR)
+        for sector_no in range(entry.sectors):
+            entry.volume.write_sector(
+                sector_no, blob[sector_no * SECTOR:(sector_no + 1) * SECTOR]
+            )
+        # A shrinking rewrite must not leave stale tail ciphertext behind —
+        # the old value would stay recoverable under the still-live key.
+        entry.volume.discard_sectors(entry.sectors)
+        self._cost.charge_luks(max(len(blob), self._row_bytes))
+        self._cost.charge_page_write(entry.sectors * SECTOR / PAGE_SIZE)
+
+    def _read_value(self, entry: _ShredVolume) -> Any:
+        blob = b"".join(
+            entry.volume.read_sector(s) for s in range(entry.sectors)
+        )[: entry.nbytes]
+        self._cost.charge_page_read()
+        self._cost.charge_luks(max(entry.nbytes, self._row_bytes))
+        return pickle.loads(blob)
+
+    def _shred(self, entry: _ShredVolume) -> None:
+        """Destroy the volume header — one page write, keys gone forever."""
+        if not entry.volume.is_shredded:
+            entry.volume.shred()
+            self._cost.charge_page_write()
+            self.shred_count += 1
+
+    # ------------------------------------------------------------------- DML
+    def insert(self, unit_id: Any, value: Any, fresh: bool = False) -> None:
+        existing = self._entries.get(unit_id)
+        if existing is not None and existing.live:
+            raise StorageError(
+                f"crypto-shred: key {unit_id!r} already holds a live value"
+            )
+        if (
+            existing is not None
+            and existing.sectors > 0
+            and not existing.volume.is_shredded
+        ):
+            # The displaced dead volume's key is still intact: keep it in
+            # the retention accounting until a reclamation shreds it.
+            self._graveyard.append((unit_id, existing))
+        entry = _ShredVolume(LuksVolume(self._master_key(unit_id)), 0, 0)
+        self._write_value(entry, value)
+        self._entries[unit_id] = entry
+
+    def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
+        count = 0
+        for unit_id, value in items:
+            self.insert(unit_id, value, fresh=True)
+            count += 1
+        return count
+
+    def read(self, unit_id: Any) -> Any:
+        return self._read_value(self._entry(unit_id))
+
+    def read_many(self, unit_ids: Sequence[Any]) -> List[Any]:
+        return [self.read(unit_id) for unit_id in unit_ids]
+
+    def update(self, unit_id: Any, value: Any) -> None:
+        # In-place sector overwrite under the same key — no MVCC bloat.
+        self._write_value(self._entry(unit_id), value)
+
+    # ------------------------------------------- reversible inaccessibility
+    def make_inaccessible(self, unit_id: Any) -> None:
+        self._entry(unit_id).flagged = True
+        self._cost.charge_page_write()
+
+    def restore(self, unit_id: Any) -> None:
+        entry = self._entries.get(unit_id)
+        if entry is None or not entry.live or not entry.flagged:
+            raise StorageError(f"crypto-shred: key {unit_id!r} is not flagged")
+        entry.flagged = False
+        self._cost.charge_page_write()
+
+    def is_inaccessible(self, unit_id: Any) -> bool:
+        return self._entry(unit_id).flagged
+
+    # ------------------------------------------------------ physical erasure
+    def delete(self, unit_id: Any) -> None:
+        entry = self._entry(unit_id)
+        entry.live = False
+        self._cost.charge_tuple_cpu()
+
+    def _reclaim(self) -> None:
+        """Shred the keys of every dead entry (graveyard included) —
+        crypto-erase.
+
+        The pass sweeps the volume catalog to find dead entries (the
+        analogue of VACUUM's heap scan), so batching erases amortizes it.
+        """
+        self._cost.charge_tuple_cpu(len(self._entries) + len(self._graveyard))
+        for entry in self._entries.values():
+            if not entry.live:
+                self._shred(entry)
+        # Shredded graveyard volumes leave the scan set for good — only
+        # their (unrecoverable) ciphertext bytes keep occupying disk.
+        for _unit_id, entry in self._graveyard:
+            self._shred(entry)
+            self._residue_bytes += entry.sectors * SECTOR
+        self._graveyard.clear()
+
+    def _reclaim_full(self) -> None:
+        """Shred dead entries' keys and release their ciphertext space."""
+        self._cost.charge_tuple_cpu(len(self._entries) + len(self._graveyard))
+        for unit_id in list(self._entries):
+            entry = self._entries[unit_id]
+            if entry.live:
+                continue
+            self._shred(entry)
+            entry.volume.discard_sectors()
+            entry.sectors = 0
+        for _unit_id, entry in self._graveyard:
+            self._shred(entry)
+            entry.volume.discard_sectors()
+            entry.sectors = 0
+        self._graveyard.clear()
+        self._residue_bytes = 0  # the full pass releases the noise too
+
+    def sanitize(self, unit_id: Any) -> None:
+        """Key shred + multi-pass overwrite of the ciphertext sectors —
+        Table 1's "permanently delete", charged as sanitization work."""
+        entry = self._entries.get(unit_id)
+        if entry is None:
+            raise TupleNotFoundError(f"crypto-shred: unknown key {unit_id!r}")
+        victims = [entry] + [e for uid, e in self._graveyard if uid == unit_id]
+        self._graveyard = [
+            (uid, e) for uid, e in self._graveyard if uid != unit_id
+        ]
+        pages = 0
+        for victim in victims:
+            self._shred(victim)
+            pages += max(1, (victim.sectors * SECTOR + PAGE_SIZE - 1) // PAGE_SIZE)
+            victim.volume.discard_sectors()
+            victim.sectors = 0
+            victim.nbytes = 0
+            victim.sanitized = True
+        self._cost.charge_sanitize(pages)
+        entry.live = False
+        self.sanitize_count += 1
+
+    # -------------------------------------------------------------- forensics
+    def physically_present(self, unit_id: Any) -> bool:
+        """Recoverable ⟺ ciphertext sectors remain *and* the key survives.
+
+        After a key shred the sectors may still sit on disk, but without
+        the master key a forensic scan sees only noise — that asymmetry is
+        the whole point of the crypto-shredding grounding.
+        """
+        entry = self._entries.get(unit_id)
+        if entry is not None and entry.sectors > 0 and not entry.volume.is_shredded:
+            return True
+        return any(
+            uid == unit_id and e.sectors > 0 and not e.volume.is_shredded
+            for uid, e in self._graveyard
+        )
+
+    def forensic_scan(self) -> List[Tuple[Any, bool]]:
+        out = [
+            (unit_id, entry.live)
+            for unit_id, entry in self._entries.items()
+            if entry.sectors > 0 and not entry.volume.is_shredded
+        ]
+        out.extend(
+            (uid, False)
+            for uid, e in self._graveyard
+            if e.sectors > 0 and not e.volume.is_shredded
+        )
+        return out
+
+    def exists(self, unit_id: Any) -> bool:
+        entry = self._entries.get(unit_id)
+        return entry is not None and entry.live
+
+    def stats(self) -> BackendStats:
+        live = sum(1 for e in self._entries.values() if e.live)
+        graveyard = [e for _uid, e in self._graveyard]
+        recoverable_dead = sum(
+            1
+            for e in list(self._entries.values()) + graveyard
+            if not e.live and e.sectors > 0 and not e.volume.is_shredded
+        )
+        header_bytes = 512  # LUKS header + key-slot area, per volume
+        total = self._residue_bytes + sum(
+            e.sectors * SECTOR + (0 if e.sanitized else header_bytes)
+            for e in list(self._entries.values()) + graveyard
+        )
+        return BackendStats(
+            backend=self.name,
+            live_entries=live,
+            dead_entries=recoverable_dead,
+            total_bytes=total,
+            detail=(
+                ("volumes", len(self._entries)),
+                ("shredded", self.shred_count),
+                ("sanitized", self.sanitize_count),
+            ),
+        )
+
+    def data_bytes(self) -> int:
+        return self.stats().total_bytes
+
+
+#: Backend name → constructor, the selection table for every consumer.
 BACKENDS: Dict[str, Type[StorageBackend]] = {
     PsqlBackend.name: PsqlBackend,
     LsmBackend.name: LsmBackend,
+    CryptoShredBackend.name: CryptoShredBackend,
 }
 
 
 def make_backend(
     name: str, cost: CostModel, row_bytes: int = 70, **kwargs: Any
 ) -> StorageBackend:
-    """Construct a backend by engine name ("psql" or "lsm")."""
+    """Construct a backend by engine name ("psql", "lsm", "crypto-shred")."""
     try:
         cls = BACKENDS[name]
     except KeyError:
@@ -408,3 +841,91 @@ def make_backend(
             f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
         ) from None
     return cls(cost, row_bytes=row_bytes, **kwargs)
+
+
+class BackendGroup:
+    """Named storage namespaces over one engine family.
+
+    The §4.2 profile runners need several tables (personal data, GDPR
+    metadata, plain data); this group hands each namespace a
+    :class:`StorageBackend` while sharing physical infrastructure the way
+    the engine family would:
+
+    * ``psql`` — one :class:`RelationalEngine` instance carries every
+      namespace as a table (one WAL, one buffer pool), exactly the paper's
+      single-PSQL deployment;
+    * ``lsm`` / ``crypto-shred`` — single-keyspace engines get one engine
+      per namespace (column-family style).
+
+    ``engine_opts`` are family-specific tuning knobs, forwarded to the
+    shared :class:`RelationalEngine` (psql) or to each per-namespace
+    backend constructor (others).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cost: CostModel,
+        engine_opts: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if name not in BACKENDS:
+            raise KeyError(
+                f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+            )
+        self.name = name
+        self._cost = cost
+        self._opts = dict(engine_opts or {})
+        self._stores: Dict[str, StorageBackend] = {}
+        self.engine: Optional[RelationalEngine] = (
+            RelationalEngine(cost, **self._opts)
+            if name == PsqlBackend.name
+            else None
+        )
+
+    def create(
+        self, namespace: str, row_bytes: int, flag_column: bool = False
+    ) -> StorageBackend:
+        """Create (and return) the backend for a new namespace."""
+        if namespace in self._stores:
+            raise ValueError(f"namespace {namespace!r} already exists")
+        if self.engine is not None:
+            store: StorageBackend = PsqlBackend(
+                self._cost,
+                row_bytes=row_bytes,
+                table=namespace,
+                engine=self.engine,
+                flag_column=flag_column,
+            )
+        else:
+            store = make_backend(
+                self.name, self._cost, row_bytes=row_bytes, **self._opts
+            )
+        self._stores[namespace] = store
+        return store
+
+    def store(self, namespace: str) -> StorageBackend:
+        return self._stores[namespace]
+
+    def __contains__(self, namespace: str) -> bool:
+        return namespace in self._stores
+
+    def commit(self) -> None:
+        """One durability point for the whole group (single WAL on psql)."""
+        if self.engine is not None:
+            self.engine.wal.flush()
+        else:
+            for store in self._stores.values():
+                store.commit()
+
+    def log_bytes(self) -> int:
+        if self.engine is not None:
+            return self.engine.wal.size_bytes
+        return sum(store.log_bytes() for store in self._stores.values())
+
+    @property
+    def reclaim_count(self) -> int:
+        return sum(s.reclaim_count for s in self._stores.values())
+
+    @property
+    def reclaim_full_count(self) -> int:
+        return sum(s.reclaim_full_count for s in self._stores.values())

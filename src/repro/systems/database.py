@@ -17,9 +17,12 @@ inaccessible" flips the retrofit flag column, "delete" runs DELETE+VACUUM,
 "strong delete" runs DELETE+VACUUM FULL and cascades over the provenance
 graph.  With ``backend="lsm"`` the same interpretations ground as a flag
 write, tombstone + full compaction, and tombstone cascade + full compaction.
-On either backend "permanently delete" raises — neither engine has a
-system-action for drive sanitization, so the deployment must be retrofitted
-(paper §1).
+On both native engines "permanently delete" raises — neither has a
+system-action for drive sanitization.  ``backend="crypto-shred"`` is the
+retrofit the paper's §1 calls for: per-unit key volumes make "permanently
+delete" executable as key shred + sector sanitize, so the facade dispatches
+it like any other interpretation (strong-delete cascade, then per-victim
+sanitization recorded as SANITIZE actions).
 
 Batch entry points (:meth:`collect_many`, :meth:`read_many`,
 :meth:`erase_many`) keep the same policy/history semantics per unit while
@@ -140,7 +143,9 @@ class CompliantDatabase:
         self.backend = backend
         #: The raw engine object (RelationalEngine or LSMEngine) — exposed
         #: for forensics, fault injection, and engine-level statistics.
-        self.engine = backend.engine
+        #: Backends that are their own engine (crypto-shred) expose
+        #: themselves.
+        self.engine = getattr(backend, "engine", backend)
         self.model = Database()
         self.provenance = ProvenanceGraph()
         self.log = ActionLog(self.cost)
@@ -376,13 +381,9 @@ class CompliantDatabase:
         unit = self.model.get(unit_id)
         if interpretation is ErasureInterpretation.REVERSIBLY_INACCESSIBLE:
             return self._erase_reversible(unit, entity)
-        if interpretation is ErasureInterpretation.DELETED:
-            return self._erase_delete(unit, entity)
-        if interpretation is ErasureInterpretation.STRONGLY_DELETED:
-            return self._erase_strong(unit, entity)
-        raise UnsupportedGroundingError(
-            f"permanent deletion is not supported on {self.backend.name} (Table 1)"
-        )
+        if interpretation is ErasureInterpretation.PERMANENTLY_DELETED:
+            self._require_sanitization()
+        return self._erase_physical([unit.unit_id], interpretation, entity)[0]
 
     def erase_many(
         self,
@@ -405,11 +406,23 @@ class CompliantDatabase:
                 for u in unit_ids
             ]
         if interpretation is ErasureInterpretation.PERMANENTLY_DELETED:
+            self._require_sanitization()
+        return self._erase_physical(list(unit_ids), interpretation, entity)
+
+    def _require_sanitization(self) -> None:
+        """Permanent deletion needs an implementable grounding — i.e. a
+        backend with a sanitization system-action (crypto-shred)."""
+        grounding = self.groundings.grounding(
+            "erasure",
+            ErasureInterpretation.PERMANENTLY_DELETED.label,
+            self.backend.name,
+        )
+        if not (grounding.is_implementable and self.backend.supports_sanitize):
             raise UnsupportedGroundingError(
                 f"permanent deletion is not supported on {self.backend.name} "
-                "(Table 1)"
+                "(Table 1); retrofit the engine (e.g. crypto-shred) or "
+                "choose a weaker interpretation"
             )
-        return self._erase_physical(list(unit_ids), interpretation, entity)
 
     def _erase_physical(
         self,
@@ -417,10 +430,13 @@ class CompliantDatabase:
         interpretation: ErasureInterpretation,
         entity: Entity,
     ) -> List[EraseOutcome]:
-        """Physically erase units (and, for strong delete, their identifying
-        descendants per §3.1): logically delete every victim, then reclaim
-        once for the whole batch."""
-        strong = interpretation is ErasureInterpretation.STRONGLY_DELETED
+        """Physically erase units (and, for strong/permanent delete, their
+        identifying descendants per §3.1): logically delete every victim,
+        then reclaim once for the whole batch.  Permanent deletion
+        additionally sanitizes every victim's physical footprint and records
+        the SANITIZE actions."""
+        strong = interpretation.implies(ErasureInterpretation.STRONGLY_DELETED)
+        permanent = interpretation is ErasureInterpretation.PERMANENTLY_DELETED
         actions = self._grounding_actions(interpretation)
         detail = "+".join(actions) + (" (strong cascade)" if strong else "")
         # Reject double-erasure of any *target* up front (a retry must not
@@ -449,6 +465,18 @@ class CompliantDatabase:
                     now,
                     detail=detail,
                 )
+                if permanent:
+                    # The extra Table-1 step: advanced sanitization of the
+                    # victim's footprint, demonstrable via SANITIZE records.
+                    self.backend.sanitize(victim_id)
+                    self.log.record(
+                        victim_id,
+                        Purpose.COMPLIANCE_ERASE,
+                        entity,
+                        ActionType.SANITIZE,
+                        self.clock.now,
+                        detail=detail,
+                    )
             outcomes.append(
                 EraseOutcome(
                     unit_id,
@@ -484,17 +512,6 @@ class CompliantDatabase:
             actions,
             timestamp=now,
         )
-
-    def _erase_delete(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
-        return self._erase_physical(
-            [unit.unit_id], ErasureInterpretation.DELETED, entity
-        )[0]
-
-    def _erase_strong(self, unit: DataUnit, entity: Entity) -> EraseOutcome:
-        """Delete the unit and every identifying dependent (§3.1)."""
-        return self._erase_physical(
-            [unit.unit_id], ErasureInterpretation.STRONGLY_DELETED, entity
-        )[0]
 
     def restore(self, unit_id: str, entity: Optional[Entity] = None) -> None:
         """Undo reversible inaccessibility (the transformation is invertible)."""
@@ -577,8 +594,9 @@ class CompliantDatabase:
         """The unit's Figure-3 erasure timeline, from the action history.
 
         Detail strings are backend-specific ("DELETE+VACUUM" on psql,
-        "tombstone+full compaction" on lsm); milestones are detected by the
-        physical-delete markers either backend records.
+        "tombstone+full compaction" on lsm, "logical delete+key shred" on
+        crypto-shred); milestones are detected by the physical-delete
+        markers any backend records.
         """
         entries = self.log.history.of(unit_id)
         collected = next(
@@ -592,7 +610,10 @@ class CompliantDatabase:
         for e in entries:
             if e.action.type == ActionType.ERASE:
                 detail = e.action.detail or ""
-                physical = "DELETE" in detail or "tombstone" in detail
+                physical = any(
+                    marker in detail
+                    for marker in ("DELETE", "tombstone", "key shred")
+                )
                 if inaccessible is None:
                     inaccessible = e.timestamp
                 if physical and deleted is None:

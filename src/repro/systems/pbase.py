@@ -27,9 +27,10 @@ INLINE_METADATA_BYTES = 30
 
 
 class PBase(ComplianceProfile):
-    """RBAC + CSV logs + AES-256 + DELETE/VACUUM."""
+    """RBAC + CSV logs + AES-256 + the grounded "delete" (interval reclaim)."""
 
     name = "P_Base"
+    maintenance = "interval"
 
     # ------------------------------------------------------------------ setup
     def _data_row_bytes(self) -> int:
@@ -76,9 +77,9 @@ class PBase(ComplianceProfile):
         self.cost.charge_aes256(nbytes)
 
     def _erase(self, key: int) -> None:
-        """DELETE + periodic VACUUM (the Table-1 'delete' grounding)."""
-        self.engine.delete(DATA_TABLE, key)
-        self._deletes_since_maintenance += 1
-        if self._deletes_since_maintenance >= self.config.vacuum_interval:
-            self.engine.vacuum(DATA_TABLE)
-            self._deletes_since_maintenance = 0
+        """The Table-1 "delete" grounding on the active backend: logical
+        delete plus the periodic reclamation pass (DELETE+VACUUM on psql,
+        tombstone+full compaction on lsm, logical delete+key shred on
+        crypto-shred)."""
+        self.data.delete(key)
+        self._maybe_reclaim()

@@ -25,9 +25,16 @@ CONSENT_WINDOW = (0, 10**15)
 
 
 class PGBench(ComplianceProfile):
-    """Joined policy table + query/response logs + LUKS + DELETE-only."""
+    """Joined policy table + query/response logs + LUKS + DELETE-only.
+
+    P_GBench *claims* the "delete" interpretation but never schedules the
+    grounding's reclamation half — dead tuples (psql), shadowed values
+    (lsm), or unshredded dead volumes (crypto-shred) accumulate forever,
+    which is exactly the §1 retention hazard the paper measures.
+    """
 
     name = "P_GBench"
+    maintenance = "never"
 
     def _setup(self) -> None:
         template = [
@@ -84,7 +91,7 @@ class PGBench(ComplianceProfile):
         self.cost.charge_policy_insert()
 
     def _erase(self, key: int) -> None:
-        """DELETE only — dead tuples accumulate until autovacuum-never."""
-        self.engine.delete(DATA_TABLE, key)
-        self.engine.delete(META_TABLE, key)
+        """Logical delete only — dead data accumulates, reclamation never."""
+        self.data.delete(key)
+        self.meta.delete(key)
         self.policies.detach_unit(key)

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from repro.audit.querylog import PolicyDecisionLogger, QueryResponseLogger
+from repro.core.erasure import ErasureInterpretation
 from repro.core.policy import Policy, Purpose
 from repro.systems.policycat import ScalablePolicyCatalog
 from repro.systems.profiles import (
@@ -34,10 +35,12 @@ LOG_ENCRYPTION_BYTES = 128
 
 
 class PSys(ComplianceProfile):
-    """Sieve FGAC + decision logs + AES-128 (data & logs) + VACUUM FULL +
-    log purging."""
+    """Sieve FGAC + decision logs + AES-128 (data & logs) + the "strong
+    delete" grounding (interval full reclamation) + log purging."""
 
     name = "P_SYS"
+    erasure_interpretation = ErasureInterpretation.STRONGLY_DELETED
+    maintenance = "interval-full"
 
     def _setup(self) -> None:
         template = [
@@ -116,14 +119,15 @@ class PSys(ComplianceProfile):
         self.cost.charge_aes128(nbytes)
 
     def _erase(self, key: int) -> None:
-        """DELETE + periodic VACUUM FULL + purge every trace from the logs."""
-        self.engine.delete(DATA_TABLE, key)
-        self.engine.delete(META_TABLE, key)
+        """Logical delete + periodic full reclamation + purge every trace
+        from the logs — including the engine's own recovery log."""
+        self.data.delete(key)
+        self.meta.delete(key)
         self.policies.detach_unit(key)
         self.querylog.purge_key(DATA_TABLE, key)
         self.decisions.purge_unit(str(key))
-        self.engine.wal.purge_key(DATA_TABLE, key)
-        self._deletes_since_maintenance += 1
-        if self._deletes_since_maintenance >= self.config.vacuum_full_interval:
-            self.engine.vacuum_full(DATA_TABLE)
-            self._deletes_since_maintenance = 0
+        self.data.purge_history(key)
+        # The metadata row (subject id, timestamp) is a trace too — its
+        # recovery-log images must not outlive the erase either.
+        self.meta.purge_history(key)
+        self._maybe_reclaim()

@@ -16,7 +16,10 @@ from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind
 from repro.systems.database import CompliantDatabase, UnsupportedGroundingError
 
+#: The native engines, whose Table-1 matrix matches the paper verbatim.
 BACKENDS = ["psql", "lsm"]
+#: Every backend, including the sanitize-capable crypto-shred retrofit.
+ALL_BACKENDS = ["psql", "lsm", "crypto-shred"]
 
 METASPACE = controller("MetaSpace")
 USER = data_subject("user-1")
@@ -91,7 +94,7 @@ def test_system_actions_differ_per_backend():
     )
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 class TestStrongDeleteCascade:
     """Strong delete must cascade identically through the provenance graph
     regardless of the storage backend — provenance is model-level."""
@@ -137,7 +140,7 @@ class TestStrongDeleteCascade:
         assert report.compliant, report.render()
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 class TestLifecycleParity:
     """The facade's guarantees hold identically over either backend."""
 
@@ -259,3 +262,132 @@ class TestLifecycleParity:
         for i in range(10, 20):
             assert db.read(f"k{i}", METASPACE, Purpose.SERVICE) == i
         assert db.check_compliance().compliant
+
+
+class TestCryptoShredTable1Parity:
+    """The crypto-shredding retrofit must match the paper's property matrix
+    on every row — and, uniquely, make the fourth row executable."""
+
+    def test_property_profile_matches_paper_on_all_rows(self):
+        for row in table1(backend="crypto-shred"):
+            expected = PAPER_TABLE1[row.interpretation]
+            assert row.illegal_read == expected.illegal_read, row.interpretation
+            assert (
+                row.illegal_inference == expected.illegal_inference
+            ), row.interpretation
+            assert row.invertible == expected.invertible, row.interpretation
+
+    def test_every_row_supported_including_permanent(self):
+        rows = {r.interpretation: r for r in table1(backend="crypto-shred")}
+        assert all(r.supported for r in rows.values())
+        permanent = rows[ErasureInterpretation.PERMANENTLY_DELETED]
+        assert permanent.system_actions == ("key shred", "sector sanitize")
+        assert "Not supported" not in permanent.row()[-1]
+
+    def test_permanent_delete_executes_end_to_end(self):
+        db = make_db("crypto-shred")
+        collect_unit(db)
+        outcome = db.erase(
+            "u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED
+        )
+        assert outcome.system_actions == ("key shred", "sector sanitize")
+        assert db.model.get("u1").is_erased
+        assert not db.physically_present("u1")
+
+    def test_permanent_delete_cascades_like_strong_delete(self):
+        """Permanent = strong delete + sanitization (paper §3.1): the
+        identifying cascade must be identical."""
+        db = make_db("crypto-shred")
+        collect_unit(db)
+        db.derive_unit(
+            "cache", ["u1"], {"v": 1}, METASPACE, Purpose.SERVICE,
+            kind=DependencyKind.COPY, invertible=True, identifying=True,
+        )
+        db.derive_unit(
+            "stats", ["u1"], 3, METASPACE, Purpose.SERVICE,
+            kind=DependencyKind.AGGREGATE, invertible=False, identifying=False,
+        )
+        outcome = db.erase(
+            "u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED
+        )
+        assert outcome.cascaded_units == ("cache",)
+        assert not db.physically_present("cache")
+        assert db.physically_present("stats")  # anonymized: retained
+
+    def test_shredded_value_is_unreadable(self):
+        db = make_db("crypto-shred")
+        collect_unit(db)
+        db.erase("u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED)
+        with pytest.raises(Exception):
+            db.read("u1", METASPACE, Purpose.SERVICE)
+
+    def test_sar_reports_permanently_deleted_unit_gone(self):
+        """Art. 15 must report the unit erased and disclose no value."""
+        db = make_db("crypto-shred")
+        collect_unit(db)
+        db.erase("u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED)
+        result = db.subject_access_request(USER)
+        unit = next(u for u in result.units if u.unit_id == "u1")
+        assert unit.erased
+        assert unit.value is None
+
+    def test_double_permanent_erase_guarded(self):
+        db = make_db("crypto-shred")
+        collect_unit(db)
+        db.erase("u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED)
+        with pytest.raises(ValueError, match="already erased"):
+            db.erase(
+                "u1",
+                interpretation=ErasureInterpretation.PERMANENTLY_DELETED,
+            )
+        with pytest.raises(ValueError, match="already erased"):
+            db.erase_many(
+                ["u1"],
+                interpretation=ErasureInterpretation.PERMANENTLY_DELETED,
+            )
+
+    def test_timeline_reaches_the_permanent_milestone(self):
+        db = make_db("crypto-shred")
+        collect_unit(db)
+        db.erase("u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED)
+        timeline = db.timeline("u1")
+        assert timeline.reached(ErasureInterpretation.DELETED)
+        assert timeline.reached(ErasureInterpretation.STRONGLY_DELETED)
+        assert timeline.reached(ErasureInterpretation.PERMANENTLY_DELETED)
+        assert timeline.time_to_permanent_delete is not None
+
+    def test_permanent_default_erasure_constructible(self):
+        """The strictest default is only constructible on the retrofit."""
+        db = CompliantDatabase(
+            METASPACE,
+            backend="crypto-shred",
+            default_erasure=ErasureInterpretation.PERMANENTLY_DELETED,
+        )
+        collect_unit(db)
+        db.erase("u1")  # default interpretation: permanently delete
+        assert not db.physically_present("u1")
+        assert db.timeline("u1").reached(
+            ErasureInterpretation.PERMANENTLY_DELETED
+        )
+
+    def test_batch_permanent_erase(self):
+        db = make_db("crypto-shred")
+        for i in range(10):
+            collect_unit(db, uid=f"k{i}")
+        outcomes = db.erase_many(
+            [f"k{i}" for i in range(5)],
+            interpretation=ErasureInterpretation.PERMANENTLY_DELETED,
+        )
+        assert len(outcomes) == 5
+        for i in range(5):
+            assert not db.physically_present(f"k{i}")
+        for i in range(5, 10):
+            assert db.read(f"k{i}", METASPACE, Purpose.SERVICE) == {"v": 1}
+        assert db.check_compliance().compliant
+
+    def test_compliance_holds_after_permanent_erase(self):
+        db = make_db("crypto-shred")
+        collect_unit(db)
+        db.erase("u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED)
+        report = db.check_compliance()
+        assert report.compliant, report.render()

@@ -7,6 +7,8 @@ from repro.sim.costs import CostBook, CostModel
 from repro.storage.errors import StorageError, TupleNotFoundError
 from repro.systems.backends import (
     BACKENDS,
+    BackendGroup,
+    CryptoShredBackend,
     LsmBackend,
     PsqlBackend,
     make_backend,
@@ -24,7 +26,7 @@ def backend(request):
 
 class TestFactory:
     def test_known_backends(self):
-        assert set(BACKENDS) == {"psql", "lsm"}
+        assert set(BACKENDS) == {"psql", "lsm", "crypto-shred"}
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(KeyError, match="unknown backend"):
@@ -175,3 +177,285 @@ class TestLsmSpecific:
         b.reclaim()
         entries = [key for key, _live in b.forensic_scan() if key == "k"]
         assert len(entries) == 1
+
+    def test_block_cache_serves_repeat_reads_cheaply(self):
+        cost = make_cost()
+        b = LsmBackend(cost, memtable_capacity=2, tier_threshold=10)
+        b.insert_many((f"k{i}", i) for i in range(8))  # several runs
+        b.read("k1")  # cold: run probe
+        before = cost.clock.now
+        b.read("k1")  # hot: served from the block cache
+        assert cost.clock.now - before < CostBook().sstable_probe
+        assert b.engine.cache_hits == 1
+
+    def test_block_cache_invalidated_by_writes(self):
+        b = LsmBackend(make_cost(), memtable_capacity=2, tier_threshold=10)
+        b.insert_many((f"k{i}", i) for i in range(8))
+        assert b.read("k1") == 1
+        b.update("k1", "fresh")
+        assert b.read("k1") == "fresh"
+        b.delete("k1")
+        assert not b.exists("k1")
+
+
+class TestCryptoShredSpecific:
+    """The "permanently delete" retrofit: per-unit key volumes."""
+
+    def test_sanitize_capability_flag(self):
+        assert CryptoShredBackend(make_cost()).supports_sanitize
+        assert not PsqlBackend(make_cost()).supports_sanitize
+        assert not LsmBackend(make_cost()).supports_sanitize
+
+    def test_values_rest_encrypted(self):
+        """A forensic look at the sectors must see ciphertext, never the
+        plaintext value."""
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "top-secret-payload")
+        entry = b._entries["k"]
+        raw = b"".join(entry.volume.raw_sector(s) for s in range(entry.sectors))
+        assert b"top-secret-payload" not in raw
+        assert b.read("k") == "top-secret-payload"
+
+    def test_delete_keeps_value_recoverable_until_shred(self):
+        """Logical delete leaves key + ciphertext — the §1 dead-entry
+        analogue — until the reclamation pass shreds the key."""
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "secret")
+        b.delete("k")
+        assert b.physically_present("k")
+        assert ("k", False) in b.forensic_scan()
+        assert b.stats().dead_entries == 1
+        b.reclaim()
+        assert not b.physically_present("k")
+        assert b.stats().dead_entries == 0
+
+    def test_shred_leaves_ciphertext_but_unrecoverable(self):
+        """After the key shred the sectors still exist on disk, but no
+        forensic scan can recover the value — crypto-erasure."""
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "secret")
+        b.delete("k")
+        b.reclaim()
+        entry = b._entries["k"]
+        assert entry.sectors > 0  # ciphertext still occupies disk
+        assert entry.volume.is_shredded
+        assert not b.physically_present("k")
+        with pytest.raises(PermissionError):
+            entry.volume.read_sector(0)
+
+    def test_sanitize_wipes_sectors_and_charges(self):
+        cost = make_cost()
+        b = CryptoShredBackend(cost)
+        b.insert("k", "secret")
+        b.delete("k")
+        b.sanitize("k")
+        assert cost.clock.spent("sanitize") >= CostBook().sanitize_per_page
+        assert b._entries["k"].sectors == 0
+        assert not b.physically_present("k")
+        assert b.stats().detail[2] == ("sanitized", 1)
+
+    def test_sanitize_unknown_key_raises(self):
+        b = CryptoShredBackend(make_cost())
+        with pytest.raises(TupleNotFoundError):
+            b.sanitize("ghost")
+
+    def test_sanitize_unsupported_on_native_engines(self):
+        for name in ("psql", "lsm"):
+            b = make_backend(name, make_cost())
+            b.insert("k", 1)
+            with pytest.raises(StorageError, match="sanitization"):
+                b.sanitize("k")
+
+    def test_duplicate_live_insert_rejected(self):
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", 1)
+        with pytest.raises(StorageError, match="already holds"):
+            b.insert("k", 2)
+
+    def test_reinsert_after_erase_gets_fresh_volume(self):
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "old")
+        old_volume = b._entries["k"].volume
+        b.erase("k")
+        b.insert("k", "new")
+        assert b.read("k") == "new"
+        assert b._entries["k"].volume is not old_volume
+
+    def test_shrinking_update_discards_stale_tail_sectors(self):
+        """Regression: a shorter rewrite must not leave the old value's
+        tail ciphertext recoverable under the still-live key."""
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "x" * 2000)  # several sectors
+        entry = b._entries["k"]
+        assert entry.volume.sector_count > 1
+        b.update("k", "y")  # one sector
+        assert entry.volume.sector_count == entry.sectors == 1
+        assert b.read("k") == "y"
+
+    def test_sanitize_leaves_no_sectors_at_all(self):
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "x" * 2000)
+        b.delete("k")
+        b.sanitize("k")
+        assert b._entries["k"].volume.sector_count == 0
+
+    def test_sanitize_without_prior_delete_kills_the_entry(self):
+        """Regression: sanitize used to leave live=True, so exists() lied
+        and read() crashed on the empty volume."""
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "secret")
+        b.sanitize("k")
+        assert not b.exists("k")
+        with pytest.raises(TupleNotFoundError):
+            b.read("k")
+
+    def test_displaced_dead_volume_stays_in_retention_accounting(self):
+        """Regression: re-inserting over a dead-but-unshredded entry used
+        to drop the old volume from the accounting entirely — its intact
+        key was then never shredded by any reclamation pass."""
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "secret")
+        b.delete("k")
+        b.insert("k", "new")
+        # The old copy is still recoverable and must stay visible.
+        assert b.stats().dead_entries == 1
+        assert ("k", False) in b.forensic_scan()
+        shreds_before = b.shred_count
+        b.reclaim()
+        assert b.shred_count == shreds_before + 1  # the graveyard volume
+        assert b.stats().dead_entries == 0
+        assert b.read("k") == "new"  # the live value is untouched
+
+    def test_sanitize_covers_displaced_volumes_of_the_unit(self):
+        b = CryptoShredBackend(make_cost())
+        b.insert("k", "old-secret")
+        b.delete("k")
+        b.insert("k", "new")
+        b.delete("k")
+        b.sanitize("k")
+        assert not b.physically_present("k")
+        assert b._graveyard == []
+
+
+class TestWalCopyTracking:
+    """Regression: erased units' payloads lingered in the WAL forever.
+
+    Before the fix, INSERT/UPDATE records carried no payload at all (the
+    leak was unmodelled) and nothing tracked the log as a copy location;
+    now the WAL row images are tracked and the grounded erase's reclamation
+    pass scrubs them.
+    """
+
+    def test_insert_payload_lands_in_wal(self):
+        b = PsqlBackend(make_cost())
+        b.insert("k", "secret")
+        assert b.log_holds_value("k")
+        assert b.physically_present("k")
+
+    def test_delete_alone_leaves_wal_copy(self):
+        """The failing-before shape: after DELETE (no reclaim) the heap
+        tuple is dead but the WAL still carries the row image."""
+        b = PsqlBackend(make_cost())
+        b.insert("k", "secret")
+        b.delete("k")
+        assert b.log_holds_value("k")
+        assert b.physically_present("k")
+
+    def test_grounded_erase_scrubs_wal(self):
+        b = PsqlBackend(make_cost())
+        b.insert("k", "secret")
+        b.erase("k")  # delete + reclaim
+        assert not b.log_holds_value("k")
+        assert not b.physically_present("k")
+
+    def test_wal_only_copy_counts_as_physical_presence(self):
+        """A value whose only surviving copy is a WAL row image is still
+        physically present — exactly the pre-fix leak, where VACUUM cleared
+        the heap but nothing scrubbed the log."""
+        b = PsqlBackend(make_cost())
+        b.insert("k", "secret")
+        b.delete("k")
+        # Reproduce the old behaviour: drop the scrub the fix added, so the
+        # vacuum reclaims the heap but leaves the log copy behind.
+        b.engine._wal_scrub_pending.clear()
+        b.engine.vacuum(b.table)
+        assert not any(key == "k" for key, _l in b.forensic_scan())
+        assert b.log_holds_value("k")
+        assert b.physically_present("k")  # the tracker refuses to lie
+        b.engine.wal.checkpoint()  # segment recycling drops the image
+        assert not b.physically_present("k")
+
+    def test_reclaim_full_also_scrubs(self):
+        b = PsqlBackend(make_cost())
+        b.insert("k", "secret")
+        b.delete("k")
+        b.reclaim_full()
+        assert not b.log_holds_value("k")
+
+    def test_update_images_scrubbed_with_delete(self):
+        b = PsqlBackend(make_cost())
+        b.insert("k", "v1")
+        b.update("k", "v2")
+        b.delete("k")
+        b.reclaim()
+        assert not b.log_holds_value("k")
+
+    def test_reinsert_cancels_pending_scrub(self):
+        """Regression: delete + re-insert + vacuum must NOT redact the
+        live row's WAL image — the key is live again, so its log copy is
+        a replayable superseded version, not erased data."""
+        b = PsqlBackend(make_cost())
+        b.insert("k", "v1")
+        b.delete("k")
+        b.insert("k", "v2")
+        b.reclaim()
+        assert b.read("k") == "v2"
+        assert b.log_holds_value("k")  # the live row's image survives
+        assert b.physically_present("k")
+
+
+class TestBackendGroup:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_namespaces_are_isolated(self, name):
+        group = BackendGroup(name, make_cost())
+        data = group.create("data", 70)
+        meta = group.create("meta", 72)
+        data.insert("k", "value")
+        meta.insert("k", "metadata")
+        assert data.read("k") == "value"
+        assert meta.read("k") == "metadata"
+        data.erase("k")
+        assert not data.exists("k")
+        assert meta.read("k") == "metadata"
+
+    def test_psql_namespaces_share_one_engine(self):
+        group = BackendGroup("psql", make_cost())
+        data = group.create("data", 70)
+        meta = group.create("meta", 72)
+        assert data.engine is meta.engine is group.engine
+
+    def test_single_keyspace_backends_get_engine_per_namespace(self):
+        group = BackendGroup("lsm", make_cost())
+        data = group.create("data", 70)
+        meta = group.create("meta", 72)
+        assert data.engine is not meta.engine
+        assert group.engine is None
+
+    def test_duplicate_namespace_rejected(self):
+        group = BackendGroup("psql", make_cost())
+        group.create("data", 70)
+        with pytest.raises(ValueError, match="already exists"):
+            group.create("data", 70)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            BackendGroup("mongodb", make_cost())
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_reclaim_counters_aggregate(self, name):
+        group = BackendGroup(name, make_cost())
+        data = group.create("data", 70)
+        data.insert("k", 1)
+        data.erase("k")
+        assert group.reclaim_count == 1
+        assert group.reclaim_full_count == 0

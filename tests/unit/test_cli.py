@@ -12,6 +12,20 @@ class TestCli:
         assert "Interpretations of erasure" in out
         assert "DELETE + VACUUM" in out
 
+    def test_table1_all_backends(self, capsys):
+        assert main(["table1", "--backend", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "PSQL System-Action(s)" in out
+        assert "LSM System-Action(s)" in out
+        assert "CRYPTO-SHRED System-Action(s)" in out
+        # The retrofit fills the paper's "Not supported" cell.
+        assert "key shred + sector sanitize" in out
+
+    def test_table1_crypto_shred_grounds_permanent_delete(self, capsys):
+        assert main(["table1", "--backend", "crypto-shred"]) == 0
+        out = capsys.readouterr().out
+        assert "Not supported" not in out
+
     def test_table2_small(self, capsys):
         assert main(["table2", "--records", "2000", "--txns", "1000"]) == 0
         out = capsys.readouterr().out
@@ -31,6 +45,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figure 4(b)" in out
         assert "YCSB-C" in out
+
+    @pytest.mark.parametrize("backend", ["lsm", "crypto-shred"])
+    def test_fig4b_runs_on_every_backend(self, backend, capsys):
+        assert main(
+            ["fig4b", "--records", "1000", "--txns", "200",
+             "--backend", backend]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(b)" in out
+
+    @pytest.mark.parametrize("backend", ["lsm", "crypto-shred"])
+    def test_fig4c_runs_on_every_backend(self, backend, capsys):
+        assert main(
+            ["fig4c", "--txns", "200", "--records", "500", "1000",
+             "--backend", backend]
+        ) == 0
+        assert "Figure 4(c)" in capsys.readouterr().out
 
     def test_fig4c_small(self, capsys):
         assert main(

@@ -221,3 +221,150 @@ class TestReplicationLogRetention:
         assert store.read("b") == 2
         advance(clock, 60_000)
         assert store.read("b", replica=0) == 2
+
+
+class TestWalCopyLocation:
+    """The node-level WAL is one storage layer below the replication log —
+    the same retention hazard, tracked the same way."""
+
+    def test_wal_is_a_copy_location(self):
+        store, _ = make_store()
+        store.put("pii", "sensitive")
+        locations = {loc for loc, _name in store.copies_of("pii")}
+        assert CopyLocation.WAL in locations
+
+    def test_naive_delete_leaves_wal_copy(self):
+        store, _ = make_store()
+        store.put("pii", "sensitive")
+        store.naive_delete("pii")
+        locations = {loc for loc, _name in store.lingering_copies("pii")}
+        assert CopyLocation.WAL in locations
+
+    def test_erase_all_copies_scrubs_node_wals(self):
+        store, clock = make_store()
+        store.put("pii", "sensitive")
+        advance(clock, 60_000)
+        store.read("pii", replica=0)  # the replica's WAL now holds it too
+        report = store.erase_all_copies("pii")
+        assert report.verified_clean
+        locations = {loc for loc, _name in store.copies_of("pii")}
+        assert CopyLocation.WAL not in locations
+
+
+class TestSharding:
+    def test_routing_is_deterministic_and_total(self):
+        store, _ = make_store(shards=4, n_replicas=1)
+        owners = {f"k{i}": store.shard_of(f"k{i}") for i in range(64)}
+        assert set(owners.values()) <= set(range(4))
+        assert len(set(owners.values())) > 1  # keys actually spread out
+        for key, owner in owners.items():
+            assert store.shard_of(key) == owner  # stable
+
+    def test_invalid_shard_count(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            ReplicatedStore(CostModel(clock), shards=0)
+
+    def test_put_read_roundtrip_across_shards(self):
+        store, clock = make_store(shards=4, n_replicas=1)
+        for i in range(32):
+            store.put(f"k{i}", i)
+        for i in range(32):
+            assert store.read(f"k{i}") == i
+        advance(clock, 60_000)
+        for i in range(32):
+            assert store.read(f"k{i}", replica=0) == i
+
+    def test_erase_all_copies_routes_to_owner_shard(self):
+        store, clock = make_store(shards=4, n_replicas=1)
+        for i in range(16):
+            store.put(f"k{i}", i)
+        advance(clock, 60_000)
+        for i in range(16):
+            store.read(f"k{i}", replica=0)
+        report = store.erase_all_copies("k3")
+        assert report.verified_clean
+        assert report.shard == store.shard_of("k3")
+        assert store.copies_of("k3") == []
+        assert store.read("k5") == 5  # other shards untouched
+
+    def test_node_names_carry_shard_prefix(self):
+        store, _ = make_store(shards=2, n_replicas=1)
+        names = {node.name for node in store.nodes()}
+        assert names == {
+            "shard-0/primary",
+            "shard-0/replica-0",
+            "shard-1/primary",
+            "shard-1/replica-0",
+        }
+
+    def test_single_shard_keeps_legacy_names(self):
+        store, _ = make_store(shards=1, n_replicas=1)
+        assert {node.name for node in store.nodes()} == {"primary", "replica-0"}
+
+
+class TestBatchErase:
+    def _loaded(self, shards=4, n=32, backend="psql"):
+        store, clock = make_store(
+            shards=shards, n_replicas=1, backend=backend
+        )
+        for i in range(n):
+            store.put(f"k{i}", i)
+        advance(clock, 60_000)
+        for i in range(n):
+            store.read(f"k{i}", replica=0)
+        return store, clock
+
+    def test_erase_many_is_clean_across_shards(self):
+        store, _ = self._loaded()
+        victims = [f"k{i}" for i in range(16)]
+        report = store.erase_many(victims)
+        assert report.verified_clean
+        assert report.n_keys == 16
+        for key in victims:
+            assert store.copies_of(key) == []
+        for i in range(16, 32):
+            assert store.read(f"k{i}") == i
+
+    def test_erase_many_amortizes_reclamation(self):
+        """One reclamation pass per node per batch — not per key."""
+        store, _ = self._loaded(shards=4, n=32)
+        victims = [f"k{i}" for i in range(16)]
+        report = store.erase_many(victims)
+        assert report.shards_touched <= 4
+        assert report.reclamations == report.shards_touched * 2  # R+1 nodes
+        assert report.reclamations < len(victims)
+
+    def test_erase_many_scrubs_logs_and_wals(self):
+        store, _ = self._loaded()
+        victims = [f"k{i}" for i in range(8)]
+        report = store.erase_many(victims)
+        assert report.log_values_scrubbed >= len(victims)
+        for key in victims:
+            assert not store.lingering_copies(key)
+
+    @pytest.mark.parametrize("backend", ["psql", "lsm", "crypto-shred"])
+    def test_batch_erase_clean_on_every_backend(self, backend):
+        store, _ = self._loaded(shards=2, n=12, backend=backend)
+        victims = [f"k{i}" for i in range(6)]
+        report = store.erase_many(victims)
+        assert report.verified_clean, backend
+        for i in range(6, 12):
+            assert store.read(f"k{i}") == i
+
+
+@pytest.mark.parametrize("backend", ["psql", "lsm", "crypto-shred"])
+class TestBackendParametrization:
+    """The distributed erase story is engine-pluggable (§1: all copies,
+    whatever the engine's retention mechanism)."""
+
+    def test_naive_delete_lingers_then_grounded_erase_cleans(self, backend):
+        store, clock = make_store(backend=backend, n_replicas=1)
+        store.put("pii", "sensitive")
+        advance(clock, 60_000)
+        store.read("pii", replica=0)
+        store.naive_delete("pii")
+        assert store.lingering_copies("pii")  # every engine retains copies
+        report = store.erase_all_copies("pii")
+        assert report.verified_clean, backend
+        assert store.copies_of("pii") == []

@@ -83,3 +83,48 @@ class TestQueriesAndRetention:
         assert wal.truncate_before(lsn=6) == 5
         assert wal.record_count == 5
         assert next(wal.records()).lsn == 6
+
+
+class TestPayloadRetention:
+    """The WAL is a copy location: row images linger until scrubbed."""
+
+    def test_append_carries_payload(self):
+        wal, _ = make_wal()
+        wal.append(WalRecordType.INSERT, "t", "k", 70, payload="secret")
+        assert wal.holds_payload_for("t", "k")
+        record = wal.records_for_key("t", "k")[0]
+        assert record.payload == "secret"
+
+    def test_delete_records_carry_no_payload(self):
+        wal, _ = make_wal()
+        wal.append(WalRecordType.DELETE, "t", "k")
+        assert not wal.holds_payload_for("t", "k")
+
+    def test_scrub_key_redacts_but_keeps_records(self):
+        """Scrubbing removes the personal data, not the recovery metadata —
+        unlike purge_key, LSNs and types survive."""
+        wal, clock = make_wal()
+        wal.append(WalRecordType.INSERT, "t", "k", 70, payload="v1")
+        wal.append(WalRecordType.UPDATE, "t", "k", 70, payload="v2")
+        wal.append(WalRecordType.DELETE, "t", "k")
+        spent = clock.spent("logging")
+        assert wal.scrub_key("t", "k") == 2
+        assert clock.spent("logging") > spent
+        assert not wal.holds_payload_for("t", "k")
+        records = wal.records_for_key("t", "k")
+        assert len(records) == 3  # records survive, payloads do not
+        assert all(r.payload is None for r in records)
+
+    def test_scrub_is_idempotent_and_free_when_clean(self):
+        wal, clock = make_wal()
+        wal.append(WalRecordType.INSERT, "t", "k", 70, payload="v")
+        wal.scrub_key("t", "k")
+        spent = clock.spent("logging")
+        assert wal.scrub_key("t", "k") == 0
+        assert clock.spent("logging") == spent
+
+    def test_checkpoint_truncation_drops_payloads(self):
+        wal, _ = make_wal()
+        wal.append(WalRecordType.INSERT, "t", "k", 70, payload="secret")
+        wal.checkpoint()
+        assert not wal.holds_payload_for("t", "k")
