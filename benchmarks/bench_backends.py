@@ -1,4 +1,4 @@
-"""Backend comparison — PSQL vs LSM vs crypto-shred erase latency/retention.
+"""Backend comparison — erase latency/retention, LSM compaction policies.
 
 For every Table-1 interpretation a backend can ground, this bench drives an
 identical high-volume workload through the storage backends via the
@@ -21,9 +21,23 @@ A second comparison isolates the LSM block cache: the same read-heavy
 workload with the cache disabled vs enabled, reporting simulated seconds
 and hit rates (the read-amplification cost the cache removes).
 
+A third comparison isolates the LSM **compaction policy**: the same
+Figure-4(c)-scale ingest (bulk load + overwrite churn) under size-tiered vs
+leveled compaction, reporting bytes flushed vs bytes rewritten and the
+resulting write amplification — leveled must beat size-tiered, and the
+measured leveled WA is gated against the committed baseline in
+``benchmarks/baselines/write_amplification.json``.  The same section then
+erases a slice of the keyspace under each policy — directly on the backend
+and through the sharded :class:`ReplicatedStore` — and asserts
+``erase_all_copies`` leaves **zero** ``copies_of`` entries: erasure on LSM
+stays provably clean whichever compaction policy is active.
+
+``--json PATH`` writes every section's results as machine-readable JSON
+(the ``BENCH_backends.json`` artifact CI uploads).
+
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_backends.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_backends.py [--smoke] [--json OUT]
 
 or under pytest-benchmark like the other benches::
 
@@ -33,17 +47,26 @@ or under pytest-benchmark like the other benches::
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.entities import controller, data_subject
 from repro.core.erasure import ErasureInterpretation
 from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind
+from repro.distributed.store import ReplicatedStore
+from repro.lsm.compaction import COMPACTION_POLICIES
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.systems.backends import LsmBackend
 from repro.systems.database import CompliantDatabase
+
+#: Committed write-amplification baseline the CI smoke run gates against.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "write_amplification.json"
+)
 
 BACKENDS = ("psql", "lsm", "crypto-shred")
 
@@ -248,6 +271,248 @@ def check_cache_invariants(results: Sequence[CacheRunResult]) -> None:
     assert on.read_seconds < off.read_seconds, (off, on)
 
 
+# ===========================================================================
+# LSM compaction policies — write amplification + erase cleanliness
+# ===========================================================================
+
+@dataclass(frozen=True)
+class CompactionRunResult:
+    """One compaction policy's Figure-4(c)-scale ingest + erase run."""
+
+    policy: str
+    n_records: int
+    memtable_capacity: int
+    flushes: int
+    compactions: int
+    levels: int
+    bytes_flushed: int
+    bytes_compacted: int
+    write_amplification: float
+    load_seconds: float
+    n_erased: int
+    retained_after_erase: int
+    unpurged_deletions: int
+
+
+def run_compaction_policy(
+    policy: str,
+    n_records: int = 500_000,
+    memtable_capacity: int = 4096,
+    overwrite_fraction: float = 0.25,
+    erase_fraction: float = 0.1,
+) -> CompactionRunResult:
+    """Ingest + churn at the Figure-4(c) shape under one compaction policy,
+    then batch-erase a slice and verify nothing stays recoverable.
+
+    The write phase is where the policies differ: size-tiered re-merges the
+    accumulated big run over and over, leveled rewrites a bounded slice of
+    the tree per merge.  The erase phase is where they must NOT differ:
+    tombstone + full compaction leaves zero physical copies either way.
+    """
+    cost = CostModel(SimClock(), CostBook())
+    backend = LsmBackend(
+        cost, memtable_capacity=memtable_capacity, compaction=policy
+    )
+    t0 = cost.clock.now
+    backend.insert_many((f"u{i:07d}", (i, "payload")) for i in range(n_records))
+    step = max(1, int(1 / overwrite_fraction))
+    for i in range(0, n_records, step):
+        backend.update(f"u{i:07d}", (i, "rewritten"))
+    t1 = cost.clock.now
+    engine = backend.engine
+    # Snapshot the write-phase counters before the erase's full compaction
+    # adds its (policy-independent) everything-rewrite to both columns.
+    flushes = engine.flush_count
+    compactions = engine.compaction_count
+    levels = engine.level_count
+    bytes_flushed = engine.bytes_flushed
+    bytes_compacted = engine.bytes_compacted
+    write_amplification = engine.write_amplification
+    victims = [f"u{i:07d}" for i in range(int(n_records * erase_fraction))]
+    backend.erase_many(victims)
+    retained = sum(1 for v in victims if backend.physically_present(v))
+    return CompactionRunResult(
+        policy=policy,
+        n_records=n_records,
+        memtable_capacity=memtable_capacity,
+        flushes=flushes,
+        compactions=compactions,
+        levels=levels,
+        bytes_flushed=bytes_flushed,
+        bytes_compacted=bytes_compacted,
+        write_amplification=write_amplification,
+        load_seconds=(t1 - t0) / 1e6,
+        n_erased=len(victims),
+        retained_after_erase=retained,
+        unpurged_deletions=len(engine.unpurged_deletions()),
+    )
+
+
+def compare_compaction(
+    n_records: int = 500_000, memtable_capacity: int = 4096
+) -> List[CompactionRunResult]:
+    """Size-tiered vs leveled on the identical ingest."""
+    return [
+        run_compaction_policy(policy, n_records, memtable_capacity)
+        for policy in COMPACTION_POLICIES
+    ]
+
+
+@dataclass(frozen=True)
+class DistributedEraseCleanResult:
+    """erase_all_copies / erase_many cleanliness on a sharded LSM store."""
+
+    policy: str
+    n_keys: int
+    single_copies_left: int
+    batch_copies_left: int
+    verified_clean: bool
+
+
+def run_distributed_erase_clean(
+    policy: str, n_keys: int = 120
+) -> DistributedEraseCleanResult:
+    """Drive the sharded store on LSM nodes under one compaction policy and
+    count ``copies_of`` entries surviving the grounded erases (must be 0)."""
+    cost = CostModel(SimClock(), CostBook())
+    store = ReplicatedStore(
+        cost,
+        n_replicas=1,
+        replication_lag=50_000,
+        cache_ttl=10**12,
+        shards=2,
+        backend="lsm",
+        backend_opts={"compaction": policy, "memtable_capacity": 32},
+    )
+    for i in range(n_keys):
+        store.put(f"u{i:05d}", (i, "payload"))
+    cost.clock.charge(60_000, "idle")
+    for i in range(n_keys):
+        store.read(f"u{i:05d}", replica=0)  # replicas apply + caches warm
+    single_report = store.erase_all_copies("u00000")
+    single_left = len(store.copies_of("u00000"))
+    victims = [f"u{i:05d}" for i in range(1, n_keys // 2)]
+    batch_report = store.erase_many(victims)
+    batch_left = sum(len(store.copies_of(v)) for v in victims)
+    return DistributedEraseCleanResult(
+        policy=policy,
+        n_keys=n_keys,
+        single_copies_left=single_left,
+        batch_copies_left=batch_left,
+        verified_clean=(
+            single_report.verified_clean and batch_report.verified_clean
+        ),
+    )
+
+
+def compare_erase_clean(n_keys: int = 120) -> List[DistributedEraseCleanResult]:
+    return [run_distributed_erase_clean(p, n_keys) for p in COMPACTION_POLICIES]
+
+
+def render_compaction_comparison(
+    results: Sequence[CompactionRunResult],
+) -> str:
+    header = (
+        f"{'policy':<8} {'flushes':>8} {'merges':>7} {'levels':>7} "
+        f"{'MB flushed':>11} {'MB rewritten':>13} {'WA':>6} {'load s':>8} "
+        f"{'retained':>9}"
+    )
+    lines = [
+        "LSM compaction policy: write amplification at the Figure-4(c) scale "
+        f"(N={results[0].n_records}, memtable={results[0].memtable_capacity})",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(
+            f"{r.policy:<8} {r.flushes:>8} {r.compactions:>7} {r.levels:>7} "
+            f"{r.bytes_flushed / 1e6:>11.1f} {r.bytes_compacted / 1e6:>13.1f} "
+            f"{r.write_amplification:>6.2f} {r.load_seconds:>8.3f} "
+            f"{r.retained_after_erase:>9}"
+        )
+    by_policy = {r.policy: r for r in results}
+    size, leveled = by_policy["size"], by_policy["leveled"]
+    ratio = leveled.write_amplification / size.write_amplification
+    note = (
+        "(leveled beats size-tiered)"
+        if ratio < 1.0
+        else "(too few flushes at this scale for leveled to pay off)"
+    )
+    lines.append(f"leveled/size WA ratio: {ratio:.2f} {note}")
+    return "\n".join(lines)
+
+
+def render_erase_clean(results: Sequence[DistributedEraseCleanResult]) -> str:
+    lines = [
+        "Sharded LSM erase_all_copies/erase_many cleanliness per compaction "
+        "policy:"
+    ]
+    for r in results:
+        lines.append(
+            f"  {r.policy:<8} single-erase copies left: {r.single_copies_left}, "
+            f"batch copies left: {r.batch_copies_left}, "
+            f"verified_clean: {r.verified_clean}"
+        )
+    return "\n".join(lines)
+
+
+def load_wa_baseline(mode: str) -> Optional[Dict[str, float]]:
+    """The committed gate values for a run mode ("smoke" | "full")."""
+    if not os.path.exists(BASELINE_PATH):
+        return None
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh).get(mode)
+
+
+def check_compaction_invariants(
+    results: Sequence[CompactionRunResult],
+    baseline: Optional[Dict[str, float]] = None,
+    enforce_ordering: bool = True,
+) -> None:
+    """The compaction claims: leveled strictly beats size-tiered on write
+    amplification, erasure is clean under both, and (when a committed
+    baseline applies) the measured numbers have not regressed.
+
+    ``enforce_ordering=False`` keeps only the scale-independent erasure
+    invariants: at tiny ingests (too few flushes for the policies to
+    diverge) leveled's structural overhead can outweigh its merge savings,
+    so the ordering claim is asserted only at the gated configurations.
+    """
+    by_policy = {r.policy: r for r in results}
+    size, leveled = by_policy["size"], by_policy["leveled"]
+    for r in results:
+        # Grounded erase leaves nothing recoverable, whatever the policy.
+        assert r.retained_after_erase == 0, r
+        assert r.unpurged_deletions == 0, r
+        assert r.write_amplification >= 1.0, r
+    if not enforce_ordering:
+        return
+    assert leveled.write_amplification < size.write_amplification, (
+        leveled,
+        size,
+    )
+    if baseline is not None:
+        assert leveled.write_amplification <= baseline["leveled_wa_max"], (
+            f"leveled WA {leveled.write_amplification:.2f} regressed past the "
+            f"committed baseline {baseline['leveled_wa_max']}"
+        )
+        ratio = leveled.write_amplification / size.write_amplification
+        assert ratio <= baseline["ratio_max"], (
+            f"leveled/size WA ratio {ratio:.2f} regressed past the committed "
+            f"baseline {baseline['ratio_max']}"
+        )
+
+
+def check_erase_clean_invariants(
+    results: Sequence[DistributedEraseCleanResult],
+) -> None:
+    for r in results:
+        assert r.verified_clean, r
+        assert r.single_copies_left == 0, r
+        assert r.batch_copies_left == 0, r
+    assert {r.policy for r in results} == set(COMPACTION_POLICIES)
+
+
 def render_comparison(results: Sequence[BackendRunResult]) -> str:
     header = (
         f"{'backend':<13} {'interpretation':<24} {'erase s':>8} "
@@ -306,22 +571,76 @@ def test_bench_lsm_cache(once):
     emit("bench_lsm_cache", render_cache_comparison(results))
 
 
+def test_bench_compaction_policies(once):
+    from conftest import emit, scaled
+
+    # Paper scale (REPRO_SCALE=1.0) reproduces the 500k/4096 numbers the
+    # committed baseline documents; smaller scales shrink the ingest but
+    # keep enough flushes for the policies to diverge.
+    n_records = scaled(500_000, minimum=30_000)
+    memtable = 4_096 if n_records >= 100_000 else 1_024
+    results = once(compare_compaction, n_records, memtable)
+    check_compaction_invariants(results)
+    emit("bench_compaction", render_compaction_comparison(results))
+
+
+def _results_payload(
+    results: Sequence[BackendRunResult],
+    cache_results: Sequence[CacheRunResult],
+    compaction_results: Sequence[CompactionRunResult],
+    erase_clean_results: Sequence[DistributedEraseCleanResult],
+    mode: str,
+) -> Dict[str, Any]:
+    """The machine-readable BENCH_backends.json document."""
+    grid = []
+    for r in results:
+        row = asdict(r)
+        row["interpretation"] = r.interpretation.label
+        grid.append(row)
+    return {
+        "bench": "bench_backends",
+        "mode": mode,
+        "backend_grid": grid,
+        "lsm_cache": [asdict(r) for r in cache_results],
+        "write_amplification": [asdict(r) for r in compaction_results],
+        "erase_clean": [asdict(r) for r in erase_clean_results],
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="PSQL vs LSM vs crypto-shred erase latency / retention"
+        description="PSQL vs LSM vs crypto-shred erase latency / retention, "
+        "plus LSM compaction-policy write amplification"
     )
     parser.add_argument("--records", type=int, default=2_000)
     parser.add_argument("--erase-fraction", type=float, default=0.5)
     parser.add_argument(
+        "--wa-records",
+        type=int,
+        default=500_000,
+        help="record count for the compaction write-amplification section "
+        "(the Figure-4(c) scale)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny run asserting the comparison's invariants (CI gate)",
+        help="tiny run asserting every section's invariants, gated against "
+        "the committed write-amplification baseline (the CI gate)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write machine-readable results (BENCH_backends.json artifact)",
     )
     args = parser.parse_args(argv)
     if args.records < 1:
         parser.error("--records must be >= 1")
+    if args.wa_records < 1:
+        parser.error("--wa-records must be >= 1")
     if not 0.0 < args.erase_fraction <= 1.0:
         parser.error("--erase-fraction must be in (0, 1]")
+    mode = "smoke" if args.smoke else "full"
     n_records = 200 if args.smoke else args.records
     results = compare_backends(n_records, args.erase_fraction)
     check_invariants(results)
@@ -332,6 +651,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check_cache_invariants(cache_results)
     print()
     print(render_cache_comparison(cache_results))
+    # Compaction policies: smoke shrinks the ingest but keeps enough flushes
+    # (records/memtable) for the policies' write behaviour to diverge.
+    wa_records = 24_000 if args.smoke else args.wa_records
+    wa_memtable = 1_024 if args.smoke else 4_096
+    compaction_results = compare_compaction(wa_records, wa_memtable)
+    # The ordering assertion and the committed baseline only speak about
+    # the configurations they were measured at: the smoke defaults and the
+    # Figure-4(c) full scale.  A custom --wa-records run still reports (and
+    # still checks the erasure invariants) without gating.
+    gated = args.smoke or args.wa_records == 500_000
+    check_compaction_invariants(
+        compaction_results,
+        baseline=load_wa_baseline(mode) if gated else None,
+        enforce_ordering=gated,
+    )
+    print()
+    print(render_compaction_comparison(compaction_results))
+    erase_clean_results = compare_erase_clean(n_keys=120 if args.smoke else 400)
+    check_erase_clean_invariants(erase_clean_results)
+    print()
+    print(render_erase_clean(erase_clean_results))
+    if args.json:
+        payload = _results_payload(
+            results, cache_results, compaction_results, erase_clean_results, mode
+        )
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nresults written to {args.json}")
     return 0
 
 

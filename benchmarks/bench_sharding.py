@@ -19,9 +19,12 @@ throughput scales up with the shard count.  The smoke run also drives the
 crypto-shred backend through a sharded batch erase, covering the
 "permanently delete"-capable engine in the distributed topology.
 
+``--json PATH`` writes the per-configuration results as machine-readable
+JSON (the ``BENCH_sharding.json`` artifact CI uploads).
+
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_sharding.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_sharding.py [--smoke] [--json OUT]
 
 or under pytest-benchmark like the other benches::
 
@@ -31,7 +34,8 @@ or under pytest-benchmark like the other benches::
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence
 
 from repro.distributed.store import ReplicatedStore
@@ -201,6 +205,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="tiny run asserting the sharding invariants (CI gate), "
              "including a crypto-shred sharded erase",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write machine-readable results (BENCH_sharding.json artifact)",
+    )
     args = parser.parse_args(argv)
     if args.keys < 1:
         parser.error("--keys must be >= 1")
@@ -216,6 +226,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         check_invariants([shred])
         print()
         print(render_sharding([shred]))
+        results = list(results) + [shred]
+    if args.json:
+        payload = {
+            "bench": "bench_sharding",
+            "mode": "smoke" if args.smoke else "full",
+            "sharding": [asdict(r) for r in results],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nresults written to {args.json}")
     return 0
 
 

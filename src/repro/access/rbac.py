@@ -9,7 +9,7 @@ fastest profile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Set
 
 from repro.access.errors import AccessDenied
 from repro.sim.costs import CostModel

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.access.errors import AccessDenied
-from repro.access.fgac import POLICY_ROW_BYTES, PolicyStore
+from repro.access.fgac import PolicyStore
 from repro.core.entities import Entity
 from repro.core.policy import Policy
 from repro.sim.costs import CostModel

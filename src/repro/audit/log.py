@@ -8,7 +8,7 @@ logs of the data units being deleted*", §4.2 P_SYS).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Optional
 
 from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
 from repro.core.entities import Entity

@@ -10,7 +10,7 @@ traces of a data unit, so an erase grounding that requires trace removal
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 
 @dataclass

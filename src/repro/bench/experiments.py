@@ -6,8 +6,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.dataunit import Database
-from repro.core.entities import controller, data_subject, processor
+from repro.core.entities import controller, data_subject
 from repro.core.erasure import (
     ErasureCharacterization,
     ErasureInterpretation,
@@ -251,25 +250,42 @@ def _make_workload(name: str, record_count: int, n_txns: int) -> Tuple[Workload,
     raise KeyError(f"unknown workload {name!r}")
 
 
+def _compaction_opts(
+    backend: str, compaction: Optional[str]
+) -> Optional[Dict[str, str]]:
+    """Engine-opt overrides for an explicit LSM compaction policy choice."""
+    if compaction is None:
+        return None
+    if backend != "lsm":
+        raise ValueError(
+            "compaction policy selection only applies to the lsm backend"
+        )
+    return {"compaction": compaction}
+
+
 def fig4b(
     record_count: int = 100_000,
     n_transactions: int = 10_000,
     workload_names: Sequence[str] = WORKLOAD_ORDER,
     profile_names: Sequence[str] = PROFILE_NAMES,
     backend: str = "psql",
+    compaction: Optional[str] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Regenerate Figure 4(b): ``results[workload][profile] -> RunResult``.
 
     ``backend`` selects the storage substrate the whole grid runs on —
     the profile machinery is backend-generic, so the same profile ×
     workload matrix regenerates on "psql", "lsm", or "crypto-shred".
+    ``compaction`` ("size" | "leveled") selects the LSM engine's
+    compaction policy when the grid runs on the lsm backend.
     """
+    engine_opts = _compaction_opts(backend, compaction)
     results: Dict[str, Dict[str, RunResult]] = {}
     for wname in workload_names:
         row: Dict[str, RunResult] = {}
         for pname in profile_names:
             workload, personal = _make_workload(wname, record_count, n_transactions)
-            profile = make_profile(pname, backend=backend)
+            profile = make_profile(pname, backend=backend, engine_opts=engine_opts)
             row[pname] = profile.run(workload, personal=personal)
         results[wname] = row
     return results
@@ -285,13 +301,17 @@ def fig4c(
     profile_names: Sequence[str] = PROFILE_NAMES,
     include_ycsb: bool = True,
     backend: str = "psql",
+    compaction: Optional[str] = None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Regenerate Figure 4(c) on the chosen storage backend.
 
     Returns ``{"WCus": {records: {profile: minutes}},
     "YCSB-C": {records: {profile: minutes}}}`` — WCus are the lines, YCSB-C
-    the bars.
+    the bars.  ``compaction`` selects the LSM compaction policy (lsm
+    backend only) — the 500k-record points are where the policies'
+    write-amplification difference shows.
     """
+    engine_opts = _compaction_opts(backend, compaction)
     out: Dict[str, Dict[int, Dict[str, float]]] = {"WCus": {}}
     if include_ycsb:
         out["YCSB-C"] = {}
@@ -299,9 +319,9 @@ def fig4c(
         out["WCus"][records] = {}
         for pname in profile_names:
             workload, personal = _make_workload("WCus", records, n_transactions)
-            result = make_profile(pname, backend=backend).run(
-                workload, personal=personal
-            )
+            result = make_profile(
+                pname, backend=backend, engine_opts=engine_opts
+            ).run(workload, personal=personal)
             out["WCus"][records][pname] = result.total_minutes
         if include_ycsb:
             out["YCSB-C"][records] = {}
@@ -309,9 +329,9 @@ def fig4c(
                 workload, personal = _make_workload(
                     "YCSB-C", records, n_transactions
                 )
-                result = make_profile(pname, backend=backend).run(
-                    workload, personal=personal
-                )
+                result = make_profile(
+                    pname, backend=backend, engine_opts=engine_opts
+                ).run(workload, personal=personal)
                 out["YCSB-C"][records][pname] = result.total_minutes
     return out
 
@@ -324,11 +344,15 @@ def table2(
     record_count: int = 100_000,
     n_transactions: int = 10_000,
     backend: str = "psql",
+    compaction: Optional[str] = None,
 ) -> List[SpaceReport]:
     """Regenerate Table 2: run WCus on each profile, report space."""
+    engine_opts = _compaction_opts(backend, compaction)
     reports: List[SpaceReport] = []
     for pname in PROFILE_NAMES:
         workload, _personal = _make_workload("WCus", record_count, n_transactions)
-        result = make_profile(pname, backend=backend).run(workload)
+        result = make_profile(pname, backend=backend, engine_opts=engine_opts).run(
+            workload
+        )
         reports.append(result.space)
     return reports

@@ -3,12 +3,17 @@
 Usage::
 
     python -m repro table1
-    python -m repro table2  [--records N] [--txns N]
+    python -m repro table2  [--records N] [--txns N] [--backend B]
     python -m repro fig4a   [--records N] [--txns N ...]
-    python -m repro fig4b   [--records N] [--txns N]
-    python -m repro fig4c   [--txns N] [--records N ...]
+    python -m repro fig4b   [--records N] [--txns N] [--backend B]
+    python -m repro fig4c   [--txns N] [--records N ...] [--backend B]
     python -m repro audit   --profile P_SYS
     python -m repro regulations [--name GDPR]
+
+The backend-generic experiments accept ``--backend psql|lsm|crypto-shred``;
+on the lsm backend, ``--compaction size|leveled`` selects the engine's
+compaction policy (leveled cuts write amplification at the Figure-4(c)
+scale).
 
 Every experiment prints the same rows/series the paper reports.
 """
@@ -33,6 +38,7 @@ from repro.core.compatibility import (
     profile_selection,
 )
 from repro.core.regulation import all_regulations
+from repro.lsm.compaction import COMPACTION_POLICIES
 from repro.systems.backends import BACKENDS
 
 #: Storage backends every backend-generic experiment can run on — derived
@@ -55,8 +61,23 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_compaction(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """--compaction is an LSM engine knob; reject it on other backends."""
+    if args.compaction is not None and args.backend != "lsm":
+        parser.error("--compaction requires --backend lsm")
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
-    print(render_table2(table2(args.records, args.txns, backend=args.backend)))
+    print(
+        render_table2(
+            table2(
+                args.records,
+                args.txns,
+                backend=args.backend,
+                compaction=args.compaction,
+            )
+        )
+    )
     return 0
 
 
@@ -71,6 +92,7 @@ def _cmd_fig4b(args: argparse.Namespace) -> int:
         record_count=args.records,
         n_transactions=args.txns,
         backend=args.backend,
+        compaction=args.compaction,
     )
     print(render_fig4b(results))
     return 0
@@ -81,6 +103,7 @@ def _cmd_fig4c(args: argparse.Namespace) -> int:
         record_counts=tuple(args.records),
         n_transactions=args.txns,
         backend=args.backend,
+        compaction=args.compaction,
     )
     print(render_fig4c(results))
     return 0
@@ -127,6 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--txns", type=int, default=10_000)
     p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
                    help="storage backend the profiles run on")
+    p.add_argument("--compaction", default=None, choices=list(COMPACTION_POLICIES),
+                   help="LSM compaction policy (requires --backend lsm)")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("fig4a", help="erasure implementations on PSQL")
@@ -142,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--txns", type=int, default=10_000)
     p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
                    help="storage backend the profile grid runs on")
+    p.add_argument("--compaction", default=None, choices=list(COMPACTION_POLICIES),
+                   help="LSM compaction policy (requires --backend lsm)")
     p.set_defaults(func=_cmd_fig4b)
 
     p = sub.add_parser("fig4c", help="scalability in record count")
@@ -152,6 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
                    help="storage backend the profile grid runs on")
+    p.add_argument("--compaction", default=None, choices=list(COMPACTION_POLICIES),
+                   help="LSM compaction policy (requires --backend lsm)")
     p.set_defaults(func=_cmd_fig4c)
 
     p = sub.add_parser("audit", help="grounding compatibility audit")
@@ -168,7 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if hasattr(args, "compaction"):
+        _check_compaction(parser, args)
     return args.func(args)
 
 

@@ -19,7 +19,7 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.consent.ledger import ConsentLedger, ConsentReceipt
-from repro.core.dataunit import Database, DataUnit
+from repro.core.dataunit import Database
 from repro.core.entities import Entity
 from repro.core.policy import Policy
 

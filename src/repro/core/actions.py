@@ -14,7 +14,7 @@ erasure-inconsistent-read property inspects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -33,6 +33,7 @@ class ActionType(Enum):
     POLICY_CHANGE = "policy-change"
     ERASE = "erase"
     SANITIZE = "sanitize"          # drive sanitization step of permanent delete
+    COMPACT = "compact"            # compaction GC'd the unit's tombstone (LSM)
     RESTORE = "restore"            # undo of reversible inaccessibility
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -46,6 +47,7 @@ MUTATING_ACTIONS = frozenset(
         ActionType.UPDATE,
         ActionType.ERASE,
         ActionType.SANITIZE,
+        ActionType.COMPACT,
         ActionType.RESTORE,
     }
 )
@@ -94,9 +96,16 @@ class ActionHistoryTuple:
 
         SANITIZE counts: permanent deletion records the key-shred ERASE and
         the follow-on sector sanitization, and the latter must not read as
-        "processing after the erase" (G17's last-action check).
+        "processing after the erase" (G17's last-action check).  COMPACT
+        counts for the same reason: it records the moment compaction
+        garbage-collected the unit's tombstone — the physical completion of
+        an erase already in the history, not new processing.
         """
-        return self.action.type in (ActionType.ERASE, ActionType.SANITIZE)
+        return self.action.type in (
+            ActionType.ERASE,
+            ActionType.SANITIZE,
+            ActionType.COMPACT,
+        )
 
     def __str__(self) -> str:
         return (

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, List, Optional, Sequence
 
-from repro.core.grounding import Grounding, GroundingRegistry
 
 
 class HistoryGrounding(Enum):

@@ -12,7 +12,7 @@ to these predicates, which is the paper's central abstraction.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, List
 
 from repro.core.actions import ActionHistory, ActionHistoryTuple
 from repro.core.dataunit import DataUnit

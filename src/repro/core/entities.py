@@ -12,7 +12,7 @@ a controller for its customers' data and a processor for a partner's).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional
 

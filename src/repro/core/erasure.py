@@ -76,13 +76,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.actions import ActionHistory, ActionType
 from repro.core.dataunit import Database, DataUnit
 from repro.core.grounding import (
     Concept,
-    Grounding,
     GroundingRegistry,
     Interpretation,
     SystemAction,

@@ -16,8 +16,8 @@ we choose checkable readings and document them in the docstrings).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Tuple
 
 from repro.core.actions import ActionHistory, ActionHistoryTuple, ActionType
 from repro.core.consistency import (
@@ -25,8 +25,7 @@ from repro.core.consistency import (
     _never_required,
     policy_violations,
 )
-from repro.core.dataunit import Database, DataCategory, DataUnit
-from repro.core.policy import Purpose
+from repro.core.dataunit import Database, DataCategory
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from enum import Enum
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro.crypto.aes import AES
 from repro.crypto.fastcipher import FastStreamCipher

@@ -12,7 +12,6 @@ need.  The *cost* of AES/LUKS is charged separately through the cost model
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
 
 
 class FastStreamCipher:

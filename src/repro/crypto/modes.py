@@ -6,7 +6,7 @@ over 16-byte blocks — in practice :class:`repro.crypto.aes.AES`.
 
 from __future__ import annotations
 
-from typing import Iterator, Protocol
+from typing import Protocol
 
 BLOCK = 16
 

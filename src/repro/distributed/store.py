@@ -35,9 +35,9 @@ over it:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.costs import CostModel
 from repro.storage.errors import TupleNotFoundError
@@ -136,19 +136,21 @@ class _Node:
     """One storage node: a backend plus a read cache."""
 
     def __init__(
-        self, name: str, cost: CostModel, row_bytes: int, backend: str
+        self,
+        name: str,
+        cost: CostModel,
+        row_bytes: int,
+        backend: str,
+        backend_opts: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.name = name
+        opts = dict(backend_opts or {})
         if backend == "psql":
-            self.backend: StorageBackend = make_backend(
-                backend,
-                cost,
-                row_bytes=row_bytes,
-                table=TABLE,
-                wal_checkpoint_every=5_000,
-            )
-        else:
-            self.backend = make_backend(backend, cost, row_bytes=row_bytes)
+            opts.setdefault("table", TABLE)
+            opts.setdefault("wal_checkpoint_every", 5_000)
+        self.backend: StorageBackend = make_backend(
+            backend, cost, row_bytes=row_bytes, **opts
+        )
         #: The raw engine object — exposed for forensics and fault injection.
         self.engine = getattr(self.backend, "engine", None)
         self.cache: Dict[Any, CacheEntry] = {}
@@ -157,6 +159,20 @@ class _Node:
     def heap_holds(self, key: Any) -> bool:
         """Live *or dead* physical entries count — retention is physical."""
         return any(k == key for k, _live in self.backend.forensic_scan())
+
+    def heap_sites(self, key: Any) -> List[str]:
+        """Named physical sites holding the key's value.
+
+        Engines that can enumerate their physical layout (LSM: memtable +
+        per-level SSTables) report one site per copy, so ``copies_of``
+        reflects every pre-compaction SSTable copy until a rewrite removes
+        it; engines without that granularity report one anonymous site when
+        the heap holds the key at all.
+        """
+        sites = getattr(self.backend, "copy_sites", None)
+        if sites is not None:
+            return sites(key)
+        return [""] if self.heap_holds(key) else []
 
     def log_holds(self, key: Any) -> bool:
         """Whether the node's WAL still retains the key's row image."""
@@ -176,6 +192,7 @@ class _Shard:
         row_bytes: int,
         backend: str,
         solo: bool,
+        backend_opts: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.index = index
         self._cost = cost
@@ -183,9 +200,11 @@ class _Shard:
         self._cache_ttl = cache_ttl
         # Single-shard deployments keep the legacy node names.
         prefix = "" if solo else f"shard-{index}/"
-        self.primary = _Node(f"{prefix}primary", cost, row_bytes, backend)
+        self.primary = _Node(
+            f"{prefix}primary", cost, row_bytes, backend, backend_opts
+        )
         self.replicas = [
-            _Node(f"{prefix}replica-{i}", cost, row_bytes, backend)
+            _Node(f"{prefix}replica-{i}", cost, row_bytes, backend, backend_opts)
             for i in range(n_replicas)
         ]
         self._log: List[_LogEntry] = []
@@ -274,8 +293,9 @@ class _Shard:
                 if node is self.primary
                 else CopyLocation.REPLICA
             )
-            if node.heap_holds(key):
-                found.append((role, node.name))
+            for site in node.heap_sites(key):
+                name = node.name if not site else f"{node.name}[{site}]"
+                found.append((role, name))
             if key in node.cache:
                 found.append((CopyLocation.CACHE, node.name))
             if node.log_holds(key):
@@ -420,6 +440,7 @@ class ReplicatedStore:
         row_bytes: int = 70,
         shards: int = 1,
         backend: str = "psql",
+        backend_opts: Optional[Mapping[str, Any]] = None,
     ) -> None:
         if n_replicas < 0:
             raise ValueError("n_replicas must be non-negative")
@@ -439,6 +460,7 @@ class ReplicatedStore:
                 row_bytes,
                 backend,
                 solo=(shards == 1),
+                backend_opts=backend_opts,
             )
             for index in range(shards)
         ]

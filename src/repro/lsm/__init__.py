@@ -3,18 +3,37 @@
 The paper's §1 motivation: logical deletes via tombstones are fast, but the
 deleted value is *physically retained* until compaction merges it away —
 prior work (Lethe, [62]) showed this can illegally retain data for a long
-time.  This package implements a memtable + size-tiered SSTable engine that
+time.  This package implements a memtable + SSTable engine with pluggable
+compaction (size-tiered or leveled, :mod:`repro.lsm.compaction`) that
 measures exactly that retention window, and supplies the "Tombstones
 (Indexing)" series of Figure 4(a).
 """
 
 from repro.lsm.bloom import BloomFilter
+from repro.lsm.compaction import (
+    COMPACTION_POLICIES,
+    CompactionEvent,
+    CompactionPolicy,
+    CompactionScheduler,
+    CompactionTask,
+    LeveledPolicy,
+    SizeTieredPolicy,
+    make_compaction_policy,
+)
 from repro.lsm.memtable import TOMBSTONE, Memtable
 from repro.lsm.sstable import SSTable
 from repro.lsm.engine import LSMEngine, RetentionRecord
 
 __all__ = [
     "BloomFilter",
+    "COMPACTION_POLICIES",
+    "CompactionEvent",
+    "CompactionPolicy",
+    "CompactionScheduler",
+    "CompactionTask",
+    "LeveledPolicy",
+    "SizeTieredPolicy",
+    "make_compaction_policy",
     "Memtable",
     "TOMBSTONE",
     "SSTable",

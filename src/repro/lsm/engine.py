@@ -1,18 +1,34 @@
-"""The LSM engine — tombstone deletes and size-tiered compaction.
+"""The LSM engine — tombstone deletes and pluggable compaction.
 
 Write path: memtable put (O(1)); a full memtable flushes into an immutable
 SSTable.  Delete writes a tombstone — O(1), no physical removal.  Read path:
 memtable, then runs newest→oldest, Bloom-filtered; each run actually probed
 charges an I/O.
 
-Size-tiered compaction: when ``tier_threshold`` runs of similar size
-accumulate, they merge into one.  Tombstones are only dropped when the merge
-output is the *oldest* run (nothing below could still hold shadowed values);
-otherwise dropping a tombstone would resurrect older versions.
+Compaction is delegated to a pluggable :class:`CompactionPolicy`
+(:mod:`repro.lsm.compaction`):
+
+* ``"size"`` — the size-tiered scheme: when ``tier_threshold`` runs of
+  similar size accumulate, they merge into one.  Tombstones are only
+  dropped when the merge output is the *oldest* run (nothing below could
+  still hold shadowed values); otherwise dropping a tombstone would
+  resurrect older versions.
+* ``"leveled"`` — L0 collects flushed runs; L1+ hold non-overlapping
+  tables with level-targeted fan-out.  Merges touch a bounded slice of the
+  tree, cutting write amplification on bulk ingest; tombstones are GC'd
+  only when the merge output lands in the bottom level.
+
+The engine tracks write amplification (``bytes_flushed`` vs
+``bytes_compacted``) so the bench harness can compare policies, and emits a
+:class:`CompactionEvent` per merge — including the keys whose tombstones
+were garbage-collected — which the system layer records as grounded
+system-actions in the audit timeline.
 
 Block cache: repeated point reads of the same key pay the run-probe I/O
 only once — the search outcome is cached in a small LRU keyed block cache
 and served at tuple-CPU cost until a write to the key invalidates it.
+Compaction preserves logical content (and tombstone GC only happens where
+nothing older survives), so rewrites never invalidate cached outcomes.
 Together with the Bloom short-circuit (runs whose filter rejects the key
 are never probed, and a read whose key no filter accepts does zero run
 I/O) this is what makes the read-heavy Figure-4 mixes viable on the LSM
@@ -29,8 +45,26 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
+from repro.lsm.compaction import (
+    CompactionEvent,
+    CompactionPolicy,
+    CompactionScheduler,
+    CompactionTask,
+    level0_tombstone_gc_safe,
+    make_compaction_policy,
+)
 from repro.lsm.memtable import TOMBSTONE, Memtable
 from repro.lsm.sstable import SSTable
 from repro.sim.costs import CostModel
@@ -62,6 +96,8 @@ class LSMEngine:
         memtable_capacity: int = 4096,
         tier_threshold: int = 4,
         block_cache_capacity: int = 1024,
+        compaction: Union[str, CompactionPolicy] = "size",
+        compaction_mode: str = "sync",
     ) -> None:
         if tier_threshold < 2:
             raise ValueError("tier_threshold must be >= 2")
@@ -72,11 +108,28 @@ class LSMEngine:
         self._memtable = Memtable(memtable_capacity)
         self._memtable_capacity = memtable_capacity
         self._tier_threshold = tier_threshold
-        self._runs: List[SSTable] = []  # newest first
+        self.compaction_policy = make_compaction_policy(
+            compaction,
+            tier_threshold=tier_threshold,
+            table_capacity=memtable_capacity,
+        )
+        self.scheduler = CompactionScheduler(compaction_mode)
+        # levels[0]: newest-first, overlap-tolerant; levels[i >= 1]: sorted
+        # by key range, non-overlapping (leveled policy only).
+        self._levels: List[List[SSTable]] = [[]]
         self._seqno = 0
         self._retention: Dict[Any, RetentionRecord] = {}
         self.flush_count = 0
         self.compaction_count = 0
+        # Write-amplification accounting: logical bytes/entries frozen out
+        # of the memtable vs bytes/entries rewritten by compaction merges.
+        self.entries_flushed = 0
+        self.entries_compacted = 0
+        self.bytes_flushed = 0
+        self.bytes_compacted = 0
+        #: Auditable record of every merge; listeners receive each event.
+        self.compaction_events: List[CompactionEvent] = []
+        self._compaction_listeners: List[Callable[[CompactionEvent], None]] = []
         # LRU block cache over run-search outcomes (key -> latest run value,
         # TOMBSTONE included; absent keys cache a None).  Writes to a key
         # invalidate its entry, so staleness is impossible: a key can only
@@ -137,10 +190,12 @@ class LSMEngine:
         entries = self._memtable.sorted_entries()
         self._cost.charge_compaction(len(entries))
         run = SSTable(entries, self._payload_bytes, self._now())
-        self._runs.insert(0, run)
+        self._levels[0].insert(0, run)
         self._memtable.clear()
         self.flush_count += 1
-        self._maybe_compact()
+        self.entries_flushed += len(entries)
+        self.bytes_flushed += run.size_bytes
+        self.scheduler.request(self)
         self._update_retention()
         return run
 
@@ -162,8 +217,21 @@ class LSMEngine:
             return None if value is TOMBSTONE else value
         return self._search_runs(key)
 
+    def _candidate_runs(self, key: Any) -> Iterator[SSTable]:
+        """Runs that could hold ``key``, in recency order: every L0 run
+        newest-first, then at most one table per deeper level (levels 1+
+        hold non-overlapping key ranges)."""
+        yield from self._levels[0]
+        for level in self._levels[1:]:
+            for table in level:
+                if table.min_key is None:
+                    continue
+                if table.min_key <= key <= table.max_key:
+                    yield table
+                    break
+
     def _search_runs(self, key: Any) -> Optional[Any]:
-        """Newest-first run search behind the block cache."""
+        """Recency-ordered run search behind the block cache."""
         if self._cache_capacity and key in self._block_cache:
             self._block_cache.move_to_end(key)
             self._cost.charge_tuple_cpu()
@@ -173,7 +241,7 @@ class LSMEngine:
         self.cache_misses += 1
         outcome: Optional[Any] = None
         probed = False
-        for run in self._runs:
+        for run in self._candidate_runs(key):
             if not run.might_contain(key):
                 self.bloom_negatives += 1
                 continue
@@ -183,7 +251,7 @@ class LSMEngine:
             if got is not None:
                 outcome = got[1]
                 break
-        if self._cache_capacity and (probed or self._runs):
+        if self._cache_capacity and (probed or self.run_count):
             self._block_cache[key] = outcome
             self._block_cache.move_to_end(key)
             while len(self._block_cache) > self._cache_capacity:
@@ -197,26 +265,54 @@ class LSMEngine:
         for key, (seqno, value) in self._memtable.items():
             if lo <= key <= hi:
                 best[key] = (seqno, value)
-        for run in self._runs:
+        for run in self._levels[0]:
             self._cost.charge_sstable_probe()
             for key, seqno, value in run.range(lo, hi):
                 if key not in best or seqno > best[key][0]:
                     best[key] = (seqno, value)
+        for level in self._levels[1:]:
+            for table in level:
+                if table.min_key is None or table.max_key < lo or table.min_key > hi:
+                    continue
+                self._cost.charge_sstable_probe()
+                for key, seqno, value in table.range(lo, hi):
+                    if key not in best or seqno > best[key][0]:
+                        best[key] = (seqno, value)
         return sorted(
             (k, v) for k, (_s, v) in best.items() if v is not TOMBSTONE
         )
 
     # ------------------------------------------------------------- compaction
-    def _maybe_compact(self) -> None:
-        while len(self._runs) >= self._tier_threshold:
-            self._compact(self._runs[-self._tier_threshold:])
+    def level_view(self) -> List[List[SSTable]]:
+        """The level structure, as the policies inspect it."""
+        return self._levels
 
-    def _compact(self, victims: List[SSTable]) -> SSTable:
-        """Merge ``victims`` (a contiguous slice of the run list) into one
-        run, placed where the victims sat so recency order is preserved."""
-        # Tombstones may be dropped iff the merge output becomes the oldest
-        # run — no older run could still hold shadowed values.
-        drop_tombstones = victims[-1] is self._runs[-1]
+    @property
+    def level_count(self) -> int:
+        """Levels currently holding at least one table."""
+        return sum(1 for level in self._levels if level)
+
+    @property
+    def compaction_pending(self) -> bool:
+        """Whether the policy would do work if the scheduler drained now."""
+        return self.compaction_policy.plan(self._levels) is not None
+
+    def run_pending_compactions(self) -> int:
+        """Drain the scheduler's queue (a no-op when nothing is planned) —
+        the between-operations entry point of the deferred mode."""
+        return self.scheduler.drain(self)
+
+    def add_compaction_listener(
+        self, listener: Callable[[CompactionEvent], None]
+    ) -> None:
+        """Subscribe to merge events (the system layer's audit hook)."""
+        self._compaction_listeners.append(listener)
+
+    def execute_compaction(self, task: CompactionTask) -> List[SSTable]:
+        """Run one planned merge: read the source tables, keep the newest
+        version per key, GC tombstones if the task says it is safe, write
+        the output table(s) to the target level, and emit the event."""
+        victims = list(task.tables)
         best: Dict[Any, Tuple[int, Any]] = {}
         total = 0
         for run in victims:
@@ -225,26 +321,109 @@ class LSMEngine:
                 if key not in best or seqno > best[key][0]:
                     best[key] = (seqno, value)
         self._cost.charge_compaction(total)
-        merged = [
-            (key, seqno, value)
-            for key, (seqno, value) in sorted(best.items())
-            if not (drop_tombstones and value is TOMBSTONE)
+        dropped_keys: List[Any] = []
+        merged: List[Tuple[Any, int, Any]] = []
+        for key, (seqno, value) in sorted(best.items()):
+            if task.drop_tombstones and value is TOMBSTONE:
+                dropped_keys.append(key)
+                continue
+            merged.append((key, seqno, value))
+        cap = task.max_output_entries
+        if cap:
+            chunks = [merged[i:i + cap] for i in range(0, len(merged), cap)]
+        else:
+            chunks = [merged]
+        outs = [
+            SSTable(chunk, self._payload_bytes, self._now())
+            for chunk in chunks
+            if chunk
         ]
-        out = SSTable(merged, self._payload_bytes, self._now())
-        first_pos = self._runs.index(victims[0])
-        keep = [r for r in self._runs if r not in victims]
-        keep.insert(first_pos, out)
-        self._runs = keep
+        self._place_output(task, victims, outs)
         self.compaction_count += 1
+        self.entries_compacted += len(merged)
+        self.bytes_compacted += sum(t.size_bytes for t in outs)
         self._update_retention()
-        return out
+        event = CompactionEvent(
+            policy=self.compaction_policy.name,
+            reason=task.reason,
+            target_level=task.target_level,
+            input_tables=len(victims),
+            input_entries=total,
+            output_entries=len(merged),
+            output_bytes=sum(t.size_bytes for t in outs),
+            tombstones_dropped=len(dropped_keys),
+            dropped_keys=tuple(dropped_keys),
+            timestamp=self._now(),
+        )
+        self.compaction_events.append(event)
+        for listener in self._compaction_listeners:
+            listener(event)
+        return outs
+
+    def _place_output(
+        self,
+        task: CompactionTask,
+        victims: List[SSTable],
+        outs: List[SSTable],
+    ) -> None:
+        """Remove the victims and insert the outputs at the target level."""
+        if task.target_level == 0:
+            # Size-tiered shape: the output takes the victims' position in
+            # the recency-ordered run list.
+            level0 = self._levels[0]
+            first_pos = level0.index(victims[0])
+            keep = [r for r in level0 if r not in victims]
+            keep[first_pos:first_pos] = outs
+            self._levels[0] = keep
+            return
+        while len(self._levels) <= task.target_level:
+            self._levels.append([])
+        victim_set = set(id(v) for v in victims)
+        for i, level in enumerate(self._levels):
+            self._levels[i] = [t for t in level if id(t) not in victim_set]
+        target = self._levels[task.target_level]
+        target.extend(outs)
+        target.sort(key=lambda t: t.min_key)
+
+    def _compact(self, victims: List[SSTable]) -> SSTable:
+        """Merge a contiguous slice of the level-0 run list in place —
+        retained for compatibility with the size-tiered unit tests."""
+        drop = level0_tombstone_gc_safe(victims, self._levels)
+        outs = self.execute_compaction(
+            CompactionTask(
+                sources=((0, tuple(victims)),),
+                target_level=0,
+                drop_tombstones=drop,
+                reason=f"manual merge ({len(victims)} runs)",
+            )
+        )
+        return outs[0] if outs else SSTable([], self._payload_bytes, self._now())
 
     def full_compaction(self) -> None:
         """Merge every run and drop all tombstones — the LSM grounding of
-        *physical* deletion (paired with a flush so the memtable empties)."""
+        *physical* deletion (paired with a flush so the memtable empties).
+
+        Always synchronous, whatever the scheduler mode: the grounded erase
+        verb *is* the reclamation, and deferring it would leave the §1
+        retention hazard open after the erase reported success.
+        """
         self.flush()
-        if self._runs:
-            self._compact(list(self._runs))
+        tables = [(i, tuple(level)) for i, level in enumerate(self._levels) if level]
+        if not tables:
+            return
+        target = self.compaction_policy.full_compaction_target(self._levels)
+        self.execute_compaction(
+            CompactionTask(
+                sources=tuple(tables),
+                target_level=target,
+                drop_tombstones=True,
+                reason="full compaction (grounded erase)",
+                max_output_entries=self.compaction_policy.max_output_entries,
+            )
+        )
+        # The everything-merge leaves the tree in shape by construction;
+        # clear any stale deferred request so no queued plan re-runs later.
+        self.scheduler.pending = False
 
     # -------------------------------------------------------------- forensics
     def physically_present(self, key: Any) -> bool:
@@ -253,7 +432,21 @@ class LSMEngine:
         found = self._memtable.get(key)
         if found is not None and found[1] is not TOMBSTONE:
             return True
-        return any(run.physically_contains_value(key) for run in self._runs)
+        return any(run.physically_contains_value(key) for run in self.runs())
+
+    def copy_sites(self, key: Any) -> List[str]:
+        """Every physical site still holding a real value for ``key``: the
+        memtable and each table, named by level.  The per-site companion of
+        :meth:`physically_present` — pre-compaction copies keep their own
+        entries until a rewrite removes their table."""
+        sites: List[str] = []
+        found = self._memtable.get(key)
+        if found is not None and found[1] is not TOMBSTONE:
+            sites.append("memtable")
+        for level, table in self.tables_by_level():
+            if table.physically_contains_value(key):
+                sites.append(f"L{level}/sst-{table.table_id}")
+        return sites
 
     def _update_retention(self) -> None:
         now = self._now()
@@ -275,23 +468,39 @@ class LSMEngine:
     # ------------------------------------------------------------- statistics
     @property
     def run_count(self) -> int:
-        return len(self._runs)
+        return sum(len(level) for level in self._levels)
 
     @property
     def tombstone_count(self) -> int:
         return self._memtable.tombstone_count() + sum(
-            r.tombstone_count for r in self._runs
+            r.tombstone_count for r in self.runs()
         )
 
+    @property
+    def write_amplification(self) -> float:
+        """Total bytes written to disk per logical byte flushed — the cost
+        the compaction policy choice moves (Figure 4(c) scale)."""
+        if not self.bytes_flushed:
+            return 1.0
+        return (self.bytes_flushed + self.bytes_compacted) / self.bytes_flushed
+
     def total_bytes(self) -> int:
-        return sum(r.size_bytes for r in self._runs)
+        return sum(r.size_bytes for r in self.runs())
 
     def runs(self) -> Iterator[SSTable]:
-        return iter(self._runs)
+        """Every table, recency order: L0 newest-first, then L1, L2, …"""
+        for level in self._levels:
+            yield from level
+
+    def tables_by_level(self) -> Iterator[Tuple[int, SSTable]]:
+        """``(level, table)`` pairs — the copy-location inventory."""
+        for i, level in enumerate(self._levels):
+            for table in level:
+                yield i, table
 
     def memtable_entries(self) -> Iterator[Tuple[Any, Tuple[int, Any]]]:
         """``(key, (seqno, value))`` pairs currently buffered in memory."""
-        return self._memtable.items()
+        return iter(self._memtable.items())
 
     def _now(self) -> int:
         return self._cost.clock.now

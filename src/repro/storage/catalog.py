@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator
 
 from repro.storage.errors import TableExistsError, TableNotFoundError
 from repro.storage.heap import HeapFile

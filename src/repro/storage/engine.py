@@ -24,7 +24,16 @@ tuple costs on 20% of operations to keep the other 80% at density ~1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.sim.costs import CostModel
 from repro.storage.catalog import Catalog, Table, TableSchema
@@ -33,7 +42,6 @@ from repro.storage.errors import (
     StorageError,
     TupleNotFoundError,
 )
-from repro.storage.heap import TID
 from repro.storage.page import PAGE_SIZE
 from repro.storage.wal import WalRecordType, WriteAheadLog
 

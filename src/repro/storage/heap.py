@@ -15,9 +15,8 @@ amortized without scanning the whole file.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
-from repro.storage.errors import PageFullError
 from repro.storage.page import PAGE_SIZE, TUPLE_OVERHEAD, Page, TupleSlot
 
 #: Tuple id: (page_no, slot_no).

@@ -13,7 +13,7 @@ search had to step over, so the engine can charge honest costs.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 

@@ -231,6 +231,12 @@ class StorageBackend(ABC):
             "(Table 1: permanently delete = Not supported)"
         )
 
+    def maintain(self) -> None:
+        """Run any deferred background maintenance the engine has queued
+        (compaction work on LSM engines).  A no-op by default — engines
+        whose reclamation is purely demand-driven have nothing to do
+        between operations."""
+
     def purge_history(self, unit_id: Any) -> int:
         """Scrub the unit's traces from the engine's recovery log, if it
         keeps one (the P_SYS erase grounding).  Returns records purged."""
@@ -403,6 +409,12 @@ class LsmBackend(StorageBackend):
 
     Keys are upserted (LSM put semantics); the facade's model layer enforces
     unit-id uniqueness.
+
+    ``compaction`` selects the engine's :class:`CompactionPolicy` ("size" —
+    the size-tiered default — or "leveled", or a policy instance);
+    ``compaction_mode`` selects the scheduler ("sync" runs merges inside
+    the flush, "deferred" queues them for :meth:`maintain`).  Either way
+    the grounded erase (``reclaim`` = full compaction) stays synchronous.
     """
 
     name = "lsm"
@@ -415,6 +427,8 @@ class LsmBackend(StorageBackend):
         memtable_capacity: int = 4096,
         tier_threshold: int = 4,
         block_cache_capacity: int = 1024,
+        compaction: Any = "size",
+        compaction_mode: str = "sync",
     ) -> None:
         super().__init__()
         self._row_bytes = row_bytes
@@ -427,6 +441,8 @@ class LsmBackend(StorageBackend):
                 memtable_capacity=memtable_capacity,
                 tier_threshold=tier_threshold,
                 block_cache_capacity=block_cache_capacity,
+                compaction=compaction,
+                compaction_mode=compaction_mode,
             )
         )
 
@@ -485,9 +501,22 @@ class LsmBackend(StorageBackend):
     def _reclaim_full(self) -> None:
         self.engine.full_compaction()
 
+    def maintain(self) -> None:
+        """Run any compaction work the deferred scheduler has queued — the
+        between-operations hook of the compaction subsystem."""
+        self.engine.run_pending_compactions()
+
     # -------------------------------------------------------------- forensics
     def physically_present(self, unit_id: Any) -> bool:
         return self.engine.physically_present(unit_id)
+
+    def copy_sites(self, unit_id: Any) -> List[str]:
+        """Every physical site still holding a real value for the unit —
+        the memtable and each SSTable, named by level.  Pre-compaction
+        copies keep their own entries until the rewrite removes the table,
+        which is what lets a distributed ``copies_of`` stay honest while
+        compaction is pending."""
+        return self.engine.copy_sites(unit_id)
 
     def forensic_scan(self) -> List[Tuple[Any, bool]]:
         newest: Dict[Any, Tuple[int, Any]] = {}
@@ -523,9 +552,12 @@ class LsmBackend(StorageBackend):
             total_bytes=self.engine.total_bytes() + buffered * self._row_bytes,
             detail=(
                 ("runs", self.engine.run_count),
+                ("levels", self.engine.level_count),
+                ("compaction_policy", self.engine.compaction_policy.name),
                 ("tombstones", self.engine.tombstone_count),
                 ("flushes", self.engine.flush_count),
                 ("compactions", self.engine.compaction_count),
+                ("write_amplification", self.engine.write_amplification),
                 ("cache_hits", self.engine.cache_hits),
                 ("cache_misses", self.engine.cache_misses),
             ),

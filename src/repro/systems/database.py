@@ -32,15 +32,15 @@ to drive high-volume workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.access.errors import AccessDenied
 from repro.core.actions import ActionType
 from repro.core.compliance import ComplianceChecker, ComplianceReport
 from repro.core.consistency import regulation_requires_any_of
-from repro.core.dataunit import Database, DataCategory, DataUnit, derive
-from repro.core.entities import Entity, EntityRegistry, Role
+from repro.core.dataunit import Database, DataUnit, derive
+from repro.core.entities import Entity, EntityRegistry
 from repro.core.erasure import (
     ErasureInterpretation,
     ErasureTimeline,
@@ -53,7 +53,7 @@ from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
 from repro.audit.log import ActionLog
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
-from repro.systems.backends import DATA_TABLE, StorageBackend, make_backend
+from repro.systems.backends import StorageBackend, make_backend
 
 #: Purpose recorded for GDPR Art. 15 subject-access reads — lawful by
 #: regulation, no stored policy required.
@@ -132,6 +132,7 @@ class CompliantDatabase:
         row_bytes: int = 70,
         cost_book: Optional[CostBook] = None,
         backend: Union[str, StorageBackend] = "psql",
+        backend_opts: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not controller.is_controller:
             raise ValueError("the owning entity must hold the controller role")
@@ -139,13 +140,25 @@ class CompliantDatabase:
         self.clock = SimClock()
         self.cost = CostModel(self.clock, cost_book or CostBook())
         if isinstance(backend, str):
-            backend = make_backend(backend, self.cost, row_bytes=row_bytes)
+            backend = make_backend(
+                backend, self.cost, row_bytes=row_bytes, **(backend_opts or {})
+            )
+        elif backend_opts:
+            raise ValueError(
+                "backend_opts only applies when the backend is built by name"
+            )
         self.backend = backend
         #: The raw engine object (RelationalEngine or LSMEngine) — exposed
         #: for forensics, fault injection, and engine-level statistics.
         #: Backends that are their own engine (crypto-shred) expose
         #: themselves.
         self.engine = getattr(backend, "engine", backend)
+        # LSM engines announce every compaction merge; the facade grounds
+        # each GC'd tombstone as a system-action in the audit timeline so
+        # the physical completion of "delete" is demonstrable (§3.1).
+        subscribe = getattr(self.engine, "add_compaction_listener", None)
+        if callable(subscribe):
+            subscribe(self._record_compaction)
         self.model = Database()
         self.provenance = ProvenanceGraph()
         self.log = ActionLog(self.cost)
@@ -512,6 +525,30 @@ class CompliantDatabase:
             actions,
             timestamp=now,
         )
+
+    def _record_compaction(self, event: Any) -> None:
+        """Audit hook for LSM compaction events (the erasure-aware GC).
+
+        Each key whose tombstone the merge garbage-collected gets a COMPACT
+        action in its history: the grounded record that the physical half of
+        its "delete" completed at this instant.  Keys unknown to the model
+        (engine-level traffic below the facade) are skipped — the audit
+        timeline only speaks about modelled data units.
+        """
+        for key in event.dropped_keys:
+            if not isinstance(key, str) or key not in self.model:
+                continue
+            self.log.record(
+                key,
+                Purpose.COMPLIANCE_ERASE,
+                self.controller,
+                ActionType.COMPACT,
+                self.clock.now,
+                detail=(
+                    f"{event.policy} compaction: tombstone GC at "
+                    f"L{event.target_level} ({event.reason})"
+                ),
+            )
 
     def restore(self, unit_id: str, entity: Optional[Entity] = None) -> None:
         """Undo reversible inaccessibility (the transformation is invertible)."""

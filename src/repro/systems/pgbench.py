@@ -12,12 +12,7 @@ from __future__ import annotations
 from repro.audit.querylog import QueryResponseLogger
 from repro.core.policy import Policy, Purpose
 from repro.systems.policycat import ScalablePolicyCatalog
-from repro.systems.profiles import (
-    DATA_TABLE,
-    META_TABLE,
-    OPERATOR,
-    ComplianceProfile,
-)
+from repro.systems.profiles import DATA_TABLE, OPERATOR, ComplianceProfile
 from repro.workloads.base import OpKind
 
 #: Consent window granted at collection (model-time microseconds).

@@ -17,7 +17,7 @@ decision-for-decision against the real middlewares on small populations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple
 
 from repro.access.sieve import (
     GUARD_BYTES,

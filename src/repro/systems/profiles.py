@@ -130,14 +130,15 @@ class ComplianceProfile:
         self,
         config: Optional[ProfileConfig] = None,
         backend: str = "psql",
+        engine_opts: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.config = config or ProfileConfig()
         self.clock = SimClock()
         self.cost = CostModel(self.clock, self.config.cost_book)
         self.backend_name = backend
-        self.storage = BackendGroup(
-            backend, self.cost, engine_opts=PROFILE_ENGINE_OPTS.get(backend)
-        )
+        merged_opts = dict(PROFILE_ENGINE_OPTS.get(backend) or {})
+        merged_opts.update(engine_opts or {})
+        self.storage = BackendGroup(backend, self.cost, engine_opts=merged_opts)
         #: The shared relational engine on psql deployments (None elsewhere)
         #: — an escape hatch for engine-level forensics in tests/examples.
         self.engine = self.storage.engine

@@ -16,12 +16,7 @@ from repro.audit.querylog import PolicyDecisionLogger, QueryResponseLogger
 from repro.core.erasure import ErasureInterpretation
 from repro.core.policy import Policy, Purpose
 from repro.systems.policycat import ScalablePolicyCatalog
-from repro.systems.profiles import (
-    DATA_TABLE,
-    META_TABLE,
-    OPERATOR,
-    ComplianceProfile,
-)
+from repro.systems.profiles import DATA_TABLE, OPERATOR, ComplianceProfile
 from repro.workloads.base import OpKind
 
 #: Active consent window and an expired, renewed one — real deployments

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import List, Optional
+from typing import List
 
 
 class ZipfianSampler:

@@ -368,3 +368,60 @@ class TestBackendParametrization:
         report = store.erase_all_copies("pii")
         assert report.verified_clean, backend
         assert store.copies_of("pii") == []
+
+
+class TestLsmCopySites:
+    """Per-SSTable copy tracking on LSM nodes — copies_of must reflect every
+    pre-compaction physical copy until compaction rewrites it away."""
+
+    def _lsm_store(self, compaction="leveled"):
+        return make_store(
+            n_replicas=1,
+            backend="lsm",
+            backend_opts={"compaction": compaction, "memtable_capacity": 4},
+        )
+
+    def test_shadowed_sstable_copies_each_get_an_entry(self):
+        # A lazy tier threshold keeps both version-holding runs on disk —
+        # exactly the pre-compaction state whose copies must stay visible.
+        store, _ = make_store(
+            n_replicas=1,
+            backend="lsm",
+            backend_opts={
+                "compaction": "size",
+                "tier_threshold": 10,
+                "memtable_capacity": 4,
+            },
+        )
+        store.put("pii", "v1")
+        for i in range(8):
+            store.put(f"pad{i}", i)  # flush v1 into a run
+        store.update("pii", "v2")
+        for i in range(8, 16):
+            store.put(f"pad{i}", i)  # flush v2 into a newer run
+        primary_sites = [
+            name
+            for loc, name in store.copies_of("pii")
+            if loc is CopyLocation.PRIMARY
+        ]
+        # Both physical versions are tracked, each with its own named site.
+        assert len(primary_sites) >= 2
+        assert all("[" in name for name in primary_sites)
+
+    def test_erase_all_copies_clears_every_site(self):
+        for compaction in ("size", "leveled"):
+            store, clock = self._lsm_store(compaction)
+            store.put("pii", "sensitive")
+            for i in range(12):
+                store.put(f"pad{i}", i)
+            advance(clock, 60_000)
+            store.read("pii", replica=0)  # replica applies + caches
+            assert store.copies_of("pii")
+            report = store.erase_all_copies("pii")
+            assert report.verified_clean
+            assert store.copies_of("pii") == []
+
+    def test_psql_copies_keep_legacy_node_names(self):
+        store, _ = make_store(n_replicas=0)
+        store.put("k", "v")
+        assert (CopyLocation.PRIMARY, "primary") in store.copies_of("k")
