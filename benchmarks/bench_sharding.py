@@ -1,26 +1,39 @@
-"""Sharded distributed erasure — batch ``erase_many`` throughput vs shards.
+"""Sharded distributed erasure — batch erase, elastic resize, quorum reads.
 
 The grounded distributed erase must remove *every* copy — primaries,
-replicas, caches, replication logs, node WALs (§1).  Done per key, that
-costs one reclamation pass per node per key; the batch path deletes every
-victim first and reclaims **once per node**, and sharding splits the batch
-into independent groups that reclaim in parallel.  This bench measures, per
-(backend, shard count):
+replicas, caches, replication logs, node WALs (§1) — and that guarantee
+must survive topology change and replica staleness.  Three sections:
 
-* the naive per-key loop (``erase_all_copies`` per victim) — the baseline;
-* the batch ``erase_many`` total simulated work and its critical path
-  (the slowest shard — what a parallel deployment actually waits for);
-* reclamation passes run, and erase throughput on the critical path.
+**Batch erase** (per backend × shard count): the naive per-key loop
+(``erase_all_copies`` per victim) vs the batch ``erase_many`` path, which
+deletes every victim first and reclaims **once per node**; sharding splits
+the batch into independent groups whose slowest member is the critical
+path.
 
-Invariants gated in CI (``--smoke``): every configuration verifies clean
-(no copy survives anywhere), the batch path beats the per-key loop, batch
-reclamations equal ``shards × (replicas + 1)``, and critical-path
-throughput scales up with the shard count.  The smoke run also drives the
-crypto-shred backend through a sharded batch erase, covering the
-"permanently delete"-capable engine in the distributed topology.
+**Resize under load**: load K keys over N consistent-hash shards, then
+``resize(N±1)`` online.  Reported per backend: keys moved vs the ~whole
+keyspace a modulo router would reshuffle, MIGRATION copy sites tracked
+while batches were in flight, and whether an ``erase_all_copies`` +
+``erase_many`` issued *mid-rebalance* verified clean (they must — an
+untracked in-flight copy is a silent Art. 17 leak).
 
-``--json PATH`` writes the per-configuration results as machine-readable
-JSON (the ``BENCH_sharding.json`` artifact CI uploads).
+**Quorum reads**: mean simulated read latency at ``consistency =
+one | quorum | all``, plus the stale-replica hazard: after the primary
+deletes a key, a pinned-replica read happily serves the old value while a
+quorum read force-applies the replica's backlog (which holds the victim's
+DELETE) and correctly refuses.
+
+Invariants gated in CI (``--smoke``): every erase configuration verifies
+clean, the batch path beats the per-key loop, batch reclamations equal
+``shards × (replicas + 1)``, critical-path throughput scales with shard
+count, the resize moves only the ring-affected fraction (gated against the
+committed baseline ``benchmarks/baselines/sharding.json``, alongside the
+modulo comparison), mid-rebalance erases leave zero lingering copies, and
+quorum reads never serve a primary-erased value.  The smoke run drives all
+three backends — psql, lsm, and crypto-shred — through the rebalance.
+
+``--json PATH`` writes the per-section results as machine-readable JSON
+(the ``BENCH_sharding.json`` artifact CI uploads).
 
 Run standalone::
 
@@ -35,20 +48,28 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.distributed.store import ReplicatedStore
+from repro.distributed.ring import stable_hash
+from repro.distributed.store import CopyLocation, ReplicatedStore
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
+from repro.storage.errors import TupleNotFoundError
 
 N_REPLICAS = 1
 REPLICATION_LAG = 50_000
 
+#: Committed rebalance baseline the CI smoke run gates against.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "sharding.json"
+)
+
 
 @dataclass(frozen=True)
 class ShardingRunResult:
-    """One (backend, shards) cell of the comparison."""
+    """One (backend, shards) cell of the batch-erase comparison."""
 
     backend: str
     shards: int
@@ -64,14 +85,54 @@ class ShardingRunResult:
     verified_clean: bool
 
 
+@dataclass(frozen=True)
+class RebalanceRunResult:
+    """One backend's resize-under-load measurement.
+
+    ``moved_fraction`` counts every ring-affected key (moved + the few the
+    mid-rebalance erase claimed first) over the keys examined;
+    ``modulo_fraction`` is what ``hash % shards`` routing would have moved
+    for the same topology change — the number the consistent-hash ring
+    exists to beat.
+    """
+
+    backend: str
+    shards_from: int
+    shards_to: int
+    n_keys: int
+    keys_moved: int
+    moved_fraction: float
+    modulo_fraction: float
+    batches: int
+    seconds: float
+    verified_clean: bool
+    migration_sites_seen: int
+    mid_erase_clean: bool
+    data_intact: bool
+
+
+@dataclass(frozen=True)
+class QuorumRunResult:
+    """Read latency at one consistency level, plus the stale-read outcome."""
+
+    backend: str
+    consistency: str
+    mean_read_us: float
+    stale_read_blocked: bool  # erased-on-primary value refused (one: served)
+
+
 def _loaded_store(
-    backend: str, shards: int, n_keys: int, cost: CostModel
+    backend: str,
+    shards: int,
+    n_keys: int,
+    cost: CostModel,
+    n_replicas: int = N_REPLICAS,
 ) -> ReplicatedStore:
     """A store with n_keys spread over the shards, replicas caught up and
     caches warmed — every copy location populated before the erase."""
     store = ReplicatedStore(
         cost,
-        n_replicas=N_REPLICAS,
+        n_replicas=n_replicas,
         replication_lag=REPLICATION_LAG,
         cache_ttl=10**12,
         shards=shards,
@@ -124,6 +185,114 @@ def run_sharded_erase(
     )
 
 
+def run_rebalance(
+    backend: str,
+    shards_from: int = 4,
+    shards_to: int = 5,
+    n_keys: int = 400,
+    batch_size: int = 32,
+) -> RebalanceRunResult:
+    """Resize under load, with a grounded erase issued mid-rebalance."""
+    cost = CostModel(SimClock(), CostBook())
+    store = _loaded_store(backend, shards_from, n_keys, cost)
+    keys = [f"u{i:06d}" for i in range(n_keys)]
+    expected = {key: (i, "payload") for i, key in enumerate(keys)}
+    modulo_moved = sum(
+        1
+        for key in keys
+        if stable_hash(key) % shards_from != stable_hash(key) % shards_to
+    )
+
+    t0 = cost.clock.now
+    rebalance = store.begin_resize(shards_to, batch_size=batch_size)
+    rebalance.step()  # copy step: the first batch goes in flight
+    in_flight = [key for key in keys if rebalance.in_flight_route(key)]
+    migration_sites = sum(
+        1
+        for key in in_flight
+        for loc, _name in store.copies_of(key)
+        if loc is CopyLocation.MIGRATION
+    )
+    # The Art. 17 stress: erase one in-flight key and one still-pending key
+    # while both rings are live.  Nothing may linger on either owner.
+    victims: List[str] = in_flight[:1]
+    victims += [key for key in keys if rebalance.is_pending(key)][:2]
+    mid_clean = True
+    if victims:
+        single = store.erase_all_copies(victims[0])
+        batch = store.erase_many(victims[1:]) if victims[1:] else None
+        mid_clean = single.verified_clean and (
+            batch is None or batch.verified_clean
+        )
+        mid_clean = mid_clean and all(
+            not store.copies_of(key) for key in victims
+        )
+    report = rebalance.run()
+    seconds = (cost.clock.now - t0) / 1e6
+    mid_clean = mid_clean and all(not store.copies_of(key) for key in victims)
+
+    survivors = [key for key in keys if key not in set(victims)]
+    data_intact = all(store.read(key) == expected[key] for key in survivors)
+    examined = report.keys_examined
+    affected = report.keys_moved + report.keys_skipped
+    return RebalanceRunResult(
+        backend=backend,
+        shards_from=shards_from,
+        shards_to=shards_to,
+        n_keys=n_keys,
+        keys_moved=report.keys_moved,
+        moved_fraction=(affected / examined) if examined else 0.0,
+        modulo_fraction=modulo_moved / n_keys,
+        batches=report.batches,
+        seconds=seconds,
+        verified_clean=report.verified_clean,
+        migration_sites_seen=migration_sites,
+        mid_erase_clean=mid_clean,
+        data_intact=data_intact,
+    )
+
+
+def run_quorum_reads(
+    backend: str, n_keys: int = 200, n_replicas: int = 2
+) -> List[QuorumRunResult]:
+    """Mean read latency per consistency level + the stale-replica case."""
+    cost = CostModel(SimClock(), CostBook())
+    store = _loaded_store(backend, 1, n_keys, cost, n_replicas=n_replicas)
+    keys = [f"u{i:06d}" for i in range(n_keys)]
+    for key in keys:  # warm every replica so levels compare fairly
+        for r in range(n_replicas):
+            store.read(key, replica=r, use_cache=False)
+
+    latencies: Dict[str, float] = {}
+    for level in ("one", "quorum", "all"):
+        t0 = cost.clock.now
+        for key in keys:
+            store.read(key, use_cache=False, consistency=level)
+        latencies[level] = (cost.clock.now - t0) / n_keys
+
+    # Stale-replica hazard: the primary deletes, the replicas' backlogs
+    # still hold the victim's value *and* its unapplied DELETE.
+    victim = keys[0]
+    store.naive_delete(victim)
+    served_stale = store.read(victim, replica=0, use_cache=False) is not None
+    blocked: Dict[str, bool] = {"one": not served_stale}
+    for level in ("quorum", "all"):
+        try:
+            store.read(victim, use_cache=False, consistency=level)
+            blocked[level] = False
+        except TupleNotFoundError:
+            blocked[level] = True
+    return [
+        QuorumRunResult(
+            backend=backend,
+            consistency=level,
+            mean_read_us=latencies[level],
+            stale_read_blocked=blocked[level],
+        )
+        for level in ("one", "quorum", "all")
+    ]
+
+
 def compare_sharding(
     n_keys: int = 400,
     shard_counts: Sequence[int] = (1, 2, 4),
@@ -133,6 +302,18 @@ def compare_sharding(
         run_sharded_erase(backend, shards, n_keys)
         for backend in backends
         for shards in shard_counts
+    ]
+
+
+def compare_rebalance(
+    n_keys: int = 400,
+    backends: Sequence[str] = ("psql", "lsm", "crypto-shred"),
+    shards_from: int = 4,
+    shards_to: int = 5,
+) -> List[RebalanceRunResult]:
+    return [
+        run_rebalance(backend, shards_from, shards_to, n_keys)
+        for backend in backends
     ]
 
 
@@ -158,6 +339,57 @@ def render_sharding(results: Sequence[ShardingRunResult]) -> str:
     return "\n".join(lines)
 
 
+def render_rebalance(results: Sequence[RebalanceRunResult]) -> str:
+    header = (
+        f"{'backend':<13} {'resize':>7} {'moved':>12} {'ring %':>7} "
+        f"{'mod %':>6} {'batches':>8} {'mid-erase':>10} {'clean':>6}"
+    )
+    r0 = results[0]
+    lines = [
+        f"Online resize under load (N={r0.n_keys}, consistent-hash ring "
+        "vs modulo reshuffle)",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(
+            f"{r.backend:<13} {r.shards_from:>3}→{r.shards_to:<3} "
+            f"{r.keys_moved:>5}/{r.n_keys:<6} {r.moved_fraction:>6.0%} "
+            f"{r.modulo_fraction:>6.0%} {r.batches:>8} "
+            f"{'clean' if r.mid_erase_clean else 'LEAK':>10} "
+            f"{str(r.verified_clean):>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_quorum(results: Sequence[QuorumRunResult]) -> str:
+    header = (
+        f"{'backend':<13} {'consistency':>11} {'mean µs':>9} "
+        f"{'stale read':>11}"
+    )
+    lines = [
+        "Read consistency levels (stale replica holds the victim's "
+        "unapplied DELETE)",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        outcome = "blocked" if r.stale_read_blocked else "SERVED"
+        lines.append(
+            f"{r.backend:<13} {r.consistency:>11} {r.mean_read_us:>9.0f} "
+            f"{outcome:>11}"
+        )
+    return "\n".join(lines)
+
+
+def load_sharding_baseline(mode: str) -> Optional[Dict[str, float]]:
+    """The committed gate values for a run mode ("smoke" | "full")."""
+    if not os.path.exists(BASELINE_PATH):
+        return None
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh).get(mode)
+
+
 def check_invariants(results: Sequence[ShardingRunResult]) -> None:
     for r in results:
         assert r.verified_clean, r
@@ -181,17 +413,75 @@ def check_invariants(results: Sequence[ShardingRunResult]) -> None:
             ), (backend, first, last)
 
 
+def check_rebalance_invariants(
+    results: Sequence[RebalanceRunResult],
+    baseline: Optional[Dict[str, float]] = None,
+) -> None:
+    """The elastic-sharding claims, per backend — and, when a committed
+    baseline applies, that the movement numbers have not regressed."""
+    for r in results:
+        assert r.verified_clean, r
+        assert r.mid_erase_clean, r
+        assert r.data_intact, r
+        assert r.keys_moved > 0, r
+        assert r.migration_sites_seen > 0, r
+        # The ring's whole point: a one-shard change moves ~K/N keys, not
+        # the ~4/5 of the keyspace modulo routing reshuffles.
+        assert r.moved_fraction < r.modulo_fraction, r
+        if baseline is not None:
+            assert r.moved_fraction <= baseline["ring_moved_fraction_max"], (
+                f"{r.backend}: ring moved {r.moved_fraction:.0%}, past the "
+                f"committed baseline {baseline['ring_moved_fraction_max']:.0%}"
+            )
+            assert r.modulo_fraction >= baseline["modulo_moved_fraction_min"], r
+            ratio = r.moved_fraction / r.modulo_fraction
+            assert ratio <= baseline["ring_vs_modulo_ratio_max"], (
+                f"{r.backend}: ring/modulo movement ratio {ratio:.2f} past "
+                f"the baseline {baseline['ring_vs_modulo_ratio_max']}"
+            )
+
+
+def check_quorum_invariants(results: Sequence[QuorumRunResult]) -> None:
+    by_backend: Dict[str, Dict[str, QuorumRunResult]] = {}
+    for r in results:
+        by_backend.setdefault(r.backend, {})[r.consistency] = r
+    for backend, rows in by_backend.items():
+        one, quorum, all_ = rows["one"], rows["quorum"], rows["all"]
+        # More nodes consulted → more simulated work (quorum == all when
+        # one replica makes the majority the whole shard).
+        assert one.mean_read_us < quorum.mean_read_us, (backend, one, quorum)
+        assert quorum.mean_read_us <= all_.mean_read_us, (backend, quorum, all_)
+        # The consistency claim: a pinned stale replica serves the erased
+        # value; quorum and all never do.
+        assert not one.stale_read_blocked, one
+        assert quorum.stale_read_blocked, quorum
+        assert all_.stale_read_blocked, all_
+
+
 def test_bench_sharding(once):
     from conftest import emit, scaled
 
     results = once(compare_sharding, scaled(400, minimum=200))
     check_invariants(results)
-    emit("bench_sharding", render_sharding(results))
+    rebalance = compare_rebalance(scaled(400, minimum=200))
+    check_rebalance_invariants(rebalance, load_sharding_baseline("full"))
+    quorum = run_quorum_reads("psql", scaled(200, minimum=100))
+    check_quorum_invariants(quorum)
+    emit(
+        "bench_sharding",
+        "\n\n".join(
+            [
+                render_sharding(results),
+                render_rebalance(rebalance),
+                render_quorum(quorum),
+            ]
+        ),
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="sharded erase_many throughput vs shard count"
+        description="sharded erase_many, online rebalancing, quorum reads"
     )
     parser.add_argument("--keys", type=int, default=400)
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
@@ -200,10 +490,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=["psql", "lsm", "crypto-shred"],
     )
     parser.add_argument(
+        "--replicas", type=int, default=2,
+        help="replicas per shard in the quorum-read section",
+    )
+    parser.add_argument(
+        "--consistency", nargs="+", default=["one", "quorum", "all"],
+        choices=["one", "quorum", "all"],
+        help="consistency levels to report in the quorum section",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny run asserting the sharding invariants (CI gate), "
-             "including a crypto-shred sharded erase",
+        help="tiny run asserting the sharding invariants (CI gate): batch "
+             "erase, resize-under-load on all three backends gated against "
+             "benchmarks/baselines/sharding.json, and quorum reads",
     )
     parser.add_argument(
         "--json",
@@ -214,6 +514,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.keys < 1:
         parser.error("--keys must be >= 1")
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1 for a quorum to exist")
+    mode = "smoke" if args.smoke else "full"
     n_keys = 120 if args.smoke else args.keys
     shard_counts = [1, 2, 4] if args.smoke else sorted(set(args.shards))
     backends = ["psql", "lsm"] if args.smoke else args.backends
@@ -227,11 +530,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(render_sharding([shred]))
         results = list(results) + [shred]
+
+    # Resize under load: gated against the committed movement baseline.
+    # The smoke run always covers all three backends; full runs honor the
+    # user's --backends selection.
+    rebalance_keys = 150 if args.smoke else n_keys
+    rebalance_backends = (
+        ("psql", "lsm", "crypto-shred") if args.smoke else tuple(backends)
+    )
+    rebalance = compare_rebalance(rebalance_keys, rebalance_backends)
+    check_rebalance_invariants(rebalance, load_sharding_baseline(mode))
+    print()
+    print(render_rebalance(rebalance))
+
+    quorum_keys = 80 if args.smoke else max(100, n_keys // 2)
+    quorum_backends = ("psql", "lsm") if args.smoke else tuple(backends)
+    quorum: List[QuorumRunResult] = []
+    for backend in quorum_backends:
+        quorum.extend(
+            run_quorum_reads(backend, quorum_keys, n_replicas=args.replicas)
+        )
+    check_quorum_invariants(quorum)
+    reported = [r for r in quorum if r.consistency in set(args.consistency)]
+    print()
+    print(render_quorum(reported))
+
     if args.json:
         payload = {
             "bench": "bench_sharding",
-            "mode": "smoke" if args.smoke else "full",
+            "mode": mode,
             "sharding": [asdict(r) for r in results],
+            "rebalance": [asdict(r) for r in rebalance],
+            "quorum": [asdict(r) for r in quorum],
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

@@ -7,6 +7,8 @@ Usage::
     python -m repro fig4a   [--records N] [--txns N ...]
     python -m repro fig4b   [--records N] [--txns N] [--backend B]
     python -m repro fig4c   [--txns N] [--records N ...] [--backend B]
+    python -m repro rebalance [--shards N] [--to M] [--replicas R]
+                              [--consistency C] [--backend B] [--keys N]
     python -m repro audit   --profile P_SYS
     python -m repro regulations [--name GDPR]
 
@@ -14,6 +16,14 @@ The backend-generic experiments accept ``--backend psql|lsm|crypto-shred``;
 on the lsm backend, ``--compaction size|leveled`` selects the engine's
 compaction policy (leveled cuts write amplification at the Figure-4(c)
 scale).
+
+``rebalance`` demonstrates the elastic sharding subsystem: it loads a
+keyspace over ``--shards`` consistent-hash shard groups, reads it back at
+the chosen ``--consistency`` level, then resizes online to ``--to`` shards
+— reporting how few keys the ring moved (vs the near-total reshuffle
+modulo routing would cause), the MIGRATION copy sites tracked while keys
+were in flight, and that an erase issued *mid-rebalance* still verified
+clean.
 
 Every experiment prints the same rows/series the paper reports.
 """
@@ -109,6 +119,89 @@ def _cmd_fig4c(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    """Elastic-sharding demo: online resize with grounded key migration."""
+    from repro.distributed.ring import stable_hash
+    from repro.distributed.store import CopyLocation, ReplicatedStore
+    from repro.sim.clock import SimClock
+    from repro.sim.costs import CostBook, CostModel
+
+    if args.shards < 1 or args.to < 1:
+        print("--shards and --to must be >= 1")
+        return 2
+    if args.keys < 1 or args.replicas < 0 or args.batch_size < 1:
+        print("--keys and --batch-size must be >= 1, --replicas >= 0")
+        return 2
+    if args.to == args.shards:
+        print("--to must differ from --shards for a topology change")
+        return 2
+    cost = CostModel(SimClock(), CostBook())
+    store = ReplicatedStore(
+        cost,
+        n_replicas=args.replicas,
+        shards=args.shards,
+        backend=args.backend,
+        cache_ttl=10**12,
+    )
+    keys = [f"u{i:06d}" for i in range(args.keys)]
+    for i, key in enumerate(keys):
+        store.put(key, (i, "payload"))
+    cost.clock.charge(60_000, "replication lag elapses")
+    if args.replicas:
+        for key in keys:
+            store.read(key, replica=0)  # replicas apply + caches warm
+
+    t0 = cost.clock.now
+    for key in keys[: min(200, len(keys))]:
+        store.read(key, use_cache=False, consistency=args.consistency)
+    sample = min(200, len(keys))
+    read_us = (cost.clock.now - t0) / sample
+    print(
+        f"{args.backend}: {len(keys)} keys over {args.shards} shard(s), "
+        f"{args.replicas} replica(s)/shard"
+    )
+    print(f"  read({args.consistency!r}) mean simulated latency: {read_us:.0f} us")
+
+    modulo_moved = sum(
+        1
+        for key in keys
+        if stable_hash(key) % args.shards != stable_hash(key) % args.to
+    )
+    rebalance = store.begin_resize(args.to, batch_size=args.batch_size)
+    rebalance.step()  # copy step: first batch goes in flight
+    migration_sites = [
+        (key, name)
+        for key in keys
+        if rebalance.in_flight_route(key)
+        for loc, name in store.copies_of(key)
+        if loc is CopyLocation.MIGRATION
+    ]
+    erased_clean = True
+    if migration_sites:
+        victim = migration_sites[0][0]
+        erased_clean = store.erase_all_copies(victim).verified_clean
+        print(
+            f"  mid-rebalance: {len(migration_sites)} MIGRATION site(s) "
+            f"tracked; erased {victim!r} in flight "
+            f"(verified_clean={erased_clean})"
+        )
+    report = rebalance.run()
+    print(
+        f"  resize {args.shards}→{args.to}: moved {report.keys_moved}"
+        f"/{report.keys_examined} keys "
+        f"({report.moved_fraction:.0%}; modulo routing would move "
+        f"{modulo_moved / len(keys):.0%}) in {report.batches} batch(es), "
+        f"{report.seconds:.3f} simulated s"
+    )
+    print(
+        f"  verified clean: {report.verified_clean} "
+        f"(every source copy ground-erased"
+        + (", drained shards empty)" if report.shards_from != report.shards_to
+           and len(report.shards_to) < len(report.shards_from) else ")")
+    )
+    return 0 if (report.verified_clean and erased_clean) else 1
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     """Compatibility audit of a profile's grounding selections (§3.2)."""
     selection = profile_selection(args.profile)
@@ -182,6 +275,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compaction", default=None, choices=list(COMPACTION_POLICIES),
                    help="LSM compaction policy (requires --backend lsm)")
     p.set_defaults(func=_cmd_fig4c)
+
+    p = sub.add_parser(
+        "rebalance",
+        help="online consistent-hash resize with grounded key migration",
+    )
+    p.add_argument("--keys", type=int, default=2_000,
+                   help="keys to load before resizing")
+    p.add_argument("--shards", type=int, default=4,
+                   help="initial shard count")
+    p.add_argument("--to", type=int, default=5,
+                   help="target shard count (grow or shrink)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="asynchronous replicas per shard")
+    p.add_argument("--consistency", default="quorum",
+                   choices=["one", "quorum", "all"],
+                   help="read consistency level for the read phase")
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="keys migrated per batch")
+    p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
+                   help="storage backend every node runs")
+    p.set_defaults(func=_cmd_rebalance)
 
     p = sub.add_parser("audit", help="grounding compatibility audit")
     p.add_argument("--profile", required=True,

@@ -35,6 +35,7 @@ class ActionType(Enum):
     SANITIZE = "sanitize"          # drive sanitization step of permanent delete
     COMPACT = "compact"            # compaction GC'd the unit's tombstone (LSM)
     RESTORE = "restore"            # undo of reversible inaccessibility
+    MOVE = "move"                  # grounded migration between storage sites
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

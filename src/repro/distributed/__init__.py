@@ -1,4 +1,5 @@
-"""Distributed substrate — replicas, caches, and erasure propagation.
+"""Distributed substrate — replicas, caches, sharding, and erasure
+propagation.
 
 Paper §1: "If erasure means removing the data not just from the primary
 location, but removing it completely (from all locations in disk and
@@ -6,21 +7,33 @@ memory), a technique will have to be built to track the copies and delete
 all of them."  This package is that technique, plus the hazard it guards
 against:
 
-* :class:`~repro.distributed.store.ReplicatedStore` — a primary with N
-  asynchronous replicas (each a full PSQL-like engine, so *per-node*
-  dead-tuple retention applies too) and per-node read caches;
-* a copy tracker recording every location that ever held a data unit;
+* :class:`~repro.distributed.store.ReplicatedStore` — consistent-hash
+  shard groups (each a primary with N asynchronous replicas over a
+  pluggable storage backend) with per-node read caches and
+  ``consistency="one"|"quorum"|"all"`` reads;
+* a copy tracker recording every location that ever held a data unit —
+  including keys in flight between shards during an online rebalance
+  (``CopyLocation.MIGRATION``);
 * :meth:`~repro.distributed.store.ReplicatedStore.naive_delete` — deletes
   at the primary only, demonstrating lingering replica/cache copies;
 * :meth:`~repro.distributed.store.ReplicatedStore.erase_all_copies` — the
   grounded distributed erase: delete + vacuum every node, invalidate every
-  cache, verify via the tracker.
+  cache, scrub the logs, verify via the tracker — even mid-rebalance;
+* :meth:`~repro.distributed.store.ReplicatedStore.resize` /
+  :meth:`~repro.distributed.store.ReplicatedStore.add_shard` /
+  :meth:`~repro.distributed.store.ReplicatedStore.remove_shard` — online
+  topology changes whose every key move is grounded at the source and
+  announced as a :class:`~repro.distributed.store.MoveEvent`.
 """
 
+from repro.distributed.ring import HashRing, stable_hash
 from repro.distributed.store import (
     CacheEntry,
     CopyLocation,
     DistributedEraseReport,
+    MoveEvent,
+    Rebalance,
+    RebalanceReport,
     ReplicatedStore,
 )
 
@@ -29,4 +42,9 @@ __all__ = [
     "CopyLocation",
     "CacheEntry",
     "DistributedEraseReport",
+    "HashRing",
+    "MoveEvent",
+    "Rebalance",
+    "RebalanceReport",
+    "stable_hash",
 ]

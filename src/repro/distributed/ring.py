@@ -1,0 +1,88 @@
+"""Consistent-hash ring — elastic shard routing with virtual nodes.
+
+Static modulo routing (``hash(key) % shards``) reassigns almost *every* key
+when the shard count changes: growing 4 → 5 shards moves ~80% of the
+keyspace, and every moved key is a copy the compliance layer must track and
+ground (§1 — a rebalance that silently copies values between sites is an
+Art. 17 leak in waiting).  A consistent-hash ring bounds the blast radius:
+each shard owns the arcs between its virtual nodes, so adding or removing
+one shard relocates only the ~K/N keys whose arc changed hands, and every
+surviving shard keeps its position.
+
+The ring is deliberately immutable: topology changes produce a *new* ring
+(:meth:`HashRing.with_nodes`), and the migration planner diffs old vs new
+ownership key by key.  That makes dual-routing during an online rebalance
+trivial — route ring-new first, fall back to ring-old — because both rings
+coexist until the move is grounded.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Iterable, List, Sequence, Tuple
+
+#: Virtual nodes per shard.  More vnodes → smoother key spread and finer
+#: movement granularity on resize, at O(shards × vnodes) ring-build cost.
+DEFAULT_VNODES = 64
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic content hash (``hash()`` is salted per process)."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over integer shard ids.
+
+    Each shard id contributes ``vnodes`` points on the 64-bit ring; a key
+    belongs to the shard owning the first point at or after the key's hash
+    (wrapping).  Shard ids — not list positions — identify nodes, so
+    removing shard 1 from ``{0, 1, 2}`` leaves shards 0 and 2 exactly where
+    they were.
+    """
+
+    def __init__(self, nodes: Iterable[int], vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: Tuple[int, ...] = tuple(sorted(set(nodes)))
+        if not self._nodes:
+            raise ValueError("a ring needs at least one node")
+        points: List[Tuple[int, int]] = [
+            (stable_hash(f"vnode/{node}/{v}"), node)
+            for node in self._nodes
+            for v in range(vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._positions = [position for position, _node in points]
+
+    # ------------------------------------------------------------- topology
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+    def with_nodes(self, nodes: Iterable[int]) -> "HashRing":
+        """A new ring over ``nodes`` with the same vnode density."""
+        return HashRing(nodes, vnodes=self.vnodes)
+
+    # -------------------------------------------------------------- routing
+    def owner(self, key: Any) -> int:
+        """The shard id owning ``key`` (first vnode at/after its hash)."""
+        index = bisect.bisect_right(self._positions, stable_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._points[index][1]
+
+    def moved_keys(self, keys: Sequence[Any], new: "HashRing") -> List[Any]:
+        """Keys whose owner differs between this ring and ``new`` — the
+        migration set a resize must ground."""
+        return [key for key in keys if self.owner(key) != new.owner(key)]

@@ -1,24 +1,33 @@
 """Sharded, replicated store with asynchronous replication and read caches.
 
 Topology: ``shards`` independent shard groups, each a primary plus
-``n_replicas`` asynchronous replicas; keys route to their shard by a stable
-content hash.  Every node is a :class:`~repro.systems.backends.StorageBackend`
-(``psql``, ``lsm``, or ``crypto-shred``), so the distributed erase story is
-engine-pluggable: the same copy-tracking machinery runs over MVCC dead
-tuples, LSM shadowed values, or unshredded key volumes.
+``n_replicas`` asynchronous replicas; keys route to their shard over a
+consistent-hash ring (:mod:`repro.distributed.ring`) so the shard count can
+change *online*: :meth:`ReplicatedStore.resize` / :meth:`add_shard` /
+:meth:`remove_shard` migrate only the ring-affected key fraction instead of
+reshuffling the whole keyspace the way modulo routing would.  Every node is
+a :class:`~repro.systems.backends.StorageBackend` (``psql``, ``lsm``, or
+``crypto-shred``), so the distributed erase story is engine-pluggable: the
+same copy-tracking machinery runs over MVCC dead tuples, LSM shadowed
+values, or unshredded key volumes.
 
 Replication model (per shard): the primary appends every mutation to a
 replication log; a log entry becomes *applicable* at ``now +
 replication_lag`` (asynchronous shipping).  Replicas apply their backlog
 lazily — whenever they serve a read — mirroring how real async replicas
 trail the primary.  Reads may be served from a per-node cache whose entries
-expire after ``cache_ttl``.
+expire after ``cache_ttl``, and accept a ``consistency`` level: ``"one"``
+(any single node, the legacy fast path), ``"quorum"`` (a majority of the
+shard's nodes, force-applying only as much replica backlog as the quorum
+needs), or ``"all"``.  Quorum and all reads compare each replica's
+``applied_seqno`` against the primary's, so a stale replica can never serve
+a value the primary has already erased.
 
 Every location that ever physically held a unit's value is recorded by the
-copy tracker — primaries, replicas, caches, the replication log, *and each
-node's write-ahead log* (whose INSERT/UPDATE records carry row images until
-a grounded erase scrubs them); the erasure questions of §1 become queries
-over it:
+copy tracker — primaries, replicas, caches, the replication log, each
+node's write-ahead log, *and keys in flight between shards during a
+rebalance* (``CopyLocation.MIGRATION``); the erasure questions of §1 become
+queries over it:
 
 * where do copies of X live right now? (:meth:`ReplicatedStore.copies_of`)
 * did the naive primary-only delete actually remove X? (it did not —
@@ -29,21 +38,48 @@ over it:
   (:meth:`erase_all_copies`), or amortize a whole Art. 17 stream with
   :meth:`erase_many`, which fans the deletions out per shard and runs **one
   reclamation pass per node per batch** — the same batching the engine-level
-  ``erase_many`` helpers use.
+  ``erase_many`` helpers use.  Both verify clean even mid-rebalance: reads
+  and erases dual-route (ring-new first, fall back to ring-old) until every
+  move is grounded.
+
+Rebalancing is itself grounded (the *Data Capsule* hazard: compliance must
+track data as it moves between processing sites).  A move copies the key to
+its new shard, holds it as a tracked ``MIGRATION`` site while both copies
+exist, then runs the **source shard's grounded erase** (delete + reclaim +
+replication-log and WAL scrub) before declaring the move complete; each
+completed move is announced to :meth:`add_move_listener` subscribers so the
+facade can record it as a ``MOVE`` audit action.
 """
 
 from __future__ import annotations
 
-import hashlib
+from collections import deque
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.distributed.ring import DEFAULT_VNODES, HashRing
 from repro.sim.costs import CostModel
 from repro.storage.errors import TupleNotFoundError
 from repro.systems.backends import StorageBackend, make_backend
 
 TABLE = "replicated_data"
+
+#: Read consistency levels: any single node / a majority of the shard's
+#: nodes / every node in the shard.
+CONSISTENCY_LEVELS = ("one", "quorum", "all")
 
 
 class _OpType(Enum):
@@ -70,7 +106,10 @@ class CopyLocation(Enum):
     grounded erase must scrub it, or "verified clean" is a lie.  ``WAL`` is
     a node's engine-level write-ahead log, which keeps row images
     replayable until the node's reclamation pass scrubs them — the same
-    hazard one storage layer down.
+    hazard one storage layer down.  ``MIGRATION`` marks a key in flight
+    between shards during a rebalance: the destination already holds the
+    value while the source's grounded erase has not completed, so the move
+    itself is a tracked copy site until it is grounded.
     """
 
     PRIMARY = "primary"
@@ -78,6 +117,7 @@ class CopyLocation(Enum):
     CACHE = "cache"
     LOG = "log"
     WAL = "wal"
+    MIGRATION = "migration"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -126,10 +166,45 @@ class BatchEraseReport:
     shard_seconds: Tuple[float, ...] = ()
 
 
-def _stable_hash(key: Any) -> int:
-    """Deterministic content hash for shard routing (``hash()`` is salted)."""
-    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
+@dataclass(frozen=True)
+class MoveEvent:
+    """One completed, grounded key move between shards.
+
+    Emitted only after the source shard's grounded erase verified — the
+    moment at which exactly one shard holds the key again.
+    """
+
+    key: Any
+    source: int
+    dest: int
+    at: int  # model time the move was grounded
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What an online rebalance did, end to end.
+
+    ``moved_fraction`` is ``keys_moved / keys_examined`` — consistent-hash
+    routing keeps it near K/N for a one-shard topology change, where modulo
+    routing would move nearly everything.  ``verified_clean`` asserts every
+    source-side copy of every moved key was grounded away, and (for shard
+    removals) that the drained shards hold nothing at all.
+    """
+
+    keys_examined: int
+    keys_moved: int
+    keys_skipped: int  # planned but erased/dead before their batch ran
+    batches: int
+    shards_from: Tuple[int, ...]
+    shards_to: Tuple[int, ...]
+    moved_fraction: float
+    verified_clean: bool
+    seconds: float
+    #: Keys with no live value at the source (naive-deleted, residues still
+    #: on replicas/caches/logs) whose ownership changed: nothing to copy,
+    #: but the source's physical leftovers were ground-erased — otherwise
+    #: the ring swap would orphan them invisibly.
+    keys_grounded_residue: int = 0
 
 
 class _Node:
@@ -226,12 +301,21 @@ class _Shard:
         )
         self._cost.charge_log_append()
 
-    def _apply_backlog(self, node: _Node, force: bool = False) -> int:
-        """Apply every applicable log entry to the replica."""
+    def _apply_backlog(
+        self, node: _Node, force: bool = False, upto: Optional[int] = None
+    ) -> int:
+        """Apply every applicable log entry to the replica.
+
+        ``upto`` caps how far the catch-up goes (a quorum read only needs
+        the replica at the primary's seqno *as of the read* — not entries
+        appended later by concurrent writers).
+        """
         applied = 0
         for entry in self._log:
             if entry.seqno <= node.applied_seqno:
                 continue
+            if upto is not None and entry.seqno > upto:
+                break
             if not force and entry.ready_at > self._now:
                 break  # later entries are even younger
             if entry.scrubbed and entry.op is not _OpType.DELETE:
@@ -265,8 +349,23 @@ class _Shard:
 
     # ------------------------------------------------------------------ reads
     def read(
-        self, key: Any, replica: Optional[int] = None, use_cache: bool = True
+        self,
+        key: Any,
+        replica: Optional[int] = None,
+        use_cache: bool = True,
+        consistency: str = "one",
     ) -> Any:
+        if consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"unknown consistency {consistency!r}; "
+                f"choose from {CONSISTENCY_LEVELS}"
+            )
+        if consistency != "one":
+            if replica is not None:
+                raise ValueError(
+                    "pinning a replica requires consistency='one'"
+                )
+            return self._read_consistent(key, consistency, use_cache)
         node = self.primary if replica is None else self.replicas[replica]
         if node is not self.primary:
             self._apply_backlog(node)
@@ -277,12 +376,146 @@ class _Shard:
                     self._cost.charge_tuple_cpu()
                     return entry.value
                 del node.cache[key]
-        value = node.backend.read(key)
+        try:
+            value = node.backend.read(key)
+        except TupleNotFoundError:
+            # Never cache a miss: after a grounded erase the negative probe
+            # must not replant a CACHE entry that copies_of would then
+            # report as a copy of the erased key.
+            node.cache.pop(key, None)
+            raise
         if use_cache:
             node.cache[key] = CacheEntry(
                 value, self._now, self._now + self._cache_ttl
             )
         return value
+
+    def _read_consistent(self, key: Any, consistency: str, use_cache: bool) -> Any:
+        """Quorum / all read: a majority (or all) of the shard's nodes must
+        agree, replica ``applied_seqno`` compared against the primary's.
+
+        The most-caught-up replicas are chosen first and force-applied only
+        up to the primary's seqno as of the read — the minimum catch-up the
+        quorum needs — so a replica whose backlog still holds the victim's
+        DELETE applies it *before* answering, and an erased value is never
+        served.
+        """
+        n_nodes = 1 + len(self.replicas)
+        needed = n_nodes if consistency == "all" else n_nodes // 2 + 1
+        target = self._seqno
+        chosen = sorted(
+            self.replicas, key=lambda n: n.applied_seqno, reverse=True
+        )[: needed - 1]
+        for node in chosen:
+            if node.applied_seqno < target:
+                self._apply_backlog(node, force=True, upto=target)
+        # Collect (seqno, found, value) per participant; the newest answer
+        # wins and the primary — always at `target` — is authoritative.
+        answers: List[Tuple[int, bool, Any]] = []
+        for node in [self.primary, *chosen]:
+            seqno = target if node is self.primary else node.applied_seqno
+            try:
+                answers.append((seqno, True, node.backend.read(key)))
+            except TupleNotFoundError:
+                answers.append((seqno, False, None))
+        _seq, found, value = max(answers, key=lambda a: a[0])
+        if not found:
+            raise TupleNotFoundError(
+                f"no live value for key {key!r} at {consistency} consistency"
+            )
+        if use_cache:
+            self.primary.cache[key] = CacheEntry(
+                value, self._now, self._now + self._cache_ttl
+            )
+        return value
+
+    # -------------------------------------------------------------- migration
+    def live_keys(self) -> List[Any]:
+        """Every key with a live value on the primary (repr-ordered)."""
+        return sorted(
+            {k for k, live in self.primary.backend.forensic_scan() if live},
+            key=repr,
+        )
+
+    def export_items(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, Any]]:
+        """Live ``(key, value)`` pairs selected by ``predicate``, via the
+        primary's bulk export hook."""
+        return self.primary.backend.export_range(predicate)
+
+    def import_items(self, items: Sequence[Tuple[Any, Any]]) -> int:
+        """Destination side of a migration: bulk-import at the primary and
+        log the PUTs so replicas pick the keys up through replication."""
+        items = list(items)
+        count = self.primary.backend.import_batch(items)
+        for key, value in items:
+            self._append_log(_OpType.PUT, key, value)
+        return count
+
+    def physically_present_keys(self) -> List[Any]:
+        """Every key with *any* physical trace on the shard — live or dead
+        heap entries on any node, cache entries, and valued replication-log
+        entries.  The rebalance planner uses this superset of
+        :meth:`live_keys` so a key with no live value but lingering
+        residues still gets grounded when its ownership moves."""
+        present: Set[Any] = set()
+        for node in self.nodes():
+            present.update(k for k, _live in node.backend.forensic_scan())
+            present.update(node.cache)
+        present.update(
+            e.key
+            for e in self._log
+            if e.op is not _OpType.DELETE and not e.scrubbed
+        )
+        return sorted(present, key=repr)
+
+    def holds_any(self, keys: Sequence[Any]) -> List[Any]:
+        """Subset of ``keys`` still physically present anywhere on the shard
+        — one forensic pass per node instead of one per key (the batch
+        verification the migration's per-batch grounding uses)."""
+        wanted: Set[Any] = set(keys)
+        found: Set[Any] = set()
+        for node in self.nodes():
+            for k, _live in node.backend.forensic_scan():
+                if k in wanted:
+                    found.add(k)
+            found |= wanted & set(node.cache)
+            for k in wanted - found:
+                if node.log_holds(k):
+                    found.add(k)
+        for entry in self._log:
+            if (
+                entry.key in wanted
+                and entry.op is not _OpType.DELETE
+                and not entry.scrubbed
+            ):
+                found.add(entry.key)
+        return sorted(found, key=repr)
+
+    def decommission(self) -> None:
+        """Drain-side teardown for a shard leaving the topology: force the
+        replicas past the whole log, reclaim every node (WAL scrub
+        included), drop the caches, and redact every remaining valued log
+        entry — the shard must hold *nothing* before it is dropped."""
+        for node in self.replicas:
+            self._apply_backlog(node, force=True)
+        for node in self.nodes():
+            node.cache.clear()
+            node.backend.reclaim()
+        for i, entry in enumerate(self._log):
+            if entry.op is not _OpType.DELETE and not entry.scrubbed:
+                self._log[i] = replace(entry, value=None, scrubbed=True)
+
+    def holds_nothing(self) -> bool:
+        """Whether the shard retains no value anywhere (decommission check)."""
+        for node in self.nodes():
+            stats = node.backend.stats()
+            if stats.live_entries or stats.dead_entries or node.cache:
+                return False
+        return not any(
+            e.op is not _OpType.DELETE and not e.scrubbed for e in self._log
+        )
 
     # -------------------------------------------------------------- forensics
     def copies_of(self, key: Any) -> List[Tuple[CopyLocation, str]]:
@@ -427,9 +660,242 @@ class _Shard:
         return sum(1 for e in self._log if e.seqno > node.applied_seqno)
 
 
+class Rebalance:
+    """One online topology change, migrated batch by batch.
+
+    Built by :meth:`ReplicatedStore.begin_resize` (and the ``add`` /
+    ``remove`` variants); :meth:`run` drives it to completion, or
+    :meth:`step` advances one half-batch at a time so callers can interleave
+    traffic — reads, writes, and erases all keep working mid-rebalance.
+
+    Each batch takes two steps.  The *copy* step exports the batch from its
+    source shard (``StorageBackend.export_range``) and imports it at the
+    destination (``import_batch`` + replication-log PUTs); from that moment
+    the keys are in flight and ``copies_of`` reports a ``MIGRATION`` site
+    for each.  The *ground* step runs the source shard's grounded batch
+    erase — delete on every node, one reclamation pass per node, replication
+    log scrubbed — verifies the source holds nothing, and emits a
+    :class:`MoveEvent` per key.  A key erased by the compliance layer while
+    pending or in flight is cancelled: the erase already grounded both
+    sides, so the migration skips it.
+    """
+
+    def __init__(
+        self,
+        store: "ReplicatedStore",
+        new_ring: HashRing,
+        added: Sequence[int],
+        removed: Sequence[int],
+        batch_size: int,
+    ) -> None:
+        self._store = store
+        self.old_ring = store._ring
+        self.new_ring = new_ring
+        self.added = tuple(added)
+        self.removed = tuple(removed)
+        self._t0 = store._cost.clock.now
+        self._pending: Dict[Any, Tuple[int, int]] = {}
+        self._in_flight: Dict[Any, Tuple[int, int]] = {}
+        self._cancelled: Set[Any] = set()
+        self._moved = 0
+        self._skipped = 0
+        self._batches_run = 0
+        self._clean = True
+        self._grounded_residue = 0
+        examined = 0
+        plan: Dict[Tuple[int, int], List[Any]] = {}
+        residue: Dict[int, List[Any]] = {}
+        for src in sorted(store._shards):
+            if src in self.added:
+                continue  # freshly created — nothing to move off it
+            live = set(store._shards[src].live_keys())
+            for key in sorted(live, key=repr):
+                examined += 1
+                dst = new_ring.owner(key)
+                if dst != src:
+                    self._pending[key] = (src, dst)
+                    plan.setdefault((src, dst), []).append(key)
+            # Keys with no live value but physical leftovers (a naive
+            # delete's dead tuple, lagging replica copy, cache entry, or
+            # unscrubbed log value): nothing to copy, but once the ring
+            # stops routing here those residues would be orphaned —
+            # invisible to copies_of and unreachable by any later erase.
+            # Ground them at the source as part of the rebalance.
+            for key in store._shards[src].physically_present_keys():
+                if key not in live and new_ring.owner(key) != src:
+                    residue.setdefault(src, []).append(key)
+        self.keys_examined = examined
+        #: ("ground", src, src, keys) erases source residues;
+        #: ("copy", src, dst, keys) streams a batch to its new owner.
+        self._queue: Deque[Tuple[str, int, int, List[Any]]] = deque()
+        for src, keys in sorted(residue.items()):
+            self._queue.append(("ground", src, src, keys))
+        for (src, dst), keys in sorted(plan.items()):
+            for i in range(0, len(keys), batch_size):
+                self._queue.append(("copy", src, dst, keys[i:i + batch_size]))
+        # The batch whose copy step ran but whose ground step has not:
+        # (src, dst, exported keys, planned-but-dead keys to ground).
+        self._current: Optional[Tuple[int, int, List[Any], List[Any]]] = None
+        self._report: Optional[RebalanceReport] = None
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def done(self) -> bool:
+        return self._current is None and not self._queue
+
+    @property
+    def report(self) -> Optional[RebalanceReport]:
+        """The final report, once the migration has finalized."""
+        return self._report
+
+    @property
+    def keys_pending(self) -> int:
+        """Keys planned to move whose copy step has not run yet."""
+        return len(self._pending)
+
+    @property
+    def keys_in_flight(self) -> int:
+        """Keys copied to their destination but not yet grounded at source."""
+        return len(self._in_flight)
+
+    def owners(self, key: Any) -> Tuple[int, int]:
+        """(ring-old owner, ring-new owner) for the key."""
+        return self.old_ring.owner(key), self.new_ring.owner(key)
+
+    def in_flight_route(self, key: Any) -> Optional[Tuple[int, int]]:
+        return self._in_flight.get(key)
+
+    def is_pending(self, key: Any) -> bool:
+        """Whether the key is planned to move but not yet copied."""
+        return key in self._pending
+
+    # ---------------------------------------------------------------- routing
+    def route_read(self, key: Any) -> Tuple[int, int]:
+        """Dual routing: try ring-new first, fall back to ring-old."""
+        old, new = self.owners(key)
+        return new, old
+
+    def route_write(self, key: Any) -> int:
+        """Writes to a not-yet-copied key go to its source shard (they are
+        picked up by the later export); everything else routes ring-new."""
+        if key in self._pending:
+            return self._pending[key][0]
+        return self.new_ring.owner(key)
+
+    def cancel(self, key: Any) -> None:
+        """An erase beat the migration to this key — stop tracking it."""
+        pending = self._pending.pop(key, None)
+        in_flight = self._in_flight.pop(key, None)
+        if pending is not None or in_flight is not None:
+            self._cancelled.add(key)
+
+    # -------------------------------------------------------------- execution
+    def step(self) -> bool:
+        """Advance one half-batch; returns False when no work remains.
+
+        The step that exhausts the plan also finalizes — commits the new
+        ring, decommissions drained shards, clears the store's rebalance
+        state — so driving with ``while r.step(): pass`` is equivalent to
+        :meth:`run` (whose report is then available via :attr:`report`).
+        """
+        if self._report is not None:
+            return False
+        store = self._store
+        if self._current is not None:
+            src, dst, keys, dead = self._current
+            victims = [k for k in keys if k not in self._cancelled]
+            # Planned keys that died between planning and export carry no
+            # live value to move, but their source residues (dead tuples,
+            # lagging replica copies, log values) are grounded with the
+            # batch — the ring is about to stop routing here.
+            ground = victims + [k for k in dead if k not in self._cancelled]
+            if ground:
+                store._shards[src].erase_many(ground)
+                if store._shards[src].holds_any(ground):
+                    self._clean = False
+            now = store._cost.clock.now
+            for key in victims:
+                self._in_flight.pop(key, None)
+                self._moved += 1
+                store._emit_move(MoveEvent(key, src, dst, now))
+            self._current = None
+            self._batches_run += 1
+            if self.done:
+                self._finalize()
+            return True
+        while self._queue:
+            kind, src, dst, keys = self._queue.popleft()
+            if kind == "ground":
+                keys = [k for k in keys if k not in self._cancelled]
+                if not keys:
+                    continue
+                store._shards[src].erase_many(keys)
+                if store._shards[src].holds_any(keys):
+                    self._clean = False  # pragma: no cover - safety net
+                self._grounded_residue += len(keys)
+                self._batches_run += 1
+                if self.done:
+                    self._finalize()
+                return True
+            keys = [k for k in keys if k in self._pending]
+            if not keys:
+                continue
+            wanted = set(keys)
+            items = store._shards[src].export_items(lambda k: k in wanted)
+            exported = {k for k, _v in items}
+            dead = []
+            for key in keys:
+                self._pending.pop(key, None)
+                if key in exported:
+                    self._in_flight[key] = (src, dst)
+                else:
+                    self._skipped += 1  # died (naive-deleted) since planning
+                    dead.append(key)
+            store._shards[dst].import_items(items)
+            self._current = (src, dst, sorted(exported, key=repr), dead)
+            return True
+        self._finalize()  # empty plan: nothing ever moved
+        return False
+
+    def run(self) -> RebalanceReport:
+        """Drive the migration to completion and commit the new topology."""
+        while self.step():
+            pass
+        if self._report is None:  # pragma: no cover - safety net
+            self._finalize()
+        return self._report
+
+    def _finalize(self) -> RebalanceReport:
+        if self._report is not None:
+            return self._report
+        store = self._store
+        for sid in self.removed:
+            shard = store._shards[sid]
+            shard.decommission()
+            if not shard.holds_nothing():
+                self._clean = False  # pragma: no cover - safety net
+            del store._shards[sid]
+        store._ring = self.new_ring
+        store._rebalance = None
+        examined = self.keys_examined
+        self._report = RebalanceReport(
+            keys_examined=examined,
+            keys_moved=self._moved,
+            keys_skipped=self._skipped + len(self._cancelled),
+            batches=self._batches_run,
+            shards_from=self.old_ring.nodes,
+            shards_to=self.new_ring.nodes,
+            moved_fraction=(self._moved / examined) if examined else 0.0,
+            verified_clean=self._clean,
+            seconds=(store._cost.clock.now - self._t0) / 1e6,
+            keys_grounded_residue=self._grounded_residue,
+        )
+        return self._report
+
+
 class ReplicatedStore:
     """``shards`` primaries, each with N asynchronous read-cached replicas,
-    over a pluggable storage backend."""
+    over a pluggable storage backend and a consistent-hash ring."""
 
     def __init__(
         self,
@@ -441,6 +907,7 @@ class ReplicatedStore:
         shards: int = 1,
         backend: str = "psql",
         backend_opts: Optional[Mapping[str, Any]] = None,
+        vnodes: int = DEFAULT_VNODES,
     ) -> None:
         if n_replicas < 0:
             raise ValueError("n_replicas must be non-negative")
@@ -450,54 +917,156 @@ class ReplicatedStore:
             raise ValueError("shards must be >= 1")
         self._cost = cost
         self.backend_name = backend
-        self._shards = [
-            _Shard(
-                index,
-                cost,
-                n_replicas,
-                replication_lag,
-                cache_ttl,
-                row_bytes,
-                backend,
-                solo=(shards == 1),
-                backend_opts=backend_opts,
-            )
+        self._n_replicas = n_replicas
+        self._lag = replication_lag
+        self._cache_ttl = cache_ttl
+        self._row_bytes = row_bytes
+        self._backend_opts = backend_opts
+        self._shards: Dict[int, _Shard] = {
+            index: self._make_shard(index, solo=(shards == 1))
             for index in range(shards)
-        ]
+        }
+        self._ring = HashRing(self._shards, vnodes=vnodes)
+        self._next_shard_id = shards
+        self._rebalance: Optional[Rebalance] = None
+        self._move_listeners: List[Callable[[MoveEvent], None]] = []
+
+    def _make_shard(self, index: int, solo: bool = False) -> _Shard:
+        return _Shard(
+            index,
+            self._cost,
+            self._n_replicas,
+            self._lag,
+            self._cache_ttl,
+            self._row_bytes,
+            self.backend_name,
+            solo=solo,
+            backend_opts=self._backend_opts,
+        )
 
     # -------------------------------------------------------------- topology
     @property
     def shard_count(self) -> int:
         return len(self._shards)
 
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
     def shard_of(self, key: Any) -> int:
-        """The shard the key routes to (stable content hash)."""
-        return _stable_hash(key) % len(self._shards)
+        """The shard the key routes to (ring owner; during a rebalance,
+        writes to a not-yet-copied key still route to its source shard)."""
+        if self._rebalance is not None:
+            return self._rebalance.route_write(key)
+        return self._ring.owner(key)
 
     def _shard(self, key: Any) -> _Shard:
         return self._shards[self.shard_of(key)]
 
     def shards(self) -> Iterator[_Shard]:
-        return iter(self._shards)
+        for index in sorted(self._shards):
+            yield self._shards[index]
 
     @property
     def primary(self) -> _Node:
-        """Legacy single-shard accessor: shard 0's primary."""
-        return self._shards[0].primary
+        """Legacy single-shard accessor: the lowest shard's primary."""
+        return self._shards[min(self._shards)].primary
 
     @property
     def replicas(self) -> List[_Node]:
-        """Legacy single-shard accessor: shard 0's replicas."""
-        return self._shards[0].replicas
+        """Legacy single-shard accessor: the lowest shard's replicas."""
+        return self._shards[min(self._shards)].replicas
 
     @property
     def replica_count(self) -> int:
         """Replicas per shard."""
-        return len(self._shards[0].replicas)
+        return self._n_replicas
 
     def nodes(self) -> Iterator[_Node]:
-        for shard in self._shards:
+        for shard in self.shards():
             yield from shard.nodes()
+
+    @property
+    def rebalance_in_progress(self) -> bool:
+        return self._rebalance is not None
+
+    # ------------------------------------------------------------ rebalancing
+    def add_move_listener(self, listener: Callable[[MoveEvent], None]) -> None:
+        """Subscribe to grounded key moves (the facade records them as MOVE
+        audit actions)."""
+        self._move_listeners.append(listener)
+
+    def _emit_move(self, event: MoveEvent) -> None:
+        for listener in self._move_listeners:
+            listener(event)
+
+    def _begin(
+        self, added: Sequence[int], removed: Sequence[int], batch_size: int
+    ) -> Rebalance:
+        survivors = [sid for sid in self._shards if sid not in set(removed)]
+        rebalance = Rebalance(
+            self, self._ring.with_nodes(survivors), added, removed, batch_size
+        )
+        self._rebalance = rebalance
+        return rebalance
+
+    def _check_can_rebalance(self, batch_size: int) -> None:
+        """Every validation, before any shard is spawned or drained — a
+        rejected begin_* call must leave the topology untouched."""
+        if self._rebalance is not None:
+            raise RuntimeError("a rebalance is already in progress")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def begin_resize(self, shards: int, batch_size: int = 64) -> Rebalance:
+        """Start an online resize to ``shards`` shard groups.
+
+        Growing spawns fresh shards; shrinking drains the highest-id shards
+        into the survivors.  The returned :class:`Rebalance` must be driven
+        (``run()``, or ``step()`` repeatedly) to complete the change; until
+        then the store dual-routes."""
+        self._check_can_rebalance(batch_size)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        current = sorted(self._shards)
+        added: List[int] = []
+        removed: List[int] = []
+        if shards > len(current):
+            added = [self._spawn_shard() for _ in range(shards - len(current))]
+        elif shards < len(current):
+            removed = current[shards:]
+        return self._begin(added, removed, batch_size)
+
+    def resize(self, shards: int, batch_size: int = 64) -> RebalanceReport:
+        """Online resize, run to completion."""
+        return self.begin_resize(shards, batch_size=batch_size).run()
+
+    def begin_add_shard(self, batch_size: int = 64) -> Rebalance:
+        self._check_can_rebalance(batch_size)
+        return self._begin([self._spawn_shard()], [], batch_size)
+
+    def add_shard(self, batch_size: int = 64) -> RebalanceReport:
+        """Grow by one shard, migrating only the ring-affected keys."""
+        return self.begin_add_shard(batch_size=batch_size).run()
+
+    def begin_remove_shard(self, index: int, batch_size: int = 64) -> Rebalance:
+        self._check_can_rebalance(batch_size)
+        if index not in self._shards:
+            raise KeyError(f"no shard {index!r}")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        return self._begin([], [index], batch_size)
+
+    def remove_shard(self, index: int, batch_size: int = 64) -> RebalanceReport:
+        """Drain shard ``index`` into the survivors and drop it, verified
+        clean (grounded erase of every moved key, then decommission)."""
+        return self.begin_remove_shard(index, batch_size=batch_size).run()
+
+    def _spawn_shard(self) -> int:
+        index = self._next_shard_id
+        self._next_shard_id += 1
+        self._shards[index] = self._make_shard(index, solo=False)
+        return index
 
     # ----------------------------------------------------------------- writes
     def put(self, key: Any, value: Any) -> None:
@@ -514,17 +1083,50 @@ class ReplicatedStore:
 
     # ------------------------------------------------------------------ reads
     def read(
-        self, key: Any, replica: Optional[int] = None, use_cache: bool = True
+        self,
+        key: Any,
+        replica: Optional[int] = None,
+        use_cache: bool = True,
+        consistency: str = "one",
     ) -> Any:
-        """Read from the owning shard (primary, or one of its replicas)."""
-        return self._shard(key).read(key, replica=replica, use_cache=use_cache)
+        """Read from the owning shard — primary, one of its replicas, or a
+        ``consistency`` level ("one" / "quorum" / "all").  Mid-rebalance the
+        read dual-routes: ring-new first, fall back to ring-old."""
+        rebalance = self._rebalance
+        if rebalance is None:
+            return self._shard(key).read(
+                key, replica=replica, use_cache=use_cache, consistency=consistency
+            )
+        first, fallback = rebalance.route_read(key)
+        try:
+            return self._shards[first].read(
+                key, replica=replica, use_cache=use_cache, consistency=consistency
+            )
+        except TupleNotFoundError:
+            if fallback == first:
+                raise
+            return self._shards[fallback].read(
+                key, replica=replica, use_cache=use_cache, consistency=consistency
+            )
 
     # -------------------------------------------------------------- forensics
     def copies_of(self, key: Any) -> List[Tuple[CopyLocation, str]]:
         """Every location physically holding the value right now — live
-        entries, dead (unreclaimed) data, cache entries, and log/WAL
-        row images — on the key's owning shard."""
-        return self._shard(key).copies_of(key)
+        entries, dead (unreclaimed) data, cache entries, log/WAL row images
+        on the key's owning shard, and (mid-rebalance) both the old and new
+        owners plus a MIGRATION site while the move is in flight."""
+        rebalance = self._rebalance
+        if rebalance is None:
+            return self._shard(key).copies_of(key)
+        old, new = rebalance.owners(key)
+        found = list(self._shards[old].copies_of(key))
+        if new != old:
+            found.extend(self._shards[new].copies_of(key))
+        route = rebalance.in_flight_route(key)
+        if route is not None:
+            src, dst = route
+            found.append((CopyLocation.MIGRATION, f"shard-{src}→shard-{dst}"))
+        return found
 
     def lingering_copies(self, key: Any) -> List[Tuple[CopyLocation, str]]:
         """Copies surviving a delete — the §1 compliance hazard."""
@@ -534,16 +1136,51 @@ class ReplicatedStore:
     def erase_all_copies(self, key: Any) -> DistributedEraseReport:
         """The grounded distributed erase: track and delete every copy on
         the key's shard — primary, replicas, caches, replication log, and
-        each node's WAL — then verify via the tracker."""
-        return self._shard(key).erase_all_copies(key)
+        each node's WAL — then verify via the tracker.  Mid-rebalance the
+        erase covers *both* owning shards and cancels the key's move."""
+        rebalance = self._rebalance
+        if rebalance is None:
+            return self._shard(key).erase_all_copies(key)
+        old, new = rebalance.owners(key)
+        rebalance.cancel(key)
+        report = self._shards[new].erase_all_copies(key)
+        if old != new:
+            other = self._shards[old].erase_all_copies(key)
+            report = DistributedEraseReport(
+                key=key,
+                nodes_deleted=report.nodes_deleted + other.nodes_deleted,
+                caches_invalidated=(
+                    report.caches_invalidated + other.caches_invalidated
+                ),
+                dead_tuples_vacuumed=(
+                    report.dead_tuples_vacuumed + other.dead_tuples_vacuumed
+                ),
+                verified_clean=not self.copies_of(key),
+                log_values_scrubbed=(
+                    report.log_values_scrubbed + other.log_values_scrubbed
+                ),
+                shard=new,
+            )
+        return report
 
     def erase_many(self, keys: Sequence[Any]) -> BatchEraseReport:
         """Batch grounded erase: fan the victims out per shard, delete every
         copy, and run **one reclamation pass per node** instead of one per
-        key — the distributed analogue of the engine batch helpers."""
+        key — the distributed analogue of the engine batch helpers.
+        Mid-rebalance every victim is erased on both of its owners and its
+        move is cancelled."""
+        keys = list(keys)
+        rebalance = self._rebalance
         by_shard: Dict[int, List[Any]] = {}
         for key in keys:
-            by_shard.setdefault(self.shard_of(key), []).append(key)
+            if rebalance is None:
+                by_shard.setdefault(self.shard_of(key), []).append(key)
+            else:
+                old, new = rebalance.owners(key)
+                rebalance.cancel(key)
+                by_shard.setdefault(new, []).append(key)
+                if old != new:
+                    by_shard.setdefault(old, []).append(key)
         nodes_deleted = caches = vacuumed = scrubbed = reclaims = 0
         shard_seconds: List[float] = []
         for shard_index, shard_keys in sorted(by_shard.items()):
@@ -557,7 +1194,7 @@ class ReplicatedStore:
             reclaims += r
         clean = all(not self.copies_of(key) for key in keys)
         return BatchEraseReport(
-            n_keys=len(list(keys)),
+            n_keys=len(keys),
             shards_touched=len(by_shard),
             nodes_deleted=nodes_deleted,
             caches_invalidated=caches,

@@ -502,5 +502,34 @@ class LSMEngine:
         """``(key, (seqno, value))`` pairs currently buffered in memory."""
         return iter(self._memtable.items())
 
+    def live_items(
+        self, predicate: Optional[Callable[[Any], bool]] = None
+    ) -> List[Tuple[Any, Any]]:
+        """Newest live ``(key, value)`` pairs, memtable and every run
+        merged (the bulk-export primitive behind shard migration).
+
+        A full merge pays one probe per run — the predicate filters the
+        *result*, not the scan: selecting a hash range still reads every
+        physical site, exactly like a real LSM export.
+        """
+        self._cost.charge_memtable_op()
+        best: Dict[Any, Tuple[int, Any]] = {}
+        for key, (seqno, value) in self._memtable.items():
+            if key not in best or seqno > best[key][0]:
+                best[key] = (seqno, value)
+        for run in self.runs():
+            self._cost.charge_sstable_probe()
+            for key, seqno, value in run.entries():
+                if key not in best or seqno > best[key][0]:
+                    best[key] = (seqno, value)
+        return sorted(
+            (
+                (k, v)
+                for k, (_s, v) in best.items()
+                if v is not TOMBSTONE and (predicate is None or predicate(k))
+            ),
+            key=lambda kv: repr(kv[0]),
+        )
+
     def _now(self) -> int:
         return self._cost.clock.now

@@ -69,7 +69,18 @@ import hashlib
 import pickle
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.crypto.luks import SECTOR, LuksVolume
 from repro.lsm.engine import LSMEngine
@@ -237,6 +248,60 @@ class StorageBackend(ABC):
         whose reclamation is purely demand-driven have nothing to do
         between operations."""
 
+    # ----------------------------------------------------------- bulk export
+    def export_range(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, Any]]:
+        """Live ``(unit_id, value)`` pairs whose id the predicate selects —
+        the source side of a shard migration ("range" = a hash-ring arc,
+        expressed as a predicate since ring ranges wrap).
+
+        Reversibly-inaccessible units are exported wrapped in
+        :class:`FlaggedPayload` whatever mechanism the engine uses for the
+        flag (column, flag write, out-of-band bit), and
+        :meth:`import_batch` re-grounds the wrapper on arrival — a
+        migration must never silently undo a compliance-mandated
+        reversible erase at the key's new home.
+
+        The generic path scans the physical layout once and batch-reads the
+        matches; engines override it with their native scan (PSQL seq scan,
+        LSM merged run scan, crypto-shred volume sweep).
+        """
+        keys = sorted(
+            {k for k, live in self.forensic_scan() if live and predicate(k)},
+            key=repr,
+        )
+        out: List[Tuple[Any, Any]] = []
+        for key, value in zip(keys, self.read_many(keys)):
+            if self.is_inaccessible(key):
+                value = FlaggedPayload(True, value)
+            out.append((key, value))
+        return out
+
+    def import_batch(self, items: Sequence[Tuple[Any, Any]]) -> int:
+        """Destination side of a shard migration: bulk-load ``(unit_id,
+        value)`` pairs through the COPY-style path and hit a durability
+        point, so the imported copies survive exactly like written ones.
+        The migration planner guarantees the ids are fresh on this node.
+
+        ``FlaggedPayload``-wrapped values (reversibly-inaccessible units in
+        transit) are unwrapped and re-grounded through this engine's own
+        flag mechanism, preserving the inaccessibility across the move.
+        """
+        items = list(items)
+        plain = [
+            (k, v) for k, v in items if not isinstance(v, FlaggedPayload)
+        ]
+        count = self.insert_many(plain) if plain else 0
+        for key, value in items:
+            if isinstance(value, FlaggedPayload):
+                self.insert(key, value.value, fresh=True)
+                if value.flagged:
+                    self.make_inaccessible(key)
+                count += 1
+        self.commit()
+        return count
+
     def purge_history(self, unit_id: Any) -> int:
         """Scrub the unit's traces from the engine's recovery log, if it
         keeps one (the P_SYS erase grounding).  Returns records purged."""
@@ -354,6 +419,23 @@ class PsqlBackend(StorageBackend):
 
     def log_holds_value(self, unit_id: Any) -> bool:
         return self.engine.wal_holds_value(self.table, unit_id)
+
+    # ----------------------------------------------------------- bulk export
+    def export_range(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, Any]]:
+        """Sequential scan over live tuples, filtered by key — the COPY-out
+        side of a shard migration.  Rows whose retrofit flag column is set
+        travel as :class:`FlaggedPayload` so the flag state survives the
+        move (the column itself is not part of the payload)."""
+        out: List[Tuple[Any, Any]] = []
+        for key, value in self.engine.seq_scan(
+            self.table, lambda key, _value: predicate(key)
+        ):
+            if self.engine.is_flagged(self.table, key):
+                value = FlaggedPayload(True, value)
+            out.append((key, value))
+        return sorted(out, key=lambda kv: repr(kv[0]))
 
     # -------------------------------------------------------------- forensics
     def physically_present(self, unit_id: Any) -> bool:
@@ -505,6 +587,16 @@ class LsmBackend(StorageBackend):
         """Run any compaction work the deferred scheduler has queued — the
         between-operations hook of the compaction subsystem."""
         self.engine.run_pending_compactions()
+
+    # ----------------------------------------------------------- bulk export
+    def export_range(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, Any]]:
+        """Merged newest-live scan over memtable + every run, filtered by
+        key.  Values come back as stored — ``FlaggedPayload`` wrappers
+        included — so migration preserves reversible-inaccessibility state.
+        """
+        return self.engine.live_items(predicate)
 
     # -------------------------------------------------------------- forensics
     def physically_present(self, unit_id: Any) -> bool:
@@ -791,6 +883,27 @@ class CryptoShredBackend(StorageBackend):
         self._cost.charge_sanitize(pages)
         entry.live = False
         self.sanitize_count += 1
+
+    # ----------------------------------------------------------- bulk export
+    def export_range(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, Any]]:
+        """Decrypt-and-export every live volume the predicate selects: the
+        plaintext exists only in transit, and the source volumes stay
+        intact (and tracked) until the migration's grounded erase shreds
+        their keys.  Flagged (reversibly-inaccessible) entries travel as
+        :class:`FlaggedPayload` so the out-of-band visibility bit survives
+        the move."""
+        self._cost.charge_tuple_cpu(len(self._entries))  # catalog sweep
+        out: List[Tuple[Any, Any]] = []
+        for unit_id, entry in self._entries.items():
+            if not entry.live or not predicate(unit_id):
+                continue
+            value = self._read_value(entry)
+            if entry.flagged:
+                value = FlaggedPayload(True, value)
+            out.append((unit_id, value))
+        return sorted(out, key=lambda kv: repr(kv[0]))
 
     # -------------------------------------------------------------- forensics
     def physically_present(self, unit_id: Any) -> bool:

@@ -59,6 +59,12 @@ from repro.systems.backends import StorageBackend, make_backend
 #: regulation, no stored policy required.
 SUBJECT_ACCESS_PURPOSE = "subject-access"
 
+#: Purpose recorded for grounded shard-migration MOVE actions: operational
+#: processing the controller performs on its own infrastructure (moving a
+#: value between physical sites is processing the audit trail must show —
+#: the *Data Capsule* accountability requirement).
+REBALANCE_PURPOSE = "shard-rebalance"
+
 
 @dataclass(frozen=True)
 class SubjectAccessResult:
@@ -168,9 +174,15 @@ class CompliantDatabase:
         self._select_erasure(default_erasure)
         # Lawful without an explicit stored policy: the collection contract
         # itself (GDPR Art. 6(1)(b) — processing necessary for a contract),
-        # compliance-mandated erasure (Art. 17), and subject access (Art. 15).
+        # compliance-mandated erasure (Art. 17), subject access (Art. 15),
+        # and grounded shard migration (Art. 6(1)(f) — operating the
+        # controller's own infrastructure, lawful precisely because every
+        # move is tracked and its source grounded; see _record_move).
         self._regulation_requires = regulation_requires_any_of(
-            Purpose.COMPLIANCE_ERASE, Purpose.CONTRACT, SUBJECT_ACCESS_PURPOSE
+            Purpose.COMPLIANCE_ERASE,
+            Purpose.CONTRACT,
+            SUBJECT_ACCESS_PURPOSE,
+            REBALANCE_PURPOSE,
         )
 
     # -------------------------------------------------------------- grounding
@@ -549,6 +561,36 @@ class CompliantDatabase:
                     f"L{event.target_level} ({event.reason})"
                 ),
             )
+
+    def attach_replicated_store(self, store: Any) -> None:
+        """Subscribe to a :class:`~repro.distributed.store.ReplicatedStore`'s
+        grounded key moves so each one lands in the audit timeline.
+
+        A rebalance copies values between shards; the copy is compliant
+        only because it is tracked (``CopyLocation.MIGRATION``) and the
+        source is ground-erased — this hook makes that demonstrable: every
+        completed move is a MOVE action in the unit's history, exactly like
+        COMPACT records the physical completion of an LSM delete.
+        """
+        store.add_move_listener(self._record_move)
+
+    def _record_move(self, event: Any) -> None:
+        """Audit hook for grounded shard migrations (see
+        :meth:`attach_replicated_store`).  Keys unknown to the model are
+        skipped — the audit timeline only speaks about modelled units."""
+        if not isinstance(event.key, str) or event.key not in self.model:
+            return
+        self.log.record(
+            event.key,
+            REBALANCE_PURPOSE,
+            self.controller,
+            ActionType.MOVE,
+            self.clock.now,
+            detail=(
+                f"shard-{event.source}→shard-{event.dest} "
+                f"(source grounded erase verified at store t={event.at})"
+            ),
+        )
 
     def restore(self, unit_id: str, entity: Optional[Entity] = None) -> None:
         """Undo reversible inaccessibility (the transformation is invertible)."""

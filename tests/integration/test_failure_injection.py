@@ -7,7 +7,6 @@ and assert that exactly the right invariant fails — the compliance checker
 is only worth its name if violations are *attributable*.
 """
 
-import pytest
 
 from repro.core.actions import ActionType
 from repro.core.consistency import regulation_requires_any_of

@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.lsm.engine import LSMEngine
-from repro.lsm.memtable import TOMBSTONE
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 

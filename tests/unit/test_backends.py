@@ -337,6 +337,71 @@ class TestCryptoShredSpecific:
         assert b._graveyard == []
 
 
+class TestBulkMigrationHooks:
+    """export_range / import_batch — the shard-migration transport."""
+
+    def _loaded(self, backend, n=20):
+        for i in range(n):
+            backend.insert(f"u{i:03d}", {"i": i})
+        return [f"u{i:03d}" for i in range(n)]
+
+    def test_export_selects_by_predicate(self, backend):
+        keys = self._loaded(backend)
+        wanted = set(keys[::3])
+        items = backend.export_range(lambda k: k in wanted)
+        assert [k for k, _v in items] == sorted(wanted)
+        assert all(v == {"i": int(k[1:])} for k, v in items)
+
+    def test_export_skips_dead_entries(self, backend):
+        keys = self._loaded(backend)
+        backend.delete(keys[0])
+        items = backend.export_range(lambda k: True)
+        exported = {k for k, _v in items}
+        assert keys[0] not in exported
+        assert exported == set(keys[1:])
+
+    def test_export_reflects_latest_update(self, backend):
+        keys = self._loaded(backend)
+        backend.update(keys[1], {"i": -1})
+        items = dict(backend.export_range(lambda k: k == keys[1]))
+        assert items == {keys[1]: {"i": -1}}
+
+    def test_import_batch_roundtrips(self, backend):
+        source = make_backend(backend.name, make_cost())
+        keys = self._loaded(source)
+        items = source.export_range(lambda k: True)
+        assert backend.import_batch(items) == len(keys)
+        for key in keys:
+            assert backend.read(key) == {"i": int(key[1:])}
+
+    def test_flag_state_survives_migration(self, backend):
+        """Regression: a reversibly-inaccessible unit must arrive at its
+        new shard still inaccessible — whatever mechanism the engine uses
+        for the flag (column, flag write, out-of-band bit), a migration
+        silently restoring access would undo a compliance-mandated erase."""
+        source = make_backend(backend.name, make_cost())
+        source.insert("a", "secret")
+        source.insert("b", "plain")
+        source.make_inaccessible("a")
+        backend.import_batch(source.export_range(lambda k: True))
+        assert backend.is_inaccessible("a") is True
+        assert backend.is_inaccessible("b") is False
+        backend.restore("a")  # the transformation stays invertible
+        assert backend.read("a") == "secret"
+        assert backend.read("b") == "plain"
+
+    def test_exported_values_survive_source_erase(self, backend):
+        """The migration contract: the destination copy is independent of
+        the source's physical footprint."""
+        source = make_backend(backend.name, make_cost())
+        keys = self._loaded(source, n=6)
+        backend.import_batch(source.export_range(lambda k: True))
+        source.erase_many(keys)
+        for key in keys:
+            assert not source.physically_present(key)
+            assert backend.read(key) == {"i": int(key[1:])}
+
+
 class TestWalCopyTracking:
     """Regression: erased units' payloads lingered in the WAL forever.
 

@@ -71,6 +71,30 @@ class TestCli:
         assert "Figure 4(c)" in out
         assert "WCus" in out
 
+    def test_rebalance_grow(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "200", "--shards", "4", "--to", "5",
+             "--replicas", "1", "--consistency", "quorum"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MIGRATION site(s) tracked" in out
+        assert "verified_clean=True" in out
+        assert "verified clean: True" in out
+        assert "resize 4→5" in out
+
+    def test_rebalance_shrink_drains_shards(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "120", "--shards", "3", "--to", "2",
+             "--replicas", "1", "--backend", "lsm"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "drained shards empty" in out
+
+    def test_rebalance_requires_topology_change(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "10", "--shards", "2", "--to", "2"]
+        ) == 2
+
     def test_audit_clean_profile(self, capsys):
         assert main(["audit", "--profile", "P_Base"]) == 0
         assert "no grounding incompatibilities" in capsys.readouterr().out

@@ -5,7 +5,6 @@ import pytest
 from repro.core.compatibility import (
     DeploymentSelection,
     HistoryGrounding,
-    Incompatibility,
     Severity,
     check_compatibility,
     has_conflicts,

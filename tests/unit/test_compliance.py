@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
-from repro.core.compliance import ComplianceChecker, ComplianceReport
+from repro.core.compliance import ComplianceChecker
 from repro.core.dataunit import Database, DataUnit
 from repro.core.entities import controller, data_subject
 from repro.core.invariants import G6PolicyConsistency, G17ErasureDeadline

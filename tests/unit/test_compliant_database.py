@@ -9,7 +9,6 @@ from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind
 from repro.systems.database import (
     CompliantDatabase,
-    EraseOutcome,
     UnsupportedGroundingError,
 )
 

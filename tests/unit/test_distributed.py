@@ -1,4 +1,11 @@
-"""Unit tests for the replicated store — the §1 distributed-erasure hazard."""
+"""Unit tests for the replicated store — the §1 distributed-erasure hazard.
+
+Parametrized over every storage backend (the way the profile/figure tests
+are): the sharding and erasure invariants must hold whether retention lives
+in MVCC dead tuples, LSM shadowed values, or unshredded key volumes.
+Engine-specific forensics (psql WAL row images, LSM SSTable copy sites)
+keep their own dedicated classes.
+"""
 
 import pytest
 
@@ -8,6 +15,13 @@ from repro.distributed.store import (
 )
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
+
+BACKENDS = ("psql", "lsm", "crypto-shred")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
 
 
 def make_store(**kwargs):
@@ -24,26 +38,26 @@ def advance(clock, micros):
 
 
 class TestReplication:
-    def test_put_visible_on_primary_immediately(self):
-        store, _ = make_store()
+    def test_put_visible_on_primary_immediately(self, backend):
+        store, _ = make_store(backend=backend)
         store.put("k", "v")
         assert store.read("k") == "v"
 
-    def test_replica_read_before_lag_misses(self):
-        store, _ = make_store()
+    def test_replica_read_before_lag_misses(self, backend):
+        store, _ = make_store(backend=backend)
         store.put("k", "v")
         with pytest.raises(Exception):
             store.read("k", replica=0)
 
-    def test_replica_read_after_lag_hits(self):
-        store, clock = make_store()
+    def test_replica_read_after_lag_hits(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("k", "v")
         advance(clock, 60_000)
         assert store.read("k", replica=0) == "v"
         assert store.replication_backlog(0) == 0
 
-    def test_backlog_counts_unapplied(self):
-        store, clock = make_store()
+    def test_backlog_counts_unapplied(self, backend):
+        store, clock = make_store(backend=backend)
         for i in range(5):
             store.put(i, i)
         assert store.replication_backlog(0) == 5
@@ -51,8 +65,8 @@ class TestReplication:
         store.read(0, replica=0)  # lazily applies
         assert store.replication_backlog(0) == 0
 
-    def test_update_propagates(self):
-        store, clock = make_store()
+    def test_update_propagates(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("k", "v1")
         store.update("k", "v2")
         advance(clock, 60_000)
@@ -68,8 +82,8 @@ class TestReplication:
 
 
 class TestCaching:
-    def test_cache_serves_within_ttl(self):
-        store, clock = make_store()
+    def test_cache_serves_within_ttl(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("k", "v")
         advance(clock, 60_000)
         store.read("k", replica=0)  # populate cache
@@ -77,8 +91,8 @@ class TestCaching:
         store.read("k", replica=0)  # cache hit: cheap
         assert clock.now - before < CostBook().page_read
 
-    def test_cache_expires_after_ttl(self):
-        store, clock = make_store(cache_ttl=10_000)
+    def test_cache_expires_after_ttl(self, backend):
+        store, clock = make_store(backend=backend, cache_ttl=10_000)
         store.put("k", "v")
         store.read("k")  # primary cache populated
         advance(clock, 20_000)
@@ -88,40 +102,57 @@ class TestCaching:
         store.read("k")
         assert store.read("k") == "v"
 
-    def test_uncached_read(self):
-        store, _ = make_store()
+    def test_uncached_read(self, backend):
+        store, _ = make_store(backend=backend)
         store.put("k", "v")
         assert store.read("k", use_cache=False) == "v"
         assert (CopyLocation.CACHE, "primary") not in store.copies_of("k")
 
+    def test_read_after_grounded_erase_does_not_replant_cache(self, backend):
+        """Regression: a negative read must never cache — a miss after a
+        grounded erase would otherwise replant a CACHE entry that
+        copies_of/lingering_copies report as a copy of the erased key."""
+        store, clock = make_store(backend=backend)
+        store.put("pii", "sensitive")
+        advance(clock, 60_000)
+        store.read("pii", replica=0)
+        report = store.erase_all_copies("pii")
+        assert report.verified_clean
+        for kwargs in ({}, {"replica": 0}, {"consistency": "quorum"}):
+            with pytest.raises(Exception):
+                store.read("pii", **kwargs)
+            assert store.copies_of("pii") == [], kwargs
+
 
 class TestNaiveDeleteHazard:
-    def _seed(self):
-        store, clock = make_store()
+    def _seed(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("pii", "sensitive")
         advance(clock, 60_000)
         store.read("pii", replica=0)  # replica applied + cached
         store.read("pii", replica=1)
         return store, clock
 
-    def test_replicas_and_caches_linger_after_primary_delete(self):
-        store, _clock = self._seed()
+    def test_replicas_and_caches_linger_after_primary_delete(self, backend):
+        store, _clock = self._seed(backend)
         store.naive_delete("pii")
         lingering = store.lingering_copies("pii")
         locations = {loc for loc, _name in lingering}
-        # primary dead tuple + replica live copies + cache entries
-        assert CopyLocation.PRIMARY in locations  # dead tuple retained
+        # replica live copies + cache entries survive on every backend;
+        # psql additionally retains the primary's dead tuple.
         assert CopyLocation.REPLICA in locations
         assert CopyLocation.CACHE in locations
+        if backend == "psql":
+            assert CopyLocation.PRIMARY in locations  # dead tuple retained
 
-    def test_stale_replica_still_serves_after_primary_delete(self):
-        store, clock = self._seed()
+    def test_stale_replica_still_serves_after_primary_delete(self, backend):
+        store, clock = self._seed(backend)
         store.naive_delete("pii")
         # before the lag elapses, replicas happily serve the value
         assert store.read("pii", replica=0) == "sensitive"
 
-    def test_lag_and_vacuum_do_not_clear_caches(self):
-        store, clock = self._seed()
+    def test_lag_and_vacuum_do_not_clear_caches(self, backend):
+        store, clock = self._seed(backend)
         store.naive_delete("pii")
         advance(clock, 60_000)
         # replication applied on read path; cache invalidated by the delete
@@ -131,8 +162,8 @@ class TestNaiveDeleteHazard:
 
 
 class TestGroundedDistributedErase:
-    def test_erase_all_copies_is_clean(self):
-        store, clock = make_store()
+    def test_erase_all_copies_is_clean(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("pii", "sensitive")
         advance(clock, 60_000)
         store.read("pii", replica=0)
@@ -141,10 +172,17 @@ class TestGroundedDistributedErase:
         assert report.verified_clean
         assert store.copies_of("pii") == []
         assert report.caches_invalidated >= 2
+
+    def test_erase_vacuums_dead_data(self):
+        store, clock = make_store()  # psql: dead MVCC tuples are countable
+        store.put("pii", "sensitive")
+        advance(clock, 60_000)
+        store.read("pii", replica=0)
+        report = store.erase_all_copies("pii")
         assert report.dead_tuples_vacuumed >= 1
 
-    def test_erase_after_naive_delete_cleans_leftovers(self):
-        store, clock = make_store()
+    def test_erase_after_naive_delete_cleans_leftovers(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("pii", "v")
         advance(clock, 60_000)
         store.read("pii", replica=0)
@@ -154,8 +192,8 @@ class TestGroundedDistributedErase:
         assert report.verified_clean
         assert store.lingering_copies("pii") == []
 
-    def test_erase_unknown_key_is_clean_noop(self):
-        store, _ = make_store()
+    def test_erase_unknown_key_is_clean_noop(self, backend):
+        store, _ = make_store(backend=backend)
         report = store.erase_all_copies("ghost")
         assert report.verified_clean
         assert report.nodes_deleted == 0
@@ -166,21 +204,21 @@ class TestReplicationLogRetention:
     ``erase_all_copies`` reported ``verified_clean=True`` while the erased
     value still sat in the log — and ``copies_of`` never counted the log."""
 
-    def test_log_is_a_copy_location(self):
-        store, _ = make_store()
+    def test_log_is_a_copy_location(self, backend):
+        store, _ = make_store(backend=backend)
         store.put("pii", "sensitive")
         locations = {loc for loc, _name in store.copies_of("pii")}
         assert CopyLocation.LOG in locations
 
-    def test_naive_delete_leaves_value_in_log(self):
-        store, _ = make_store()
+    def test_naive_delete_leaves_value_in_log(self, backend):
+        store, _ = make_store(backend=backend)
         store.put("pii", "sensitive")
         store.naive_delete("pii")
         locations = {loc for loc, _name in store.lingering_copies("pii")}
         assert CopyLocation.LOG in locations
 
-    def test_erase_all_copies_scrubs_log(self):
-        store, clock = make_store()
+    def test_erase_all_copies_scrubs_log(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("pii", "sensitive")
         store.update("pii", "still sensitive")
         advance(clock, 60_000)
@@ -202,8 +240,8 @@ class TestReplicationLogRetention:
         # no node, cache, or dead tuple holds the value — only the log does
         assert store.copies_of("pii") == [(CopyLocation.LOG, "primary")]
 
-    def test_scrubbed_entries_do_not_break_later_replication(self):
-        store, clock = make_store()
+    def test_scrubbed_entries_do_not_break_later_replication(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("pii", "sensitive")
         store.erase_all_copies("pii")
         store.put("other", "fine")
@@ -211,8 +249,8 @@ class TestReplicationLogRetention:
         assert store.read("other", replica=0) == "fine"
         assert store.replication_backlog(0) == 0
 
-    def test_other_keys_survive_targeted_erase(self):
-        store, clock = make_store()
+    def test_other_keys_survive_targeted_erase(self, backend):
+        store, clock = make_store(backend=backend)
         store.put("a", 1)
         store.put("b", 2)
         advance(clock, 60_000)
@@ -225,7 +263,7 @@ class TestReplicationLogRetention:
 
 class TestWalCopyLocation:
     """The node-level WAL is one storage layer below the replication log —
-    the same retention hazard, tracked the same way."""
+    the same retention hazard, tracked the same way (psql keeps a WAL)."""
 
     def test_wal_is_a_copy_location(self):
         store, _ = make_store()
@@ -252,8 +290,8 @@ class TestWalCopyLocation:
 
 
 class TestSharding:
-    def test_routing_is_deterministic_and_total(self):
-        store, _ = make_store(shards=4, n_replicas=1)
+    def test_routing_is_deterministic_and_total(self, backend):
+        store, _ = make_store(backend=backend, shards=4, n_replicas=1)
         owners = {f"k{i}": store.shard_of(f"k{i}") for i in range(64)}
         assert set(owners.values()) <= set(range(4))
         assert len(set(owners.values())) > 1  # keys actually spread out
@@ -265,8 +303,8 @@ class TestSharding:
         with pytest.raises(ValueError):
             ReplicatedStore(CostModel(clock), shards=0)
 
-    def test_put_read_roundtrip_across_shards(self):
-        store, clock = make_store(shards=4, n_replicas=1)
+    def test_put_read_roundtrip_across_shards(self, backend):
+        store, clock = make_store(backend=backend, shards=4, n_replicas=1)
         for i in range(32):
             store.put(f"k{i}", i)
         for i in range(32):
@@ -275,8 +313,8 @@ class TestSharding:
         for i in range(32):
             assert store.read(f"k{i}", replica=0) == i
 
-    def test_erase_all_copies_routes_to_owner_shard(self):
-        store, clock = make_store(shards=4, n_replicas=1)
+    def test_erase_all_copies_routes_to_owner_shard(self, backend):
+        store, clock = make_store(backend=backend, shards=4, n_replicas=1)
         for i in range(16):
             store.put(f"k{i}", i)
         advance(clock, 60_000)
@@ -315,8 +353,8 @@ class TestBatchErase:
             store.read(f"k{i}", replica=0)
         return store, clock
 
-    def test_erase_many_is_clean_across_shards(self):
-        store, _ = self._loaded()
+    def test_erase_many_is_clean_across_shards(self, backend):
+        store, _ = self._loaded(backend=backend)
         victims = [f"k{i}" for i in range(16)]
         report = store.erase_many(victims)
         assert report.verified_clean
@@ -326,34 +364,24 @@ class TestBatchErase:
         for i in range(16, 32):
             assert store.read(f"k{i}") == i
 
-    def test_erase_many_amortizes_reclamation(self):
+    def test_erase_many_amortizes_reclamation(self, backend):
         """One reclamation pass per node per batch — not per key."""
-        store, _ = self._loaded(shards=4, n=32)
+        store, _ = self._loaded(shards=4, n=32, backend=backend)
         victims = [f"k{i}" for i in range(16)]
         report = store.erase_many(victims)
         assert report.shards_touched <= 4
         assert report.reclamations == report.shards_touched * 2  # R+1 nodes
         assert report.reclamations < len(victims)
 
-    def test_erase_many_scrubs_logs_and_wals(self):
-        store, _ = self._loaded()
+    def test_erase_many_scrubs_logs_and_wals(self, backend):
+        store, _ = self._loaded(backend=backend)
         victims = [f"k{i}" for i in range(8)]
         report = store.erase_many(victims)
         assert report.log_values_scrubbed >= len(victims)
         for key in victims:
             assert not store.lingering_copies(key)
 
-    @pytest.mark.parametrize("backend", ["psql", "lsm", "crypto-shred"])
-    def test_batch_erase_clean_on_every_backend(self, backend):
-        store, _ = self._loaded(shards=2, n=12, backend=backend)
-        victims = [f"k{i}" for i in range(6)]
-        report = store.erase_many(victims)
-        assert report.verified_clean, backend
-        for i in range(6, 12):
-            assert store.read(f"k{i}") == i
 
-
-@pytest.mark.parametrize("backend", ["psql", "lsm", "crypto-shred"])
 class TestBackendParametrization:
     """The distributed erase story is engine-pluggable (§1: all copies,
     whatever the engine's retention mechanism)."""

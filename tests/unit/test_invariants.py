@@ -1,6 +1,5 @@
 """Unit tests for the regulation invariants (§2.2, Figure 1)."""
 
-import pytest
 
 from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
 from repro.core.consistency import regulation_requires_any_of

@@ -1,0 +1,97 @@
+"""Unit tests for the consistent-hash ring — the elastic-routing seam."""
+
+import pytest
+
+from repro.distributed.ring import DEFAULT_VNODES, HashRing, stable_hash
+
+KEYS = [f"u{i:05d}" for i in range(2_000)]
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_needs_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing([0], vnodes=0)
+
+    def test_nodes_deduplicated_and_sorted(self):
+        ring = HashRing([2, 0, 2, 1])
+        assert ring.nodes == (0, 1, 2)
+        assert len(ring) == 3
+        assert 1 in ring and 7 not in ring
+
+    def test_with_nodes_keeps_vnode_density(self):
+        ring = HashRing([0, 1], vnodes=16)
+        assert ring.with_nodes([0, 1, 2]).vnodes == 16
+
+
+class TestRouting:
+    def test_owner_is_deterministic_and_total(self):
+        ring = HashRing(range(4))
+        owners = {key: ring.owner(key) for key in KEYS}
+        assert set(owners.values()) == {0, 1, 2, 3}
+        for key, owner in owners.items():
+            assert ring.owner(key) == owner
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing([7])
+        assert all(ring.owner(key) == 7 for key in KEYS[:100])
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(range(4), vnodes=DEFAULT_VNODES)
+        counts = {n: 0 for n in ring.nodes}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        # 64 vnodes/shard keeps every shard within a loose band of fair
+        # share (25% of 2000 = 500) — no shard starves or hoards.
+        assert all(150 <= c <= 900 for c in counts.values()), counts
+
+    def test_stable_hash_is_process_independent(self):
+        # blake2b of repr — pinned so routing survives restarts.
+        assert stable_hash("u00000") == stable_hash("u00000")
+        assert stable_hash("a") != stable_hash("b")
+        assert stable_hash(("k", 1)) != stable_hash(("k", 2))
+
+
+class TestElasticity:
+    """The reason the ring exists: topology changes move few keys."""
+
+    def test_growing_moves_roughly_one_nth(self):
+        old = HashRing(range(4))
+        new = old.with_nodes(range(5))
+        moved = old.moved_keys(KEYS, new)
+        # Target K/5 = 20%; allow generous variance for vnode placement.
+        assert 0.08 <= len(moved) / len(KEYS) <= 0.35
+
+    def test_growing_moves_far_fewer_than_modulo(self):
+        old = HashRing(range(4))
+        new = old.with_nodes(range(5))
+        ring_moved = len(old.moved_keys(KEYS, new))
+        modulo_moved = sum(
+            1 for k in KEYS if stable_hash(k) % 4 != stable_hash(k) % 5
+        )
+        assert ring_moved < modulo_moved / 2
+
+    def test_moved_keys_all_route_to_the_new_node_on_grow(self):
+        old = HashRing(range(4))
+        new = old.with_nodes(range(5))
+        for key in old.moved_keys(KEYS, new):
+            assert new.owner(key) == 4  # grow only feeds the newcomer
+
+    def test_removal_only_moves_the_victims_keys(self):
+        old = HashRing(range(4))
+        new = old.with_nodes([0, 1, 3])  # drop a middle shard
+        for key in KEYS:
+            if old.owner(key) != 2:
+                # Survivors keep every key they had.
+                assert new.owner(key) == old.owner(key)
+            else:
+                assert new.owner(key) != 2
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing(range(4))
+        grown = ring.with_nodes(range(5))
+        shrunk = grown.with_nodes(range(4))
+        assert all(ring.owner(k) == shrunk.owner(k) for k in KEYS[:500])

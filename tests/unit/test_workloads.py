@@ -7,8 +7,6 @@ import pytest
 from repro.workloads.base import (
     KeyPool,
     OpKind,
-    Operation,
-    Workload,
     build_mixed_workload,
 )
 from repro.workloads.gdprbench import (
