@@ -1,8 +1,9 @@
-"""Sharded distributed erasure — batch erase, elastic resize, quorum reads.
+"""Sharded distributed erasure — batch erase, elastic resize, background
+rebalance under live load, quorum reads.
 
 The grounded distributed erase must remove *every* copy — primaries,
 replicas, caches, replication logs, node WALs (§1) — and that guarantee
-must survive topology change and replica staleness.  Three sections:
+must survive topology change and replica staleness.  Four sections:
 
 **Batch erase** (per backend × shard count): the naive per-key loop
 (``erase_all_copies`` per victim) vs the batch ``erase_many`` path, which
@@ -16,6 +17,17 @@ keyspace a modulo router would reshuffle, MIGRATION copy sites tracked
 while batches were in flight, and whether an ``erase_all_copies`` +
 ``erase_many`` issued *mid-rebalance* verified clean (they must — an
 untracked in-flight copy is a silent Art. 17 leak).
+
+**Rebalance under load**: the background half of the story.  A
+``RebalanceDriver`` advances a 4→5 weighted resize in bounded
+``step(budget_keys=…)`` increments while the GDPRBench erasure-study mix
+(20% grounded deletes, 80% quorum reads) runs live between steps
+(``repro.workloads.driver``).  Reported per backend: how many bounded
+steps the migration took, the grounded erases the workload issued
+mid-rebalance (every one must verify clean), completed read repairs
+(quorum reads observing migration-induced replica divergence queue an
+asynchronous re-sync), and the moved-key fraction — still gated against
+the committed movement baseline.
 
 **Quorum reads**: mean simulated read latency at ``consistency =
 one | quorum | all``, plus the stale-replica hazard: after the primary
@@ -53,10 +65,15 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.distributed.ring import stable_hash
-from repro.distributed.store import CopyLocation, ReplicatedStore
+from repro.distributed.store import (
+    CopyLocation,
+    RebalanceDriver,
+    ReplicatedStore,
+)
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.storage.errors import TupleNotFoundError
+from repro.workloads import erasure_study_workload, run_interleaved
 
 N_REPLICAS = 1
 REPLICATION_LAG = 50_000
@@ -109,6 +126,40 @@ class RebalanceRunResult:
     migration_sites_seen: int
     mid_erase_clean: bool
     data_intact: bool
+
+
+@dataclass(frozen=True)
+class UnderLoadRunResult:
+    """One backend's background-rebalance-under-live-load measurement.
+
+    The migration advances only through bounded ``step(budget_keys)``
+    calls interleaved with the erasure-study mix; ``erases`` counts the
+    grounded ``erase_all_copies`` the workload issued while the topology
+    change was live (``erases_clean`` says all of them verified zero
+    lingering copies) and ``repairs`` the completed read repairs quorum
+    reads triggered.  ``moved_fraction`` gates against the same committed
+    baseline as the stop-the-world section.
+    """
+
+    backend: str
+    workload: str
+    shards_from: int
+    shards_to: int
+    n_keys: int
+    ops_applied: int
+    driver_steps: int
+    budget_keys: int
+    keys_moved: int
+    moved_fraction: float
+    modulo_fraction: float
+    erases: int
+    erases_clean: bool
+    mid_erase_clean: bool
+    repairs: int
+    migration_sites_seen: int
+    verified_clean: bool
+    data_intact: bool
+    seconds: float
 
 
 @dataclass(frozen=True)
@@ -252,6 +303,106 @@ def run_rebalance(
     )
 
 
+def run_rebalance_under_load(
+    backend: str,
+    shards_from: int = 4,
+    shards_to: int = 5,
+    n_keys: int = 300,
+    n_ops: int = 400,
+    budget_keys: int = 12,
+    ops_per_step: int = 20,
+) -> UnderLoadRunResult:
+    """Background resize driven in bounded steps under the erasure mix.
+
+    Quorum reads, grounded erases, and writes all interleave with the key
+    movement; the first in-flight key is additionally erased explicitly
+    (the classic mid-rebalance Art. 17 stress) before traffic starts.
+    """
+    cost = CostModel(SimClock(), CostBook())
+    store = _loaded_store(backend, shards_from, n_keys, cost, n_replicas=2)
+    keys = [f"u{i:06d}" for i in range(n_keys)]
+    expected = {key: (i, "payload") for i, key in enumerate(keys)}
+    modulo_moved = sum(
+        1
+        for key in keys
+        if stable_hash(key) % shards_from != stable_hash(key) % shards_to
+    )
+    workload = erasure_study_workload(n_keys, n_ops)
+
+    t0 = cost.clock.now
+    driver = RebalanceDriver(
+        store.begin_resize(shards_to, batch_size=budget_keys)
+    )
+    rebalance = driver.rebalance
+    rebalance.step()  # copy half-step: the first batch goes in flight
+    in_flight = [key for key in keys if rebalance.in_flight_route(key)]
+    migration_sites = sum(
+        1
+        for key in in_flight
+        for loc, _name in store.copies_of(key)
+        if loc is CopyLocation.MIGRATION
+    )
+    mid_clean = True
+    victims: List[str] = []
+    if in_flight:
+        victims = in_flight[:1]
+        mid_clean = store.erase_all_copies(victims[0]).verified_clean
+        mid_clean = mid_clean and not store.copies_of(victims[0])
+    run = run_interleaved(
+        store,
+        workload,
+        driver,
+        ops_per_step=ops_per_step,
+        budget_keys=budget_keys,
+        consistency="quorum",
+    )
+    seconds = (cost.clock.now - t0) / 1e6
+    report = driver.report
+
+    erased = set(victims)
+    erased.update(
+        f"u{op.key:06d}" for op in workload if op.kind.value == "delete"
+    )
+    survivors = [key for key in keys if key not in erased]
+    data_intact = all(
+        store.read(key) == expected[key] for key in survivors
+    ) and all(not store.copies_of(key) for key in erased)
+    examined = report.keys_examined
+    affected = report.keys_moved + report.keys_skipped
+    return UnderLoadRunResult(
+        backend=backend,
+        workload=workload.name,
+        shards_from=shards_from,
+        shards_to=shards_to,
+        n_keys=n_keys,
+        ops_applied=run.ops_applied,
+        driver_steps=driver.steps,
+        budget_keys=budget_keys,
+        keys_moved=report.keys_moved,
+        moved_fraction=(affected / examined) if examined else 0.0,
+        modulo_fraction=modulo_moved / n_keys,
+        erases=run.erases + len(victims),
+        erases_clean=run.erases_verified_clean,
+        mid_erase_clean=mid_clean,
+        repairs=run.repairs,
+        migration_sites_seen=migration_sites,
+        verified_clean=report.verified_clean,
+        data_intact=data_intact,
+        seconds=seconds,
+    )
+
+
+def compare_rebalance_under_load(
+    n_keys: int = 300,
+    n_ops: int = 400,
+    backends: Sequence[str] = ("psql", "lsm", "crypto-shred"),
+) -> List[UnderLoadRunResult]:
+    return [
+        run_rebalance_under_load(backend, n_keys=n_keys, n_ops=n_ops)
+        for backend in backends
+    ]
+
+
 def run_quorum_reads(
     backend: str, n_keys: int = 200, n_replicas: int = 2
 ) -> List[QuorumRunResult]:
@@ -362,6 +513,31 @@ def render_rebalance(results: Sequence[RebalanceRunResult]) -> str:
     return "\n".join(lines)
 
 
+def render_under_load(results: Sequence[UnderLoadRunResult]) -> str:
+    header = (
+        f"{'backend':<13} {'resize':>7} {'steps':>6} {'moved':>11} "
+        f"{'ring %':>7} {'erases':>7} {'repairs':>8} {'mid-erase':>10} "
+        f"{'clean':>6}"
+    )
+    r0 = results[0]
+    lines = [
+        f"Background rebalance under live load ({r0.workload}: "
+        f"{r0.ops_applied} ops, step(budget_keys={r0.budget_keys}) "
+        "interleaved)",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(
+            f"{r.backend:<13} {r.shards_from:>3}→{r.shards_to:<3} "
+            f"{r.driver_steps:>6} {r.keys_moved:>4}/{r.n_keys:<6} "
+            f"{r.moved_fraction:>6.0%} {r.erases:>7} {r.repairs:>8} "
+            f"{'clean' if r.mid_erase_clean and r.erases_clean else 'LEAK':>10} "
+            f"{str(r.verified_clean):>6}"
+        )
+    return "\n".join(lines)
+
+
 def render_quorum(results: Sequence[QuorumRunResult]) -> str:
     header = (
         f"{'backend':<13} {'consistency':>11} {'mean µs':>9} "
@@ -441,6 +617,39 @@ def check_rebalance_invariants(
             )
 
 
+def check_under_load_invariants(
+    results: Sequence[UnderLoadRunResult],
+    baseline: Optional[Dict[str, float]] = None,
+) -> None:
+    """The background-rebalance claims: the migration completed through
+    bounded steps genuinely interleaved with traffic, every grounded erase
+    issued mid-rebalance verified clean, quorum reads triggered (and the
+    driver completed) read repairs, and the moved-key fraction stayed
+    inside the committed movement baseline."""
+    for r in results:
+        assert r.verified_clean, r
+        assert r.data_intact, r
+        assert r.erases_clean and r.mid_erase_clean, r
+        assert r.erases > 0, r
+        assert r.keys_moved > 0, r
+        assert r.migration_sites_seen > 0, r
+        # Bounded increments, not one stop-the-world pass: the budget is a
+        # fraction of the plan, so finishing must take several steps.
+        assert r.driver_steps >= 3, r
+        # Migration imports create replica backlog at the destinations; the
+        # quorum reads in the mix must observe it and repair it.
+        assert r.repairs > 0, r
+        assert r.moved_fraction < r.modulo_fraction, r
+        if baseline is not None:
+            assert r.moved_fraction <= baseline["ring_moved_fraction_max"], (
+                f"{r.backend}: under-load rebalance moved "
+                f"{r.moved_fraction:.0%}, past the committed baseline "
+                f"{baseline['ring_moved_fraction_max']:.0%}"
+            )
+            ratio = r.moved_fraction / r.modulo_fraction
+            assert ratio <= baseline["ring_vs_modulo_ratio_max"], r
+
+
 def check_quorum_invariants(results: Sequence[QuorumRunResult]) -> None:
     by_backend: Dict[str, Dict[str, QuorumRunResult]] = {}
     for r in results:
@@ -465,6 +674,10 @@ def test_bench_sharding(once):
     check_invariants(results)
     rebalance = compare_rebalance(scaled(400, minimum=200))
     check_rebalance_invariants(rebalance, load_sharding_baseline("full"))
+    under_load = compare_rebalance_under_load(
+        scaled(300, minimum=200), scaled(400, minimum=300)
+    )
+    check_under_load_invariants(under_load, load_sharding_baseline("full"))
     quorum = run_quorum_reads("psql", scaled(200, minimum=100))
     check_quorum_invariants(quorum)
     emit(
@@ -473,6 +686,7 @@ def test_bench_sharding(once):
             [
                 render_sharding(results),
                 render_rebalance(rebalance),
+                render_under_load(under_load),
                 render_quorum(quorum),
             ]
         ),
@@ -543,6 +757,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print()
     print(render_rebalance(rebalance))
 
+    # Background rebalance under live load: bounded step() increments
+    # interleaved with the erasure-study mix, gated against the same
+    # committed movement baseline.
+    under_load_keys = 200 if args.smoke else max(300, n_keys)
+    under_load_ops = 300 if args.smoke else max(400, n_keys)
+    under_load = compare_rebalance_under_load(
+        under_load_keys, under_load_ops, rebalance_backends
+    )
+    check_under_load_invariants(under_load, load_sharding_baseline(mode))
+    print()
+    print(render_under_load(under_load))
+
     quorum_keys = 80 if args.smoke else max(100, n_keys // 2)
     quorum_backends = ("psql", "lsm") if args.smoke else tuple(backends)
     quorum: List[QuorumRunResult] = []
@@ -561,6 +787,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "mode": mode,
             "sharding": [asdict(r) for r in results],
             "rebalance": [asdict(r) for r in rebalance],
+            "rebalance_under_load": [asdict(r) for r in under_load],
             "quorum": [asdict(r) for r in quorum],
         }
         with open(args.json, "w") as fh:

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig4c   [--txns N] [--records N ...] [--backend B]
     python -m repro rebalance [--shards N] [--to M] [--replicas R]
                               [--consistency C] [--backend B] [--keys N]
+                              [--background] [--budget K] [--weights W ...]
     python -m repro audit   --profile P_SYS
     python -m repro regulations [--name GDPR]
 
@@ -23,7 +24,12 @@ the chosen ``--consistency`` level, then resizes online to ``--to`` shards
 — reporting how few keys the ring moved (vs the near-total reshuffle
 modulo routing would cause), the MIGRATION copy sites tracked while keys
 were in flight, and that an erase issued *mid-rebalance* still verified
-clean.
+clean.  ``--background`` drives the same migration through a
+``RebalanceDriver`` in bounded ``--budget``-key increments interleaved with
+a live GDPRBench erasure-mix workload (grounded erases and read repairs
+included); ``--weights`` assigns per-shard ring weights so heterogeneous
+capacity takes a proportional keyspace share (with ``--to`` equal to
+``--shards`` it performs a pure capacity reweight).
 
 Every experiment prints the same rows/series the paper reports.
 """
@@ -120,9 +126,14 @@ def _cmd_fig4c(args: argparse.Namespace) -> int:
 
 
 def _cmd_rebalance(args: argparse.Namespace) -> int:
-    """Elastic-sharding demo: online resize with grounded key migration."""
+    """Elastic-sharding demo: online (optionally background) resize or
+    reweight with grounded key migration."""
     from repro.distributed.ring import stable_hash
-    from repro.distributed.store import CopyLocation, ReplicatedStore
+    from repro.distributed.store import (
+        CopyLocation,
+        RebalanceDriver,
+        ReplicatedStore,
+    )
     from repro.sim.clock import SimClock
     from repro.sim.costs import CostBook, CostModel
 
@@ -132,9 +143,23 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
     if args.keys < 1 or args.replicas < 0 or args.batch_size < 1:
         print("--keys and --batch-size must be >= 1, --replicas >= 0")
         return 2
-    if args.to == args.shards:
-        print("--to must differ from --shards for a topology change")
+    if args.budget < 1:
+        print("--budget must be >= 1")
         return 2
+    reweight_only = args.to == args.shards
+    if reweight_only and args.weights is None:
+        print(
+            "--to must differ from --shards for a topology change "
+            "(or pass --weights for a pure capacity reweight)"
+        )
+        return 2
+    if args.weights is not None:
+        if len(args.weights) != args.to:
+            print(f"--weights needs one weight per target shard ({args.to})")
+            return 2
+        if any(w <= 0 for w in args.weights):
+            print("--weights must all be positive")
+            return 2
     cost = CostModel(SimClock(), CostBook())
     store = ReplicatedStore(
         cost,
@@ -167,7 +192,14 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
         for key in keys
         if stable_hash(key) % args.shards != stable_hash(key) % args.to
     )
-    rebalance = store.begin_resize(args.to, batch_size=args.batch_size)
+    if reweight_only:
+        rebalance = store.begin_reweight(
+            args.weights, batch_size=args.batch_size
+        )
+    else:
+        rebalance = store.begin_resize(
+            args.to, batch_size=args.batch_size, weights=args.weights
+        )
     rebalance.step()  # copy step: first batch goes in flight
     migration_sites = [
         (key, name)
@@ -185,14 +217,52 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
             f"tracked; erased {victim!r} in flight "
             f"(verified_clean={erased_clean})"
         )
-    report = rebalance.run()
-    print(
-        f"  resize {args.shards}→{args.to}: moved {report.keys_moved}"
-        f"/{report.keys_examined} keys "
-        f"({report.moved_fraction:.0%}; modulo routing would move "
-        f"{modulo_moved / len(keys):.0%}) in {report.batches} batch(es), "
-        f"{report.seconds:.3f} simulated s"
+    if args.background:
+        from repro.workloads import erasure_study_workload, run_interleaved
+
+        driver = RebalanceDriver(rebalance)
+        workload = erasure_study_workload(len(keys), max(200, len(keys)))
+        run = run_interleaved(
+            store,
+            workload,
+            driver,
+            ops_per_step=max(1, args.budget // 2),
+            budget_keys=args.budget,
+            consistency=args.consistency,
+        )
+        report = driver.report
+        erased_clean = erased_clean and run.erases_verified_clean
+        print(
+            f"  background: {driver.steps} bounded "
+            f"step(budget_keys={args.budget}) call(s) interleaved with "
+            f"{run.ops_applied} live {workload.name} ops — {run.reads} "
+            f"{args.consistency} reads, {run.erases} grounded erases "
+            f"mid-rebalance (all clean: {run.erases_verified_clean}), "
+            f"{run.repairs} read repair(s)"
+        )
+    else:
+        report = rebalance.run()
+    change = (
+        f"reweight ×{args.to}" if reweight_only
+        else f"resize {args.shards}→{args.to}"
     )
+    modulo_note = (
+        ""
+        if reweight_only
+        else f"; modulo routing would move {modulo_moved / len(keys):.0%}"
+    )
+    print(
+        f"  {change}: moved {report.keys_moved}"
+        f"/{report.keys_examined} keys "
+        f"({report.moved_fraction:.0%}{modulo_note}) in "
+        f"{report.batches} batch(es), {report.seconds:.3f} simulated s"
+    )
+    if args.weights is not None:
+        shares = ", ".join(
+            f"shard-{sid}: w={weight:g}"
+            for sid, weight in sorted(store.shard_weights.items())
+        )
+        print(f"  weighted ring committed ({shares})")
     print(
         f"  verified clean: {report.verified_clean} "
         f"(every source copy ground-erased"
@@ -295,6 +365,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keys migrated per batch")
     p.add_argument("--backend", default="psql", choices=list(BACKEND_CHOICES),
                    help="storage backend every node runs")
+    p.add_argument("--background", action="store_true",
+                   help="drive the migration as a background process: "
+                        "bounded step(budget_keys=…) increments interleaved "
+                        "with a live GDPRBench erasure-mix workload "
+                        "(consistent reads, grounded mid-rebalance erases, "
+                        "read repairs)")
+    p.add_argument("--budget", type=int, default=32,
+                   help="keys migrated per background step "
+                        "(with --background)")
+    p.add_argument("--weights", type=float, nargs="+", default=None,
+                   metavar="W",
+                   help="ring weights, one per target shard (sorted by id); "
+                        "heavier shards own proportionally more keyspace. "
+                        "With --to equal to --shards this performs a pure "
+                        "capacity reweight")
     p.set_defaults(func=_cmd_rebalance)
 
     p = sub.add_parser("audit", help="grounding compatibility audit")

@@ -36,6 +36,7 @@ class ActionType(Enum):
     COMPACT = "compact"            # compaction GC'd the unit's tombstone (LSM)
     RESTORE = "restore"            # undo of reversible inaccessibility
     MOVE = "move"                  # grounded migration between storage sites
+    REPAIR = "repair"              # read repair re-synced lagging replicas
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

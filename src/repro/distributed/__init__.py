@@ -21,9 +21,18 @@ against:
   cache, scrub the logs, verify via the tracker — even mid-rebalance;
 * :meth:`~repro.distributed.store.ReplicatedStore.resize` /
   :meth:`~repro.distributed.store.ReplicatedStore.add_shard` /
-  :meth:`~repro.distributed.store.ReplicatedStore.remove_shard` — online
-  topology changes whose every key move is grounded at the source and
-  announced as a :class:`~repro.distributed.store.MoveEvent`.
+  :meth:`~repro.distributed.store.ReplicatedStore.remove_shard` /
+  :meth:`~repro.distributed.store.ReplicatedStore.reweight` — online
+  topology and capacity changes (per-shard ring weights) whose every key
+  move is grounded at the source and announced as a
+  :class:`~repro.distributed.store.MoveEvent`;
+* :class:`~repro.distributed.store.RebalanceDriver` — drives the same
+  migration in bounded ``step(budget_keys=…)`` increments so live traffic
+  interleaves with key movement;
+* **read repair** — quorum/all reads that observe replica divergence queue
+  an asynchronous re-sync (:meth:`~repro.distributed.store.ReplicatedStore.flush_repairs`),
+  announced as :class:`~repro.distributed.store.RepairEvent` objects, never
+  able to resurrect an erased value.
 """
 
 from repro.distributed.ring import HashRing, stable_hash
@@ -33,7 +42,9 @@ from repro.distributed.store import (
     DistributedEraseReport,
     MoveEvent,
     Rebalance,
+    RebalanceDriver,
     RebalanceReport,
+    RepairEvent,
     ReplicatedStore,
 )
 
@@ -45,6 +56,8 @@ __all__ = [
     "HashRing",
     "MoveEvent",
     "Rebalance",
+    "RebalanceDriver",
     "RebalanceReport",
+    "RepairEvent",
     "stable_hash",
 ]

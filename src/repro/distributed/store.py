@@ -1,12 +1,15 @@
-"""Sharded, replicated store with asynchronous replication and read caches.
+"""Sharded, replicated store — async replication, read repair, elastic
+weighted sharding with background (budgeted) rebalancing.
 
 Topology: ``shards`` independent shard groups, each a primary plus
 ``n_replicas`` asynchronous replicas; keys route to their shard over a
-consistent-hash ring (:mod:`repro.distributed.ring`) so the shard count can
+consistent-hash ring (:mod:`repro.distributed.ring`) so the topology can
 change *online*: :meth:`ReplicatedStore.resize` / :meth:`add_shard` /
-:meth:`remove_shard` migrate only the ring-affected key fraction instead of
-reshuffling the whole keyspace the way modulo routing would.  Every node is
-a :class:`~repro.systems.backends.StorageBackend` (``psql``, ``lsm``, or
+:meth:`remove_shard` / :meth:`reweight` migrate only the ring-affected key
+fraction instead of reshuffling the whole keyspace the way modulo routing
+would, and per-shard **weights** let heterogeneous-capacity nodes take a
+proportional keyspace share.  Every node is a
+:class:`~repro.systems.backends.StorageBackend` (``psql``, ``lsm``, or
 ``crypto-shred``), so the distributed erase story is engine-pluggable: the
 same copy-tracking machinery runs over MVCC dead tuples, LSM shadowed
 values, or unshredded key volumes.
@@ -23,6 +26,16 @@ needs), or ``"all"``.  Quorum and all reads compare each replica's
 ``applied_seqno`` against the primary's, so a stale replica can never serve
 a value the primary has already erased.
 
+**Read repair**: a quorum/all read that observes replica divergence
+(participants behind the primary's seqno) queues a repair for the replicas
+still lagging after the read.  Repairs run asynchronously — off the read's
+critical path, drained by :meth:`ReplicatedStore.flush_repairs` or by a
+:class:`RebalanceDriver` step — and replay the replication log, so a
+grounded erase can never be undone by one: erased keys' log values are
+scrubbed (their PUT/UPDATE entries replay as no-ops) while their DELETEs
+still apply.  Each completed repair is announced as a :class:`RepairEvent`
+so the facade can record it as a ``REPAIR`` audit action.
+
 Every location that ever physically held a unit's value is recorded by the
 copy tracker — primaries, replicas, caches, the replication log, each
 node's write-ahead log, *and keys in flight between shards during a
@@ -38,17 +51,39 @@ queries over it:
   (:meth:`erase_all_copies`), or amortize a whole Art. 17 stream with
   :meth:`erase_many`, which fans the deletions out per shard and runs **one
   reclamation pass per node per batch** — the same batching the engine-level
-  ``erase_many`` helpers use.  Both verify clean even mid-rebalance: reads
-  and erases dual-route (ring-new first, fall back to ring-old) until every
-  move is grounded.
+  ``erase_many`` helpers use.  Both verify clean even mid-rebalance.
 
-Rebalancing is itself grounded (the *Data Capsule* hazard: compliance must
-track data as it moves between processing sites).  A move copies the key to
-its new shard, holds it as a tracked ``MIGRATION`` site while both copies
-exist, then runs the **source shard's grounded erase** (delete + reclaim +
-replication-log and WAL scrub) before declaring the move complete; each
-completed move is announced to :meth:`add_move_listener` subscribers so the
-facade can record it as a ``MOVE`` audit action.
+**The dual-routing invariant.**  While a rebalance is in progress two rings
+coexist: ring-old (the committed topology) and ring-new (the target).  At
+*every* step boundary the store routes so no operation can miss the key's
+physical location:
+
+* reads try ring-new first and fall back to ring-old — wherever the copy
+  currently lives, one of the two owners has it;
+* writes to a key whose copy step has not run yet go to its ring-old source
+  (the later export picks them up); all other writes route ring-new;
+* erases cover **both** owners and cancel the key's move, so an Art. 17
+  request landing mid-migration grounds every site the key ever touched.
+
+**MIGRATION copy-site lifecycle.**  A key move passes through three phases,
+each a step boundary the invariant above holds across: *pending* (planned,
+not yet copied — the key lives only at its ring-old source), *in flight*
+(the copy step exported it to the destination; ``copies_of`` reports a
+``CopyLocation.MIGRATION`` site named ``shard-src→shard-dst`` while both
+copies physically exist), and *moved* (the ground step ran the source
+shard's grounded erase — delete + reclaim + replication-log and WAL scrub —
+after which the MIGRATION site disappears and exactly one shard holds the
+key again).  Each completed move is announced to
+:meth:`add_move_listener` subscribers so the facade can record it as a
+``MOVE`` audit action (the *Data Capsule* hazard: compliance must track
+data as it moves between processing sites).
+
+Driving a rebalance is either stop-the-world (:meth:`Rebalance.run`) or
+**background**: a :class:`RebalanceDriver` advances the same migration in
+bounded ``step(budget_keys=…)`` increments so live reads, writes, and
+grounded erases interleave with key movement — the concurrent-workload
+harness in :mod:`repro.workloads.driver` and ``python -m repro rebalance
+--background`` are built on it.
 """
 
 from __future__ import annotations
@@ -68,6 +103,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from repro.distributed.ring import DEFAULT_VNODES, HashRing
@@ -164,6 +200,25 @@ class BatchEraseReport:
     reclamations: int
     verified_clean: bool
     shard_seconds: Tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class RepairEvent:
+    """One completed read repair: lagging replicas re-synced after a
+    quorum/all read observed divergence.
+
+    A repair replays the shard's replication log up to the seqno the read
+    observed, so it can never undo a grounded erase: an erased key's log
+    values are scrubbed (its PUT/UPDATE entries replay as no-ops) and its
+    DELETE entries still apply.  ``key`` names the read that observed the
+    divergence — the unit the facade's REPAIR audit action speaks about.
+    """
+
+    key: Any
+    shard: int
+    replicas_repaired: int
+    entries_applied: int
+    at: int  # model time the repair completed
 
 
 @dataclass(frozen=True)
@@ -268,11 +323,15 @@ class _Shard:
         backend: str,
         solo: bool,
         backend_opts: Optional[Mapping[str, Any]] = None,
+        repair_sink: Optional[Callable[[int, Any, int], None]] = None,
     ) -> None:
         self.index = index
         self._cost = cost
         self._lag = replication_lag
         self._cache_ttl = cache_ttl
+        #: Where a consistent read reports observed divergence so the store
+        #: can schedule an asynchronous read repair: ``(shard, key, upto)``.
+        self._repair_sink = repair_sink
         # Single-shard deployments keep the legacy node names.
         prefix = "" if solo else f"shard-{index}/"
         self.primary = _Node(
@@ -403,6 +462,7 @@ class _Shard:
         n_nodes = 1 + len(self.replicas)
         needed = n_nodes if consistency == "all" else n_nodes // 2 + 1
         target = self._seqno
+        diverged = any(n.applied_seqno < target for n in self.replicas)
         chosen = sorted(
             self.replicas, key=lambda n: n.applied_seqno, reverse=True
         )[: needed - 1]
@@ -419,6 +479,18 @@ class _Shard:
             except TupleNotFoundError:
                 answers.append((seqno, False, None))
         _seq, found, value = max(answers, key=lambda a: a[0])
+        # Read repair: the read observed divergence and some replicas are
+        # *still* behind target (the quorum only force-applied its own
+        # participants).  Report it so the store can re-sync the laggards
+        # asynchronously — off this read's critical path.  A miss queues
+        # nothing: an erased key must not earn post-erase repair records.
+        if (
+            found
+            and diverged
+            and self._repair_sink is not None
+            and any(n.applied_seqno < target for n in self.replicas)
+        ):
+            self._repair_sink(self.index, key, target)
         if not found:
             raise TupleNotFoundError(
                 f"no live value for key {key!r} at {consistency} consistency"
@@ -702,6 +774,7 @@ class Rebalance:
         self._batches_run = 0
         self._clean = True
         self._grounded_residue = 0
+        self._last_step_keys = 0
         examined = 0
         plan: Dict[Tuple[int, int], List[Any]] = {}
         residue: Dict[int, List[Any]] = {}
@@ -758,6 +831,12 @@ class Rebalance:
         """Keys copied to their destination but not yet grounded at source."""
         return len(self._in_flight)
 
+    @property
+    def last_step_keys(self) -> int:
+        """Keys the most recent :meth:`step` copied or grounded — what a
+        :class:`RebalanceDriver` charges against its budget."""
+        return self._last_step_keys
+
     def owners(self, key: Any) -> Tuple[int, int]:
         """(ring-old owner, ring-new owner) for the key."""
         return self.old_ring.owner(key), self.new_ring.owner(key)
@@ -800,6 +879,7 @@ class Rebalance:
         """
         if self._report is not None:
             return False
+        self._last_step_keys = 0
         store = self._store
         if self._current is not None:
             src, dst, keys, dead = self._current
@@ -809,6 +889,7 @@ class Rebalance:
             # lagging replica copies, log values) are grounded with the
             # batch — the ring is about to stop routing here.
             ground = victims + [k for k in dead if k not in self._cancelled]
+            self._last_step_keys = len(ground)
             if ground:
                 store._shards[src].erase_many(ground)
                 if store._shards[src].holds_any(ground):
@@ -833,6 +914,7 @@ class Rebalance:
                 if store._shards[src].holds_any(keys):
                     self._clean = False  # pragma: no cover - safety net
                 self._grounded_residue += len(keys)
+                self._last_step_keys = len(keys)
                 self._batches_run += 1
                 if self.done:
                     self._finalize()
@@ -853,6 +935,7 @@ class Rebalance:
                     dead.append(key)
             store._shards[dst].import_items(items)
             self._current = (src, dst, sorted(exported, key=repr), dead)
+            self._last_step_keys = len(keys)
             return True
         self._finalize()  # empty plan: nothing ever moved
         return False
@@ -893,9 +976,77 @@ class Rebalance:
         return self._report
 
 
+class RebalanceDriver:
+    """Background rebalancing: advance a migration in bounded increments
+    interleaved with live traffic.
+
+    Wraps a :class:`Rebalance` (from the ``begin_*`` stepwise variants) and
+    drives it ``budget_keys`` keys at a time: each :meth:`step` advances
+    whole half-batches until at least that many keys have been copied or
+    grounded, then drains the store's pending read repairs — the background
+    maintenance loop a deployment runs between serving requests.  Because a
+    batch never splits, a single call overshoots the budget by at most one
+    half-batch (``batch_size - 1`` keys); pick ``batch_size <= budget_keys``
+    at ``begin_*`` time for tight budgets.
+
+    Reads, writes, and grounded erases stay correct at every step boundary
+    — the store dual-routes and tracks ``MIGRATION`` copy sites for as long
+    as the driver has work left (see the module docstring for the
+    invariant).  The step that exhausts the plan also finalizes the
+    topology, exactly like :meth:`Rebalance.run`.
+    """
+
+    def __init__(self, rebalance: Rebalance) -> None:
+        self._rebalance = rebalance
+        self._store = rebalance._store
+        self.steps = 0
+        self.keys_processed = 0
+        #: Read repairs completed while driving (flushed after each step).
+        self.repairs: List[RepairEvent] = []
+
+    @property
+    def rebalance(self) -> Rebalance:
+        return self._rebalance
+
+    @property
+    def done(self) -> bool:
+        """Whether the migration has finalized (topology committed)."""
+        return self._rebalance.report is not None
+
+    @property
+    def report(self) -> Optional[RebalanceReport]:
+        return self._rebalance.report
+
+    def step(self, budget_keys: int = 64) -> int:
+        """Advance the migration by roughly ``budget_keys`` keys.
+
+        Returns the number of keys actually copied or grounded this call
+        (0 once the rebalance has finalized).  Always flushes the store's
+        pending read repairs before returning, even after completion — the
+        driver doubles as the background repair loop.
+        """
+        if budget_keys < 1:
+            raise ValueError("budget_keys must be >= 1")
+        processed = 0
+        while processed < budget_keys:
+            if not self._rebalance.step():
+                break
+            processed += self._rebalance.last_step_keys
+        self.steps += 1
+        self.keys_processed += processed
+        self.repairs.extend(self._store.flush_repairs())
+        return processed
+
+    def run(self, budget_keys: int = 64) -> RebalanceReport:
+        """Drive to completion in ``budget_keys`` increments."""
+        while self._rebalance.report is None:
+            self.step(budget_keys)
+        return self._rebalance.report
+
+
 class ReplicatedStore:
     """``shards`` primaries, each with N asynchronous read-cached replicas,
-    over a pluggable storage backend and a consistent-hash ring."""
+    over a pluggable storage backend and a weighted consistent-hash ring."""
 
     def __init__(
         self,
@@ -908,6 +1059,7 @@ class ReplicatedStore:
         backend: str = "psql",
         backend_opts: Optional[Mapping[str, Any]] = None,
         vnodes: int = DEFAULT_VNODES,
+        shard_weights: Optional[Mapping[int, float]] = None,
     ) -> None:
         if n_replicas < 0:
             raise ValueError("n_replicas must be non-negative")
@@ -926,10 +1078,17 @@ class ReplicatedStore:
             index: self._make_shard(index, solo=(shards == 1))
             for index in range(shards)
         }
-        self._ring = HashRing(self._shards, vnodes=vnodes)
+        self._ring = HashRing(
+            self._shards, vnodes=vnodes, weights=shard_weights
+        )
         self._next_shard_id = shards
         self._rebalance: Optional[Rebalance] = None
         self._move_listeners: List[Callable[[MoveEvent], None]] = []
+        self._repair_listeners: List[Callable[[RepairEvent], None]] = []
+        #: Read repairs awaiting their asynchronous run: ``(shard, key)`` →
+        #: the highest primary seqno a consistent read observed divergence
+        #: against.  Drained by :meth:`flush_repairs`.
+        self._pending_repairs: Dict[Tuple[int, Any], int] = {}
 
     def _make_shard(self, index: int, solo: bool = False) -> _Shard:
         return _Shard(
@@ -942,6 +1101,7 @@ class ReplicatedStore:
             self.backend_name,
             solo=solo,
             backend_opts=self._backend_opts,
+            repair_sink=self._queue_repair,
         )
 
     # -------------------------------------------------------------- topology
@@ -952,6 +1112,11 @@ class ReplicatedStore:
     @property
     def shard_ids(self) -> Tuple[int, ...]:
         return tuple(sorted(self._shards))
+
+    @property
+    def shard_weights(self) -> Dict[int, float]:
+        """Shard id → ring weight (heavier shards own more keyspace)."""
+        return self._ring.weights
 
     def shard_of(self, key: Any) -> int:
         """The shard the key routes to (ring owner; during a rebalance,
@@ -1000,15 +1165,119 @@ class ReplicatedStore:
         for listener in self._move_listeners:
             listener(event)
 
+    # ------------------------------------------------------------ read repair
+    def add_repair_listener(
+        self, listener: Callable[[RepairEvent], None]
+    ) -> None:
+        """Subscribe to completed read repairs (the facade records them as
+        REPAIR audit actions)."""
+        self._repair_listeners.append(listener)
+
+    def _emit_repair(self, event: RepairEvent) -> None:
+        for listener in self._repair_listeners:
+            listener(event)
+
+    def _queue_repair(self, shard_index: int, key: Any, upto: int) -> None:
+        """A consistent read observed divergence: remember the laggards'
+        catch-up target.  Deduplicated per (shard, key) — repeated diverged
+        reads raise the target instead of queueing duplicate work."""
+        slot = (shard_index, key)
+        self._pending_repairs[slot] = max(
+            self._pending_repairs.get(slot, 0), upto
+        )
+
+    @property
+    def pending_repairs(self) -> int:
+        """Read repairs queued but not yet flushed."""
+        return len(self._pending_repairs)
+
+    def flush_repairs(self) -> List[RepairEvent]:
+        """Run every queued read repair: force-apply each lagging replica's
+        backlog up to the seqno its diverged read observed.
+
+        Replaying the log respects grounded erases — a key erased since the
+        repair was queued has its log values scrubbed (PUT/UPDATE replay as
+        no-ops) and its replicas already force-applied by the erase barrier,
+        so the repair finds nothing to do and emits no event; a repaired
+        replica can never resurrect an erased value.  Returns the
+        :class:`RepairEvent` per (shard, key) that actually re-synced
+        something; each is also announced to :meth:`add_repair_listener`
+        subscribers."""
+        pending, self._pending_repairs = self._pending_repairs, {}
+        events: List[RepairEvent] = []
+        for (sid, key), upto in sorted(
+            pending.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            shard = self._shards.get(sid)
+            if shard is None:
+                continue  # the shard was decommissioned since the read
+            repaired = 0
+            entries = 0
+            for node in shard.replicas:
+                if node.applied_seqno < upto:
+                    applied = shard._apply_backlog(node, force=True, upto=upto)
+                    if applied:
+                        repaired += 1
+                        entries += applied
+            if repaired:
+                event = RepairEvent(
+                    key, sid, repaired, entries, self._cost.clock.now
+                )
+                events.append(event)
+                self._emit_repair(event)
+        return events
+
     def _begin(
-        self, added: Sequence[int], removed: Sequence[int], batch_size: int
+        self,
+        added: Sequence[int],
+        removed: Sequence[int],
+        batch_size: int,
+        weights: Optional[
+            Union[Mapping[int, float], Sequence[float]]
+        ] = None,
     ) -> Rebalance:
         survivors = [sid for sid in self._shards if sid not in set(removed)]
+        weight_map = self._resolve_weights(weights, survivors)
         rebalance = Rebalance(
-            self, self._ring.with_nodes(survivors), added, removed, batch_size
+            self,
+            self._ring.with_nodes(survivors, weights=weight_map),
+            added,
+            removed,
+            batch_size,
         )
         self._rebalance = rebalance
         return rebalance
+
+    @staticmethod
+    def _resolve_weights(
+        weights: Optional[Union[Mapping[int, float], Sequence[float]]],
+        survivors: Sequence[int],
+    ) -> Optional[Dict[int, float]]:
+        """Normalize a weights argument against the target topology.
+
+        A mapping names shard ids explicitly; a plain sequence is zipped
+        against the target shard ids in sorted order (convenient for grows,
+        where the new ids are assigned by the store).
+        """
+        if weights is None:
+            return None
+        if isinstance(weights, Mapping):
+            unknown = sorted(set(weights) - set(survivors))
+            if unknown:
+                raise ValueError(
+                    f"weights name shards {unknown} absent from the "
+                    f"target topology {sorted(survivors)}"
+                )
+            return {sid: float(w) for sid, w in weights.items()}
+        listed = [float(w) for w in weights]
+        ordered = sorted(survivors)
+        if len(listed) != len(ordered):
+            raise ValueError(
+                f"got {len(listed)} weights for {len(ordered)} target "
+                "shards; pass one per shard (sorted by shard id) or a "
+                "mapping"
+            )
+        return dict(zip(ordered, listed))
 
     def _check_can_rebalance(self, batch_size: int) -> None:
         """Every validation, before any shard is spawned or drained — a
@@ -1018,13 +1287,23 @@ class ReplicatedStore:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
 
-    def begin_resize(self, shards: int, batch_size: int = 64) -> Rebalance:
+    def begin_resize(
+        self,
+        shards: int,
+        batch_size: int = 64,
+        weights: Optional[
+            Union[Mapping[int, float], Sequence[float]]
+        ] = None,
+    ) -> Rebalance:
         """Start an online resize to ``shards`` shard groups.
 
         Growing spawns fresh shards; shrinking drains the highest-id shards
-        into the survivors.  The returned :class:`Rebalance` must be driven
-        (``run()``, or ``step()`` repeatedly) to complete the change; until
-        then the store dual-routes."""
+        into the survivors.  ``weights`` (a shard-id mapping, or one float
+        per target shard sorted by id) sets the target ring's capacity
+        weights; omitted, surviving shards keep theirs and new shards get
+        1.0.  The returned :class:`Rebalance` must be driven (``run()``,
+        ``step()`` repeatedly, or a :class:`RebalanceDriver`) to complete
+        the change; until then the store dual-routes."""
         self._check_can_rebalance(batch_size)
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -1035,19 +1314,71 @@ class ReplicatedStore:
             added = [self._spawn_shard() for _ in range(shards - len(current))]
         elif shards < len(current):
             removed = current[shards:]
-        return self._begin(added, removed, batch_size)
+        return self._begin(added, removed, batch_size, weights=weights)
 
-    def resize(self, shards: int, batch_size: int = 64) -> RebalanceReport:
+    def resize(
+        self,
+        shards: int,
+        batch_size: int = 64,
+        weights: Optional[
+            Union[Mapping[int, float], Sequence[float]]
+        ] = None,
+    ) -> RebalanceReport:
         """Online resize, run to completion."""
-        return self.begin_resize(shards, batch_size=batch_size).run()
+        return self.begin_resize(
+            shards, batch_size=batch_size, weights=weights
+        ).run()
 
-    def begin_add_shard(self, batch_size: int = 64) -> Rebalance:
+    def begin_add_shard(
+        self, batch_size: int = 64, weight: float = 1.0
+    ) -> Rebalance:
         self._check_can_rebalance(batch_size)
-        return self._begin([self._spawn_shard()], [], batch_size)
+        new = self._spawn_shard()
+        return self._begin([new], [], batch_size, weights={new: weight})
 
-    def add_shard(self, batch_size: int = 64) -> RebalanceReport:
-        """Grow by one shard, migrating only the ring-affected keys."""
-        return self.begin_add_shard(batch_size=batch_size).run()
+    def add_shard(
+        self, batch_size: int = 64, weight: float = 1.0
+    ) -> RebalanceReport:
+        """Grow by one shard (ring weight ``weight``), migrating only the
+        ring-affected keys."""
+        return self.begin_add_shard(batch_size=batch_size, weight=weight).run()
+
+    def begin_reweight(
+        self,
+        weights: Union[Mapping[int, float], Sequence[float]],
+        batch_size: int = 64,
+    ) -> Rebalance:
+        """Start an online capacity reweight: same shards, new ring weights.
+
+        Only the arcs that changed hands migrate — a capacity upgrade
+        rebalances exactly like a shard-count change, grounded moves and
+        all."""
+        self._check_can_rebalance(batch_size)
+        if not weights:
+            raise ValueError("reweight needs at least one shard weight")
+        return self._begin([], [], batch_size, weights=weights)
+
+    def reweight(
+        self,
+        weights: Union[Mapping[int, float], Sequence[float]],
+        batch_size: int = 64,
+    ) -> RebalanceReport:
+        """Online reweight, run to completion."""
+        return self.begin_reweight(weights, batch_size=batch_size).run()
+
+    def begin_background_resize(
+        self,
+        shards: int,
+        batch_size: int = 64,
+        weights: Optional[
+            Union[Mapping[int, float], Sequence[float]]
+        ] = None,
+    ) -> RebalanceDriver:
+        """A :class:`RebalanceDriver` over :meth:`begin_resize` — the
+        background, budget-stepped way to drive the same migration."""
+        return RebalanceDriver(
+            self.begin_resize(shards, batch_size=batch_size, weights=weights)
+        )
 
     def begin_remove_shard(self, index: int, batch_size: int = 64) -> Rebalance:
         self._check_can_rebalance(batch_size)

@@ -65,6 +65,12 @@ SUBJECT_ACCESS_PURPOSE = "subject-access"
 #: the *Data Capsule* accountability requirement).
 REBALANCE_PURPOSE = "shard-rebalance"
 
+#: Purpose recorded for read-repair REPAIR actions: converging a lagging
+#: replica re-copies a value the controller already lawfully holds, and the
+#: audit trail must show that the copy happened (and that it could never
+#: resurrect an erased value — repairs replay the scrubbed replication log).
+REPAIR_PURPOSE = "replica-repair"
+
 
 @dataclass(frozen=True)
 class SubjectAccessResult:
@@ -183,6 +189,7 @@ class CompliantDatabase:
             Purpose.CONTRACT,
             SUBJECT_ACCESS_PURPOSE,
             REBALANCE_PURPOSE,
+            REPAIR_PURPOSE,
         )
 
     # -------------------------------------------------------------- grounding
@@ -570,9 +577,14 @@ class CompliantDatabase:
         only because it is tracked (``CopyLocation.MIGRATION``) and the
         source is ground-erased — this hook makes that demonstrable: every
         completed move is a MOVE action in the unit's history, exactly like
-        COMPACT records the physical completion of an LSM delete.
+        COMPACT records the physical completion of an LSM delete.  Read
+        repairs land the same way: a quorum read that observed divergence
+        triggers an asynchronous replica re-sync, and each completed repair
+        is a REPAIR action — the audit trail shows the copy, and shows it
+        could never resurrect an erased value.
         """
         store.add_move_listener(self._record_move)
+        store.add_repair_listener(self._record_repair)
 
     def _record_move(self, event: Any) -> None:
         """Audit hook for grounded shard migrations (see
@@ -589,6 +601,26 @@ class CompliantDatabase:
             detail=(
                 f"shard-{event.source}→shard-{event.dest} "
                 f"(source grounded erase verified at store t={event.at})"
+            ),
+        )
+
+    def _record_repair(self, event: Any) -> None:
+        """Audit hook for completed read repairs (see
+        :meth:`attach_replicated_store`).  Keys unknown to the model are
+        skipped — the audit timeline only speaks about modelled units."""
+        if not isinstance(event.key, str) or event.key not in self.model:
+            return
+        self.log.record(
+            event.key,
+            REPAIR_PURPOSE,
+            self.controller,
+            ActionType.REPAIR,
+            self.clock.now,
+            detail=(
+                f"read repair on shard-{event.shard}: "
+                f"{event.replicas_repaired} replica(s) re-synced, "
+                f"{event.entries_applied} log entry(ies) applied "
+                f"(store t={event.at})"
             ),
         )
 

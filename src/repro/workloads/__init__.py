@@ -8,7 +8,10 @@ evaluates with:
   study workload (20% deletes / 80% reads);
 * :mod:`repro.workloads.ycsb` — YCSB [20] Workload C (100% zipfian reads);
 * :mod:`repro.workloads.mall` — the Mall dataset [51]: simulated personal-
-  device observations in a shopping complex, SmartBench-style records [35].
+  device observations in a shopping complex, SmartBench-style records [35];
+* :mod:`repro.workloads.driver` — the concurrent-workload harness: replay
+  any generated workload against a sharded store while a background
+  rebalance advances in bounded steps between operations.
 """
 
 from repro.workloads.base import KeyPool, OpKind, Operation, Workload
@@ -21,6 +24,12 @@ from repro.workloads.gdprbench import (
 )
 from repro.workloads.ycsb import ycsb_c_workload
 from repro.workloads.mall import MallDataset, MallRecord
+from repro.workloads.driver import (
+    InterleavedRunResult,
+    load_store,
+    run_interleaved,
+    unit_key,
+)
 
 __all__ = [
     "OpKind",
@@ -35,4 +44,8 @@ __all__ = [
     "ycsb_c_workload",
     "MallDataset",
     "MallRecord",
+    "InterleavedRunResult",
+    "load_store",
+    "run_interleaved",
+    "unit_key",
 ]

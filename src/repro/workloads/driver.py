@@ -1,0 +1,158 @@
+"""Concurrent-workload driver — live traffic interleaved with background
+rebalancing.
+
+The elastic-sharding claims only matter if they hold *under load*: the
+paper's §1 guarantee ("erase all copies" means every physical site) has to
+survive a migration that is still running while reads, writes, and grounded
+erases keep arriving.  This module turns any generated
+:class:`~repro.workloads.base.Workload` (YCSB, the GDPRBench mixes, the
+erasure study) into live traffic against a
+:class:`~repro.distributed.store.ReplicatedStore`, interleaving a bounded
+:meth:`~repro.distributed.store.RebalanceDriver.step` of background key
+movement every ``ops_per_step`` operations:
+
+* ``READ`` ops run at the chosen consistency level, so quorum reads that
+  observe replica divergence (migration imports create fresh backlog at the
+  destination shards) queue the read repairs the driver then flushes;
+* ``DELETE`` ops run the **grounded** distributed erase — each one is the
+  Art. 17 stress case landing mid-rebalance, and the run records whether
+  every single one verified clean;
+* ``CREATE``/``UPDATE`` ops write through the dual-routing path, landing at
+  the key's correct owner whichever migration phase it is in;
+* metadata operations (policy/subject-record traffic) have no replicated-
+  store counterpart and are counted but not applied.
+
+``bench_sharding.py``'s rebalance-under-load section and ``python -m repro
+rebalance --background`` are both thin wrappers over
+:func:`run_interleaved`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.storage.errors import TupleNotFoundError
+from repro.workloads.base import OpKind, Workload
+
+
+def unit_key(key: int) -> str:
+    """The store key for a workload's integer key (matches the ``u%06d``
+    convention the sharding benches load with)."""
+    return f"u{key:06d}"
+
+
+def load_store(
+    store: Any,
+    workload: Workload,
+    key_fn: Callable[[int], str] = unit_key,
+    value_fn: Callable[[int], Any] = lambda i: (i, "payload"),
+) -> List[str]:
+    """Load the workload's initial records; returns the keys loaded."""
+    keys = [key_fn(i) for i in range(workload.record_count)]
+    for i, key in enumerate(keys):
+        store.put(key, value_fn(i))
+    return keys
+
+
+@dataclass(frozen=True)
+class InterleavedRunResult:
+    """What a workload-under-rebalance run did, and whether it stayed
+    grounded.
+
+    ``erases_verified_clean`` is the §1 acceptance bit: every DELETE in the
+    mix ran as a grounded ``erase_all_copies`` *while the migration was in
+    whatever phase it happened to be in*, and all of them verified zero
+    lingering copies.  ``repairs`` counts completed read repairs (replica
+    re-syncs triggered by diverged quorum reads).
+    """
+
+    workload: str
+    ops_applied: int
+    reads: int
+    writes: int
+    erases: int
+    metadata_ops: int
+    read_misses: int
+    erases_verified_clean: bool
+    driver_steps: int
+    keys_stepped: int
+    repairs: int
+    rebalance_completed: bool
+
+
+def run_interleaved(
+    store: Any,
+    workload: Workload,
+    driver: Optional[Any] = None,
+    ops_per_step: int = 32,
+    budget_keys: int = 32,
+    consistency: str = "one",
+    key_fn: Callable[[int], str] = unit_key,
+    drain: bool = True,
+) -> InterleavedRunResult:
+    """Replay ``workload`` against ``store`` while ``driver`` advances a
+    background rebalance ``budget_keys`` keys at a time.
+
+    Every ``ops_per_step`` operations the driver takes one bounded step
+    (and flushes pending read repairs); with no driver the repairs are
+    still flushed on the same cadence, so a pure-traffic run exercises the
+    asynchronous repair loop too.  With ``drain`` the migration is driven
+    to completion after the traffic ends — the store never stays
+    dual-routing forever because the workload was short.
+    """
+    if ops_per_step < 1:
+        raise ValueError("ops_per_step must be >= 1")
+    reads = writes = erases = metadata = misses = 0
+    repairs = 0
+    # Only repairs completed during THIS run count — the driver may have
+    # flushed some in earlier steps (or an earlier run over the same
+    # driver).
+    driver_repairs_before = len(driver.repairs) if driver is not None else 0
+    clean = True
+    for i, op in enumerate(workload):
+        if op.kind is OpKind.CREATE:
+            store.put(key_fn(op.key), op.payload or (op.key, "payload"))
+            writes += 1
+        elif op.kind is OpKind.READ:
+            try:
+                store.read(
+                    key_fn(op.key), use_cache=False, consistency=consistency
+                )
+            except TupleNotFoundError:
+                misses += 1
+            reads += 1
+        elif op.kind is OpKind.UPDATE:
+            store.update(key_fn(op.key), op.payload or (op.key, "rewritten"))
+            writes += 1
+        elif op.kind is OpKind.DELETE:
+            report = store.erase_all_copies(key_fn(op.key))
+            clean = clean and report.verified_clean
+            erases += 1
+        else:  # metadata traffic has no replicated-store counterpart
+            metadata += 1
+        if (i + 1) % ops_per_step == 0:
+            if driver is not None and not driver.done:
+                driver.step(budget_keys)
+            else:
+                repairs += len(store.flush_repairs())
+    if driver is not None and drain:
+        while not driver.done:
+            driver.step(budget_keys)
+    repairs += len(store.flush_repairs())
+    if driver is not None:
+        repairs += len(driver.repairs) - driver_repairs_before
+    return InterleavedRunResult(
+        workload=workload.name,
+        ops_applied=workload.transaction_count,
+        reads=reads,
+        writes=writes,
+        erases=erases,
+        metadata_ops=metadata,
+        read_misses=misses,
+        erases_verified_clean=clean,
+        driver_steps=driver.steps if driver is not None else 0,
+        keys_stepped=driver.keys_processed if driver is not None else 0,
+        repairs=repairs,
+        rebalance_completed=driver.done if driver is not None else False,
+    )

@@ -95,6 +95,52 @@ class TestCli:
             ["rebalance", "--keys", "10", "--shards", "2", "--to", "2"]
         ) == 2
 
+    def test_rebalance_background(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "150", "--shards", "3", "--to", "4",
+             "--replicas", "2", "--background", "--budget", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "step(budget_keys=16)" in out
+        assert "grounded erases mid-rebalance (all clean: True)" in out
+        assert "read repair(s)" in out
+        assert "verified clean: True" in out
+
+    def test_rebalance_weighted_grow(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "120", "--shards", "2", "--to", "3",
+             "--replicas", "1", "--weights", "1", "1", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "weighted ring committed" in out
+        assert "shard-2: w=2" in out
+
+    def test_rebalance_reweight_only(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "120", "--shards", "3", "--to", "3",
+             "--replicas", "1", "--weights", "2", "1", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reweight ×3" in out
+        assert "shard-0: w=2" in out
+        assert "verified clean: True" in out
+
+    def test_rebalance_weights_must_match_target(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "10", "--shards", "2", "--to", "3",
+             "--weights", "1", "1"]
+        ) == 2
+        assert main(
+            ["rebalance", "--keys", "10", "--shards", "2", "--to", "3",
+             "--weights", "1", "1", "-2"]
+        ) == 2
+
+    def test_rebalance_budget_validates(self, capsys):
+        assert main(
+            ["rebalance", "--keys", "10", "--shards", "2", "--to", "3",
+             "--budget", "0"]
+        ) == 2
+
     def test_audit_clean_profile(self, capsys):
         assert main(["audit", "--profile", "P_Base"]) == 0
         assert "no grounding incompatibilities" in capsys.readouterr().out

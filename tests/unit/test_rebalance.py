@@ -20,7 +20,11 @@ import pytest
 from repro.core.actions import ActionType
 from repro.core.entities import controller, data_subject
 from repro.core.policy import Policy, Purpose
-from repro.distributed.store import CopyLocation, ReplicatedStore
+from repro.distributed.store import (
+    CopyLocation,
+    RebalanceDriver,
+    ReplicatedStore,
+)
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.storage.errors import TupleNotFoundError
@@ -406,6 +410,319 @@ class TestQuorumReads:
         for i, key in enumerate(keys[:10]):
             assert store.read(key, consistency="quorum") == i
         rebalance.run()
+
+
+class TestWeightedShards:
+    def test_heavier_shard_owns_proportional_keyspace(self):
+        store, clock = make_store(shards=3, shard_weights={2: 2.0})
+        keys = load_keys(store, clock, 400, warm=False)
+        counts = {sid: 0 for sid in store.shard_ids}
+        for key in keys:
+            counts[store.shard_of(key)] += 1
+        # Shard 2 (weight 2 of total 4) should own roughly half the keys.
+        assert counts[2] > counts[0] and counts[2] > counts[1]
+        assert 0.35 <= counts[2] / len(keys) <= 0.65, counts
+        assert store.shard_weights == {0: 1.0, 1: 1.0, 2: 2.0}
+
+    def test_resize_with_weights_feeds_the_heavy_newcomer(self, backend):
+        store, clock = make_store(backend=backend, shards=2)
+        keys = load_keys(store, clock, 200, warm=False)
+        report = store.resize(3, weights=[1.0, 1.0, 2.0])
+        assert report.verified_clean
+        assert store.shard_weights[2] == 2.0
+        counts = {sid: 0 for sid in store.shard_ids}
+        for key in keys:
+            counts[store.shard_of(key)] += 1
+        # Weight 2 of total 4 → roughly half, far above the 1/3 an
+        # unweighted grow would hand the newcomer.
+        assert counts[2] / len(keys) >= 0.38, counts
+        for i, key in enumerate(keys):
+            assert store.read(key) == i
+
+    def test_reweight_is_a_grounded_migration(self, backend):
+        store, clock = make_store(backend=backend, shards=2)
+        keys = load_keys(store, clock, 80)
+        pre_shards = dict(zip(store.shard_ids, store.shards()))
+        moves = []
+        store.add_move_listener(moves.append)
+        report = store.reweight({0: 3.0})
+        assert report.verified_clean
+        assert report.keys_moved == len(moves) > 0
+        assert store.shard_weights == {0: 3.0, 1: 1.0}
+        for event in moves:
+            # Reweighting only pulls keys toward the upweighted shard, and
+            # every move grounded its source copies.
+            assert event.dest == 0
+            assert pre_shards[event.source].copies_of(event.key) == []
+        for i, key in enumerate(keys):
+            assert store.read(key) == i
+
+    def test_add_shard_with_weight(self):
+        store, clock = make_store(shards=2)
+        load_keys(store, clock, 60, warm=False)
+        report = store.add_shard(weight=0.5)
+        assert report.verified_clean
+        assert store.shard_weights[2] == 0.5
+
+    def test_constructor_rejects_unknown_weight_ids(self):
+        """Regression: shard_weights naming a nonexistent shard must not
+        silently fall back to a uniform ring."""
+        with pytest.raises(ValueError):
+            make_store(shards=2, shard_weights={2: 4.0})
+
+    def test_weight_validation(self):
+        store, clock = make_store(shards=2)
+        load_keys(store, clock, 10, warm=False)
+        with pytest.raises(ValueError):
+            store.begin_resize(3, weights=[1.0, 1.0])  # one per target shard
+        with pytest.raises(ValueError):
+            store.begin_resize(3, weights={9: 1.0})  # unknown shard id
+        with pytest.raises(ValueError):
+            store.begin_reweight({0: -1.0})  # weights must be positive
+        with pytest.raises(ValueError):
+            store.begin_reweight({})
+        # Rejected begins left no rebalance state behind.
+        assert not store.rebalance_in_progress
+        store.resize(3)  # the store still works
+
+
+class TestRebalanceDriver:
+    def test_bounded_steps_complete_and_finalize(self, backend):
+        store, clock = make_store(backend=backend, shards=3)
+        keys = load_keys(store, clock, 120)
+        driver = RebalanceDriver(store.begin_resize(4, batch_size=8))
+        steps = 0
+        while not driver.done:
+            processed = driver.step(budget_keys=8)
+            steps += 1
+            assert processed <= 8 + 7  # overshoot < one half-batch
+            # Live traffic keeps working at every step boundary.
+            for i, key in enumerate(keys[:5]):
+                assert store.read(key) == i
+        assert steps >= 3  # genuinely incremental, not one-shot
+        assert driver.steps == steps
+        assert driver.report is not None and driver.report.verified_clean
+        assert not store.rebalance_in_progress
+        assert store.shard_ids == (0, 1, 2, 3)
+
+    def test_begin_background_resize_convenience(self):
+        store, clock = make_store(shards=2)
+        load_keys(store, clock, 40, warm=False)
+        driver = store.begin_background_resize(3, batch_size=8)
+        assert isinstance(driver, RebalanceDriver)
+        report = driver.run(budget_keys=8)
+        assert report.verified_clean
+        assert store.shard_count == 3
+
+    def test_budget_validates(self):
+        store, clock = make_store(shards=2)
+        load_keys(store, clock, 20, warm=False)
+        driver = RebalanceDriver(store.begin_resize(3))
+        with pytest.raises(ValueError):
+            driver.step(budget_keys=0)
+        driver.run()
+
+    @pytest.mark.parametrize(
+        "phase", ["planned", "in-flight", "moved", "finalized"]
+    )
+    def test_erase_at_every_phase_boundary(self, backend, phase):
+        """A grounded erase landing at any migration phase boundary —
+        before the key's copy step, while it is in flight, after its move
+        grounded (rebalance still running), or after finalize — must leave
+        zero copies anywhere, old owner included."""
+        store, clock = make_store(backend=backend, shards=3)
+        keys = load_keys(store, clock, 90)
+        moves = []
+        store.add_move_listener(moves.append)
+        driver = RebalanceDriver(store.begin_resize(4, batch_size=8))
+        rebalance = driver.rebalance
+        victim = None
+        if phase == "planned":
+            pending = [k for k in keys if rebalance.is_pending(k)]
+            assert pending
+            victim = pending[-1]
+        elif phase == "in-flight":
+            victim = first_in_flight(store, rebalance, keys)
+        elif phase == "moved":
+            while not moves and not driver.done:
+                driver.step(budget_keys=8)
+            assert moves, "expected a grounded move before completion"
+            victim = moves[0].key
+        else:  # finalized
+            driver.run(budget_keys=8)
+            victim = keys[0]
+        report = store.erase_all_copies(victim)
+        assert report.verified_clean
+        assert store.copies_of(victim) == []
+        driver.run(budget_keys=8)
+        assert store.copies_of(victim) == []
+        for shard in store.shards():
+            assert shard.copies_of(victim) == [], (backend, phase, victim)
+        with pytest.raises(TupleNotFoundError):
+            store.read(victim)
+
+
+class TestReadRepair:
+    def test_diverged_quorum_read_queues_repair(self, backend):
+        store, _ = make_store(backend=backend, n_replicas=2)
+        store.put("k", "v1")
+        store.update("k", "v2")  # both replicas now lag by two entries
+        assert store.pending_repairs == 0
+        assert store.read("k", use_cache=False, consistency="quorum") == "v2"
+        # The quorum force-applied one replica; the other still lags.
+        assert store.pending_repairs == 1
+
+    def test_flush_converges_replicas_and_reports(self, backend):
+        store, _ = make_store(backend=backend, n_replicas=2)
+        store.put("k", "v1")
+        store.update("k", "v2")
+        store.read("k", use_cache=False, consistency="quorum")
+        events = store.flush_repairs()
+        assert len(events) == 1
+        event = events[0]
+        assert event.key == "k"
+        assert event.replicas_repaired == 1
+        assert event.entries_applied == 2
+        assert store.pending_repairs == 0
+        # Every replica of the shard now serves the fresh value.
+        for r in range(store.replica_count):
+            assert store.read("k", replica=r, use_cache=False) == "v2"
+        # Converged: a fresh quorum read queues nothing new.
+        store.read("k", use_cache=False, consistency="quorum")
+        assert store.pending_repairs == 0
+
+    def test_one_reads_never_queue(self):
+        store, _ = make_store(n_replicas=2)
+        store.put("k", "v")
+        store.read("k", use_cache=False)
+        assert store.pending_repairs == 0
+
+    def test_all_read_converges_inline(self, backend):
+        """consistency='all' force-applies every replica as part of the
+        read — no laggards remain, so no asynchronous repair is queued."""
+        store, _ = make_store(backend=backend, n_replicas=2)
+        store.put("k", "v")
+        store.read("k", use_cache=False, consistency="all")
+        assert store.pending_repairs == 0
+
+    def test_repeated_diverged_reads_dedupe(self):
+        store, _ = make_store(n_replicas=2)
+        store.put("k", "v1")
+        store.read("k", use_cache=False, consistency="quorum")
+        store.update("k", "v2")
+        store.read("k", use_cache=False, consistency="quorum")
+        assert store.pending_repairs == 1  # one slot, target raised
+
+    def test_repair_never_resurrects_erased_value(self, backend):
+        """The race the issue pins: a repair queued while the key lived
+        must not re-create it on a lagging replica after a grounded erase
+        scrubbed the log."""
+        store, _ = make_store(backend=backend, n_replicas=2)
+        store.put("pii", "sensitive")
+        assert store.read(
+            "pii", use_cache=False, consistency="quorum"
+        ) == "sensitive"
+        assert store.pending_repairs == 1
+        report = store.erase_all_copies("pii")
+        assert report.verified_clean
+        events = store.flush_repairs()
+        # The erase barrier already converged every replica past the
+        # victim's entries, so the stale repair finds nothing to do and
+        # records nothing.
+        assert events == []
+        assert store.copies_of("pii") == []
+        for node in store.nodes():
+            assert not node.backend.exists("pii")
+        with pytest.raises(TupleNotFoundError):
+            store.read("pii", use_cache=False, consistency="quorum")
+
+    def test_erase_after_flush_stays_clean(self, backend):
+        """Repair first, grounded erase second: the repaired replica's
+        copy is a tracked location the erase still grounds."""
+        store, _ = make_store(backend=backend, n_replicas=2)
+        store.put("pii", "sensitive")
+        store.read("pii", use_cache=False, consistency="quorum")
+        assert store.flush_repairs()
+        report = store.erase_all_copies("pii")
+        assert report.verified_clean
+        assert store.copies_of("pii") == []
+
+    def test_flush_skips_decommissioned_shard(self):
+        store, clock = make_store(shards=3, n_replicas=2)
+        keys = load_keys(store, clock, 60, warm=False)
+        on_two = [k for k in keys if store.shard_of(k) == 2]
+        assert on_two
+        store.read(on_two[0], use_cache=False, consistency="quorum")
+        assert store.pending_repairs >= 1
+        store.remove_shard(2)
+        events = store.flush_repairs()
+        assert all(e.shard != 2 for e in events)
+
+    def test_driver_step_flushes_pending_repairs(self, backend):
+        store, clock = make_store(backend=backend, shards=2, n_replicas=2)
+        keys = load_keys(store, clock, 60, warm=False)
+        driver = RebalanceDriver(store.begin_resize(3, batch_size=8))
+        driver.rebalance.step()  # migration imports create replica backlog
+        moved = [k for k in keys if driver.rebalance.in_flight_route(k)]
+        assert moved
+        store.read(moved[0], use_cache=False, consistency="quorum")
+        assert store.pending_repairs >= 1
+        driver.step(budget_keys=8)
+        assert store.pending_repairs == 0
+        driver.run(budget_keys=8)
+        assert driver.repairs  # the driver recorded the flushed repairs
+
+
+class TestFacadeRepairAudit:
+    def _db_with_diverged_store(self):
+        metaspace = controller("MetaSpace")
+        user = data_subject("user-1")
+        db = CompliantDatabase(metaspace)
+        clock = SimClock()
+        cost = CostModel(clock, CostBook())
+        store = ReplicatedStore(cost, n_replicas=2, shards=1)
+        db.attach_replicated_store(store)
+        window = (0, 10**12)
+        for i in range(6):
+            unit_id = f"u{i:04d}"
+            db.collect(
+                unit_id,
+                user,
+                "app",
+                {"i": i},
+                [Policy(Purpose.SERVICE, metaspace, *window)],
+                erase_deadline=10**12,
+            )
+            store.put(unit_id, {"i": i})
+        return db, store
+
+    def test_repairs_are_recorded_as_audit_actions(self):
+        db, store = self._db_with_diverged_store()
+        store.read("u0001", use_cache=False, consistency="quorum")
+        events = store.flush_repairs()
+        assert events
+        repairs = [
+            e
+            for e in db.history.of("u0001")
+            if e.action.type is ActionType.REPAIR
+        ]
+        assert len(repairs) == 1
+        detail = repairs[0].action.detail or ""
+        assert "read repair" in detail and "re-synced" in detail
+
+    def test_unmodelled_keys_are_skipped(self):
+        db, store = self._db_with_diverged_store()
+        store.put("engine-internal", "not a data unit")
+        store.read("engine-internal", use_cache=False, consistency="quorum")
+        store.flush_repairs()
+        assert "engine-internal" not in db.history
+
+    def test_repair_does_not_trip_compliance_checks(self):
+        db, store = self._db_with_diverged_store()
+        store.read("u0002", use_cache=False, consistency="quorum")
+        store.flush_repairs()
+        report = db.check_compliance()
+        assert report.compliant, report.violations
 
 
 class TestFacadeMoveAudit:

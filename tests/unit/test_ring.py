@@ -55,6 +55,68 @@ class TestRouting:
         assert stable_hash(("k", 1)) != stable_hash(("k", 2))
 
 
+class TestWeights:
+    """Heterogeneous capacity: heavier shards own more keyspace."""
+
+    def test_default_weight_is_one(self):
+        ring = HashRing([0, 1])
+        assert ring.weights == {0: 1.0, 1: 1.0}
+        assert ring.weight_of(0) == 1.0
+        assert ring.vnode_count(0) == ring.vnodes
+
+    def test_weights_must_be_positive(self):
+        for bad in (0, -1.5):
+            with pytest.raises(ValueError):
+                HashRing([0, 1], weights={1: bad})
+
+    def test_weights_must_name_ring_nodes(self):
+        """Regression: a weight for a shard id not on the ring must raise,
+        not silently build an unweighted ring."""
+        with pytest.raises(ValueError):
+            HashRing([0, 1], weights={2: 4.0})
+        with pytest.raises(ValueError):
+            HashRing([0, 1]).with_weights({5: 3.0})
+
+    def test_vnode_count_scales_with_weight_floored_at_one(self):
+        ring = HashRing([0, 1, 2], vnodes=64, weights={1: 2.0, 2: 0.001})
+        assert ring.vnode_count(0) == 64
+        assert ring.vnode_count(1) == 128
+        assert ring.vnode_count(2) == 1  # tiny weight stays routable
+
+    def test_heavier_node_owns_proportional_share(self):
+        ring = HashRing([0, 1, 2], weights={2: 2.0})
+        counts = {n: 0 for n in ring.nodes}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        share = counts[2] / len(KEYS)
+        # Weight 2 of total 4 → expected 50%; loose band for vnode noise.
+        assert ring.expected_share(2) == 0.5
+        assert 0.35 <= share <= 0.65, counts
+
+    def test_with_nodes_carries_weights_forward(self):
+        ring = HashRing([0, 1], weights={0: 2.0})
+        grown = ring.with_nodes([0, 1, 2])
+        assert grown.weights == {0: 2.0, 1: 1.0, 2: 1.0}
+        overridden = ring.with_nodes([0, 1, 2], weights={2: 3.0})
+        assert overridden.weights == {0: 2.0, 1: 1.0, 2: 3.0}
+
+    def test_with_weights_same_nodes_new_capacity(self):
+        ring = HashRing([0, 1, 2])
+        upgraded = ring.with_weights({1: 4.0})
+        assert upgraded.nodes == ring.nodes
+        assert upgraded.weights == {0: 1.0, 1: 4.0, 2: 1.0}
+        moved = ring.moved_keys(KEYS, upgraded)
+        # A capacity change is a topology change: keys move — toward the
+        # upweighted shard only — but most of the keyspace stays put.
+        assert 0 < len(moved) < len(KEYS) / 2
+        assert all(upgraded.owner(k) == 1 for k in moved)
+
+    def test_equal_weights_change_nothing(self):
+        ring = HashRing(range(3))
+        reweighted = ring.with_weights({0: 1.0, 1: 1.0, 2: 1.0})
+        assert not ring.moved_keys(KEYS, reweighted)
+
+
 class TestElasticity:
     """The reason the ring exists: topology changes move few keys."""
 

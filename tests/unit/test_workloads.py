@@ -250,3 +250,75 @@ class TestMallDataset:
             MallDataset(move_prob=1.5)
         with pytest.raises(ValueError):
             MallDataset().generate(-1)
+
+
+class TestInterleavedDriver:
+    """The concurrent-workload harness: traffic interleaved with bounded
+    background rebalance steps (repro.workloads.driver)."""
+
+    def _store(self, shards=2, n_replicas=1):
+        from repro.distributed.store import ReplicatedStore
+        from repro.sim.clock import SimClock
+        from repro.sim.costs import CostBook, CostModel
+
+        cost = CostModel(SimClock(), CostBook())
+        store = ReplicatedStore(
+            cost, n_replicas=n_replicas, shards=shards, cache_ttl=10**12
+        )
+        return store, cost.clock
+
+    def test_unit_key_matches_bench_convention(self):
+        from repro.workloads.driver import unit_key
+
+        assert unit_key(7) == "u000007"
+
+    def test_run_without_driver_applies_every_op(self):
+        from repro.workloads.driver import load_store, run_interleaved
+
+        store, clock = self._store()
+        workload = customer_workload(60, 120)
+        load_store(store, workload)
+        clock.charge(60_000, "lag elapses")
+        result = run_interleaved(store, workload, consistency="quorum")
+        assert result.ops_applied == 120
+        applied = (
+            result.reads + result.writes + result.erases + result.metadata_ops
+        )
+        assert applied == 120
+        assert result.metadata_ops > 0  # WCus has metadata traffic
+        assert result.erases_verified_clean
+        assert result.driver_steps == 0
+        assert not result.rebalance_completed
+
+    def test_interleaved_rebalance_completes_and_stays_grounded(self):
+        from repro.distributed.store import RebalanceDriver
+        from repro.workloads.driver import load_store, run_interleaved
+
+        store, clock = self._store(shards=3, n_replicas=2)
+        workload = erasure_study_workload(120, 200)
+        keys = load_store(store, workload)
+        clock.charge(60_000, "lag elapses")
+        for key in keys:
+            store.read(key, replica=0)
+        driver = RebalanceDriver(store.begin_resize(4, batch_size=8))
+        result = run_interleaved(
+            store,
+            workload,
+            driver,
+            ops_per_step=20,
+            budget_keys=8,
+            consistency="quorum",
+        )
+        assert result.rebalance_completed
+        assert driver.report.verified_clean
+        assert result.driver_steps >= 2
+        assert result.keys_stepped > 0
+        assert result.erases > 0 and result.erases_verified_clean
+        assert result.read_misses == 0  # the pool never reads a deleted key
+
+    def test_ops_per_step_validates(self):
+        from repro.workloads.driver import run_interleaved
+
+        store, _ = self._store()
+        with pytest.raises(ValueError):
+            run_interleaved(store, ycsb_c_workload(10, 5), ops_per_step=0)
