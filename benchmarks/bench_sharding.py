@@ -64,6 +64,7 @@ import os
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.invariants import store_invariants
 from repro.distributed.ring import stable_hash
 from repro.distributed.store import (
     CopyLocation,
@@ -159,6 +160,8 @@ class UnderLoadRunResult:
     migration_sites_seen: int
     verified_clean: bool
     data_intact: bool
+    invariants_checked: int
+    invariant_violations: int
     seconds: float
 
 
@@ -355,6 +358,7 @@ def run_rebalance_under_load(
         ops_per_step=ops_per_step,
         budget_keys=budget_keys,
         consistency="quorum",
+        invariants=store_invariants(),
     )
     seconds = (cost.clock.now - t0) / 1e6
     report = driver.report
@@ -388,6 +392,8 @@ def run_rebalance_under_load(
         migration_sites_seen=migration_sites,
         verified_clean=report.verified_clean,
         data_intact=data_intact,
+        invariants_checked=run.invariants_checked,
+        invariant_violations=len(run.invariant_violations),
         seconds=seconds,
     )
 
@@ -639,6 +645,11 @@ def check_under_load_invariants(
         # Migration imports create replica backlog at the destinations; the
         # quorum reads in the mix must observe it and repair it.
         assert r.repairs > 0, r
+        # The runtime invariant registry ran at every step boundary and
+        # found nothing: copies_of matched reality, no erased read, every
+        # destructive action audited, replicas converged.
+        assert r.invariants_checked > 0, r
+        assert r.invariant_violations == 0, r
         assert r.moved_fraction < r.modulo_fraction, r
         if baseline is not None:
             assert r.moved_fraction <= baseline["ring_moved_fraction_max"], (

@@ -27,7 +27,23 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-# ----------------------------------------------------------------- the model
+from repro.bench.experiments import fig4a, fig4b, fig4c, table1, table2
+from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
+from repro.core.compliance import ComplianceChecker, ComplianceReport
+from repro.core.consistency import (
+    is_history_consistent,
+    is_policy_consistent,
+    policy_violations,
+    regulation_requires_any_of,
+)
+from repro.core.dataunit import (
+    Database,
+    DataCategory,
+    DataUnit,
+    DataUnitState,
+    ValueVersion,
+    derive,
+)
 from repro.core.entities import (
     Entity,
     EntityRegistry,
@@ -37,29 +53,6 @@ from repro.core.entities import (
     data_subject,
     processor,
 )
-from repro.core.policy import Policy, PolicySet, Purpose
-from repro.core.dataunit import (
-    Database,
-    DataCategory,
-    DataUnit,
-    DataUnitState,
-    ValueVersion,
-    derive,
-)
-from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
-from repro.core.consistency import (
-    is_history_consistent,
-    is_policy_consistent,
-    policy_violations,
-    regulation_requires_any_of,
-)
-from repro.core.grounding import (
-    Concept,
-    Grounding,
-    GroundingRegistry,
-    Interpretation,
-    SystemAction,
-)
 from repro.core.erasure import (
     ErasureCharacterization,
     ErasureInterpretation,
@@ -68,34 +61,35 @@ from repro.core.erasure import (
     paper_table1,
     register_erasure,
 )
+from repro.core.grounding import (
+    Concept,
+    Grounding,
+    GroundingRegistry,
+    Interpretation,
+    SystemAction,
+)
 from repro.core.invariants import (
     ComplianceVerdict,
-    G6PolicyConsistency,
     G17ErasureDeadline,
+    G6PolicyConsistency,
     Violation,
     figure1_invariants,
 )
-from repro.core.compliance import ComplianceChecker, ComplianceReport
+from repro.core.policy import Policy, PolicySet, Purpose
 from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
 from repro.core.regulation import Article, Regulation, ccpa, gdpr, pipeda, vdpa
-
-# ------------------------------------------------------------------- systems
+from repro.lsm.engine import LSMEngine
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.storage.engine import RelationalEngine
+from repro.systems import PROFILES, make_profile
 from repro.systems.database import (
     CompliantDatabase,
     EraseOutcome,
     UnsupportedGroundingError,
 )
-from repro.systems import PROFILES, make_profile
 from repro.systems.profiles import ProfileConfig, RunResult
 from repro.systems.space import SpaceAccountant, SpaceReport
-
-# ------------------------------------------------------------------ substrates
-from repro.sim.clock import SimClock
-from repro.sim.costs import CostBook, CostModel
-from repro.storage.engine import RelationalEngine
-from repro.lsm.engine import LSMEngine
-
-# ------------------------------------------------------------------ workloads
 from repro.workloads.gdprbench import (
     controller_workload,
     customer_workload,
@@ -104,9 +98,6 @@ from repro.workloads.gdprbench import (
 )
 from repro.workloads.mall import MallDataset
 from repro.workloads.ycsb import ycsb_c_workload
-
-# ----------------------------------------------------------------- experiments
-from repro.bench.experiments import fig4a, fig4b, fig4c, table1, table2
 
 __all__ = [
     "__version__",

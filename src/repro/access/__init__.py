@@ -14,8 +14,8 @@ Three enforcement tiers matching the profiles of §4.2:
 """
 
 from repro.access.errors import AccessDenied
-from repro.access.rbac import Permission, RbacController, Role
 from repro.access.fgac import FgacController, PolicyStore
+from repro.access.rbac import Permission, RbacController, Role
 from repro.access.sieve import SieveMiddleware
 
 __all__ = [

@@ -14,8 +14,8 @@ Every logger tracks its byte footprint (Table 2's metadata column) and
 charges the cost model per record.
 """
 
-from repro.audit.log import ActionLog
 from repro.audit.csvlog import CsvLogger
+from repro.audit.log import ActionLog
 from repro.audit.querylog import PolicyDecisionLogger, QueryResponseLogger
 from repro.audit.retention import RetentionManager
 

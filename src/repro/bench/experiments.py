@@ -16,8 +16,8 @@ from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
-from repro.storage.engine import RelationalEngine
 from repro.systems import make_profile
+from repro.systems.backends import make_backend
 from repro.systems.database import CompliantDatabase
 from repro.systems.profiles import RunResult
 from repro.systems.space import SpaceReport
@@ -158,13 +158,20 @@ def run_erasure_config(
     if workload is None:
         workload = erasure_study_workload(record_count, n_transactions, seed)
     bloat_factor = 8.0
-    engine = RelationalEngine(
-        cost, bloat_factor=bloat_factor, wal_checkpoint_every=5_000
-    )
     tombstones = config is ErasureConfig.TOMBSTONES
-    engine.create_table("data", row_bytes=70, flag_column=tombstones)
+    # Through the registry (G03): same engine, same cost charging, but the
+    # grounding selection and copy-site protocol stay in force.
+    backend = make_backend(
+        "psql",
+        cost,
+        row_bytes=70,
+        table="data",
+        flag_column=tombstones,
+        bloat_factor=bloat_factor,
+        wal_checkpoint_every=5_000,
+    )
     for key in range(record_count):
-        engine.insert("data", key, (key, "payload"), check_duplicate=False)
+        backend.insert(key, (key, "payload"), fresh=True)
     deletes = 0
     flagged = 0
     for op in workload:
@@ -175,28 +182,28 @@ def run_erasure_config(
                 # version *and* leaves a live flagged row behind; the data
                 # is physically retained (the §1 hazard) and reads must
                 # filter markers forever.
-                engine.update("data", op.key, (op.key, "tombstoned"))
-                engine.set_flag("data", op.key, True)
+                backend.update(op.key, (op.key, "tombstoned"))
+                backend.make_inaccessible(op.key)
                 flagged += 1
             else:
-                engine.delete("data", op.key)
-            engine.wal.flush()
+                backend.delete(op.key)
+            backend.commit()
             deletes += 1
             if deletes % maintenance_interval == 0:
                 if config is ErasureConfig.DELETE_VACUUM:
-                    engine.vacuum("data")
+                    backend.reclaim()
                 elif config is ErasureConfig.DELETE_VACUUM_FULL:
-                    engine.vacuum_full("data")
+                    backend.reclaim_full()
         elif op.kind is OpKind.READ:
-            engine.read("data", op.key)
+            backend.read(op.key)
             if tombstones and flagged:
                 # Marker filtering: index entries of tombstoned rows are
                 # still live; every read steps over a share of them.
                 fraction = flagged / record_count
                 clock.charge(book.page_read * bloat_factor * fraction, "storage")
         else:
-            engine.insert("data", op.key, (op.key, "created"))
-            engine.wal.flush()
+            backend.insert(op.key, (op.key, "created"))
+            backend.commit()
     return clock.now_seconds
 
 

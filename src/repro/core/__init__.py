@@ -11,8 +11,18 @@ engine-level system-actions.
 ``repro.systems`` layer is where groundings meet system-actions.
 """
 
-from repro.core.entities import Entity, EntityRegistry, Role
-from repro.core.policy import Policy, PolicySet, Purpose
+from repro.core.actions import (
+    Action,
+    ActionHistory,
+    ActionHistoryTuple,
+    ActionType,
+)
+from repro.core.compliance import ComplianceChecker, ComplianceReport
+from repro.core.consistency import (
+    is_history_consistent,
+    is_policy_consistent,
+    policy_violations,
+)
 from repro.core.dataunit import (
     Database,
     DataCategory,
@@ -20,16 +30,13 @@ from repro.core.dataunit import (
     DataUnitState,
     ValueVersion,
 )
-from repro.core.actions import (
-    Action,
-    ActionHistory,
-    ActionHistoryTuple,
-    ActionType,
-)
-from repro.core.consistency import (
-    is_history_consistent,
-    is_policy_consistent,
-    policy_violations,
+from repro.core.entities import Entity, EntityRegistry, Role
+from repro.core.erasure import (
+    ErasureCharacterization,
+    ErasureInterpretation,
+    ErasureTimeline,
+    characterize,
+    paper_table1,
 )
 from repro.core.grounding import (
     Concept,
@@ -38,24 +45,17 @@ from repro.core.grounding import (
     Interpretation,
     SystemAction,
 )
-from repro.core.erasure import (
-    ErasureCharacterization,
-    ErasureInterpretation,
-    ErasureTimeline,
-    characterize,
-    paper_table1,
-)
 from repro.core.invariants import (
     ComplianceVerdict,
-    G6PolicyConsistency,
     G17ErasureDeadline,
+    G6PolicyConsistency,
     Invariant,
     Violation,
     figure1_invariants,
 )
-from repro.core.compliance import ComplianceChecker, ComplianceReport
+from repro.core.policy import Policy, PolicySet, Purpose
 from repro.core.provenance import DependencyKind, ProvenanceGraph
-from repro.core.regulation import Article, Regulation, gdpr, ccpa, vdpa, pipeda
+from repro.core.regulation import Article, Regulation, ccpa, gdpr, pipeda, vdpa
 
 __all__ = [
     "Entity",

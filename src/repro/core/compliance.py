@@ -16,8 +16,8 @@ from repro.core.actions import ActionHistory
 from repro.core.dataunit import Database
 from repro.core.invariants import (
     ComplianceVerdict,
-    G6PolicyConsistency,
     G17ErasureDeadline,
+    G6PolicyConsistency,
     Invariant,
     Violation,
 )

@@ -17,11 +17,6 @@ P_SYS uses AES-128.  This package implements:
   implementations wiring ciphers + cost charging into the engines.
 """
 
-from repro.crypto.aes import AES
-from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_keystream, ctr_xor
-from repro.crypto.kdf import pbkdf2_sha256
-from repro.crypto.luks import LuksVolume
-from repro.crypto.fastcipher import FastStreamCipher
 from repro.crypto.adapters import (
     AesEngineCipher,
     CipherKind,
@@ -29,6 +24,11 @@ from repro.crypto.adapters import (
     FastEngineCipher,
     make_engine_cipher,
 )
+from repro.crypto.aes import AES
+from repro.crypto.fastcipher import FastStreamCipher
+from repro.crypto.kdf import pbkdf2_sha256
+from repro.crypto.luks import LuksVolume
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_keystream, ctr_xor
 
 __all__ = [
     "AES",

@@ -832,6 +832,15 @@ class Rebalance:
         return len(self._in_flight)
 
     @property
+    def keys_moved(self) -> int:
+        """Keys fully migrated so far (copied *and* grounded at the source).
+
+        Every increment emits a :class:`MoveEvent`, so the audit trail a
+        move listener accumulates must stay equal to this counter — the
+        runtime invariant registry checks exactly that."""
+        return self._moved
+
+    @property
     def last_step_keys(self) -> int:
         """Keys the most recent :meth:`step` copied or grounded — what a
         :class:`RebalanceDriver` charges against its budget."""

@@ -20,9 +20,9 @@ from repro.lsm.compaction import (
     SizeTieredPolicy,
     make_compaction_policy,
 )
+from repro.lsm.engine import LSMEngine, RetentionRecord
 from repro.lsm.memtable import TOMBSTONE, Memtable
 from repro.lsm.sstable import SSTable
-from repro.lsm.engine import LSMEngine, RetentionRecord
 
 __all__ = [
     "BloomFilter",

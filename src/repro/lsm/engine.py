@@ -355,10 +355,14 @@ class LSMEngine:
             dropped_keys=tuple(dropped_keys),
             timestamp=self._now(),
         )
+        self._emit_compaction(event)
+        return outs
+
+    def _emit_compaction(self, event: CompactionEvent) -> None:
+        """Record the merge and fan it out to the audit subscribers."""
         self.compaction_events.append(event)
         for listener in self._compaction_listeners:
             listener(event)
-        return outs
 
     def _place_output(
         self,

@@ -8,6 +8,6 @@ encryption bytes, log appends), all of which are charged explicitly.
 """
 
 from repro.sim.clock import SimClock
-from repro.sim.costs import CostModel, CostBook
+from repro.sim.costs import CostBook, CostModel
 
 __all__ = ["SimClock", "CostModel", "CostBook"]

@@ -12,8 +12,8 @@ All timing flows through :class:`repro.sim.costs.CostModel`; all sizes are
 tracked in bytes for the Table-2 space accounting.
 """
 
-from repro.storage.engine import RelationalEngine, TableStats
 from repro.storage.catalog import TableSchema
+from repro.storage.engine import RelationalEngine, TableStats
 from repro.storage.errors import (
     DuplicateKeyError,
     StorageError,

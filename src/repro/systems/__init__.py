@@ -21,9 +21,9 @@ from repro.systems.backends import (
     make_backend,
 )
 from repro.systems.database import CompliantDatabase, EraseOutcome
-from repro.systems.profiles import ComplianceProfile, ProfileConfig, RunResult
 from repro.systems.pbase import PBase
 from repro.systems.pgbench import PGBench
+from repro.systems.profiles import ComplianceProfile, ProfileConfig, RunResult
 from repro.systems.psys import PSys
 from repro.systems.space import SpaceAccountant, SpaceReport
 

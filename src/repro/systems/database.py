@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.access.errors import AccessDenied
+from repro.audit.log import ActionLog
 from repro.core.actions import ActionType
 from repro.core.compliance import ComplianceChecker, ComplianceReport
 from repro.core.consistency import regulation_requires_any_of
@@ -47,10 +48,9 @@ from repro.core.erasure import (
     register_erasure,
 )
 from repro.core.grounding import GroundingRegistry
-from repro.core.invariants import G6PolicyConsistency, G17ErasureDeadline
+from repro.core.invariants import G17ErasureDeadline, G6PolicyConsistency
 from repro.core.policy import Policy, PolicySet, Purpose
 from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
-from repro.audit.log import ActionLog
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.systems.backends import StorageBackend, make_backend

@@ -46,8 +46,8 @@ from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.systems.backends import BackendGroup, StorageBackend
 from repro.systems.space import SpaceAccountant, SpaceReport
-from repro.workloads.base import OpKind, Operation, Workload
-from repro.workloads.mall import MallDataset, RECORD_BYTES
+from repro.workloads.base import Operation, OpKind, Workload
+from repro.workloads.mall import RECORD_BYTES, MallDataset
 
 DATA_TABLE = "personal_data"
 META_TABLE = "gdpr_metadata"

@@ -14,22 +14,22 @@ evaluates with:
   rebalance advances in bounded steps between operations.
 """
 
-from repro.workloads.base import KeyPool, OpKind, Operation, Workload
-from repro.workloads.zipf import ZipfianSampler
-from repro.workloads.gdprbench import (
-    controller_workload,
-    customer_workload,
-    erasure_study_workload,
-    processor_workload,
-)
-from repro.workloads.ycsb import ycsb_c_workload
-from repro.workloads.mall import MallDataset, MallRecord
+from repro.workloads.base import KeyPool, Operation, OpKind, Workload
 from repro.workloads.driver import (
     InterleavedRunResult,
     load_store,
     run_interleaved,
     unit_key,
 )
+from repro.workloads.gdprbench import (
+    controller_workload,
+    customer_workload,
+    erasure_study_workload,
+    processor_workload,
+)
+from repro.workloads.mall import MallDataset, MallRecord
+from repro.workloads.ycsb import ycsb_c_workload
+from repro.workloads.zipf import ZipfianSampler
 
 __all__ = [
     "OpKind",

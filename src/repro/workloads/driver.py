@@ -30,8 +30,9 @@ rebalance --background`` are both thin wrappers over
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.invariants import Invariant, World, check_invariants
 from repro.storage.errors import TupleNotFoundError
 from repro.workloads.base import OpKind, Workload
 
@@ -65,6 +66,13 @@ class InterleavedRunResult:
     whatever phase it happened to be in*, and all of them verified zero
     lingering copies.  ``repairs`` counts completed read repairs (replica
     re-syncs triggered by diverged quorum reads).
+
+    When the run carries a registry from
+    :mod:`repro.analysis.invariants`, ``invariants_checked`` counts the
+    individual invariant evaluations performed (once per registered
+    invariant at every step boundary, plus a final post-drain sweep) and
+    ``invariant_violations`` collects the distinct violation messages —
+    empty on a healthy run.
     """
 
     workload: str
@@ -79,6 +87,8 @@ class InterleavedRunResult:
     keys_stepped: int
     repairs: int
     rebalance_completed: bool
+    invariants_checked: int = 0
+    invariant_violations: Tuple[str, ...] = ()
 
 
 def run_interleaved(
@@ -90,6 +100,7 @@ def run_interleaved(
     consistency: str = "one",
     key_fn: Callable[[int], str] = unit_key,
     drain: bool = True,
+    invariants: Optional[Sequence[Invariant]] = None,
 ) -> InterleavedRunResult:
     """Replay ``workload`` against ``store`` while ``driver`` advances a
     background rebalance ``budget_keys`` keys at a time.
@@ -100,11 +111,32 @@ def run_interleaved(
     asynchronous repair loop too.  With ``drain`` the migration is driven
     to completion after the traffic ends — the store never stays
     dual-routing forever because the workload was short.
+
+    ``invariants`` (a registry from :mod:`repro.analysis.invariants`)
+    turns the run into its own oracle: the harness maintains a
+    :class:`World` of what it believes live/erased, and evaluates every
+    registered invariant at each step boundary and once after the drain —
+    exactly the moments the migration's dual-routing state just changed.
     """
     if ops_per_step < 1:
         raise ValueError("ops_per_step must be >= 1")
     reads = writes = erases = metadata = misses = 0
     repairs = 0
+    world = (
+        World.observe(store, driver=driver) if invariants is not None else None
+    )
+    invariants_checked = 0
+    violations: List[str] = []
+
+    def run_checks() -> None:
+        nonlocal invariants_checked
+        if world is None:
+            return
+        invariants_checked += len(invariants)
+        for violation in check_invariants(world, invariants):
+            message = str(violation)
+            if message not in violations:
+                violations.append(message)
     # Only repairs completed during THIS run count — the driver may have
     # flushed some in earlier steps (or an earlier run over the same
     # driver).
@@ -113,6 +145,8 @@ def run_interleaved(
     for i, op in enumerate(workload):
         if op.kind is OpKind.CREATE:
             store.put(key_fn(op.key), op.payload or (op.key, "payload"))
+            if world is not None:
+                world.record_write(key_fn(op.key))
             writes += 1
         elif op.kind is OpKind.READ:
             try:
@@ -124,10 +158,14 @@ def run_interleaved(
             reads += 1
         elif op.kind is OpKind.UPDATE:
             store.update(key_fn(op.key), op.payload or (op.key, "rewritten"))
+            if world is not None:
+                world.record_write(key_fn(op.key))
             writes += 1
         elif op.kind is OpKind.DELETE:
             report = store.erase_all_copies(key_fn(op.key))
             clean = clean and report.verified_clean
+            if world is not None:
+                world.record_erase(key_fn(op.key), report)
             erases += 1
         else:  # metadata traffic has no replicated-store counterpart
             metadata += 1
@@ -136,12 +174,14 @@ def run_interleaved(
                 driver.step(budget_keys)
             else:
                 repairs += len(store.flush_repairs())
+            run_checks()
     if driver is not None and drain:
         while not driver.done:
             driver.step(budget_keys)
     repairs += len(store.flush_repairs())
     if driver is not None:
         repairs += len(driver.repairs) - driver_repairs_before
+    run_checks()
     return InterleavedRunResult(
         workload=workload.name,
         ops_applied=workload.transaction_count,
@@ -155,4 +195,6 @@ def run_interleaved(
         keys_stepped=driver.keys_processed if driver is not None else 0,
         repairs=repairs,
         rebalance_completed=driver.done if driver is not None else False,
+        invariants_checked=invariants_checked,
+        invariant_violations=tuple(violations),
     )

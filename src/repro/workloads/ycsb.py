@@ -8,7 +8,7 @@ non-GDPR operations").
 
 from __future__ import annotations
 
-from repro.workloads.base import OpKind, Operation, Workload
+from repro.workloads.base import Operation, OpKind, Workload
 from repro.workloads.zipf import ZipfianSampler
 
 

@@ -9,11 +9,13 @@ behaviour are identical — only the system-actions differ.
 
 import pytest
 
+from repro.access.errors import AccessDenied
 from repro.bench.experiments import table1
 from repro.core.entities import controller, data_subject
 from repro.core.erasure import PAPER_TABLE1, ErasureInterpretation
 from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind
+from repro.storage.errors import TupleNotFoundError
 from repro.systems.database import CompliantDatabase, UnsupportedGroundingError
 
 #: The native engines, whose Table-1 matrix matches the paper verbatim.
@@ -151,7 +153,7 @@ class TestLifecycleParity:
             "u1", interpretation=ErasureInterpretation.REVERSIBLY_INACCESSIBLE
         )
         assert db.read("u1", METASPACE, Purpose.SERVICE) == {"v": 1}
-        with pytest.raises(Exception):
+        with pytest.raises(AccessDenied):
             db.read("u1", USER, Purpose.SERVICE)
         assert db.physically_present("u1")  # invertible ⇒ value retained
         db.restore("u1")
@@ -318,7 +320,7 @@ class TestCryptoShredTable1Parity:
         db = make_db("crypto-shred")
         collect_unit(db)
         db.erase("u1", interpretation=ErasureInterpretation.PERMANENTLY_DELETED)
-        with pytest.raises(Exception):
+        with pytest.raises(TupleNotFoundError):
             db.read("u1", METASPACE, Purpose.SERVICE)
 
     def test_sar_reports_permanently_deleted_unit_gone(self):

@@ -9,8 +9,8 @@ import pytest
 from repro.access.errors import AccessDenied
 from repro.core.actions import ActionType
 from repro.core.consistency import regulation_requires_any_of
-from repro.core.erasure import ErasureInterpretation
 from repro.core.entities import controller, data_subject, processor
+from repro.core.erasure import ErasureInterpretation
 from repro.core.invariants import PreProcessingInvariant, figure1_invariants
 from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind

@@ -12,7 +12,7 @@ from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, Action
 from repro.core.compliance import ComplianceChecker
 from repro.core.dataunit import Database, DataUnit
 from repro.core.entities import Entity, Role
-from repro.core.invariants import G6PolicyConsistency, G17ErasureDeadline
+from repro.core.invariants import G17ErasureDeadline, G6PolicyConsistency
 from repro.core.policy import Policy, PolicySet, Purpose
 
 ENTITIES = [

@@ -1,0 +1,13 @@
+"""Seeded G02 violations: destructive op without audit, unpaired listener."""
+
+from repro.core.actions import ActionType  # noqa: F401 - grounds the module
+
+
+class SilentFacade:
+    # expect: G02 — erase never records an ActionType action
+    def erase(self, unit_id):
+        self.backend.delete(unit_id)
+
+    # expect: G02 — subscribers registered, _emit_move never called
+    def add_move_listener(self, listener):
+        self._move_listeners.append(listener)

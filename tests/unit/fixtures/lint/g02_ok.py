@@ -1,0 +1,18 @@
+"""G02-clean counterpart: audit via a same-class helper, paired seam."""
+
+from repro.core.actions import ActionType
+
+
+class AuditedFacade:
+    def erase(self, unit_id):
+        self.backend.delete(unit_id)
+        self._audit(unit_id)
+
+    def _audit(self, unit_id):
+        self.log.record(unit_id, ActionType.ERASE)
+
+    def add_move_listener(self, listener):
+        self._move_listeners.append(listener)
+
+    def _finish_move(self, event):
+        self._emit_move(event)

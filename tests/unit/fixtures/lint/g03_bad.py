@@ -1,0 +1,8 @@
+"""Seeded G03 violation: engine constructed outside the backend registry."""
+
+from repro.storage.engine import RelationalEngine
+
+
+def ad_hoc_engine(cost):
+    # expect: G03 — direct construction bypasses make_backend()
+    return RelationalEngine(cost, bloat_factor=8.0)

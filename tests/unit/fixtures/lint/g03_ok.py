@@ -1,0 +1,7 @@
+"""G03-clean counterpart: the registry constructs the engine."""
+
+from repro.systems.backends import make_backend
+
+
+def registry_backend(cost):
+    return make_backend("psql", cost, bloat_factor=8.0)

@@ -1,0 +1,7 @@
+"""Seeded G04 violation: pickle outside the storage layer."""
+
+import pickle  # expect: G04 — serialized unit values are untracked copies
+
+
+def stash(unit):
+    return pickle.dumps(unit)

@@ -1,0 +1,7 @@
+"""G04-clean counterpart: structural serialization, no pickle."""
+
+import json
+
+
+def stash(unit):
+    return json.dumps({"id": unit.id})

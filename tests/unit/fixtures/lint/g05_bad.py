@@ -1,0 +1,23 @@
+"""Seeded G05 violations: all three swallowed-exception shapes."""
+
+
+def read_config(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722  # expect: G05 — bare except
+        return None
+
+
+def poll(queue):
+    try:
+        return queue.get()
+    except Exception:  # expect: G05 — broad silent sink
+        pass
+
+
+def erase_units(backend, keys):
+    for key in keys:
+        try:
+            backend.delete(key)
+        except KeyError:  # expect: G05 — silenced on the erase path
+            pass

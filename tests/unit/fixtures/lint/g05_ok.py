@@ -1,0 +1,20 @@
+"""G05-clean counterpart: narrow handlers that act on the failure."""
+
+from repro.storage.errors import TupleNotFoundError
+
+
+def read_config(path):
+    try:
+        return open(path).read()
+    except OSError as exc:
+        raise RuntimeError(f"unreadable config {path}") from exc
+
+
+def erase_units(backend, keys):
+    missing = 0
+    for key in keys:
+        try:
+            backend.delete(key)
+        except TupleNotFoundError:
+            missing += 1  # counted, reported by the caller — not swallowed
+    return missing

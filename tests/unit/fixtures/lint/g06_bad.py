@@ -1,0 +1,16 @@
+"""Seeded G06 violation: shared rebalance state mutated off the seam."""
+
+
+class RacyStore:
+    def hot_swap(self, index, shard):
+        # expect: G06 — _shards mutated outside the driver-step seam
+        self._shards[index] = shard
+
+    def drop_ring(self):
+        # expect: G06 — _ring replaced outside the seam
+        self._ring = None
+
+    def cancel_everything(self):
+        # expect: G06 — tuple-assign touches _pending_repairs off-seam
+        dropped, self._pending_repairs = self._pending_repairs, {}
+        return dropped

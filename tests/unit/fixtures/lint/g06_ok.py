@@ -1,0 +1,24 @@
+"""G06-clean counterpart: every mutation inside the driver-step seam."""
+
+
+class SeamedStore:
+    def __init__(self):
+        self._shards = {}
+        self._ring = None
+        self._rebalance = None
+        self._pending_repairs = {}
+
+    def _begin(self, ring, rebalance):
+        self._ring = ring
+        self._rebalance = rebalance
+
+    def _spawn_shard(self, index, shard):
+        self._shards[index] = shard
+
+    def _finalize(self, index):
+        del self._shards[index]
+        self._rebalance = None
+
+    def flush_repairs(self):
+        pending, self._pending_repairs = self._pending_repairs, {}
+        return pending

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.access.errors import AccessDenied
-from repro.core.erasure import ErasureInterpretation
 from repro.core.entities import controller, data_subject, processor
+from repro.core.erasure import ErasureInterpretation
 from repro.core.policy import Policy, Purpose
 from repro.core.provenance import DependencyKind
 from repro.systems.database import (

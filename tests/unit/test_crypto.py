@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto.aes import AES
 from repro.crypto.adapters import (
     AesEngineCipher,
     CipherKind,
@@ -11,6 +10,7 @@ from repro.crypto.adapters import (
     SealedPayload,
     make_engine_cipher,
 )
+from repro.crypto.aes import AES
 from repro.crypto.fastcipher import FastStreamCipher
 from repro.crypto.kdf import pbkdf2_sha256
 from repro.crypto.luks import SECTOR, LuksVolume

@@ -15,6 +15,7 @@ from repro.distributed.store import (
 )
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
+from repro.storage.errors import TupleNotFoundError
 
 BACKENDS = ("psql", "lsm", "crypto-shred")
 
@@ -46,7 +47,7 @@ class TestReplication:
     def test_replica_read_before_lag_misses(self, backend):
         store, _ = make_store(backend=backend)
         store.put("k", "v")
-        with pytest.raises(Exception):
+        with pytest.raises(TupleNotFoundError):
             store.read("k", replica=0)
 
     def test_replica_read_after_lag_hits(self, backend):
@@ -119,7 +120,7 @@ class TestCaching:
         report = store.erase_all_copies("pii")
         assert report.verified_clean
         for kwargs in ({}, {"replica": 0}, {"consistency": "quorum"}):
-            with pytest.raises(Exception):
+            with pytest.raises(TupleNotFoundError):
                 store.read("pii", **kwargs)
             assert store.copies_of("pii") == [], kwargs
 
@@ -157,7 +158,7 @@ class TestNaiveDeleteHazard:
         advance(clock, 60_000)
         # replication applied on read path; cache invalidated by the delete
         # op — but only on replicas that applied it.
-        with pytest.raises(Exception):
+        with pytest.raises(TupleNotFoundError):
             store.read("pii", replica=0, use_cache=False)
 
 

@@ -6,9 +6,9 @@ from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, Action
 from repro.core.dataunit import Database, DataUnit
 from repro.core.entities import controller, data_subject
 from repro.core.erasure import (
+    PAPER_TABLE1,
     ErasureInterpretation,
     ErasureTimeline,
-    PAPER_TABLE1,
     characterize,
     erase_transformation_is_invertible,
     has_erasure_inconsistent_inference,

@@ -9,8 +9,8 @@ from repro.core.invariants import (
     DemonstrabilityInvariant,
     DesignSecurityInvariant,
     DisclosureInvariant,
-    G6PolicyConsistency,
     G17ErasureDeadline,
+    G6PolicyConsistency,
     ObligationsInvariant,
     PreProcessingInvariant,
     RecordKeepingInvariant,

@@ -2,12 +2,12 @@
 
 import pytest
 
+from repro.core.entities import controller
 from repro.core.policy import Policy, Purpose
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.systems.policycat import ScalablePolicyCatalog
 from repro.systems.profiles import OPERATOR
-from repro.core.entities import controller
 
 OTHER = controller("someone-else")
 

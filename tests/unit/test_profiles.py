@@ -16,7 +16,7 @@ from repro.systems.profiles import (
     PLAIN_TABLE,
     ProfileConfig,
 )
-from repro.workloads.base import OpKind, Operation
+from repro.workloads.base import Operation, OpKind
 from repro.workloads.gdprbench import customer_workload
 from repro.workloads.ycsb import ycsb_c_workload
 

@@ -1,6 +1,6 @@
 """Unit tests for the bench renderers."""
 
-from repro.bench.experiments import Fig4aPoint, ErasureConfig
+from repro.bench.experiments import ErasureConfig, Fig4aPoint
 from repro.bench.reporting import (
     render_fig4a,
     render_fig4b,

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.erasure import ErasureInterpretation
 from repro.core.entities import controller, data_subject
+from repro.core.erasure import ErasureInterpretation
 from repro.core.policy import Policy, Purpose
 from repro.systems.database import SUBJECT_ACCESS_PURPOSE, CompliantDatabase
 
