@@ -136,10 +136,13 @@ class Rule:
 
     Subclasses set ``id``/``title``/``severity`` and implement
     :meth:`check`, yielding findings for one module at a time.  Rules see
-    one module per call by design: every rule here is expressible as a
-    module-local property (the grounding discipline requires the tracking
-    to live *next to* the copy-producing code), which keeps the pass fast
-    and the failure locations exact.
+    one module per call by design: the write-site half of the grounding
+    discipline requires the tracking to live *next to* the copy-producing
+    code, which keeps the pass fast and the failure locations exact.  The
+    rare invariant that is deliberately *cross*-module — "every declared
+    ``CopyLocation`` member is reported somewhere in the package" — goes
+    in :meth:`check_package`, which runs once over the full module list
+    after the per-module pass.
     """
 
     id: str = "G00"
@@ -148,6 +151,10 @@ class Rule:
 
     def check(self, module: Module) -> Iterable[Finding]:  # pragma: no cover
         raise NotImplementedError
+
+    def check_package(self, modules: Sequence[Module]) -> Iterable[Finding]:
+        """Package-scope pass (default: no findings)."""
+        return ()
 
     def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -188,9 +195,12 @@ def run_rules(
 
         rules = default_rules()
     findings: List[Finding] = []
-    for module in iter_modules(root):
+    modules = list(iter_modules(root))
+    for module in modules:
         for rule in rules:
             findings.extend(rule.check(module))
+    for rule in rules:
+        findings.extend(rule.check_package(modules))
     return sorted(findings, key=lambda f: (f.file, f.line, f.rule))
 
 

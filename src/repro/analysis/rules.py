@@ -19,9 +19,10 @@ fact).  The catalogue, with the §1 rationale per rule, is documented in
 * **G03 backend-registry** — no direct ``RelationalEngine`` /
   ``LSMEngine`` construction outside the backend registry and the engine's
   own layer; ad-hoc engines bypass copy tracking and grounding selection.
-* **G04 pickle-containment** — ``pickle`` only inside the storage layer;
-  a pickled unit value anywhere else is an untracked copy (and an
-  unscrubbable one).
+* **G04 serializer-containment** — ``pickle``/``marshal`` imports only
+  inside ``repro/codec.py``; a raw-serialized unit value anywhere else is
+  an untracked copy (and an unscrubbable one).  Everyone else goes
+  through ``codec.encode``/``decode``.
 * **G05 no-swallowed-exceptions** — no bare ``except``, no
   ``except: pass`` over broad exception types, and no silenced handlers
   at all on erase/migration paths: a swallowed failure there converts
@@ -29,6 +30,11 @@ fact).  The catalogue, with the §1 rationale per rule, is documented in
 * **G06 rebalance-seam** — the store's shared rebalance state may only be
   mutated inside the driver-step seam; any other mutation races the
   dual-routing invariant.
+* **G07 codec-boundary** — storage seams (``put``/``write_*``/``read_*``/
+  ``flush``/``seal``…) must serialize through the codec, never by calling
+  ``pickle``/``marshal`` directly: bytes outside the codec's
+  self-describing format cannot be streamed between blocks, sectors, and
+  migration batches or recognized by ``decode``.
 """
 
 from __future__ import annotations
@@ -81,7 +87,12 @@ def _attribute_refs(module: Module, owner: str) -> Set[str]:
 _CACHE_ATTR = re.compile(r"cache$")
 _LOG_ATTRS = frozenset({"_log", "log", "replication_log"})
 _WAL_ATTRS = frozenset({"wal", "_wal"})
-_IMPORT_CALLS = frozenset({"import_batch", "import_items"})
+_IMPORT_CALLS = frozenset(
+    {"import_batch", "import_items", "import_encoded_batch", "import_items_encoded"}
+)
+#: Probes that ask whether a WAL/recovery log still retains a value: the
+#: caller provably knows about that retention site, so it must report it.
+_WAL_PROBES = frozenset({"log_holds", "log_holds_value"})
 
 
 class CopySiteRule(Rule):
@@ -89,18 +100,25 @@ class CopySiteRule(Rule):
 
     Two halves:
 
-    1. **Write sites need tracking.**  A module containing a secondary
-       write — a cache-entry assignment (``*.cache[k] = v``), a
-       replication-log append (``_append_log`` / ``*._log.append``), a
-       value-carrying WAL append (``*.wal.append(..., payload=...)``), or a
-       migration import (``import_batch`` / ``import_items``) — must
-       reference the matching ``CopyLocation`` member (``CACHE`` / ``LOG``
-       / ``WAL`` / ``MIGRATION``) somewhere in the same module, i.e. the
-       tracking lives next to the copy-producing code.
-    2. **Declared members need consumers.**  The module that declares the
-       ``CopyLocation`` enum must reference every member outside the enum
-       body — a declared-but-never-reported location is a copy site
-       ``copies_of`` is blind to.
+    1. **Write sites need tracking** (module-local).  A module containing
+       a secondary write — a cache-entry assignment (``*.cache[k] = v``),
+       a replication-log append (``_append_log`` / ``*._log.append``), a
+       value-carrying WAL append (``*.wal.append(..., payload=...)``), a
+       migration import (``import_batch`` / ``import_items`` and their
+       encoded variants) — or a WAL-retention *probe* (``log_holds`` /
+       ``log_holds_value``: a caller asking whether a WAL still retains a
+       value provably knows about that site) — must reference the matching
+       ``CopyLocation`` member (``CACHE`` / ``LOG`` / ``WAL`` /
+       ``MIGRATION``) somewhere in the same module, i.e. the tracking
+       lives next to the copy-producing code.
+    2. **Declared members need consumers** (package-scope).  Every member
+       the ``CopyLocation`` enum declares must be referenced outside the
+       enum body *somewhere in the package* — a declared-but-never-
+       reported location is a copy site ``copies_of`` is blind to.  The
+       enum lives in the pure-declaration module
+       ``repro/core/locations.py`` precisely so every storage layer can
+       import it without cycles, so the consumers are in other modules by
+       design and this half runs over the whole module list.
     """
 
     id = "G01"
@@ -113,12 +131,17 @@ class CopySiteRule(Rule):
                 yield self.finding(
                     module,
                     node,
-                    f"{what} writes a value copy but the module never "
-                    f"registers a CopyLocation.{member} site — the copy "
-                    "is invisible to copies_of and unreachable by a "
-                    "grounded erase",
+                    f"{what} but the module never registers a "
+                    f"CopyLocation.{member} site — the copy is invisible "
+                    "to copies_of and unreachable by a grounded erase",
                 )
-        yield from self._check_declared_members(module, tracked)
+
+    def check_package(self, modules: Sequence[Module]) -> Iterable[Finding]:
+        tracked: Set[str] = set()
+        for module in modules:
+            tracked |= _attribute_refs(module, "CopyLocation")
+        for module in modules:
+            yield from self._check_declared_members(module, tracked)
 
     # ------------------------------------------------------------ write sites
     def _write_sites(
@@ -133,22 +156,28 @@ class CopySiteRule(Rule):
                 )
                 for target in targets:
                     if self._is_cache_subscript(target):
-                        yield node, "CACHE", "cache-entry assignment"
+                        yield node, "CACHE", (
+                            "cache-entry assignment writes a value copy"
+                        )
             elif isinstance(node, ast.Call):
                 name = _call_name(node)
                 base = _attr_base_name(node.func)
                 if name == "_append_log":
-                    yield node, "LOG", "replication-log append"
+                    yield node, "LOG", "replication-log append writes a value copy"
                 elif name == "append" and base in _LOG_ATTRS:
-                    yield node, "LOG", "replication-log append"
+                    yield node, "LOG", "replication-log append writes a value copy"
                 elif (
                     name == "append"
                     and base in _WAL_ATTRS
                     and any(kw.arg == "payload" for kw in node.keywords)
                 ):
-                    yield node, "WAL", "value-carrying WAL append"
+                    yield node, "WAL", "value-carrying WAL append writes a value copy"
                 elif name in _IMPORT_CALLS:
-                    yield node, "MIGRATION", "migration batch import"
+                    yield node, "MIGRATION", "migration batch import writes a value copy"
+                elif name in _WAL_PROBES:
+                    yield node, "WAL", (
+                        "WAL-retention probe sees a value copy"
+                    )
 
     @staticmethod
     def _is_cache_subscript(target: ast.expr) -> bool:
@@ -343,45 +372,49 @@ class BackendRegistryRule(Rule):
 
 
 # ----------------------------------------------------------------------- G04
-_PICKLE_ALLOWED = (
-    "repro/storage/",
-    "repro/lsm/",
-    "repro/crypto/",
-    "repro/systems/backends.py",
-)
+#: The raw serializer modules the codec wraps, and the one module allowed
+#: to import them.  Before the codec existed the whole storage layer was
+#: allowlisted; the binary-codec refactor shrank the legal surface to the
+#: codec itself — everyone else calls ``codec.encode``/``decode``.
+_SERIALIZER_MODULES = frozenset({"pickle", "marshal"})
+_SERIALIZER_ALLOWED = ("repro/codec.py",)
 
 
 class PickleContainmentRule(Rule):
-    """G04: no ``pickle`` of unit values outside the storage layer.
+    """G04: raw serializers (``pickle``/``marshal``) only inside the codec.
 
-    Serialized unit values are physical copies; outside the storage layer
-    nothing tracks or scrubs them, so a stray ``pickle.dumps`` is an
-    untracked retention site by construction.
+    Serialized unit values are physical copies; outside
+    :mod:`repro.codec` nothing tracks, scrubs, or format-checks them, so a
+    stray ``pickle.dumps`` is an untracked retention site by construction
+    — and a stray ``marshal.dumps`` is additionally bytes the codec's
+    first-byte discrimination can mis-decode.
     """
 
     id = "G04"
-    title = "pickle use outside the storage layer"
+    title = "raw serializer import outside the codec"
 
     def check(self, module: Module) -> Iterable[Finding]:
-        if module.relpath.startswith(_PICKLE_ALLOWED):
+        if module.relpath.startswith(_SERIALIZER_ALLOWED):
             return
         for node in module.walk():
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name.split(".")[0] == "pickle":
+                    name = alias.name.split(".")[0]
+                    if name in _SERIALIZER_MODULES:
                         yield self.finding(
                             module,
                             node,
-                            "pickle import outside the storage layer — "
+                            f"{name} import outside repro/codec.py — "
                             "serialized unit values are untracked copies",
                         )
             elif isinstance(node, ast.ImportFrom):
-                if node.module and node.module.split(".")[0] == "pickle":
+                if node.module and node.module.split(".")[0] in _SERIALIZER_MODULES:
                     yield self.finding(
                         module,
                         node,
-                        "pickle import outside the storage layer — "
-                        "serialized unit values are untracked copies",
+                        f"{node.module.split('.')[0]} import outside "
+                        "repro/codec.py — serialized unit values are "
+                        "untracked copies",
                     )
 
 
@@ -541,6 +574,61 @@ class RebalanceSeamRule(Rule):
         return None
 
 
+# ----------------------------------------------------------------------- G07
+#: Storage read/write seam names: functions whose job is moving values
+#: across the at-rest boundary.  Raw serializer calls inside one of these
+#: bypass the codec's self-describing format.
+_STORAGE_SEAM_DEF = re.compile(
+    r"^(put|insert|update|write|read|get|flush|seal|open_?|load"
+    r"|pack|unpack|encode|decode)(_[a-z_]+)?$"
+)
+_SERIALIZER_CALLS = frozenset({"dumps", "loads", "dump", "load"})
+
+
+class CodecBoundaryRule(Rule):
+    """G07: storage seams serialize through :mod:`repro.codec` only.
+
+    G04 contains the *imports*; this rule contains the *call sites*: a
+    ``pickle.dumps``/``marshal.loads`` (or kin) inside a storage seam —
+    a function named like ``put``/``write_*``/``read_*``/``flush``/
+    ``seal`` — produces bytes outside the codec's self-describing format.
+    Those bytes cannot be handed between backends, streamed through a
+    packed block, or recognized by ``decode``'s first-byte discrimination,
+    so every SSTable/memtable/sector write must go through
+    ``codec.encode``/``encode_many``/``pack_block`` instead.
+    """
+
+    id = "G07"
+    title = "raw serializer call on a storage seam (bypasses the codec)"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if module.relpath.startswith(_SERIALIZER_ALLOWED):
+            return
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SERIALIZER_CALLS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _SERIALIZER_MODULES
+            ):
+                continue
+            fn = module.enclosing_function(node)
+            if fn is None or not _STORAGE_SEAM_DEF.match(fn.name):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{func.value.id}.{func.attr} on the storage seam "
+                f"{fn.name}() — bytes outside the codec's self-describing "
+                "format; serialize with codec.encode/encode_many/"
+                "pack_block so blocks, sectors, and migration batches "
+                "stay interchangeable",
+            )
+
+
 # ------------------------------------------------------------------- registry
 def default_rules() -> List[Rule]:
     """The registered rule set, in catalogue order."""
@@ -551,6 +639,7 @@ def default_rules() -> List[Rule]:
         PickleContainmentRule(),
         SwallowedExceptionRule(),
         RebalanceSeamRule(),
+        CodecBoundaryRule(),
     ]
 
 

@@ -1,0 +1,41 @@
+"""Copy locations — the shared vocabulary for "where a value physically is".
+
+Historically this enum lived in :mod:`repro.distributed.store`, which meant
+lower layers (the LSM block cache, engine-level WALs) could not speak it
+without importing the distributed layer — they tracked their copy sites
+through engine-local protocols instead, and the grounding linter carried
+baseline entries for the mismatch.  It lives in :mod:`repro.core` now so
+any layer can register its sites against the one enum;
+``repro.distributed.store`` re-exports it unchanged.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CopyLocation(Enum):
+    """Where a physical copy of a value can live.
+
+    ``LOG`` is the replication log itself: PUT/UPDATE entries carry the
+    value, so the log is a retention location just like any replica — a
+    grounded erase must scrub it, or "verified clean" is a lie.  ``WAL`` is
+    a node's engine-level write-ahead log, which keeps row images
+    replayable until the node's reclamation pass scrubs them — the same
+    hazard one storage layer down.  ``CACHE`` covers every read cache that
+    holds materialized values: a node's read-through cache and the LSM
+    engines' shared block cache alike.  ``MIGRATION`` marks a key in
+    flight between shards during a rebalance: the destination already
+    holds the value while the source's grounded erase has not completed,
+    so the move itself is a tracked copy site until it is grounded.
+    """
+
+    PRIMARY = "primary"
+    REPLICA = "replica"
+    CACHE = "cache"
+    LOG = "log"
+    WAL = "wal"
+    MIGRATION = "migration"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -20,6 +20,7 @@ import hashlib
 from enum import Enum
 from typing import Any, Optional
 
+from repro import codec
 from repro.crypto.aes import AES
 from repro.crypto.fastcipher import FastStreamCipher
 from repro.crypto.modes import ctr_xor
@@ -90,18 +91,14 @@ class _TransformingCipher:
         _charge(self._cost, self.kind, nbytes)
         self._counter += 1
         nonce = hashlib.sha256(self._counter.to_bytes(8, "big")).digest()[:16]
-        import pickle
-
-        plaintext = pickle.dumps(payload)
+        plaintext = codec.encode(payload)
         return SealedPayload(self._encrypt(plaintext, nonce), nonce)
 
     def open_(self, payload: Any, nbytes: int) -> Any:
         _charge(self._cost, self.kind, nbytes)
         if not isinstance(payload, SealedPayload):
             raise TypeError("payload was not sealed by this cipher")
-        import pickle
-
-        return pickle.loads(self._decrypt(payload.ciphertext, payload.nonce))
+        return codec.decode(self._decrypt(payload.ciphertext, payload.nonce))
 
 
 class SealedPayload:

@@ -106,10 +106,14 @@ from typing import (
     Union,
 )
 
+from repro import codec
+from repro.core.locations import CopyLocation
+from repro.crypto.vault import KeyVault
 from repro.distributed.ring import DEFAULT_VNODES, HashRing
+from repro.lsm.cache import SharedBlockCache
 from repro.sim.costs import CostModel
 from repro.storage.errors import TupleNotFoundError
-from repro.systems.backends import StorageBackend, make_backend
+from repro.systems.backends import ExportBatch, StorageBackend, make_backend
 
 TABLE = "replicated_data"
 
@@ -134,29 +138,9 @@ class _LogEntry:
     scrubbed: bool = False  # value redacted by a grounded erase
 
 
-class CopyLocation(Enum):
-    """Where a physical copy of a value can live.
-
-    ``LOG`` is the replication log itself: PUT/UPDATE entries carry the
-    value, so the log is a retention location just like any replica — a
-    grounded erase must scrub it, or "verified clean" is a lie.  ``WAL`` is
-    a node's engine-level write-ahead log, which keeps row images
-    replayable until the node's reclamation pass scrubs them — the same
-    hazard one storage layer down.  ``MIGRATION`` marks a key in flight
-    between shards during a rebalance: the destination already holds the
-    value while the source's grounded erase has not completed, so the move
-    itself is a tracked copy site until it is grounded.
-    """
-
-    PRIMARY = "primary"
-    REPLICA = "replica"
-    CACHE = "cache"
-    LOG = "log"
-    WAL = "wal"
-    MIGRATION = "migration"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
+# CopyLocation historically declared here; it now lives in
+# repro.core.locations (one enum every storage layer can import without
+# cycles) and is re-exported above, unchanged, for existing importers.
 
 
 @dataclass
@@ -278,6 +262,11 @@ class _Node:
         if backend == "psql":
             opts.setdefault("table", TABLE)
             opts.setdefault("wal_checkpoint_every", 5_000)
+        elif backend == "lsm" and "block_cache" in opts:
+            # Nodes sharing one block cache must not share cache entries:
+            # each node is a distinct physical machine, so its cached
+            # copies are tracked (and invalidated) under its own name.
+            opts.setdefault("namespace", name)
         self.backend: StorageBackend = make_backend(
             backend, cost, row_bytes=row_bytes, **opts
         )
@@ -525,6 +514,25 @@ class _Shard:
             self._append_log(_OpType.PUT, key, value)
         return count
 
+    def open_export_encoded(
+        self, predicate: Callable[[Any], bool], name: str = "export"
+    ) -> ExportBatch:
+        """Open a *tracked* encoded export on the primary: the batch's
+        blobs stream shard-to-shard without a decode/re-encode hop, and
+        while it is open every unit it carries reports a ``MIGRATION``
+        copy site (a grounded erase scrubs the unit out of the batch)."""
+        return self.primary.backend.open_export(predicate, name=name)
+
+    def import_items_encoded(self, items: Sequence[Tuple[Any, bytes]]) -> int:
+        """Destination side of an encoded migration: the primary writes the
+        blobs natively (no re-encode); the replication log still needs the
+        decoded values so replicas can apply the PUTs."""
+        items = list(items)
+        count = self.primary.backend.import_encoded_batch(items)
+        for key, blob in items:
+            self._append_log(_OpType.PUT, key, codec.decode(blob))
+        return count
+
     def physically_present_keys(self) -> List[Any]:
         """Every key with *any* physical trace on the shard — live or dead
         heap entries on any node, cache entries, and valued replication-log
@@ -605,6 +613,10 @@ class _Shard:
                 found.append((CopyLocation.CACHE, node.name))
             if node.log_holds(key):
                 found.append((CopyLocation.WAL, node.name))
+            # Backend-level secondary sites: shared-block-cache entries and
+            # open encoded-export batches (typed by the backend itself).
+            for loc, site in node.backend.copy_locations(key):
+                found.append((loc, f"{node.name}[{site}]"))
         if self._log_holds_value(key):
             found.append((CopyLocation.LOG, self.primary.name))
         return found
@@ -665,6 +677,7 @@ class _Shard:
                 node.backend.delete(key)
                 nodes_deleted += 1
             node.cache.pop(key, None)
+            node.backend.scrub_exports([key])
         return nodes_deleted, caches
 
     def erase_all_copies(self, key: Any) -> DistributedEraseReport:
@@ -677,6 +690,7 @@ class _Shard:
             self._append_log(_OpType.DELETE, key, None)
             nodes_deleted += 1
         self.primary.cache.pop(key, None)
+        self.primary.backend.scrub_exports([key])
         vacuumed = self._reclaim_node(self.primary)
         for node in self.replicas:
             self._apply_backlog(node, force=True)
@@ -684,6 +698,7 @@ class _Shard:
                 node.backend.delete(key)
                 nodes_deleted += 1
             node.cache.pop(key, None)
+            node.backend.scrub_exports([key])
             vacuumed += self._reclaim_node(node)
         # Every replica is now caught up past the key's log entries, so the
         # values they carried can be redacted — the log is a copy location
@@ -932,17 +947,24 @@ class Rebalance:
             if not keys:
                 continue
             wanted = set(keys)
-            items = store._shards[src].export_items(lambda k: k in wanted)
-            exported = {k for k, _v in items}
-            dead = []
-            for key in keys:
-                self._pending.pop(key, None)
-                if key in exported:
-                    self._in_flight[key] = (src, dst)
-                else:
-                    self._skipped += 1  # died (naive-deleted) since planning
-                    dead.append(key)
-            store._shards[dst].import_items(items)
+            # Encoded transport: the source hands out its stored blobs (no
+            # decode), the destination writes them natively (no re-encode).
+            # The open batch is a tracked MIGRATION copy site until the
+            # import lands and the ``with`` block releases it.
+            with store._shards[src].open_export_encoded(
+                lambda k: k in wanted, name=f"rebalance:{src}->{dst}"
+            ) as batch:
+                items = batch.items
+                exported = {k for k, _b in items}
+                dead = []
+                for key in keys:
+                    self._pending.pop(key, None)
+                    if key in exported:
+                        self._in_flight[key] = (src, dst)
+                    else:
+                        self._skipped += 1  # died (naive-deleted) since planning
+                        dead.append(key)
+                store._shards[dst].import_items_encoded(items)
             self._current = (src, dst, sorted(exported, key=repr), dead)
             self._last_step_keys = len(keys)
             return True
@@ -1082,7 +1104,26 @@ class ReplicatedStore:
         self._lag = replication_lag
         self._cache_ttl = cache_ttl
         self._row_bytes = row_bytes
-        self._backend_opts = backend_opts
+        opts = dict(backend_opts or {})
+        #: Shared physical infrastructure across every node of every shard,
+        #: mirroring :class:`repro.systems.backends.BackendGroup`: one
+        #: pooled block-cache budget (``backend_opts={"shared_block_cache":
+        #: capacity}`` on lsm) instead of a private slice per node, and one
+        #: key vault (``{"shared_vault": True}`` on crypto-shred) so every
+        #: node's per-unit keys co-locate for batched shreds.
+        self.block_cache: Optional[SharedBlockCache] = None
+        self.vault: Optional[KeyVault] = None
+        if backend == "lsm":
+            capacity = opts.pop("shared_block_cache", None)
+            if capacity:
+                self.block_cache = SharedBlockCache(
+                    1024 if capacity is True else int(capacity)
+                )
+                opts["block_cache"] = self.block_cache
+        elif backend == "crypto-shred" and opts.pop("shared_vault", False):
+            self.vault = KeyVault()
+            opts["vault"] = self.vault
+        self._backend_opts = opts
         self._shards: Dict[int, _Shard] = {
             index: self._make_shard(index, solo=(shards == 1))
             for index in range(shards)

@@ -25,8 +25,11 @@ were garbage-collected — which the system layer records as grounded
 system-actions in the audit timeline.
 
 Block cache: repeated point reads of the same key pay the run-probe I/O
-only once — the search outcome is cached in a small LRU keyed block cache
-and served at tuple-CPU cost until a write to the key invalidates it.
+only once — the search outcome is cached in a :class:`SharedBlockCache`
+(private by default, injectable so several engines pool one capacity
+budget) and served at tuple-CPU cost until a write to the key invalidates
+it.  Cached real values are registered ``CopyLocation.CACHE`` sites
+(:meth:`LSMEngine.cache_copy_sites`), so grounded erases see them.
 Compaction preserves logical content (and tombstone GC only happens where
 nothing older survives), so rewrites never invalidate cached outcomes.
 Together with the Bloom short-circuit (runs whose filter rejects the key
@@ -34,6 +37,11 @@ are never probed, and a read whose key no filter accepts does zero run
 I/O) this is what makes the read-heavy Figure-4 mixes viable on the LSM
 backend; ``cache_hits`` / ``cache_misses`` / ``bloom_negatives`` expose
 the effect to the bench harness.
+
+Values move through the engine *encoded* (:mod:`repro.codec`): one encode
+at ``put``, packed blocks at flush, blob-level compaction merges, and
+encoded export/import for migration — pickle-per-value is gone from the
+write path and the byte accounting is real buffer sizes.
 
 Retention accounting (the §1 motivation): for every deleted key the engine
 records when the tombstone was written and when the last physical copy of
@@ -43,7 +51,6 @@ retention window*, the quantity [62] showed can violate "undue delay".
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -57,6 +64,8 @@ from typing import (
     Union,
 )
 
+from repro.core.locations import CopyLocation
+from repro.lsm.cache import SharedBlockCache
 from repro.lsm.compaction import (
     CompactionEvent,
     CompactionPolicy,
@@ -65,7 +74,7 @@ from repro.lsm.compaction import (
     level0_tombstone_gc_safe,
     make_compaction_policy,
 )
-from repro.lsm.memtable import TOMBSTONE, Memtable
+from repro.lsm.memtable import TOMBSTONE, TOMBSTONE_BLOB, Memtable
 from repro.lsm.sstable import SSTable
 from repro.sim.costs import CostModel
 
@@ -98,6 +107,8 @@ class LSMEngine:
         block_cache_capacity: int = 1024,
         compaction: Union[str, CompactionPolicy] = "size",
         compaction_mode: str = "sync",
+        block_cache: Optional[SharedBlockCache] = None,
+        namespace: str = "",
     ) -> None:
         if tier_threshold < 2:
             raise ValueError("tier_threshold must be >= 2")
@@ -130,13 +141,21 @@ class LSMEngine:
         #: Auditable record of every merge; listeners receive each event.
         self.compaction_events: List[CompactionEvent] = []
         self._compaction_listeners: List[Callable[[CompactionEvent], None]] = []
-        # LRU block cache over run-search outcomes (key -> latest run value,
+        # Block cache over run-search outcomes (key -> latest run value,
         # TOMBSTONE included; absent keys cache a None).  Writes to a key
         # invalidate its entry, so staleness is impossible: a key can only
         # reach the runs through the memtable, and the memtable is always
-        # consulted first.
-        self._cache_capacity = block_cache_capacity
-        self._block_cache: "OrderedDict[Any, Optional[Any]]" = OrderedDict()
+        # consulted first.  A shared cache may be injected so several
+        # engines pool one capacity budget; otherwise the engine owns a
+        # private one.  Cached real values are CopyLocation.CACHE sites
+        # (see cache_copy_sites).
+        self._block_cache = (
+            block_cache
+            if block_cache is not None
+            else SharedBlockCache(block_cache_capacity)
+        )
+        self._cache_token = self._block_cache.register(namespace or "lsm")
+        self._cache_capacity = self._block_cache.capacity
         self.cache_hits = 0
         self.cache_misses = 0
         self.bloom_negatives = 0
@@ -146,8 +165,19 @@ class LSMEngine:
         self._seqno += 1
         self._cost.charge_memtable_op()
         self._memtable.put(key, value, self._seqno)
-        self._block_cache.pop(key, None)
+        self._block_cache.invalidate(self._cache_token, key)
         # A re-insert after deletion ends that key's retention question.
+        self._retention.pop(key, None)
+        if self._memtable.is_full:
+            self.flush()
+
+    def put_encoded(self, key: Any, blob: bytes) -> None:
+        """Store an already-encoded value — the migration-import path:
+        the blob from the source engine's export lands unchanged."""
+        self._seqno += 1
+        self._cost.charge_memtable_op()
+        self._memtable.put_encoded(key, blob, self._seqno)
+        self._block_cache.invalidate(self._cache_token, key)
         self._retention.pop(key, None)
         if self._memtable.is_full:
             self.flush()
@@ -161,8 +191,8 @@ class LSMEngine:
         """
         self._seqno += 1
         self._cost.charge_memtable_op()
-        self._memtable.put(key, TOMBSTONE, self._seqno)
-        self._block_cache.pop(key, None)
+        self._memtable.put_encoded(key, TOMBSTONE_BLOB, self._seqno)
+        self._block_cache.invalidate(self._cache_token, key)
         self._retention[key] = RetentionRecord(key, self._now())
         if self._memtable.is_full:
             self.flush()
@@ -187,9 +217,9 @@ class LSMEngine:
         """Freeze the memtable into a new newest run."""
         if len(self._memtable) == 0:
             return None
-        entries = self._memtable.sorted_entries()
+        entries = self._memtable.sorted_entries_encoded()
         self._cost.charge_compaction(len(entries))
-        run = SSTable(entries, self._payload_bytes, self._now())
+        run = SSTable.from_encoded(entries, self._now())
         self._levels[0].insert(0, run)
         self._memtable.clear()
         self.flush_count += 1
@@ -231,12 +261,11 @@ class LSMEngine:
                     break
 
     def _search_runs(self, key: Any) -> Optional[Any]:
-        """Recency-ordered run search behind the block cache."""
-        if self._cache_capacity and key in self._block_cache:
-            self._block_cache.move_to_end(key)
+        """Recency-ordered run search behind the shared block cache."""
+        hit, value = self._block_cache.get(self._cache_token, key)
+        if hit:
             self._cost.charge_tuple_cpu()
             self.cache_hits += 1
-            value = self._block_cache[key]
             return None if value is TOMBSTONE else value
         self.cache_misses += 1
         outcome: Optional[Any] = None
@@ -252,10 +281,7 @@ class LSMEngine:
                 outcome = got[1]
                 break
         if self._cache_capacity and (probed or self.run_count):
-            self._block_cache[key] = outcome
-            self._block_cache.move_to_end(key)
-            while len(self._block_cache) > self._cache_capacity:
-                self._block_cache.popitem(last=False)
+            self._block_cache.put(self._cache_token, key, outcome)
         return None if outcome is TOMBSTONE else outcome
 
     def range(self, lo: Any, hi: Any) -> List[Tuple[Any, Any]]:
@@ -313,28 +339,31 @@ class LSMEngine:
         version per key, GC tombstones if the task says it is safe, write
         the output table(s) to the target level, and emit the event."""
         victims = list(task.tables)
-        best: Dict[Any, Tuple[int, Any]] = {}
+        # The merge moves raw encoded blobs between runs — values are
+        # never decoded or re-encoded; tombstones are one-byte blobs
+        # recognized by equality.
+        best: Dict[Any, Tuple[int, bytes]] = {}
         total = 0
         for run in victims:
-            for key, seqno, value in run.entries():
+            for key, seqno, blob in run.entries_encoded():
                 total += 1
                 if key not in best or seqno > best[key][0]:
-                    best[key] = (seqno, value)
+                    best[key] = (seqno, blob)
         self._cost.charge_compaction(total)
         dropped_keys: List[Any] = []
-        merged: List[Tuple[Any, int, Any]] = []
-        for key, (seqno, value) in sorted(best.items()):
-            if task.drop_tombstones and value is TOMBSTONE:
+        merged: List[Tuple[Any, int, bytes]] = []
+        for key, (seqno, blob) in sorted(best.items()):
+            if task.drop_tombstones and blob == TOMBSTONE_BLOB:
                 dropped_keys.append(key)
                 continue
-            merged.append((key, seqno, value))
+            merged.append((key, seqno, blob))
         cap = task.max_output_entries
         if cap:
             chunks = [merged[i:i + cap] for i in range(0, len(merged), cap)]
         else:
             chunks = [merged]
         outs = [
-            SSTable(chunk, self._payload_bytes, self._now())
+            SSTable.from_encoded(chunk, self._now())
             for chunk in chunks
             if chunk
         ]
@@ -433,8 +462,8 @@ class LSMEngine:
     def physically_present(self, key: Any) -> bool:
         """Whether any run still holds a real value for ``key`` — what a disk
         inspection would recover despite the tombstone."""
-        found = self._memtable.get(key)
-        if found is not None and found[1] is not TOMBSTONE:
+        found = self._memtable.get_encoded(key)
+        if found is not None and found[1] != TOMBSTONE_BLOB:
             return True
         return any(run.physically_contains_value(key) for run in self.runs())
 
@@ -444,13 +473,25 @@ class LSMEngine:
         :meth:`physically_present` — pre-compaction copies keep their own
         entries until a rewrite removes their table."""
         sites: List[str] = []
-        found = self._memtable.get(key)
-        if found is not None and found[1] is not TOMBSTONE:
+        found = self._memtable.get_encoded(key)
+        if found is not None and found[1] != TOMBSTONE_BLOB:
             sites.append("memtable")
         for level, table in self.tables_by_level():
             if table.physically_contains_value(key):
                 sites.append(f"L{level}/sst-{table.table_id}")
         return sites
+
+    def cache_copy_sites(self, key: Any) -> List[Tuple[CopyLocation, str]]:
+        """The key's block-cache copy sites — ``[]`` or one
+        ``CopyLocation.CACHE`` entry.  Separate from :meth:`copy_sites`
+        (heap sites) because cache copies vanish on invalidation, not on
+        rewrite."""
+        return self._block_cache.copy_sites(self._cache_token, key)
+
+    @property
+    def block_cache(self) -> SharedBlockCache:
+        """The (possibly shared) block cache this engine reads through."""
+        return self._block_cache
 
     def _update_retention(self) -> None:
         now = self._now()
@@ -490,6 +531,10 @@ class LSMEngine:
 
     def total_bytes(self) -> int:
         return sum(r.size_bytes for r in self.runs())
+
+    def memtable_bytes(self) -> int:
+        """Real encoded bytes buffered in the memtable."""
+        return self._memtable.encoded_bytes
 
     def runs(self) -> Iterator[SSTable]:
         """Every table, recency order: L0 newest-first, then L1, L2, …"""
@@ -531,6 +576,34 @@ class LSMEngine:
                 (k, v)
                 for k, (_s, v) in best.items()
                 if v is not TOMBSTONE and (predicate is None or predicate(k))
+            ),
+            key=lambda kv: repr(kv[0]),
+        )
+
+    def live_items_encoded(
+        self, predicate: Optional[Callable[[Any], bool]] = None
+    ) -> List[Tuple[Any, bytes]]:
+        """Newest live ``(key, blob)`` pairs without decoding — the
+        encoded-export primitive: blobs stream to the destination engine
+        and land via :meth:`put_encoded`, no decode/re-encode round-trip.
+        Same scan shape and cost charging as :meth:`live_items`.
+        """
+        self._cost.charge_memtable_op()
+        best: Dict[Any, Tuple[int, bytes]] = {}
+        for key, (seqno, blob) in self._memtable.items_encoded():
+            if key not in best or seqno > best[key][0]:
+                best[key] = (seqno, blob)
+        for run in self.runs():
+            self._cost.charge_sstable_probe()
+            for key, seqno, blob in run.entries_encoded():
+                if key not in best or seqno > best[key][0]:
+                    best[key] = (seqno, blob)
+        return sorted(
+            (
+                (k, blob)
+                for k, (_s, blob) in best.items()
+                if blob != TOMBSTONE_BLOB
+                and (predicate is None or predicate(k))
             ),
             key=lambda kv: repr(kv[0]),
         )

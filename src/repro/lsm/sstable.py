@@ -1,49 +1,127 @@
 """SSTables — immutable sorted runs on "disk".
 
-Each SSTable stores sorted ``(key, seqno, value)`` entries (value may be the
-TOMBSTONE sentinel), a Bloom filter for negative lookups, and retention
-bookkeeping: how many tombstones it carries and how many *shadowed* values —
-older versions of keys whose latest version is a delete — remain physically
-present.  Those shadowed values are the illegal-retention hazard of §1.
+Each SSTable stores sorted ``(key, seqno, value)`` entries with the values
+packed into one length-prefixed binary block (:func:`repro.codec.pack_block`
+layout): a ``u32`` count, then per entry a ``u32`` length plus the encoded
+blob.  The in-memory index (keys, seqnos, blob offsets) gives point reads
+``bisect`` + one slice-decode; compaction merges move the raw blobs between
+runs without ever decoding them, and tombstones — one-byte blobs — are
+recognized by blob equality.
+
+Alongside the block the table keeps a Bloom filter for negative lookups and
+retention bookkeeping: how many tombstones it carries and how many
+*shadowed* values — older versions of keys whose latest version is a delete
+— remain physically present.  Those shadowed values are the illegal-
+retention hazard of §1.  ``size_bytes`` is the *real* packed-block size
+plus index overhead — not a nominal per-value estimate.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Iterator, List, Optional, Tuple
+from struct import Struct
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from repro import codec
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.memtable import TOMBSTONE_BLOB
 
-#: Approximate bytes per stored entry beyond the payload (key + seqno + len).
+#: Approximate bytes per entry beyond the packed value block: the key and
+#: seqno in the index plus the offset slot.
 ENTRY_OVERHEAD = 20
+
+_U32 = Struct("<I")
 
 
 class SSTable:
-    """One immutable sorted run."""
+    """One immutable sorted run over a packed value block."""
 
     _next_id = 0
 
     def __init__(
         self,
         entries: List[Tuple[Any, int, Any]],
-        payload_bytes: int,
+        payload_bytes: int = 0,
+        created_at: int = 0,
+    ) -> None:
+        """``entries`` must be sorted by key, one entry per key, with
+        *decoded* values — the compatibility constructor; the engine's
+        flush/compaction paths use :meth:`from_encoded` to avoid the
+        re-encode.  ``payload_bytes`` is accepted for signature
+        compatibility; sizes are measured from the packed block now.
+        """
+        blobs = codec.encode_many([e[2] for e in entries])
+        self._init_from_blobs(
+            [e[0] for e in entries],
+            [e[1] for e in entries],
+            blobs,
+            created_at,
+        )
+
+    @classmethod
+    def from_encoded(
+        cls,
+        entries: Sequence[Tuple[Any, int, bytes]],
+        created_at: int,
+    ) -> "SSTable":
+        """Build a run from already-encoded ``(key, seqno, blob)`` entries
+        (sorted by key) — the zero-copy flush/compaction path."""
+        table = cls.__new__(cls)
+        table._init_from_blobs(
+            [e[0] for e in entries],
+            [e[1] for e in entries],
+            [e[2] for e in entries],
+            created_at,
+        )
+        return table
+
+    def _init_from_blobs(
+        self,
+        keys: List[Any],
+        seqnos: List[int],
+        blobs: Sequence[bytes],
         created_at: int,
     ) -> None:
-        """``entries`` must be sorted by key, one entry per key.
-
-        ``payload_bytes`` is the nominal per-value size used for the space
-        accounting (values are opaque to the engine).
-        """
         self.table_id = SSTable._next_id
         SSTable._next_id += 1
         self.created_at = created_at
-        self._keys = [e[0] for e in entries]
-        self._entries = entries
-        self._payload_bytes = payload_bytes
-        self._bloom = BloomFilter(max(1, len(entries)))
+        self._keys = keys
+        self._seqnos = seqnos
+        # Length-prefixed packed block (codec.pack_block layout) plus the
+        # in-memory blob offsets derived while packing.
+        parts: List[bytes] = [_U32.pack(len(blobs))]
+        offsets: List[Tuple[int, int]] = []
+        pos = 4
+        for blob in blobs:
+            parts.append(_U32.pack(len(blob)))
+            pos += 4
+            offsets.append((pos, pos + len(blob)))
+            pos += len(blob)
+            parts.append(blob)
+        self._block = b"".join(parts)
+        self._view = memoryview(self._block)
+        self._offsets = offsets
+        self._bloom = BloomFilter(max(1, len(keys)))
         for key in self._keys:
             self._bloom.add(key)
+
+    # ------------------------------------------------------------------ blobs
+    def blob_at(self, i: int) -> bytes:
+        start, end = self._offsets[i]
+        return bytes(self._view[start:end])
+
+    def _is_tombstone(self, i: int) -> bool:
+        start, end = self._offsets[i]
+        return self._view[start:end] == TOMBSTONE_BLOB
+
+    def _value_at(self, i: int) -> Any:
+        start, end = self._offsets[i]
+        return codec.decode(self._view[start:end])
+
+    @property
+    def packed_block(self) -> bytes:
+        """The raw length-prefixed value block (codec.pack_block layout)."""
+        return self._block
 
     # ---------------------------------------------------------------- lookups
     def might_contain(self, key: Any) -> bool:
@@ -52,40 +130,57 @@ class SSTable:
     def get(self, key: Any) -> Optional[Tuple[int, Any]]:
         i = bisect_left(self._keys, key)
         if i < len(self._keys) and self._keys[i] == key:
-            _k, seqno, value = self._entries[i]
-            return (seqno, value)
+            return (self._seqnos[i], self._value_at(i))
+        return None
+
+    def get_encoded(self, key: Any) -> Optional[Tuple[int, bytes]]:
+        """``(seqno, blob)`` without decoding; None if absent."""
+        i = bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return (self._seqnos[i], self.blob_at(i))
         return None
 
     def entries(self) -> Iterator[Tuple[Any, int, Any]]:
-        return iter(self._entries)
+        for i, key in enumerate(self._keys):
+            yield (key, self._seqnos[i], self._value_at(i))
+
+    def entries_encoded(self) -> Iterator[Tuple[Any, int, bytes]]:
+        """``(key, seqno, blob)`` per entry — the merge/export path."""
+        for i, key in enumerate(self._keys):
+            yield (key, self._seqnos[i], self.blob_at(i))
 
     def range(self, lo: Any, hi: Any) -> Iterator[Tuple[Any, int, Any]]:
         i = bisect_left(self._keys, lo)
         while i < len(self._keys) and self._keys[i] <= hi:
-            yield self._entries[i]
+            yield (self._keys[i], self._seqnos[i], self._value_at(i))
             i += 1
 
     # ------------------------------------------------------------- statistics
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._keys)
 
     @property
     def tombstone_count(self) -> int:
-        return sum(1 for _k, _s, v in self._entries if v is TOMBSTONE)
+        return sum(1 for i in range(len(self._keys)) if self._is_tombstone(i))
 
     @property
     def value_count(self) -> int:
-        return len(self._entries) - self.tombstone_count
+        return len(self._keys) - self.tombstone_count
 
     @property
     def size_bytes(self) -> int:
-        values = self.value_count
-        tombs = self.tombstone_count
+        """Real bytes: the packed value block plus index overhead per
+        entry (key + seqno + offset slot) plus the Bloom filter."""
         return (
-            values * (self._payload_bytes + ENTRY_OVERHEAD)
-            + tombs * ENTRY_OVERHEAD
+            len(self._block)
+            + len(self._keys) * ENTRY_OVERHEAD
             + self._bloom.size_bytes
         )
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes of the packed value block alone."""
+        return len(self._block)
 
     @property
     def bloom_bytes(self) -> int:
@@ -101,9 +196,14 @@ class SSTable:
         return self._keys[-1] if self._keys else None
 
     def physically_contains_value(self, key: Any) -> bool:
-        """Whether a real (non-tombstone) value for ``key`` sits in this run."""
-        found = self.get(key)
-        return found is not None and found[1] is not TOMBSTONE
+        """Whether a real (non-tombstone) value for ``key`` sits in this
+        run — a blob-equality check, no decode."""
+        i = bisect_left(self._keys, key)
+        return (
+            i < len(self._keys)
+            and self._keys[i] == key
+            and not self._is_tombstone(i)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

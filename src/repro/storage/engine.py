@@ -35,6 +35,7 @@ from typing import (
     Tuple,
 )
 
+from repro import codec
 from repro.sim.costs import CostModel
 from repro.storage.catalog import Catalog, Table, TableSchema
 from repro.storage.errors import (
@@ -79,6 +80,17 @@ class FlaggedPayload:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FlaggedPayload(flagged={self.flagged})"
+
+
+# Storage encodes values through repro.codec; the wrapper registers a
+# compact extension encoding (flag + inner value) so a flagged value costs
+# two extra bytes instead of a pickle round-trip, and the flag state rides
+# inside the blob through flushes, compactions, and encoded migrations.
+codec.register_extension(
+    FlaggedPayload,
+    lambda fp: codec.encode((fp.flagged, fp.value)),
+    lambda payload: FlaggedPayload(*codec.decode(payload)),
+)
 
 
 class EngineCipher:

@@ -22,12 +22,16 @@ Three backends ground the evaluation:
   "reversibly inaccessible" as a flag write (overwrite with a flagged value),
   "delete" as tombstone + full compaction, and "strong delete" as a tombstone
   cascade + full compaction ("permanently delete" unsupported);
-* :class:`CryptoShredBackend` — per-unit LUKS key volumes
-  (:mod:`repro.crypto.luks`): every value lives encrypted under its own
-  volume master key, so destroying the key (``shred``) makes the ciphertext
-  unrecoverable, and pairing the shred with a multi-pass sector overwrite
-  grounds **"permanently delete"** — the retrofit that fills the Table-1 row
-  both native engines mark "Not supported".
+* :class:`CryptoShredBackend` — vault-keyed packed sector groups
+  (:mod:`repro.crypto.vault` + :mod:`repro.crypto.sectors`): every value
+  lives encrypted under its own subkey, KDF-derived from a per-unit master
+  key held in a shared :class:`KeyVault`, so destroying the vault entry
+  (``shred``) makes the ciphertext unrecoverable, and pairing the shred
+  with a multi-pass sector overwrite grounds **"permanently delete"** — the
+  retrofit that fills the Table-1 row both native engines mark "Not
+  supported".  Units pack ~16 per :class:`SectorGroup` sharing one header,
+  so the space factor stays near the relational heap's instead of the 3x a
+  volume-per-unit layout costs.
 
 Table 1, per backend (``×`` = impossible, ``✓`` = may occur):
 
@@ -65,8 +69,6 @@ matching :attr:`StorageBackend.name` at construction.
 
 from __future__ import annotations
 
-import hashlib
-import pickle
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import (
@@ -82,7 +84,17 @@ from typing import (
     Type,
 )
 
-from repro.crypto.luks import SECTOR, LuksVolume
+from repro import codec
+from repro.core.locations import CopyLocation
+from repro.crypto.sectors import (
+    GROUP_CAPACITY,
+    MAX_SLOT_SECTORS,
+    SECTOR,
+    SectorGroup,
+    derive_subkey,
+)
+from repro.crypto.vault import KEY_ENTRY_BYTES, VAULT_HEADER_BYTES, KeyVault
+from repro.lsm.cache import SharedBlockCache
 from repro.lsm.engine import LSMEngine
 from repro.lsm.memtable import TOMBSTONE
 from repro.sim.costs import CostModel
@@ -113,6 +125,59 @@ class BackendStats:
     detail: Tuple[Tuple[str, Any], ...] = ()
 
 
+class ExportBatch:
+    """An in-flight encoded migration batch, tracked as a copy site.
+
+    ``export_encoded_range`` hands out *real value copies* — blobs that
+    live outside the engine until the destination imports them.  While a
+    batch is open the source backend reports every unit it carries as a
+    ``(CopyLocation.MIGRATION, name)`` site, so a mid-migration
+    ``erase_all_copies`` sees the batch instead of silently leaving a copy
+    in transit.  A grounded erase on the source *scrubs* the unit from the
+    batch (:meth:`discard`); closing the batch (or leaving its ``with``
+    block) releases the site.
+    """
+
+    __slots__ = ("name", "_items", "_owner")
+
+    def __init__(
+        self,
+        name: str,
+        items: List[Tuple[Any, bytes]],
+        owner: "StorageBackend",
+    ) -> None:
+        self.name = name
+        self._items: Dict[Any, bytes] = dict(items)
+        self._owner: Optional["StorageBackend"] = owner
+
+    def holds(self, unit_id: Any) -> bool:
+        return unit_id in self._items
+
+    def discard(self, unit_id: Any) -> bool:
+        """Scrub one unit's blob from the batch (the erase hook)."""
+        return self._items.pop(unit_id, None) is not None
+
+    @property
+    def items(self) -> List[Tuple[Any, bytes]]:
+        """The surviving ``(unit_id, blob)`` pairs, import-ready."""
+        return list(self._items.items())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def close(self) -> None:
+        """Release the batch's copy site (idempotent)."""
+        owner, self._owner = self._owner, None
+        if owner is not None:
+            owner._close_export(self)
+
+    def __enter__(self) -> "ExportBatch":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
 class StorageBackend(ABC):
     """The system-action surface the system layer drives.
 
@@ -134,6 +199,8 @@ class StorageBackend(ABC):
         #: sweeps) — the profile runners report these per Figure 4.
         self.reclaim_count = 0
         self.reclaim_full_count = 0
+        #: Open encoded-export batches — in-flight migration copy sites.
+        self._export_batches: List[ExportBatch] = []
 
     # ------------------------------------------------------------------- DML
     @abstractmethod
@@ -212,8 +279,10 @@ class StorageBackend(ABC):
         self._reclaim_full()
 
     def erase(self, unit_id: Any) -> None:
-        """The full "delete" grounding: logical delete + reclamation."""
+        """The full "delete" grounding: logical delete + reclamation —
+        including any copy riding an open export batch."""
         self.delete(unit_id)
+        self.scrub_exports([unit_id])
         self.reclaim()
 
     def erase_many(self, unit_ids: Sequence[Any], strong: bool = False) -> int:
@@ -227,11 +296,19 @@ class StorageBackend(ABC):
         for unit_id in unit_ids:
             self.delete(unit_id)
             count += 1
+        self.scrub_exports(unit_ids)
         if strong:
             self.reclaim_full()
         else:
             self.reclaim()
         return count
+
+    def scrub_exports(self, unit_ids: Sequence[Any]) -> None:
+        """Drop erased units from every open export batch — a grounded
+        erase must reach copies already handed out for migration."""
+        for batch in self._export_batches:
+            for unit_id in unit_ids:
+                batch.discard(unit_id)
 
     def sanitize(self, unit_id: Any) -> None:
         """The "permanently delete" system-action: advanced sanitization of
@@ -302,6 +379,46 @@ class StorageBackend(ABC):
         self.commit()
         return count
 
+    def export_encoded_range(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, bytes]]:
+        """:meth:`export_range` in codec form: ``(unit_id, blob)`` pairs.
+
+        The migration transport of choice — encoded batches stream between
+        nodes without a decode/re-encode hop when both sides store codec
+        blobs natively (LSM blocks, crypto-shred sectors).  The generic
+        path encodes the object export; native overrides hand out the
+        stored bytes directly.
+        """
+        return [
+            (key, codec.encode(value))
+            for key, value in self.export_range(predicate)
+        ]
+
+    def import_encoded_batch(self, items: Sequence[Tuple[Any, bytes]]) -> int:
+        """Destination side of an encoded migration: load ``(unit_id,
+        blob)`` pairs.  The generic path decodes and delegates to
+        :meth:`import_batch` (re-grounding ``FlaggedPayload`` wrappers);
+        native overrides write the blobs straight into storage."""
+        return self.import_batch(
+            [(key, codec.decode(blob)) for key, blob in items]
+        )
+
+    def open_export(
+        self, predicate: Callable[[Any], bool], name: str = "export"
+    ) -> ExportBatch:
+        """Open a tracked encoded export: the batch's blobs are registered
+        as in-flight ``MIGRATION`` copy sites (see :meth:`copy_locations`)
+        until the batch is closed.  Use as a context manager around the
+        transfer so a crash cannot leak an unregistered copy."""
+        batch = ExportBatch(name, self.export_encoded_range(predicate), self)
+        self._export_batches.append(batch)
+        return batch
+
+    def _close_export(self, batch: ExportBatch) -> None:
+        if batch in self._export_batches:
+            self._export_batches.remove(batch)
+
     def purge_history(self, unit_id: Any) -> int:
         """Scrub the unit's traces from the engine's recovery log, if it
         keeps one (the P_SYS erase grounding).  Returns records purged."""
@@ -313,6 +430,29 @@ class StorageBackend(ABC):
         return False
 
     # -------------------------------------------------------------- forensics
+    def cache_sites(self, unit_id: Any) -> List[str]:
+        """Names of cache locations still holding a real copy of the
+        unit's value — engines with a (possibly shared) block cache report
+        them so a distributed ``copies_of`` can list the cache as a
+        :class:`CopyLocation` ``CACHE`` site.  Empty by default."""
+        return []
+
+    def copy_locations(self, unit_id: Any) -> List[Tuple[CopyLocation, str]]:
+        """The backend-level secondary copy sites for a unit: every cache
+        entry holding a real value and every open export batch carrying
+        its blob.  The distributed layer merges these into ``copies_of``;
+        ``erase_all_copies`` is only "verified clean" once this is empty.
+        """
+        sites: List[Tuple[CopyLocation, str]] = [
+            (CopyLocation.CACHE, site) for site in self.cache_sites(unit_id)
+        ]
+        sites.extend(
+            (CopyLocation.MIGRATION, batch.name)
+            for batch in self._export_batches
+            if batch.holds(unit_id)
+        )
+        return sites
+
     @abstractmethod
     def physically_present(self, unit_id: Any) -> bool:
         """Whether a disk inspection would still recover the unit's value
@@ -497,6 +637,12 @@ class LsmBackend(StorageBackend):
     ``compaction_mode`` selects the scheduler ("sync" runs merges inside
     the flush, "deferred" queues them for :meth:`maintain`).  Either way
     the grounded erase (``reclaim`` = full compaction) stays synchronous.
+
+    ``block_cache`` injects a :class:`SharedBlockCache` so several
+    namespaces (a :class:`BackendGroup`) or co-located shards pool one
+    cache budget; without it the engine builds a private cache of
+    ``block_cache_capacity`` entries.  ``namespace`` labels this backend's
+    entries in the shared cache (and its ``CACHE`` copy sites).
     """
 
     name = "lsm"
@@ -511,6 +657,8 @@ class LsmBackend(StorageBackend):
         block_cache_capacity: int = 1024,
         compaction: Any = "size",
         compaction_mode: str = "sync",
+        block_cache: Optional[SharedBlockCache] = None,
+        namespace: str = "",
     ) -> None:
         super().__init__()
         self._row_bytes = row_bytes
@@ -525,6 +673,8 @@ class LsmBackend(StorageBackend):
                 block_cache_capacity=block_cache_capacity,
                 compaction=compaction,
                 compaction_mode=compaction_mode,
+                block_cache=block_cache,
+                namespace=namespace,
             )
         )
 
@@ -556,8 +706,10 @@ class LsmBackend(StorageBackend):
         value = self.engine.get(unit_id)
         if value is None:
             raise TupleNotFoundError(f"lsm: no live value for key {unit_id!r}")
+        # The engine hands back a decoded copy, not an alias of the stored
+        # bytes — the flag write must go back through put to stick.
         if isinstance(value, FlaggedPayload):
-            value.flagged = True
+            self.engine.put(unit_id, FlaggedPayload(True, value.value))
             return
         self.engine.put(unit_id, FlaggedPayload(True, value))
 
@@ -598,7 +750,28 @@ class LsmBackend(StorageBackend):
         """
         return self.engine.live_items(predicate)
 
+    def export_encoded_range(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, bytes]]:
+        """Native encoded export: the stored blobs stream out unchanged
+        (``FlaggedPayload`` wrappers are *in* the blobs, so the flag state
+        travels without a decode)."""
+        return self.engine.live_items_encoded(predicate)
+
+    def import_encoded_batch(self, items: Sequence[Tuple[Any, bytes]]) -> int:
+        """Native encoded import: blobs from the source engine land in the
+        memtable as-is via :meth:`LSMEngine.put_encoded`."""
+        count = 0
+        for unit_id, blob in items:
+            self.engine.put_encoded(unit_id, blob)
+            count += 1
+        self.commit()
+        return count
+
     # -------------------------------------------------------------- forensics
+    def cache_sites(self, unit_id: Any) -> List[str]:
+        return [site for _loc, site in self.engine.cache_copy_sites(unit_id)]
+
     def physically_present(self, unit_id: Any) -> bool:
         return self.engine.physically_present(unit_id)
 
@@ -636,12 +809,11 @@ class LsmBackend(StorageBackend):
     def stats(self) -> BackendStats:
         scan = self.forensic_scan()
         live = sum(1 for _key, is_live in scan if is_live)
-        buffered = sum(1 for _ in self.engine.memtable_entries())
         return BackendStats(
             backend=self.name,
             live_entries=live,
             dead_entries=(len(scan) - live) + self.engine.tombstone_count,
-            total_bytes=self.engine.total_bytes() + buffered * self._row_bytes,
+            total_bytes=self.engine.total_bytes() + self.engine.memtable_bytes(),
             detail=(
                 ("runs", self.engine.run_count),
                 ("levels", self.engine.level_count),
@@ -656,51 +828,111 @@ class LsmBackend(StorageBackend):
         )
 
     def data_bytes(self) -> int:
-        buffered = sum(1 for _ in self.engine.memtable_entries())
+        # Real buffered blob bytes, not a nominal rows × row_bytes guess.
         return (
             self.engine.total_bytes()
             - self.index_bytes()
-            + buffered * self._row_bytes
+            + self.engine.memtable_bytes()
         )
 
     def index_bytes(self) -> int:
         return sum(run.bloom_bytes for run in self.engine.runs())
 
 
-class _ShredVolume:
-    """One unit's encrypted footprint: a LUKS volume plus bookkeeping."""
+class _ShredEntry:
+    """One unit's encrypted footprint: vault key + packed placement."""
 
-    __slots__ = ("volume", "sectors", "nbytes", "live", "flagged", "sanitized")
+    __slots__ = (
+        "key_id",
+        "group",
+        "slot",
+        "sectors",
+        "nbytes",
+        "live",
+        "flagged",
+        "sanitized",
+        "volume",
+    )
 
-    def __init__(self, volume: LuksVolume, sectors: int, nbytes: int) -> None:
-        self.volume = volume
-        self.sectors = sectors
-        self.nbytes = nbytes
+    def __init__(self, key_id: int) -> None:
+        self.key_id = key_id
+        self.group: Optional[SectorGroup] = None
+        self.slot = -1
+        self.sectors = 0
+        self.nbytes = 0
         self.live = True
         self.flagged = False
         self.sanitized = False
+        self.volume: Optional["_SlotView"] = None
+
+
+class _SlotView:
+    """The old per-unit "volume" surface over a packed (group, slot).
+
+    Forensics (and the regression tests) address a unit's footprint as
+    "its volume"; this view keeps that address working over the packed
+    layout: sector indexes are slot-relative, ``is_shredded`` asks the
+    vault, and ``read_sector`` fails exactly like a shredded volume once
+    the unit's key is gone.
+    """
+
+    __slots__ = ("_vault", "_entry")
+
+    def __init__(self, vault: KeyVault, entry: _ShredEntry) -> None:
+        self._vault = vault
+        self._entry = entry
+
+    @property
+    def is_shredded(self) -> bool:
+        return self._vault.is_shredded(self._entry.key_id)
+
+    @property
+    def sector_count(self) -> int:
+        entry = self._entry
+        if entry.group is None:
+            return 0
+        return len(entry.group.slot_sector_numbers(entry.slot))
+
+    def raw_sector(self, index: int) -> bytes:
+        entry = self._entry
+        return entry.group.raw_sector(entry.group.sector_number(entry.slot, index))
+
+    def read_sector(self, index: int) -> bytes:
+        entry = self._entry
+        master = self._vault.master(entry.key_id)  # PermissionError if shredded
+        subkey = derive_subkey(master, entry.group.group_id, entry.slot)
+        return entry.group.read_sector(entry.slot, subkey, index)
 
 
 class CryptoShredBackend(StorageBackend):
     """Crypto-shredding: the retrofit that grounds "permanently delete".
 
-    Every unit's value is pickled and encrypted onto its **own**
-    :class:`LuksVolume` under a per-unit master key; the plaintext never
+    Every unit's value is codec-encoded and encrypted into a slot of a
+    packed :class:`SectorGroup` under its own subkey, KDF-derived from a
+    per-unit master key in the :class:`KeyVault`; the plaintext never
     exists at rest.  The erasure interpretations then ground as:
 
-    * "reversibly inaccessible" ↦ *flag entry*: a visibility flag beside the
-      key slot — the key survives, so the transformation is invertible and
-      the value stays recoverable (same Inv/II profile as the flag column);
-    * "delete" ↦ *logical delete + key shred*: marking the entry dead is the
-      O(1) step; the paired reclamation destroys the dead volumes' headers
-      (master key + key slots), after which the ciphertext is unrecoverable
-      — the crypto-erase analogue of VACUUM;
+    * "reversibly inaccessible" ↦ *flag entry*: a visibility flag beside
+      the catalog entry — the key survives, so the transformation is
+      invertible and the value stays recoverable (same Inv/II profile as
+      the flag column);
+    * "delete" ↦ *logical delete + key shred*: marking the entry dead is
+      the O(1) step; the paired reclamation destroys the dead entries'
+      vault keys in one batched key-table write, after which the
+      ciphertext is unrecoverable — the crypto-erase analogue of VACUUM;
     * "strong delete" ↦ the same shred applied over the cascade;
     * "permanently delete" ↦ *key shred + sector sanitize*: in addition to
-      the header destruction, every ciphertext sector is multi-pass
+      the key destruction, every ciphertext sector is multi-pass
       overwritten (NIST SP 800-88 "Purge"), charged through
       :meth:`CostModel.charge_sanitize` — the Table-1 row no native engine
-      supports.
+      supports.  :meth:`sanitize_many` amortizes the overwrite sweep per
+      touched group.
+
+    Space: ~``group_capacity`` units share one 512-byte group header and
+    one vault (injectable, so a :class:`BackendGroup` shares it across
+    namespaces), versus a whole LUKS header per unit in the original
+    layout — the Table-2 factor drops from ~3x the relational heap toward
+    parity.
 
     Retention honesty: between ``delete`` and the reclamation the key still
     exists, so the value is *recoverable* — those entries count as
@@ -711,29 +943,39 @@ class CryptoShredBackend(StorageBackend):
     name = "crypto-shred"
     supports_sanitize = True
 
-    def __init__(self, cost: CostModel, row_bytes: int = 70) -> None:
+    def __init__(
+        self,
+        cost: CostModel,
+        row_bytes: int = 70,
+        vault: Optional[KeyVault] = None,
+        group_capacity: int = GROUP_CAPACITY,
+    ) -> None:
         super().__init__()
         self._cost = cost
         self._row_bytes = row_bytes
-        self._entries: Dict[Any, _ShredVolume] = {}
-        # Dead volumes displaced by a re-insert over their unit id: their
+        self._owns_vault = vault is None
+        self._vault = vault if vault is not None else KeyVault()
+        self._group_capacity = group_capacity
+        self._entries: Dict[Any, _ShredEntry] = {}
+        # Dead entries displaced by a re-insert over their unit id: their
         # keys are still intact, so they stay in the retention accounting
         # until a reclamation pass shreds them (§1 honesty).
-        self._graveyard: List[Tuple[Any, _ShredVolume]] = []
-        # Ciphertext bytes of shredded graveyard volumes: unrecoverable
-        # noise still occupying disk until a full reclamation releases it.
+        self._graveyard: List[Tuple[Any, _ShredEntry]] = []
+        # Shredded graveyard placements: unrecoverable noise still
+        # occupying group sectors until a full reclamation releases them.
+        self._residue_slots: List[_ShredEntry] = []
         self._residue_bytes = 0
-        self._key_counter = 0
+        self._groups: List[SectorGroup] = []
+        self._partial: List[SectorGroup] = []
+        self._group_counter = 0
+        #: Vault entries this backend enrolled and has not yet compacted
+        #: away — its share of a (possibly shared) vault's key table.
+        self._owned_ids: set = set()
         self.shred_count = 0
         self.sanitize_count = 0
 
     # --------------------------------------------------------------- internals
-    def _master_key(self, unit_id: Any) -> bytes:
-        self._key_counter += 1
-        seed = f"unit-key/{self._key_counter}/{unit_id!r}".encode()
-        return hashlib.sha256(seed).digest()
-
-    def _entry(self, unit_id: Any) -> _ShredVolume:
+    def _entry(self, unit_id: Any) -> _ShredEntry:
         entry = self._entries.get(unit_id)
         if entry is None or not entry.live:
             raise TupleNotFoundError(
@@ -741,37 +983,86 @@ class CryptoShredBackend(StorageBackend):
             )
         return entry
 
-    def _write_value(self, entry: _ShredVolume, value: Any) -> None:
-        blob = pickle.dumps(value)
-        entry.nbytes = len(blob)
-        entry.sectors = max(1, (len(blob) + SECTOR - 1) // SECTOR)
-        for sector_no in range(entry.sectors):
-            entry.volume.write_sector(
-                sector_no, blob[sector_no * SECTOR:(sector_no + 1) * SECTOR]
+    def _alloc_placement(self, sectors: int) -> Tuple[SectorGroup, int]:
+        """A (group, slot) with room for ``sectors``; oversized values get
+        a dedicated single-slot group, everything else packs."""
+        if sectors > MAX_SLOT_SECTORS:
+            self._group_counter += 1
+            group = SectorGroup(
+                self._group_counter, capacity=1, slot_sectors=sectors
             )
-        # A shrinking rewrite must not leave stale tail ciphertext behind —
-        # the old value would stay recoverable under the still-live key.
-        entry.volume.discard_sectors(entry.sectors)
+            self._groups.append(group)
+            return group, group.alloc_slot()
+        while self._partial and not self._partial[-1].has_free_slot:
+            self._partial.pop()
+        if not self._partial:
+            self._group_counter += 1
+            group = SectorGroup(self._group_counter, capacity=self._group_capacity)
+            self._groups.append(group)
+            self._partial.append(group)
+        group = self._partial[-1]
+        return group, group.alloc_slot()
+
+    def _offer_partial(self, group: SectorGroup) -> None:
+        if group.capacity > 1 and group.has_free_slot and group not in self._partial:
+            self._partial.append(group)
+
+    def _release_slot(self, entry: _ShredEntry) -> None:
+        """Discard the entry's ciphertext and return its slot to the pool."""
+        if entry.group is not None:
+            entry.group.discard_slot(entry.slot)
+            self._offer_partial(entry.group)
+            entry.group = None
+            entry.slot = -1
+        entry.sectors = 0
+
+    def _subkey(self, entry: _ShredEntry) -> bytes:
+        return derive_subkey(
+            self._vault.master(entry.key_id), entry.group.group_id, entry.slot
+        )
+
+    def _write_blob(self, entry: _ShredEntry, blob: bytes) -> None:
+        sectors = SectorGroup.sectors_needed(len(blob))
+        if entry.group is None or sectors > entry.group.slot_sectors:
+            # First write, or the value outgrew its slot: (re)place it.
+            self._release_slot(entry)
+            entry.group, entry.slot = self._alloc_placement(sectors)
+        entry.sectors = entry.group.write(entry.slot, self._subkey(entry), blob)
+        entry.nbytes = len(blob)
         self._cost.charge_luks(max(len(blob), self._row_bytes))
         self._cost.charge_page_write(entry.sectors * SECTOR / PAGE_SIZE)
 
-    def _read_value(self, entry: _ShredVolume) -> Any:
-        blob = b"".join(
-            entry.volume.read_sector(s) for s in range(entry.sectors)
-        )[: entry.nbytes]
+    def _read_blob(self, entry: _ShredEntry) -> bytes:
+        blob = entry.group.read(
+            entry.slot, self._subkey(entry), entry.sectors, entry.nbytes
+        )
         self._cost.charge_page_read()
         self._cost.charge_luks(max(entry.nbytes, self._row_bytes))
-        return pickle.loads(blob)
+        return blob
 
-    def _shred(self, entry: _ShredVolume) -> None:
-        """Destroy the volume header — one page write, keys gone forever."""
-        if not entry.volume.is_shredded:
-            entry.volume.shred()
+    def _shred_one(self, entry: _ShredEntry) -> None:
+        """Destroy one vault key — one key-table write, gone forever."""
+        if self._vault.shred(entry.key_id):
             self._cost.charge_page_write()
             self.shred_count += 1
 
+    def _shred_batch(self, entries: Sequence[_ShredEntry]) -> int:
+        """Destroy a batch of vault keys in one key-table pass: the
+        co-located vault turns N scattered header writes into one write
+        covering the touched entry pages."""
+        shredded = self._vault.shred_many([e.key_id for e in entries])
+        if shredded:
+            self._cost.charge_page_write(
+                max(1.0, shredded * KEY_ENTRY_BYTES / PAGE_SIZE)
+            )
+            self.shred_count += shredded
+        return shredded
+
     # ------------------------------------------------------------------- DML
     def insert(self, unit_id: Any, value: Any, fresh: bool = False) -> None:
+        self._insert_blob(unit_id, codec.encode(value))
+
+    def _insert_blob(self, unit_id: Any, blob: bytes) -> None:
         existing = self._entries.get(unit_id)
         if existing is not None and existing.live:
             raise StorageError(
@@ -780,13 +1071,19 @@ class CryptoShredBackend(StorageBackend):
         if (
             existing is not None
             and existing.sectors > 0
-            and not existing.volume.is_shredded
+            and not self._vault.is_shredded(existing.key_id)
         ):
-            # The displaced dead volume's key is still intact: keep it in
+            # The displaced dead entry's key is still intact: keep it in
             # the retention accounting until a reclamation shreds it.
             self._graveyard.append((unit_id, existing))
-        entry = _ShredVolume(LuksVolume(self._master_key(unit_id)), 0, 0)
-        self._write_value(entry, value)
+        elif existing is not None:
+            # Already shredded (or empty): its noise can make way now.
+            self._release_slot(existing)
+        key_id = self._vault.create_key(repr(unit_id))
+        self._owned_ids.add(key_id)
+        entry = _ShredEntry(key_id)
+        entry.volume = _SlotView(self._vault, entry)
+        self._write_blob(entry, blob)
         self._entries[unit_id] = entry
 
     def insert_many(self, items: Iterable[Tuple[Any, Any]]) -> int:
@@ -797,14 +1094,14 @@ class CryptoShredBackend(StorageBackend):
         return count
 
     def read(self, unit_id: Any) -> Any:
-        return self._read_value(self._entry(unit_id))
+        return codec.decode(self._read_blob(self._entry(unit_id)))
 
     def read_many(self, unit_ids: Sequence[Any]) -> List[Any]:
         return [self.read(unit_id) for unit_id in unit_ids]
 
     def update(self, unit_id: Any, value: Any) -> None:
         # In-place sector overwrite under the same key — no MVCC bloat.
-        self._write_value(self._entry(unit_id), value)
+        self._write_blob(self._entry(unit_id), codec.encode(value))
 
     # ------------------------------------------- reversible inaccessibility
     def make_inaccessible(self, unit_id: Any) -> None:
@@ -829,38 +1126,74 @@ class CryptoShredBackend(StorageBackend):
 
     def _reclaim(self) -> None:
         """Shred the keys of every dead entry (graveyard included) —
-        crypto-erase.
+        crypto-erase, one batched key-table write for the whole sweep.
 
-        The pass sweeps the volume catalog to find dead entries (the
-        analogue of VACUUM's heap scan), so batching erases amortizes it.
+        The pass sweeps the catalog to find dead entries (the analogue of
+        VACUUM's heap scan), so batching erases amortizes it.
         """
         self._cost.charge_tuple_cpu(len(self._entries) + len(self._graveyard))
-        for entry in self._entries.values():
-            if not entry.live:
-                self._shred(entry)
-        # Shredded graveyard volumes leave the scan set for good — only
-        # their (unrecoverable) ciphertext bytes keep occupying disk.
+        victims = [e for e in self._entries.values() if not e.live]
+        victims.extend(e for _uid, e in self._graveyard)
+        self._shred_batch(victims)
+        # Shredded graveyard placements leave the scan set for good — only
+        # their (unrecoverable) ciphertext sectors keep occupying disk.
         for _unit_id, entry in self._graveyard:
-            self._shred(entry)
             self._residue_bytes += entry.sectors * SECTOR
+            self._residue_slots.append(entry)
         self._graveyard.clear()
 
     def _reclaim_full(self) -> None:
-        """Shred dead entries' keys and release their ciphertext space."""
+        """Shred dead entries' keys, release their ciphertext space, and
+        compact this backend's share of the vault's key table."""
         self._cost.charge_tuple_cpu(len(self._entries) + len(self._graveyard))
-        for unit_id in list(self._entries):
-            entry = self._entries[unit_id]
-            if entry.live:
-                continue
-            self._shred(entry)
-            entry.volume.discard_sectors()
-            entry.sectors = 0
-        for _unit_id, entry in self._graveyard:
-            self._shred(entry)
-            entry.volume.discard_sectors()
-            entry.sectors = 0
+        victims = [e for e in self._entries.values() if not e.live]
+        victims.extend(e for _uid, e in self._graveyard)
+        self._shred_batch(victims)
+        for entry in victims:
+            self._release_slot(entry)
+        for entry in self._residue_slots:
+            self._release_slot(entry)
+        self._residue_slots.clear()
         self._graveyard.clear()
         self._residue_bytes = 0  # the full pass releases the noise too
+        for key_id in self._vault.compact_keys(sorted(self._owned_ids)):
+            self._owned_ids.discard(key_id)
+        # Fully drained groups release their header too.
+        kept = [g for g in self._groups if g.sector_count or g.slots_in_use]
+        if len(kept) != len(self._groups):
+            self._groups = kept
+            self._partial = [
+                g for g in kept if g.capacity > 1 and g.has_free_slot
+            ]
+
+    def _sanitize_victims(
+        self, victims: Sequence[_ShredEntry], batched: bool
+    ) -> int:
+        """Shred + multi-pass overwrite, one sweep per touched group;
+        returns the pages of sanitize work to charge."""
+        if batched:
+            self._shred_batch(victims)
+        else:
+            for victim in victims:
+                self._shred_one(victim)
+        pages = 0
+        by_group: Dict[int, Tuple[SectorGroup, List[int]]] = {}
+        for victim in victims:
+            pages += max(
+                1, (victim.sectors * SECTOR + PAGE_SIZE - 1) // PAGE_SIZE
+            )
+            if victim.group is not None and victim.sectors:
+                group, slots = by_group.setdefault(
+                    id(victim.group), (victim.group, [])
+                )
+                slots.append(victim.slot)
+        for group, slots in by_group.values():
+            group.overwrite_slots(slots)
+        for victim in victims:
+            self._release_slot(victim)
+            victim.nbytes = 0
+            victim.sanitized = True
+        return pages
 
     def sanitize(self, unit_id: Any) -> None:
         """Key shred + multi-pass overwrite of the ciphertext sectors —
@@ -872,17 +1205,35 @@ class CryptoShredBackend(StorageBackend):
         self._graveyard = [
             (uid, e) for uid, e in self._graveyard if uid != unit_id
         ]
-        pages = 0
-        for victim in victims:
-            self._shred(victim)
-            pages += max(1, (victim.sectors * SECTOR + PAGE_SIZE - 1) // PAGE_SIZE)
-            victim.volume.discard_sectors()
-            victim.sectors = 0
-            victim.nbytes = 0
-            victim.sanitized = True
+        pages = self._sanitize_victims(victims, batched=False)
         self._cost.charge_sanitize(pages)
         entry.live = False
         self.sanitize_count += 1
+
+    def sanitize_many(self, unit_ids: Sequence[Any]) -> int:
+        """Batch "permanently delete": one key-table shred write and one
+        overwrite sweep per touched sector group — the packed layout's
+        amortization of shred-time sanitize cost.  Returns units sanitized.
+        """
+        heads: List[_ShredEntry] = []
+        for unit_id in unit_ids:
+            entry = self._entries.get(unit_id)
+            if entry is None:
+                raise TupleNotFoundError(
+                    f"crypto-shred: unknown key {unit_id!r}"
+                )
+            heads.append(entry)
+        wanted = set(unit_ids)
+        victims = heads + [e for uid, e in self._graveyard if uid in wanted]
+        self._graveyard = [
+            (uid, e) for uid, e in self._graveyard if uid not in wanted
+        ]
+        pages = self._sanitize_victims(victims, batched=True)
+        self._cost.charge_sanitize(pages)
+        for entry in heads:
+            entry.live = False
+        self.sanitize_count += len(heads)
+        return len(heads)
 
     # ----------------------------------------------------------- bulk export
     def export_range(
@@ -899,11 +1250,46 @@ class CryptoShredBackend(StorageBackend):
         for unit_id, entry in self._entries.items():
             if not entry.live or not predicate(unit_id):
                 continue
-            value = self._read_value(entry)
+            value = codec.decode(self._read_blob(entry))
             if entry.flagged:
                 value = FlaggedPayload(True, value)
             out.append((unit_id, value))
         return sorted(out, key=lambda kv: repr(kv[0]))
+
+    def export_encoded_range(
+        self, predicate: Callable[[Any], bool]
+    ) -> List[Tuple[Any, bytes]]:
+        """Native encoded export: sectors decrypt straight to codec blobs
+        (flagged entries alone pay a re-wrap, the flag being out-of-band
+        here)."""
+        self._cost.charge_tuple_cpu(len(self._entries))  # catalog sweep
+        out: List[Tuple[Any, bytes]] = []
+        for unit_id, entry in self._entries.items():
+            if not entry.live or not predicate(unit_id):
+                continue
+            blob = self._read_blob(entry)
+            if entry.flagged:
+                blob = codec.encode(FlaggedPayload(True, codec.decode(blob)))
+            out.append((unit_id, blob))
+        return sorted(out, key=lambda kv: repr(kv[0]))
+
+    def import_encoded_batch(self, items: Sequence[Tuple[Any, bytes]]) -> int:
+        """Native encoded import: plain blobs encrypt into sectors as-is;
+        ``FlaggedPayload`` blobs re-ground through the out-of-band flag."""
+        count = 0
+        for unit_id, blob in items:
+            if codec.is_extension_blob(blob):
+                value = codec.decode(blob)
+                if isinstance(value, FlaggedPayload):
+                    self._insert_blob(unit_id, codec.encode(value.value))
+                    if value.flagged:
+                        self.make_inaccessible(unit_id)
+                    count += 1
+                    continue
+            self._insert_blob(unit_id, blob)
+            count += 1
+        self.commit()
+        return count
 
     # -------------------------------------------------------------- forensics
     def physically_present(self, unit_id: Any) -> bool:
@@ -914,10 +1300,16 @@ class CryptoShredBackend(StorageBackend):
         the whole point of the crypto-shredding grounding.
         """
         entry = self._entries.get(unit_id)
-        if entry is not None and entry.sectors > 0 and not entry.volume.is_shredded:
+        if (
+            entry is not None
+            and entry.sectors > 0
+            and not self._vault.is_shredded(entry.key_id)
+        ):
             return True
         return any(
-            uid == unit_id and e.sectors > 0 and not e.volume.is_shredded
+            uid == unit_id
+            and e.sectors > 0
+            and not self._vault.is_shredded(e.key_id)
             for uid, e in self._graveyard
         )
 
@@ -925,12 +1317,12 @@ class CryptoShredBackend(StorageBackend):
         out = [
             (unit_id, entry.live)
             for unit_id, entry in self._entries.items()
-            if entry.sectors > 0 and not entry.volume.is_shredded
+            if entry.sectors > 0 and not self._vault.is_shredded(entry.key_id)
         ]
         out.extend(
             (uid, False)
             for uid, e in self._graveyard
-            if e.sectors > 0 and not e.volume.is_shredded
+            if e.sectors > 0 and not self._vault.is_shredded(e.key_id)
         )
         return out
 
@@ -944,27 +1336,38 @@ class CryptoShredBackend(StorageBackend):
         recoverable_dead = sum(
             1
             for e in list(self._entries.values()) + graveyard
-            if not e.live and e.sectors > 0 and not e.volume.is_shredded
-        )
-        header_bytes = 512  # LUKS header + key-slot area, per volume
-        total = self._residue_bytes + sum(
-            e.sectors * SECTOR + (0 if e.sanitized else header_bytes)
-            for e in list(self._entries.values()) + graveyard
+            if not e.live
+            and e.sectors > 0
+            and not self._vault.is_shredded(e.key_id)
         )
         return BackendStats(
             backend=self.name,
             live_entries=live,
             dead_entries=recoverable_dead,
-            total_bytes=total,
+            total_bytes=self.data_bytes() + self.index_bytes(),
             detail=(
                 ("volumes", len(self._entries)),
                 ("shredded", self.shred_count),
                 ("sanitized", self.sanitize_count),
+                ("groups", len(self._groups)),
+                ("vault_keys", len(self._owned_ids)),
+                ("residue_bytes", self._residue_bytes),
             ),
         )
 
     def data_bytes(self) -> int:
-        return self.stats().total_bytes
+        """Group headers + every ciphertext sector — graveyard and shredded
+        residue included, since that noise occupies real disk until a full
+        reclamation releases the slots."""
+        return sum(group.size_bytes for group in self._groups)
+
+    def index_bytes(self) -> int:
+        """This backend's share of the vault key table: one entry per
+        enrolled key (zeroed ones included until compaction) plus the
+        vault header when the vault is private.  A shared vault's header
+        is group infrastructure, amortized across its owners."""
+        share = VAULT_HEADER_BYTES if self._owns_vault else 0
+        return share + KEY_ENTRY_BYTES * len(self._owned_ids)
 
 
 #: Backend name → constructor, the selection table for every consumer.
@@ -999,8 +1402,13 @@ class BackendGroup:
     * ``psql`` — one :class:`RelationalEngine` instance carries every
       namespace as a table (one WAL, one buffer pool), exactly the paper's
       single-PSQL deployment;
-    * ``lsm`` / ``crypto-shred`` — single-keyspace engines get one engine
-      per namespace (column-family style).
+    * ``lsm`` — one engine per namespace (column-family style), all of
+      them reading through one :class:`SharedBlockCache` — a single cache
+      budget pooled across the namespaces instead of K private slices;
+    * ``crypto-shred`` — one backend per namespace over one shared
+      :class:`KeyVault`: every namespace's per-unit keys co-locate in one
+      key table (one header, batched shreds), the deployment shape the
+      Table-2 space factor assumes.
 
     ``engine_opts`` are family-specific tuning knobs, forwarded to the
     shared :class:`RelationalEngine` (psql) or to each per-namespace
@@ -1026,6 +1434,16 @@ class BackendGroup:
             if name == PsqlBackend.name
             else None
         )
+        #: One pooled cache budget across every LSM namespace.
+        self.block_cache: Optional[SharedBlockCache] = (
+            SharedBlockCache(self._opts.pop("block_cache_capacity", 1024))
+            if name == LsmBackend.name
+            else None
+        )
+        #: One key table across every crypto-shred namespace.
+        self.vault: Optional[KeyVault] = (
+            KeyVault() if name == CryptoShredBackend.name else None
+        )
 
     def create(
         self, namespace: str, row_bytes: int, flag_column: bool = False
@@ -1040,6 +1458,23 @@ class BackendGroup:
                 table=namespace,
                 engine=self.engine,
                 flag_column=flag_column,
+            )
+        elif self.block_cache is not None:
+            store = make_backend(
+                self.name,
+                self._cost,
+                row_bytes=row_bytes,
+                block_cache=self.block_cache,
+                namespace=namespace,
+                **self._opts,
+            )
+        elif self.vault is not None:
+            store = make_backend(
+                self.name,
+                self._cost,
+                row_bytes=row_bytes,
+                vault=self.vault,
+                **self._opts,
             )
         else:
             store = make_backend(

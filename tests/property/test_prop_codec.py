@@ -1,0 +1,116 @@
+"""Property tests: the storage codec round-trips every storable value.
+
+The codec's correctness claim is structural: a blob's first byte decides
+its decoder (marshal plane / pickle fallback / singleton / extension), so
+the properties check both the round-trip *and* the discriminator claim —
+marshal output must never collide with the 0x80–0x9F tag gap, and the
+fallback must always land exactly on 0x80.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import codec
+from repro.lsm.memtable import TOMBSTONE
+from repro.storage.engine import FlaggedPayload
+
+#: The reserved tag gap between the two marshal first-byte ranges.
+TAG_LO, TAG_HI = 0x80, 0x9F
+
+
+class Opaque:
+    """A type marshal rejects — forces the pickle-fallback boundary."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __eq__(self, other):
+        return isinstance(other, Opaque) and self.payload == other.payload
+
+    def __hash__(self):
+        return hash(("Opaque", self.payload))
+
+
+scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40)
+)
+
+#: The marshal plane: what the storage workloads actually put at rest.
+marshal_values = st.recursive(
+    scalars,
+    lambda inner: (
+        st.lists(inner, max_size=5)
+        | st.tuples(inner, inner)
+        | st.dictionaries(st.text(max_size=8), inner, max_size=5)
+        | st.frozensets(scalars, max_size=5)
+    ),
+    max_leaves=20,
+)
+
+#: Values containing an unmarshalable member — the fallback boundary.
+fallback_values = st.builds(Opaque, scalars) | st.lists(
+    st.builds(Opaque, st.integers()) | scalars, min_size=1, max_size=5
+).filter(lambda xs: any(isinstance(x, Opaque) for x in xs))
+
+
+@given(marshal_values)
+def test_round_trip_on_the_marshal_plane(value):
+    blob = codec.encode(value)
+    assert codec.decode(blob) == value
+    # The discriminator claim: marshal never emits into the tag gap.
+    assert not TAG_LO <= blob[0] <= TAG_HI, hex(blob[0])
+
+
+@given(fallback_values)
+def test_pickle_fallback_boundary(value):
+    blob = codec.encode(value)
+    # The fallback lands exactly on the PROTO byte, nowhere else.
+    assert blob[0] == 0x80
+    assert codec.decode(blob) == value
+
+
+@given(st.lists(marshal_values | st.builds(Opaque, st.integers()), max_size=8))
+@settings(max_examples=50)
+def test_batch_paths_agree_with_scalar_paths(values):
+    blobs = codec.encode_many(values)
+    assert blobs == [codec.encode(v) for v in values]
+    assert codec.decode_many(blobs) == values
+
+
+@given(st.lists(marshal_values, max_size=8))
+@settings(max_examples=50)
+def test_packed_block_round_trip(values):
+    blobs = codec.encode_many(values)
+    block = codec.pack_block(blobs)
+    assert list(codec.iter_block(block)) == blobs
+    assert codec.unpack_block(block) == values
+    # memoryview input decodes identically (the zero-copy read path).
+    assert codec.unpack_block(memoryview(block)) == values
+
+
+@given(marshal_values)
+@settings(max_examples=50)
+def test_encoded_size_is_honest(value):
+    assert codec.encoded_size(value) == len(codec.encode(value))
+
+
+@given(st.booleans(), marshal_values)
+@settings(max_examples=50)
+def test_flagged_payload_extension_round_trip(flagged, value):
+    blob = codec.encode(FlaggedPayload(flagged, value))
+    assert codec.is_extension_blob(blob)
+    decoded = codec.decode(blob)
+    assert isinstance(decoded, FlaggedPayload)
+    assert decoded.flagged == flagged
+    assert decoded.value == value
+
+
+def test_tombstone_singleton_identity():
+    blob = codec.encode(TOMBSTONE)
+    assert len(blob) == 1
+    assert codec.decode(blob) is TOMBSTONE

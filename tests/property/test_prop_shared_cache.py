@@ -1,0 +1,100 @@
+"""Property tests: the shared block cache under erase and eviction.
+
+Two LSM namespaces share one tiny :class:`SharedBlockCache`, so every
+operation sequence churns evictions.  The machine checks the compliance
+claim the cache must uphold whatever the LRU does: an erased unit is never
+served again, never reappears as a cache copy site, and a same-named key
+in the *other* namespace is completely unaffected.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.errors import TupleNotFoundError
+from repro.lsm.cache import SharedBlockCache
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.systems.backends import LsmBackend
+
+N_NAMESPACES = 2
+KEYS = [f"k{i}" for i in range(6)]
+
+ns_ids = st.integers(min_value=0, max_value=N_NAMESPACES - 1)
+keys = st.sampled_from(KEYS)
+
+
+class SharedCacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        cost = CostModel(SimClock(), CostBook())
+        # Capacity 3 over a 6-key space: reads constantly evict each other.
+        self.cache = SharedBlockCache(capacity=3)
+        self.backends = [
+            LsmBackend(
+                cost,
+                memtable_capacity=2,
+                block_cache=self.cache,
+                namespace=f"ns{i}",
+            )
+            for i in range(N_NAMESPACES)
+        ]
+        self.model = [dict() for _ in range(N_NAMESPACES)]
+        self.erased = [set() for _ in range(N_NAMESPACES)]
+
+    @rule(ns=ns_ids, key=keys, value=st.integers(min_value=0, max_value=999))
+    def put(self, ns, key, value):
+        self.backends[ns].insert(key, value)
+        self.model[ns][key] = value
+        self.erased[ns].discard(key)
+
+    @rule(ns=ns_ids, key=keys)
+    def read(self, ns, key):
+        if key in self.model[ns]:
+            assert self.backends[ns].read(key) == self.model[ns][key]
+        else:
+            try:
+                self.backends[ns].read(key)
+                raise AssertionError(f"read of absent {key!r} succeeded")
+            except TupleNotFoundError:
+                pass
+
+    @rule(ns=ns_ids, key=keys)
+    def erase(self, ns, key):
+        if key not in self.model[ns]:
+            return
+        self.backends[ns].erase(key)
+        del self.model[ns][key]
+        self.erased[ns].add(key)
+
+    @invariant()
+    def erased_units_stay_erased(self):
+        for ns in range(N_NAMESPACES):
+            backend = self.backends[ns]
+            for key in self.erased[ns]:
+                # Never recoverable, never a cache copy site, never served.
+                assert not backend.physically_present(key)
+                assert backend.copy_locations(key) == []
+                assert not self.cache.holds_value(
+                    backend.engine._cache_token, key
+                )
+                try:
+                    backend.read(key)
+                    raise AssertionError(f"erased {key!r} was served")
+                except TupleNotFoundError:
+                    pass
+
+    @invariant()
+    def namespaces_stay_isolated(self):
+        # A key erased in one namespace must stay readable in the other.
+        for ns in range(N_NAMESPACES):
+            other = self.model[1 - ns]
+            for key in self.erased[ns]:
+                if key in other:
+                    assert self.backends[1 - ns].read(key) == other[key]
+
+    @invariant()
+    def cache_respects_capacity(self):
+        assert len(self.cache) <= self.cache.capacity
+
+
+TestSharedCacheMachine = SharedCacheMachine.TestCase

@@ -21,9 +21,9 @@ class TrackedNode:
         found = []
         if key in self.cache:
             found.append((CopyLocation.CACHE, self.name))
-        if self.log_holds(key):
+        if self.log_holds_entries(key):
             found.append((CopyLocation.LOG, self.name))
-        if self.wal_holds(key):
+        if self.backend.log_holds_value(key):
             found.append((CopyLocation.WAL, self.name))
         if self.in_flight(key):
             found.append((CopyLocation.MIGRATION, self.name))

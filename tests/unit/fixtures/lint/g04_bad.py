@@ -1,7 +1,9 @@
-"""Seeded G04 violation: pickle outside the storage layer."""
+"""Seeded G04 violations: raw serializer imports outside the codec."""
 
+import marshal  # expect: G04 — marshal bytes collide with the codec format
 import pickle  # expect: G04 — serialized unit values are untracked copies
 
 
 def stash(unit):
-    return pickle.dumps(unit)
+    return pickle.dumps(unit), marshal.version
+

@@ -1,0 +1,20 @@
+"""Seeded G07 violations: raw serializer calls on storage seams.
+
+Parsed (never imported) by the grounding-linter tests — ``pickle`` and
+``marshal`` are deliberately *not* imported here, or the file would trip
+G04 as well (each fixture must fire exactly one rule).
+"""
+
+
+class RawMemtable:
+    def put(self, key, value):
+        # expect: G07 — pickle on a write seam bypasses the codec
+        self._data[key] = pickle.dumps(value)
+
+    def read(self, key):
+        # expect: G07 — marshal on a read seam bypasses the codec
+        return marshal.loads(self._data[key])
+
+    def flush_block(self):
+        # expect: G07 — blocks must be codec.pack_block buffers
+        return marshal.dumps(sorted(self._data.items()))

@@ -1,0 +1,14 @@
+"""G07-clean counterpart: every storage seam serializes via the codec."""
+
+from repro import codec
+
+
+class CodecMemtable:
+    def put(self, key, value):
+        self._data[key] = codec.encode(value)
+
+    def read(self, key):
+        return codec.decode(self._data[key])
+
+    def flush_block(self):
+        return codec.pack_block([blob for _key, blob in sorted(self._data.items())])

@@ -1,0 +1,72 @@
+"""Unit tests: codec edge cases the property tests can't reach."""
+
+import pytest
+
+from repro import codec
+from repro.lsm.memtable import TOMBSTONE, TOMBSTONE_BLOB
+from repro.storage.engine import FlaggedPayload
+
+
+class TestDiscriminator:
+    def test_marshal_plane_values_skip_the_tag_gap(self):
+        for value in (0, 1.5, "text", b"\x80\x90", (1, 2), [None], {"k": 1}):
+            blob = codec.encode(value)
+            assert not 0x80 <= blob[0] <= 0x9F, (value, hex(blob[0]))
+
+    def test_pickle_fallback_starts_with_proto(self):
+        blob = codec.encode(object())
+        assert blob[0] == 0x80
+
+    def test_unregistered_singleton_tag_raises(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(bytes([0x8F]))
+
+    def test_unregistered_extension_tag_raises(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode(bytes([0x9F]) + b"payload")
+
+
+class TestSingletonsAndExtensions:
+    def test_tombstone_blob_is_one_byte_and_identical(self):
+        assert len(TOMBSTONE_BLOB) == 1
+        assert codec.decode(TOMBSTONE_BLOB) is TOMBSTONE
+        assert codec.encode(TOMBSTONE) == TOMBSTONE_BLOB
+
+    def test_register_singleton_is_idempotent(self):
+        assert codec.register_singleton(TOMBSTONE) == TOMBSTONE_BLOB
+
+    def test_flagged_payload_is_extension_not_pickle(self):
+        blob = codec.encode(FlaggedPayload(True, {"k": 1}))
+        assert codec.is_extension_blob(blob)
+        decoded = codec.decode(blob)
+        assert decoded.flagged is True
+        assert decoded.value == {"k": 1}
+
+    def test_plain_blobs_are_not_extension_blobs(self):
+        assert not codec.is_extension_blob(codec.encode({"k": 1}))
+        assert not codec.is_extension_blob(codec.encode(object()))
+
+
+class TestBlocks:
+    def test_empty_block_round_trips(self):
+        block = codec.pack_block([])
+        assert list(codec.iter_block(block)) == []
+        assert codec.unpack_block(block) == []
+
+    def test_trailing_bytes_are_rejected(self):
+        block = codec.pack_block([codec.encode(1)]) + b"junk"
+        with pytest.raises(codec.CodecError):
+            list(codec.iter_block(block))
+
+    def test_iter_block_hands_out_stored_bytes_without_decode(self):
+        blobs = [codec.encode(v) for v in (1, "two", (3,), object())]
+        assert list(codec.iter_block(codec.pack_block(blobs))) == blobs
+
+    def test_mixed_batch_decodes(self):
+        values = [1, TOMBSTONE, FlaggedPayload(False, "v"), object]
+        blobs = codec.encode_many(values)
+        decoded = codec.decode_many(blobs)
+        assert decoded[0] == 1
+        assert decoded[1] is TOMBSTONE
+        assert decoded[2].value == "v"
+        assert decoded[3] is object  # classes take the pickle fallback
