@@ -84,6 +84,7 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import codec
+from repro.config import BackendConfig
 from repro.core.entities import controller, data_subject
 from repro.core.erasure import ErasureInterpretation
 from repro.core.policy import Policy, Purpose
@@ -500,10 +501,11 @@ def run_shared_cache_phase(
         group = BackendGroup(
             "lsm",
             cost,
-            engine_opts={
-                "block_cache_capacity": budget,
-                "memtable_capacity": memtable,
-            },
+            engine_opts=BackendConfig(
+                backend="lsm",
+                block_cache_capacity=budget,
+                memtable_capacity=memtable,
+            ),
         )
         stores = [
             group.create(f"tenant-{k}", 70) for k in range(n_namespaces)
@@ -807,8 +809,9 @@ def run_store_mid_erase(n_keys: int = 80) -> int:
         replication_lag=10_000,
         cache_ttl=10**12,
         shards=2,
-        backend="lsm",
-        backend_opts={"shared_block_cache": 256, "memtable_capacity": 32},
+        backend=BackendConfig(
+            backend="lsm", shared_block_cache=256, memtable_capacity=32
+        ),
     )
     for i in range(n_keys):
         store.put(f"u{i:04d}", (i, "payload"))
@@ -1021,8 +1024,9 @@ def run_distributed_erase_clean(
         replication_lag=50_000,
         cache_ttl=10**12,
         shards=2,
-        backend="lsm",
-        backend_opts={"compaction": policy, "memtable_capacity": 32},
+        backend=BackendConfig(
+            backend="lsm", compaction=policy, memtable_capacity=32
+        ),
     )
     for i in range(n_keys):
         store.put(f"u{i:05d}", (i, "payload"))

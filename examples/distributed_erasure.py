@@ -14,9 +14,7 @@ distributed erase and verifies nothing lingers.
 Run:  python examples/distributed_erasure.py
 """
 
-from repro.distributed.store import ReplicatedStore
-from repro.sim.clock import SimClock
-from repro.sim.costs import CostBook, CostModel
+from repro import CostBook, CostModel, ReplicatedStore, SimClock
 
 
 def main() -> None:

@@ -12,13 +12,19 @@ semantics for GDPR Article 17 and asks, for its database (PSQL):
 Run:  python examples/metaspace_erasure.py
 """
 
-from repro.bench.experiments import ErasureConfig, run_erasure_config, table1
+from repro import (
+    CompliantDatabase,
+    DependencyKind,
+    ErasureInterpretation,
+    Policy,
+    Purpose,
+    UnsupportedGroundingError,
+    controller,
+    data_subject,
+    table1,
+)
+from repro.bench.experiments import ErasureConfig, run_erasure_config
 from repro.bench.reporting import render_fig4a, render_table1
-from repro.core.entities import controller, data_subject
-from repro.core.erasure import ErasureInterpretation
-from repro.core.policy import Policy, Purpose
-from repro.core.provenance import DependencyKind
-from repro.systems.database import CompliantDatabase, UnsupportedGroundingError
 
 
 def show_groundings() -> None:

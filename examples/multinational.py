@@ -9,8 +9,7 @@ questions ("is your erasure at least as strict as X?") mechanically.
 Run:  python examples/multinational.py
 """
 
-from repro.core.erasure import ErasureInterpretation, register_erasure
-from repro.core.grounding import GroundingRegistry
+from repro import ErasureInterpretation, GroundingRegistry, register_erasure
 from repro.core.regulation import Category, all_regulations
 
 

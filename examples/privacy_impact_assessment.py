@@ -17,17 +17,23 @@ check with mitigations (scheduled VACUUM / eager compaction).
 Run:  python examples/privacy_impact_assessment.py
 """
 
-from repro.core.actions import ActionType
-from repro.core.consistency import regulation_requires_any_of
-from repro.core.entities import controller, data_subject
-from repro.core.invariants import PreProcessingInvariant, figure1_invariants
-from repro.core.policy import Policy, Purpose
-from repro.lsm.engine import LSMEngine
-from repro.sim.clock import SimClock
-from repro.sim.costs import CostBook, CostModel
-from repro.storage.engine import RelationalEngine
-from repro.systems.database import CompliantDatabase
-from repro.workloads.mall import MallDataset
+from repro import (
+    ActionType,
+    CompliantDatabase,
+    CostBook,
+    CostModel,
+    LSMEngine,
+    MallDataset,
+    Policy,
+    Purpose,
+    RelationalEngine,
+    SimClock,
+    controller,
+    data_subject,
+    figure1_invariants,
+    regulation_requires_any_of,
+)
+from repro.core.invariants import PreProcessingInvariant
 
 MALL_CO = controller("SmartMall-Co")
 

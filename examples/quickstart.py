@@ -3,10 +3,15 @@
 Run:  python examples/quickstart.py
 """
 
-from repro.core.entities import controller, data_subject, processor
-from repro.core.erasure import ErasureInterpretation
-from repro.core.policy import Policy, Purpose
-from repro.systems.database import CompliantDatabase
+from repro import (
+    CompliantDatabase,
+    ErasureInterpretation,
+    Policy,
+    Purpose,
+    controller,
+    data_subject,
+    processor,
+)
 
 
 def main() -> None:

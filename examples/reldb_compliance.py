@@ -17,9 +17,8 @@ prove you erased on time.
 Run:  python examples/reldb_compliance.py
 """
 
+from repro import customer_workload, make_profile
 from repro.bench.reporting import render_run_breakdown, render_table2
-from repro.systems import make_profile
-from repro.workloads.gdprbench import customer_workload
 
 RECORDS = 20_000
 TXNS = 2_000

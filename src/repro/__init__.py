@@ -28,6 +28,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from repro.bench.experiments import fig4a, fig4b, fig4c, table1, table2
+from repro.config import BackendConfig, ServiceConfig, StoreConfig
 from repro.core.actions import Action, ActionHistory, ActionHistoryTuple, ActionType
 from repro.core.compliance import ComplianceChecker, ComplianceReport
 from repro.core.consistency import (
@@ -78,7 +79,9 @@ from repro.core.invariants import (
 from repro.core.policy import Policy, PolicySet, Purpose
 from repro.core.provenance import Dependency, DependencyKind, ProvenanceGraph
 from repro.core.regulation import Article, Regulation, ccpa, gdpr, pipeda, vdpa
+from repro.distributed.store import ReplicatedStore
 from repro.lsm.engine import LSMEngine
+from repro.service import ComplianceService, run_loadgen
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.storage.engine import RelationalEngine
@@ -90,6 +93,7 @@ from repro.systems.database import (
 )
 from repro.systems.profiles import ProfileConfig, RunResult
 from repro.systems.space import SpaceAccountant, SpaceReport
+from repro.workloads.driver import run_interleaved
 from repro.workloads.gdprbench import (
     controller_workload,
     customer_workload,
@@ -128,11 +132,16 @@ __all__ = [
     "CompliantDatabase", "EraseOutcome", "UnsupportedGroundingError",
     "PROFILES", "make_profile", "ProfileConfig", "RunResult",
     "SpaceAccountant", "SpaceReport",
+    # distributed store, typed configuration & the service front door
+    "ReplicatedStore",
+    "BackendConfig", "StoreConfig", "ServiceConfig",
+    "ComplianceService", "run_loadgen",
     # substrates
     "SimClock", "CostBook", "CostModel", "RelationalEngine", "LSMEngine",
     # workloads
     "controller_workload", "customer_workload", "erasure_study_workload",
     "processor_workload", "ycsb_c_workload", "MallDataset",
+    "run_interleaved",
     # experiments
     "table1", "table2", "fig4a", "fig4b", "fig4c",
 ]

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.config import BackendConfig
 from repro.core.entities import controller, data_subject
 from repro.core.erasure import (
     ErasureCharacterization,
@@ -259,15 +260,15 @@ def _make_workload(name: str, record_count: int, n_txns: int) -> Tuple[Workload,
 
 def _compaction_opts(
     backend: str, compaction: Optional[str]
-) -> Optional[Dict[str, str]]:
-    """Engine-opt overrides for an explicit LSM compaction policy choice."""
+) -> Optional[BackendConfig]:
+    """Engine-config override for an explicit LSM compaction policy choice."""
     if compaction is None:
         return None
     if backend != "lsm":
         raise ValueError(
             "compaction policy selection only applies to the lsm backend"
         )
-    return {"compaction": compaction}
+    return BackendConfig(backend="lsm", compaction=compaction)
 
 
 def fig4b(

@@ -107,6 +107,7 @@ from typing import (
 )
 
 from repro import codec
+from repro.config import BackendConfig, StoreConfig
 from repro.core.locations import CopyLocation
 from repro.crypto.vault import KeyVault
 from repro.distributed.ring import DEFAULT_VNODES, HashRing
@@ -254,21 +255,25 @@ class _Node:
         name: str,
         cost: CostModel,
         row_bytes: int,
-        backend: str,
-        backend_opts: Optional[Mapping[str, Any]] = None,
+        config: BackendConfig,
+        extras: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.name = name
-        opts = dict(backend_opts or {})
-        if backend == "psql":
+        opts = config.backend_kwargs()
+        # ``extras`` carries injected *objects* the store pools across its
+        # nodes (a SharedBlockCache, a KeyVault) — deliberately not config
+        # fields (configs stay declarative/comparable).
+        opts.update(extras or {})
+        if config.backend == "psql":
             opts.setdefault("table", TABLE)
             opts.setdefault("wal_checkpoint_every", 5_000)
-        elif backend == "lsm" and "block_cache" in opts:
+        elif config.backend == "lsm" and "block_cache" in opts:
             # Nodes sharing one block cache must not share cache entries:
             # each node is a distinct physical machine, so its cached
             # copies are tracked (and invalidated) under its own name.
             opts.setdefault("namespace", name)
         self.backend: StorageBackend = make_backend(
-            backend, cost, row_bytes=row_bytes, **opts
+            config.backend, cost, row_bytes=row_bytes, **opts
         )
         #: The raw engine object — exposed for forensics and fault injection.
         self.engine = getattr(self.backend, "engine", None)
@@ -309,9 +314,9 @@ class _Shard:
         replication_lag: int,
         cache_ttl: int,
         row_bytes: int,
-        backend: str,
+        config: BackendConfig,
         solo: bool,
-        backend_opts: Optional[Mapping[str, Any]] = None,
+        extras: Optional[Mapping[str, Any]] = None,
         repair_sink: Optional[Callable[[int, Any, int], None]] = None,
     ) -> None:
         self.index = index
@@ -324,10 +329,10 @@ class _Shard:
         # Single-shard deployments keep the legacy node names.
         prefix = "" if solo else f"shard-{index}/"
         self.primary = _Node(
-            f"{prefix}primary", cost, row_bytes, backend, backend_opts
+            f"{prefix}primary", cost, row_bytes, config, extras
         )
         self.replicas = [
-            _Node(f"{prefix}replica-{i}", cost, row_bytes, backend, backend_opts)
+            _Node(f"{prefix}replica-{i}", cost, row_bytes, config, extras)
             for i in range(n_replicas)
         ]
         self._log: List[_LogEntry] = []
@@ -1087,7 +1092,7 @@ class ReplicatedStore:
         cache_ttl: int = 500_000,
         row_bytes: int = 70,
         shards: int = 1,
-        backend: str = "psql",
+        backend: Union[str, BackendConfig] = "psql",
         backend_opts: Optional[Mapping[str, Any]] = None,
         vnodes: int = DEFAULT_VNODES,
         shard_weights: Optional[Mapping[int, float]] = None,
@@ -1099,31 +1104,34 @@ class ReplicatedStore:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self._cost = cost
-        self.backend_name = backend
+        config = BackendConfig.coerce(
+            backend, backend_opts, owner="ReplicatedStore"
+        )
+        self.backend_name = config.backend
+        #: The typed deployment description every node is built from.
+        self.backend_config = config
         self._n_replicas = n_replicas
         self._lag = replication_lag
         self._cache_ttl = cache_ttl
         self._row_bytes = row_bytes
-        opts = dict(backend_opts or {})
         #: Shared physical infrastructure across every node of every shard,
         #: mirroring :class:`repro.systems.backends.BackendGroup`: one
-        #: pooled block-cache budget (``backend_opts={"shared_block_cache":
-        #: capacity}`` on lsm) instead of a private slice per node, and one
-        #: key vault (``{"shared_vault": True}`` on crypto-shred) so every
-        #: node's per-unit keys co-locate for batched shreds.
+        #: pooled block-cache budget (``BackendConfig(backend="lsm",
+        #: shared_block_cache=capacity)``) instead of a private slice per
+        #: node, and one key vault (``shared_vault=True`` on crypto-shred)
+        #: so every node's per-unit keys co-locate for batched shreds.
         self.block_cache: Optional[SharedBlockCache] = None
         self.vault: Optional[KeyVault] = None
-        if backend == "lsm":
-            capacity = opts.pop("shared_block_cache", None)
+        extras: Dict[str, Any] = {}
+        if config.backend == "lsm":
+            capacity = config.shared_block_cache_capacity
             if capacity:
-                self.block_cache = SharedBlockCache(
-                    1024 if capacity is True else int(capacity)
-                )
-                opts["block_cache"] = self.block_cache
-        elif backend == "crypto-shred" and opts.pop("shared_vault", False):
+                self.block_cache = SharedBlockCache(capacity)
+                extras["block_cache"] = self.block_cache
+        elif config.backend == "crypto-shred" and config.shared_vault:
             self.vault = KeyVault()
-            opts["vault"] = self.vault
-        self._backend_opts = opts
+            extras["vault"] = self.vault
+        self._node_extras = extras
         self._shards: Dict[int, _Shard] = {
             index: self._make_shard(index, solo=(shards == 1))
             for index in range(shards)
@@ -1140,6 +1148,22 @@ class ReplicatedStore:
         #: against.  Drained by :meth:`flush_repairs`.
         self._pending_repairs: Dict[Tuple[int, Any], int] = {}
 
+    @classmethod
+    def from_config(cls, cost: CostModel, config: StoreConfig) -> "ReplicatedStore":
+        """Build a store from one declarative :class:`StoreConfig` — the
+        construction surface the service layer and ``serve`` CLI use."""
+        return cls(
+            cost,
+            n_replicas=config.n_replicas,
+            replication_lag=config.replication_lag,
+            cache_ttl=config.cache_ttl,
+            row_bytes=config.row_bytes,
+            shards=config.shards,
+            backend=config.backend,
+            vnodes=config.vnodes,
+            shard_weights=config.weights_mapping,
+        )
+
     def _make_shard(self, index: int, solo: bool = False) -> _Shard:
         return _Shard(
             index,
@@ -1148,9 +1172,9 @@ class ReplicatedStore:
             self._lag,
             self._cache_ttl,
             self._row_bytes,
-            self.backend_name,
+            self.backend_config,
             solo=solo,
-            backend_opts=self._backend_opts,
+            extras=self._node_extras,
             repair_sink=self._queue_repair,
         )
 
@@ -1167,6 +1191,22 @@ class ReplicatedStore:
     def shard_weights(self) -> Dict[int, float]:
         """Shard id → ring weight (heavier shards own more keyspace)."""
         return self._ring.weights
+
+    @property
+    def rebalance_active(self) -> bool:
+        """Whether a begun rebalance has not yet finalized — reads and
+        erases dual-route while this holds."""
+        return self._rebalance is not None
+
+    def shards_involved(self, key: Any) -> Tuple[int, ...]:
+        """Every shard a read/write/erase of ``key`` may touch right now
+        (sorted).  Outside a rebalance that is the single ring owner;
+        mid-rebalance the dual-routing pair (source and destination) — the
+        lock scope the service layer's per-shard discipline needs."""
+        if self._rebalance is None:
+            return (self._ring.owner(key),)
+        old, new = self._rebalance.owners(key)
+        return tuple(sorted({old, new}))
 
     def shard_of(self, key: Any) -> int:
         """The shard the key routes to (ring owner; during a rebalance,

@@ -1,0 +1,112 @@
+"""Typed request/response surface of the compliance service.
+
+Requests are small frozen dataclasses — the wire format of the front door
+whether the transport is in-process (:meth:`ComplianceService.call`), the
+stdlib HTTP server (:mod:`repro.service.http`), or the load generator.
+Statuses reuse HTTP codes so the HTTP front door maps them 1:1 and the
+admission-control contract reads the way an SRE expects: a full queue is a
+``429 REJECTED`` *now*, not an unbounded wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Optional, Tuple, Union
+
+
+class Status(IntEnum):
+    """Response status — HTTP semantics, transport-independent."""
+
+    OK = 200
+    CREATED = 201
+    BAD_REQUEST = 400
+    NOT_FOUND = 404
+    REJECTED = 429          # admission control: bounded queue was full
+    ERROR = 500
+    SHUTTING_DOWN = 503
+
+
+@dataclass(frozen=True)
+class CollectRequest:
+    """Store one value for one data subject (the paper's *collect*)."""
+
+    key: Any
+    value: Any
+    subject: str = "anonymous"
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Read one key at the chosen consistency level."""
+
+    key: Any
+    consistency: str = "one"
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Overwrite one existing key's value."""
+
+    key: Any
+    value: Any
+
+
+@dataclass(frozen=True)
+class EraseRequest:
+    """Grounded Art. 17 erase — every physical copy, verified clean.
+
+    Erase requests are batched by the worker pool: consecutive pending
+    erases on one shard queue run as a single ``erase_many`` call, so the
+    per-node reclamation pass is paid once per batch.
+    """
+
+    key: Any
+
+
+@dataclass(frozen=True)
+class SarRequest:
+    """Art. 15 subject-access request: every key the service collected
+    for this subject, with current values (erased keys disclosed as
+    erased, never by value)."""
+
+    subject: str
+
+
+Request = Union[CollectRequest, ReadRequest, UpdateRequest, EraseRequest, SarRequest]
+
+
+@dataclass(frozen=True)
+class Response:
+    """What came back, uniformly across request types.
+
+    ``value`` carries a read's value or a SAR's unit tuples;
+    ``verified_clean`` is set on erase responses (the §1 acceptance bit:
+    zero lingering copies after the grounded erase).
+    """
+
+    status: Status
+    value: Any = None
+    error: Optional[str] = None
+    verified_clean: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= int(self.status) < 300
+
+    @property
+    def rejected(self) -> bool:
+        return self.status is Status.REJECTED
+
+
+@dataclass(frozen=True)
+class SarUnit:
+    """One unit disclosed by a subject-access response."""
+
+    key: Any
+    value: Any
+    erased: bool
+
+
+#: Response units type for SAR responses (``Response.value``).
+SarUnits = Tuple[SarUnit, ...]

@@ -1,0 +1,182 @@
+"""Stdlib HTTP transport for the compliance service.
+
+A thin JSON mapping over :class:`~repro.service.server.ComplianceService`
+using ``ThreadingHTTPServer`` (one thread per connection; the service's
+admission control — not the socket layer — bounds concurrency).  Routes:
+
+===========  =======  ==================================================
+``POST``     path     body
+===========  =======  ==================================================
+collect      ``/collect``  ``{"key": k, "value": v, "subject": s}``
+read         ``/read``     ``{"key": k, "consistency": "one"}``
+update       ``/update``   ``{"key": k, "value": v}``
+erase        ``/erase``    ``{"key": k}``
+sar          ``/sar``      ``{"subject": s}``
+===========  =======  ==================================================
+
+``GET /stats`` returns the service counters; ``GET /healthz`` returns 200
+while the service accepts traffic.  Response HTTP status codes are the
+service's :class:`~repro.service.api.Status` values verbatim — a full
+admission queue is a literal ``429``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.api import (
+    CollectRequest,
+    EraseRequest,
+    ReadRequest,
+    Request,
+    Response,
+    SarRequest,
+    Status,
+    UpdateRequest,
+)
+from repro.service.server import ComplianceService
+
+_ROUTES = {
+    "/collect": lambda body: CollectRequest(
+        key=body["key"],
+        value=body.get("value"),
+        subject=body.get("subject", "anonymous"),
+    ),
+    "/read": lambda body: ReadRequest(
+        key=body["key"], consistency=body.get("consistency", "one")
+    ),
+    "/update": lambda body: UpdateRequest(key=body["key"], value=body.get("value")),
+    "/erase": lambda body: EraseRequest(key=body["key"]),
+    "/sar": lambda body: SarRequest(subject=body["subject"]),
+}
+
+
+def _encode(response: Response) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"status": int(response.status)}
+    if response.value is not None:
+        try:
+            json.dumps(response.value)
+            payload["value"] = response.value
+        except TypeError:
+            payload["value"] = repr(response.value)
+    if response.error is not None:
+        payload["error"] = response.error
+    if response.verified_clean is not None:
+        payload["verified_clean"] = response.verified_clean
+    return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceHTTPServer"
+
+    # Silence the default per-request stderr logging.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        if self.path == "/healthz":
+            self._reply(200, {"status": 200, "ok": True})
+        elif self.path == "/stats":
+            self._reply(200, asdict(self.server.service.stats()))
+        else:
+            self._reply(404, {"status": 404, "error": "unknown path"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        builder = _ROUTES.get(self.path)
+        if builder is None:
+            self._reply(404, {"status": 404, "error": "unknown path"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+            request: Request = builder(body)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._reply(
+                int(Status.BAD_REQUEST),
+                {"status": int(Status.BAD_REQUEST), "error": f"bad request: {exc}"},
+            )
+            return
+        # SAR units are dataclasses — flatten for the wire.
+        response = self.server.service.call(request)
+        if self.path == "/sar" and response.ok:
+            units = [asdict(unit) for unit in response.value or ()]
+            self._reply(
+                int(response.status), {"status": int(response.status), "units": units}
+            )
+            return
+        self._reply(int(response.status), _encode(response))
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`ComplianceService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: ComplianceService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+
+def serve_in_background(
+    service: ComplianceService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServiceHTTPServer:
+    """Start an HTTP front door on a daemon thread; returns the bound
+    server (``.address`` has the ephemeral port)."""
+    server = ServiceHTTPServer(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="svc-http", daemon=True
+    )
+    thread.start()
+    return server
+
+
+def _announce(message: str) -> None:
+    # flush so the bound (possibly ephemeral) port is visible even when
+    # stdout is a pipe, not a terminal
+    print(message, flush=True)
+
+
+def serve_forever(
+    service: ComplianceService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    announce: Optional[Any] = _announce,
+) -> None:
+    """Blocking server loop — the ``repro.cli serve`` entry point."""
+    server = ServiceHTTPServer(service, host=host, port=port)
+    if announce is not None:
+        announce(
+            f"compliance service listening on http://{host}:{server.address[1]} "
+            f"({service.config.workers_per_shard} worker(s)/shard, "
+            f"queue depth {service.config.queue_depth})"
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.shutdown()
+        service.close()

@@ -82,9 +82,11 @@ from typing import (
     Sequence,
     Tuple,
     Type,
+    Union,
 )
 
 from repro import codec
+from repro.config import BackendConfig
 from repro.core.locations import CopyLocation
 from repro.crypto.sectors import (
     GROUP_CAPACITY,
@@ -1410,33 +1412,55 @@ class BackendGroup:
       key table (one header, batched shreds), the deployment shape the
       Table-2 space factor assumes.
 
-    ``engine_opts`` are family-specific tuning knobs, forwarded to the
-    shared :class:`RelationalEngine` (psql) or to each per-namespace
-    backend constructor (others).
+    ``engine_opts`` is a typed :class:`~repro.config.BackendConfig`
+    (family-specific tuning for the shared :class:`RelationalEngine` on
+    psql, or each per-namespace backend constructor elsewhere); legacy
+    mappings are still accepted via a deprecation shim that validates keys
+    through :meth:`BackendConfig.from_mapping`.
     """
 
     def __init__(
         self,
         name: str,
         cost: CostModel,
-        engine_opts: Optional[Mapping[str, Any]] = None,
+        engine_opts: Union[BackendConfig, Mapping[str, Any], None] = None,
     ) -> None:
         if name not in BACKENDS:
             raise KeyError(
                 f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
             )
+        if isinstance(engine_opts, BackendConfig):
+            if engine_opts.backend != name:
+                raise ValueError(
+                    f"BackendGroup({name!r}) got a config for "
+                    f"{engine_opts.backend!r}"
+                )
+            config = engine_opts
+        else:
+            config = BackendConfig.coerce(
+                name, engine_opts, owner="BackendGroup", param="engine_opts"
+            )
+        if config.table is not None or config.flag_column is not None:
+            raise ValueError(
+                "table/flag_column are per-namespace in a BackendGroup; "
+                "pass them to create()"
+            )
         self.name = name
+        self.config = config
         self._cost = cost
-        self._opts = dict(engine_opts or {})
         self._stores: Dict[str, StorageBackend] = {}
         self.engine: Optional[RelationalEngine] = (
-            RelationalEngine(cost, **self._opts)
+            RelationalEngine(cost, **config.engine_kwargs())
             if name == PsqlBackend.name
             else None
         )
         #: One pooled cache budget across every LSM namespace.
         self.block_cache: Optional[SharedBlockCache] = (
-            SharedBlockCache(self._opts.pop("block_cache_capacity", 1024))
+            SharedBlockCache(
+                config.block_cache_capacity
+                or config.shared_block_cache_capacity
+                or 1024
+            )
             if name == LsmBackend.name
             else None
         )
@@ -1444,6 +1468,15 @@ class BackendGroup:
         self.vault: Optional[KeyVault] = (
             KeyVault() if name == CryptoShredBackend.name else None
         )
+
+    def _create_kwargs(self) -> Dict[str, Any]:
+        """Per-namespace constructor kwargs: everything set on the config
+        except what the group itself provides (pooled cache budget,
+        namespace naming)."""
+        kwargs = self.config.backend_kwargs()
+        kwargs.pop("block_cache_capacity", None)
+        kwargs.pop("namespace", None)
+        return kwargs
 
     def create(
         self, namespace: str, row_bytes: int, flag_column: bool = False
@@ -1466,7 +1499,7 @@ class BackendGroup:
                 row_bytes=row_bytes,
                 block_cache=self.block_cache,
                 namespace=namespace,
-                **self._opts,
+                **self._create_kwargs(),
             )
         elif self.vault is not None:
             store = make_backend(
@@ -1474,11 +1507,14 @@ class BackendGroup:
                 self._cost,
                 row_bytes=row_bytes,
                 vault=self.vault,
-                **self._opts,
+                **self._create_kwargs(),
             )
         else:
             store = make_backend(
-                self.name, self._cost, row_bytes=row_bytes, **self._opts
+                self.name,
+                self._cost,
+                row_bytes=row_bytes,
+                **self._create_kwargs(),
             )
         self._stores[namespace] = store
         return store

@@ -37,6 +37,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.access.errors import AccessDenied
 from repro.audit.log import ActionLog
+from repro.config import BackendConfig
 from repro.core.actions import ActionType
 from repro.core.compliance import ComplianceChecker, ComplianceReport
 from repro.core.consistency import regulation_requires_any_of
@@ -143,7 +144,7 @@ class CompliantDatabase:
         default_erasure: ErasureInterpretation = ErasureInterpretation.DELETED,
         row_bytes: int = 70,
         cost_book: Optional[CostBook] = None,
-        backend: Union[str, StorageBackend] = "psql",
+        backend: Union[str, StorageBackend, BackendConfig] = "psql",
         backend_opts: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not controller.is_controller:
@@ -151,9 +152,21 @@ class CompliantDatabase:
         self.controller = controller
         self.clock = SimClock()
         self.cost = CostModel(self.clock, cost_book or CostBook())
-        if isinstance(backend, str):
+        if isinstance(backend, (str, BackendConfig)):
+            config = BackendConfig.coerce(
+                backend, backend_opts, owner="CompliantDatabase"
+            )
+            if config.shared_block_cache is not None or config.shared_vault:
+                raise ValueError(
+                    "shared_block_cache/shared_vault pool one resource "
+                    "across many nodes — they apply to ReplicatedStore "
+                    "and BackendGroup, not a single-backend facade"
+                )
             backend = make_backend(
-                backend, self.cost, row_bytes=row_bytes, **(backend_opts or {})
+                config.backend,
+                self.cost,
+                row_bytes=row_bytes,
+                **config.backend_kwargs(),
             )
         elif backend_opts:
             raise ValueError(

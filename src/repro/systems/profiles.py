@@ -37,8 +37,9 @@ tables), so the residual compliance overhead on ordinary traffic is small.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
+from repro.config import BackendConfig
 from repro.core.entities import controller, processor
 from repro.core.erasure import ErasureInterpretation, register_erasure
 from repro.core.grounding import Grounding, GroundingRegistry
@@ -65,10 +66,12 @@ CONTROLLER = controller("benchmark-controller")
 #: Engine-family tuning the profiles run with (paper-calibrated): the PSQL
 #: deployment pays a high bloat penalty and recycles WAL segments every 5k
 #: appends; the LSM deployment uses the engine defaults (block cache on).
-PROFILE_ENGINE_OPTS: Dict[str, Dict[str, Any]] = {
-    "psql": {"cipher": None, "bloat_factor": 8.0, "wal_checkpoint_every": 5_000},
-    "lsm": {},
-    "crypto-shred": {},
+PROFILE_ENGINE_OPTS: Dict[str, BackendConfig] = {
+    "psql": BackendConfig(
+        backend="psql", bloat_factor=8.0, wal_checkpoint_every=5_000
+    ),
+    "lsm": BackendConfig(backend="lsm"),
+    "crypto-shred": BackendConfig(backend="crypto-shred"),
 }
 
 
@@ -130,15 +133,29 @@ class ComplianceProfile:
         self,
         config: Optional[ProfileConfig] = None,
         backend: str = "psql",
-        engine_opts: Optional[Dict[str, Any]] = None,
+        engine_opts: Union[BackendConfig, Dict[str, Any], None] = None,
     ) -> None:
         self.config = config or ProfileConfig()
         self.clock = SimClock()
         self.cost = CostModel(self.clock, self.config.cost_book)
         self.backend_name = backend
-        merged_opts = dict(PROFILE_ENGINE_OPTS.get(backend) or {})
-        merged_opts.update(engine_opts or {})
-        self.storage = BackendGroup(backend, self.cost, engine_opts=merged_opts)
+        if isinstance(engine_opts, BackendConfig):
+            overrides = engine_opts
+            if overrides.backend != backend:
+                raise ValueError(
+                    f"profile backend {backend!r} got a config for "
+                    f"{overrides.backend!r}"
+                )
+        else:
+            overrides = BackendConfig.coerce(
+                backend, engine_opts, owner=type(self).__name__,
+                param="engine_opts",
+            )
+        base = PROFILE_ENGINE_OPTS.get(backend) or BackendConfig(backend=backend)
+        self.backend_config = base.merged(overrides)
+        self.storage = BackendGroup(
+            backend, self.cost, engine_opts=self.backend_config
+        )
         #: The shared relational engine on psql deployments (None elsewhere)
         #: — an escape hatch for engine-level forensics in tests/examples.
         self.engine = self.storage.engine

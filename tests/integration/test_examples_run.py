@@ -19,6 +19,7 @@ EXAMPLES = [
     "multinational.py",
     "privacy_impact_assessment.py",
     "distributed_erasure.py",
+    "compliance_service.py",
 ]
 
 EXPECTED_SNIPPETS = {
@@ -28,6 +29,7 @@ EXPECTED_SNIPPETS = {
     "multinational.py": "PIPEDA",
     "privacy_impact_assessment.py": "forensically recoverable",
     "distributed_erasure.py": "verified clean",
+    "compliance_service.py": "invariant violations: 0",
 }
 
 

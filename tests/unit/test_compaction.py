@@ -12,6 +12,7 @@ Covers the edge cases the leveled refactor makes reachable:
 
 import pytest
 
+from repro.config import BackendConfig
 from repro.core.actions import ActionType
 from repro.core.entities import controller, data_subject
 from repro.core.policy import Policy, Purpose
@@ -286,8 +287,9 @@ class TestCompactionEvents:
         user = data_subject("user-1")
         db = CompliantDatabase(
             metaspace,
-            backend="lsm",
-            backend_opts={"compaction": "leveled", "memtable_capacity": 16},
+            backend=BackendConfig(
+                backend="lsm", compaction="leveled", memtable_capacity=16
+            ),
         )
         window = (0, 10**12)
         for i in range(8):

@@ -1,0 +1,212 @@
+"""The typed construction surface (repro.config).
+
+BackendConfig/StoreConfig/ServiceConfig replace the untyped
+``backend_opts`` / ``engine_opts`` mappings.  The load-bearing claims:
+unknown keys raise (the old mappings silently ignored misspellings),
+wrong-family keys raise, legacy mappings still work behind a
+DeprecationWarning, and the families stay in sync with the actual
+backend registry.
+"""
+
+import pytest
+
+from repro.config import (
+    BACKEND_FAMILIES,
+    BackendConfig,
+    ServiceConfig,
+    StoreConfig,
+)
+from repro.core.entities import controller
+from repro.distributed.store import ReplicatedStore
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostBook, CostModel
+from repro.systems.backends import BACKENDS, BackendGroup
+from repro.systems.database import CompliantDatabase
+
+
+def _cost():
+    return CostModel(SimClock(), CostBook())
+
+
+class TestBackendConfig:
+    def test_families_mirror_backend_registry(self):
+        # The config layer keeps its own literal family list to stay
+        # import-light; it must not drift from the registry.
+        assert tuple(sorted(BACKENDS)) == BACKEND_FAMILIES
+
+    def test_unknown_backend_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            BackendConfig(backend="mongodb")
+
+    def test_wrong_family_field_raises(self):
+        with pytest.raises(ValueError, match="do not apply to"):
+            BackendConfig(backend="psql", memtable_capacity=8)
+        with pytest.raises(ValueError, match="do not apply to"):
+            BackendConfig(backend="lsm", bloat_factor=2.0)
+        with pytest.raises(ValueError, match="do not apply to"):
+            BackendConfig(backend="crypto-shred", compaction="leveled")
+
+    def test_from_mapping_rejects_unknown_keys_with_hint(self):
+        with pytest.raises(ValueError, match="shared_block_cache"):
+            # The exact misspelling the old mappings silently swallowed.
+            BackendConfig.from_mapping("lsm", {"shared_block_cach": 256})
+
+    def test_from_mapping_accepts_known_keys(self):
+        config = BackendConfig.from_mapping(
+            "lsm", {"compaction": "leveled", "memtable_capacity": 4}
+        )
+        assert config.compaction == "leveled"
+        assert config.backend_kwargs() == {
+            "compaction": "leveled",
+            "memtable_capacity": 4,
+        }
+
+    def test_backend_kwargs_excludes_pool_fields(self):
+        config = BackendConfig(
+            backend="lsm", shared_block_cache=128, memtable_capacity=4
+        )
+        assert "shared_block_cache" not in config.backend_kwargs()
+        assert config.shared_block_cache_capacity == 128
+
+    def test_shared_block_cache_true_normalizes_to_default(self):
+        assert (
+            BackendConfig(
+                backend="lsm", shared_block_cache=True
+            ).shared_block_cache_capacity
+            == 1024
+        )
+        assert BackendConfig(backend="lsm").shared_block_cache_capacity is None
+
+    def test_merged_layers_set_fields(self):
+        base = BackendConfig(
+            backend="psql", bloat_factor=8.0, wal_checkpoint_every=5_000
+        )
+        override = BackendConfig(backend="psql", bloat_factor=2.0)
+        merged = base.merged(override)
+        assert merged.bloat_factor == 2.0
+        assert merged.wal_checkpoint_every == 5_000
+
+    def test_merged_rejects_cross_backend(self):
+        with pytest.raises(ValueError, match="different backends"):
+            BackendConfig(backend="psql").merged(BackendConfig(backend="lsm"))
+
+    def test_coerce_passthrough_rejects_extra_opts(self):
+        config = BackendConfig(backend="lsm")
+        assert BackendConfig.coerce(config, None, owner="X") is config
+        with pytest.raises(ValueError, match="not via backend_opts"):
+            BackendConfig.coerce(config, {"memtable_capacity": 4}, owner="X")
+
+    def test_coerce_legacy_mapping_warns(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            config = BackendConfig.coerce(
+                "lsm", {"memtable_capacity": 4}, owner="X"
+            )
+        assert config.memtable_capacity == 4
+
+
+class TestFacadeValidation:
+    """The regression the ISSUE names: facades used to silently ignore
+    misspelled backend_opts keys."""
+
+    def test_replicated_store_rejects_misspelled_key(self):
+        with pytest.raises(ValueError, match="shared_block_cach"):
+            with pytest.warns(DeprecationWarning):
+                ReplicatedStore(
+                    _cost(),
+                    backend="lsm",
+                    backend_opts={"shared_block_cach": 256},
+                )
+
+    def test_compliant_database_rejects_misspelled_key(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            with pytest.warns(DeprecationWarning):
+                CompliantDatabase(
+                    controller("C"),
+                    backend="lsm",
+                    backend_opts={"memtable_capacit": 16},
+                )
+
+    def test_compliant_database_rejects_pool_fields(self):
+        # Pooling one cache across many nodes is a ReplicatedStore /
+        # BackendGroup concern; a single-backend facade has no pool.
+        with pytest.raises(ValueError, match="pool one resource"):
+            CompliantDatabase(
+                controller("C"),
+                backend=BackendConfig(backend="lsm", shared_block_cache=64),
+            )
+
+    def test_backend_group_rejects_per_namespace_fields(self):
+        with pytest.raises(ValueError, match="per-namespace"):
+            BackendGroup(
+                "psql",
+                _cost(),
+                engine_opts=BackendConfig(backend="psql", table="t"),
+            )
+
+    def test_backend_group_rejects_mismatched_config(self):
+        with pytest.raises(ValueError):
+            BackendGroup(
+                "psql", _cost(), engine_opts=BackendConfig(backend="lsm")
+            )
+
+    def test_legacy_mapping_still_works_with_warning(self):
+        with pytest.warns(DeprecationWarning):
+            store = ReplicatedStore(
+                _cost(),
+                shards=2,
+                n_replicas=1,
+                backend="lsm",
+                backend_opts={"memtable_capacity": 4},
+            )
+        store.put("k", "v")
+        assert store.read("k") == "v"
+
+
+class TestStoreConfig:
+    def test_from_config_builds_topology(self):
+        config = StoreConfig(
+            backend=BackendConfig(backend="lsm", memtable_capacity=4),
+            shards=3,
+            n_replicas=1,
+        )
+        store = ReplicatedStore.from_config(_cost(), config)
+        assert len(store.shard_ids) == 3
+        assert store.backend_name == "lsm"
+        store.put("k", "v")
+        assert store.read("k") == "v"
+
+    def test_shard_weights_normalize(self):
+        config = StoreConfig(shard_weights={1: 2.0, 0: 1.0})
+        assert config.shard_weights == ((0, 1.0), (1, 2.0))
+        assert config.weights_mapping == {0: 1.0, 1: 2.0}
+
+    def test_topology_validation(self):
+        with pytest.raises(ValueError):
+            StoreConfig(shards=0)
+        with pytest.raises(ValueError):
+            StoreConfig(n_replicas=-1)
+        with pytest.raises(ValueError):
+            StoreConfig(vnodes=0)
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers_per_shard": 0},
+            {"queue_depth": 0},
+            {"erase_batch": 0},
+            {"maintenance_interval": 0},
+            {"maintenance_budget_keys": 0},
+            {"invariant_check_every": -1},
+            {"request_timeout": 0},
+        ],
+    )
+    def test_bounds_enforced(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        config = ServiceConfig()
+        assert config.queue_depth == 64
+        assert config.erase_batch == 16

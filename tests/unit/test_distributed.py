@@ -9,6 +9,7 @@ keep their own dedicated classes.
 
 import pytest
 
+from repro.config import BackendConfig
 from repro.distributed.store import (
     CopyLocation,
     ReplicatedStore,
@@ -406,8 +407,9 @@ class TestLsmCopySites:
     def _lsm_store(self, compaction="leveled"):
         return make_store(
             n_replicas=1,
-            backend="lsm",
-            backend_opts={"compaction": compaction, "memtable_capacity": 4},
+            backend=BackendConfig(
+                backend="lsm", compaction=compaction, memtable_capacity=4
+            ),
         )
 
     def test_shadowed_sstable_copies_each_get_an_entry(self):
@@ -415,12 +417,12 @@ class TestLsmCopySites:
         # exactly the pre-compaction state whose copies must stay visible.
         store, _ = make_store(
             n_replicas=1,
-            backend="lsm",
-            backend_opts={
-                "compaction": "size",
-                "tier_threshold": 10,
-                "memtable_capacity": 4,
-            },
+            backend=BackendConfig(
+                backend="lsm",
+                compaction="size",
+                tier_threshold=10,
+                memtable_capacity=4,
+            ),
         )
         store.put("pii", "v1")
         for i in range(8):
