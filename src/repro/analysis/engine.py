@@ -234,12 +234,20 @@ class BaselineEntry:
         return f"{self.rule}:{self.file}:{self.symbol}"
 
 
+#: Rules whose baseline debt has been fully paid off.  The ratchet may
+#: never regrow silently: a baseline entry for a retired rule is a load
+#: error, not tolerated debt.  G01 (untyped copy-location sites) retired
+#: with the engine-level WAL CopyLocation unification — every engine now
+#: reports its log/cache sites typed.
+RETIRED_RULES = frozenset({"G01"})
+
+
 def load_baseline(path: Optional[Path] = None) -> List[BaselineEntry]:
     path = path or baseline_path()
     if not path.exists():
         return []
     payload = json.loads(path.read_text())
-    return [
+    entries = [
         BaselineEntry(
             rule=entry["rule"],
             file=entry["file"],
@@ -248,6 +256,13 @@ def load_baseline(path: Optional[Path] = None) -> List[BaselineEntry]:
         )
         for entry in payload.get("entries", [])
     ]
+    regrown = [e.key for e in entries if e.rule in RETIRED_RULES]
+    if regrown:
+        raise ValueError(
+            "baseline entries for retired rule(s) — the ratchet may not "
+            f"regrow: {', '.join(sorted(regrown))}"
+        )
+    return entries
 
 
 def classify(

@@ -54,6 +54,7 @@ from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple, Type
 
 __all__ = [
     "encode",
+    "encode_stable",
     "decode",
     "encode_many",
     "decode_many",
@@ -68,6 +69,12 @@ __all__ = [
 ]
 
 _MARSHAL_VERSION = 4
+# marshal >= 3 flags objects by refcount (FLAG_REF) and interning, so the
+# same *value* can serialize to different bytes depending on how many
+# references the object happens to have.  Version 2 has neither mechanism:
+# equal values always produce identical bytes, which is what content hashing
+# (the Bloom fast path) needs.
+_STABLE_MARSHAL_VERSION = 2
 _PICKLE_PROTOCOL = 5
 
 #: First byte of every pickle-protocol-5 blob (the PROTO opcode).
@@ -160,6 +167,20 @@ def encode(value: Any) -> bytes:
     """Serialize one value to a self-describing blob."""
     try:
         return _dumps(value, _MARSHAL_VERSION)
+    except ValueError:
+        return _encode_slow(value)
+
+
+def encode_stable(value: Any) -> bytes:
+    """Serialize one value to *canonical* bytes: equal values, equal blobs.
+
+    Unlike :func:`encode` (whose marshal version ref-flags objects by
+    refcount, so incidental aliasing changes the bytes), this encoding is a
+    pure function of the value — the contract content hashing needs.
+    :func:`decode` inverts both.
+    """
+    try:
+        return _dumps(value, _STABLE_MARSHAL_VERSION)
     except ValueError:
         return _encode_slow(value)
 

@@ -326,6 +326,10 @@ class ServiceConfig:
     maintenance_interval: float = 0.002
     #: Keys migrated per maintenance tick while a rebalance is active.
     maintenance_budget_keys: int = 32
+    #: Per-node merge-input byte budget for the bounded compaction slice a
+    #: quiet maintenance tick runs (deferred LSM backends); 0 disables the
+    #: slice entirely.
+    maintenance_compaction_bytes: int = 1 << 20
     #: Run the invariant registry every N maintenance ticks (0 = only on
     #: demand / at close).
     invariant_check_every: int = 0
@@ -343,6 +347,8 @@ class ServiceConfig:
             raise ValueError("maintenance_interval must be positive")
         if self.maintenance_budget_keys < 1:
             raise ValueError("maintenance_budget_keys must be >= 1")
+        if self.maintenance_compaction_bytes < 0:
+            raise ValueError("maintenance_compaction_bytes must be non-negative")
         if self.invariant_check_every < 0:
             raise ValueError("invariant_check_every must be non-negative")
         if self.request_timeout <= 0:

@@ -112,6 +112,7 @@ from repro.core.locations import CopyLocation
 from repro.crypto.vault import KeyVault
 from repro.distributed.ring import DEFAULT_VNODES, HashRing
 from repro.lsm.cache import SharedBlockCache
+from repro.lsm.compaction import EMPTY_COMPACTION_STATS, CompactionStats
 from repro.sim.costs import CostModel
 from repro.storage.errors import TupleNotFoundError
 from repro.systems.backends import ExportBatch, StorageBackend, make_backend
@@ -616,10 +617,13 @@ class _Shard:
                 found.append((role, name))
             if key in node.cache:
                 found.append((CopyLocation.CACHE, node.name))
-            if node.log_holds(key):
+            # Backends that type their own recovery-log sites report them
+            # through copy_locations below; the probe-based fallback would
+            # double-count the same log segment for those.
+            if not node.backend.reports_typed_wal_sites and node.log_holds(key):
                 found.append((CopyLocation.WAL, node.name))
-            # Backend-level secondary sites: shared-block-cache entries and
-            # open encoded-export batches (typed by the backend itself).
+            # Backend-level secondary sites: shared-block-cache entries,
+            # open encoded-export batches, and typed WAL row-image sites.
             for loc, site in node.backend.copy_locations(key):
                 found.append((loc, f"{node.name}[{site}]"))
         if self._log_holds_value(key):
@@ -1240,6 +1244,26 @@ class ReplicatedStore:
     def nodes(self) -> Iterator[_Node]:
         for shard in self.shards():
             yield from shard.nodes()
+
+    # ------------------------------------------------------------ maintenance
+    def maintain(self, max_bytes: Optional[int] = None) -> int:
+        """Run one bounded maintenance slice of deferred backend work
+        (compaction on LSM nodes) across every shard node; returns merges
+        run.  ``max_bytes`` is a *per-node* input-byte budget — the same
+        bounded-slice contract as :meth:`RebalanceDriver.step`, so the
+        service maintenance thread can interleave slices with live
+        requests without an unbounded stall."""
+        merges = 0
+        for node in self.nodes():
+            merges += node.backend.maintain(max_bytes=max_bytes)
+        return merges
+
+    def compaction_stats(self) -> "CompactionStats":
+        """Aggregated merge/throttle counters across every shard node."""
+        total = EMPTY_COMPACTION_STATS
+        for node in self.nodes():
+            total = total + node.backend.compaction_stats()
+        return total
 
     @property
     def rebalance_in_progress(self) -> bool:

@@ -9,12 +9,13 @@ measures exactly that retention window, and supplies the "Tombstones
 (Indexing)" series of Figure 4(a).
 """
 
-from repro.lsm.bloom import BloomFilter
+from repro.lsm.bloom import BloomFilter, BloomHashCache
 from repro.lsm.compaction import (
     COMPACTION_POLICIES,
     CompactionEvent,
     CompactionPolicy,
     CompactionScheduler,
+    CompactionStats,
     CompactionTask,
     LeveledPolicy,
     SizeTieredPolicy,
@@ -26,10 +27,12 @@ from repro.lsm.sstable import SSTable
 
 __all__ = [
     "BloomFilter",
+    "BloomHashCache",
     "COMPACTION_POLICIES",
     "CompactionEvent",
     "CompactionPolicy",
     "CompactionScheduler",
+    "CompactionStats",
     "CompactionTask",
     "LeveledPolicy",
     "SizeTieredPolicy",

@@ -1,57 +1,283 @@
 """Bloom filter — per-SSTable negative lookups.
 
 A real bit-array Bloom filter with double hashing (Kirsch–Mitzenmacher):
-two base hashes from blake2b digests combine into k probe positions.  Used
-by the LSM read path to skip runs that cannot contain a key, which is what
-keeps read amplification sane as runs accumulate.
+one 64-bit SipHash of the key's codec encoding splits into two 32-bit base
+hashes that combine into k probe positions.  Used by the LSM read path to
+skip runs that cannot contain a key, which is what keeps read amplification
+sane as runs accumulate.
+
+Hashing is *value-stable*: keys are reduced to their canonical
+:func:`repro.codec.encode_stable` byte encoding before hashing, so two
+equal-but-distinct key objects (a string built twice, a tuple assembled in
+two places) always map to the same probe positions.  The previous
+``repr(key)``-based scheme broke that for any object whose default
+``repr`` embeds ``id()``; the storage codec's own :func:`repro.codec.encode`
+breaks it more subtly — its marshal version ref-flags objects by refcount,
+so the bytes depend on incidental aliasing.  The 64-bit hash is the
+interpreter's bytes hash — stable within a process, which is the only
+lifetime these in-memory filters have.
+
+Because every SSTable rewrite during compaction used to re-digest every
+key, the base-hash pair for a key is exposed as a first-class value:
+:class:`BloomHashCache` memoizes ``key -> (h1, h2)`` across rebuilds and
+probes, and the batch entry points (:meth:`BloomFilter.from_keys`,
+:meth:`BloomFilter.add_many`, :meth:`BloomFilter.probe_many`,
+:meth:`BloomFilter.contains_pair`) accept or share those pairs so the hot
+loops stay free of per-key digest work.
 """
 
 from __future__ import annotations
 
-import hashlib
 import math
-from typing import Any, Iterable
+from array import array
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.codec import encode_stable as _encode
+
+HashPair = Tuple[int, int]
+
+_M64 = (1 << 64) - 1
+_LOW32 = 0xFFFFFFFF
+_LN2 = math.log(2.0)
+
+# An incrementally-filled filter that exceeds its expected size by this
+# factor is resized (re-sized filters replay their retained pairs).
+_RESIZE_FACTOR = 2
+
+
+def hash_pair(key: Any) -> HashPair:
+    """The (h1, h2) double-hashing base pair for ``key``.
+
+    One 64-bit hash over the codec encoding, split 32/32; h2 is forced odd
+    so the probe sequence cycles the whole bit array.
+    """
+    h = hash(_encode(key)) & _M64
+    return (h >> 32, (h & _LOW32) | 1)
+
+
+class BloomHashCache:
+    """Bounded memo of ``key -> (h1, h2)`` shared across SSTable rebuilds.
+
+    One instance lives per LSM engine: flushes, compaction rewrites, and
+    read probes all consult it, so a key is digested once no matter how
+    many times compaction rewrites the run that holds it.  Eviction is
+    oldest-first (dict insertion order) once ``max_entries`` is reached.
+    """
+
+    __slots__ = ("_pairs", "max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 131_072) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._pairs: Dict[Any, HashPair] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def pair(self, key: Any) -> HashPair:
+        pairs = self._pairs
+        cached = pairs.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        h = hash(_encode(key)) & _M64
+        pair = (h >> 32, (h & _LOW32) | 1)
+        if len(pairs) >= self.max_entries:
+            del pairs[next(iter(pairs))]
+        pairs[key] = pair
+        return pair
+
+    def pairs_of(self, keys: Iterable[Any]) -> List[HashPair]:
+        """Batch :meth:`pair` — one Python-level loop for a whole run."""
+        pairs = self._pairs
+        get = pairs.get
+        max_entries = self.max_entries
+        out: List[HashPair] = []
+        append = out.append
+        hits = misses = 0
+        for key in keys:
+            cached = get(key)
+            if cached is not None:
+                hits += 1
+                append(cached)
+                continue
+            misses += 1
+            h = hash(_encode(key)) & _M64
+            pair = (h >> 32, (h & _LOW32) | 1)
+            if len(pairs) >= max_entries:
+                del pairs[next(iter(pairs))]
+            pairs[key] = pair
+            append(pair)
+        self.hits += hits
+        self.misses += misses
+        return out
+
+    def forget(self, key: Any) -> None:
+        self._pairs.pop(key, None)
+
+    def clear(self) -> None:
+        self._pairs.clear()
+
+
+def _sizing(expected_items: int, fp_rate: float) -> Tuple[int, int]:
+    bits = max(8, int(-expected_items * math.log(fp_rate) / (_LN2 * _LN2)))
+    hashes = max(1, round((bits / expected_items) * _LN2))
+    return bits, hashes
 
 
 class BloomFilter:
-    """Fixed-size Bloom filter sized for a target false-positive rate."""
+    """Bit-array Bloom filter sized for a target false-positive rate.
+
+    Incrementally-filled filters (plain ``add``/``add_many``) retain their
+    base-hash pairs and transparently resize once the live count exceeds
+    ``_RESIZE_FACTOR`` times the expected size — a default-constructed
+    filter fed thousands of keys no longer saturates into uselessness.
+    Exact-sized filters built with :meth:`from_keys` skip retention; their
+    population is known up front.
+    """
+
+    __slots__ = ("_bits", "_hashes", "_array", "_count", "_expected",
+                 "_fp_rate", "_pairs")
 
     def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
         if expected_items < 1:
             expected_items = 1
         if not 0.0 < fp_rate < 1.0:
             raise ValueError("fp_rate must be in (0, 1)")
-        ln2 = math.log(2.0)
-        self._bits = max(8, int(-expected_items * math.log(fp_rate) / (ln2 * ln2)))
-        self._hashes = max(1, round((self._bits / expected_items) * ln2))
+        self._expected = expected_items
+        self._fp_rate = fp_rate
+        self._bits, self._hashes = _sizing(expected_items, fp_rate)
         self._array = bytearray((self._bits + 7) // 8)
         self._count = 0
+        # Flat (h1, h2, h1, h2, ...) retention for auto-resize replay.
+        self._pairs: Optional[array] = array("Q")
 
-    # ------------------------------------------------------------- internals
-    @staticmethod
-    def _base_hashes(key: Any) -> tuple:
-        digest = hashlib.blake2b(repr(key).encode(), digest_size=16).digest()
-        return (
-            int.from_bytes(digest[:8], "big"),
-            int.from_bytes(digest[8:], "big") | 1,  # odd => full cycle
-        )
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_keys(
+        cls,
+        keys: Sequence[Any],
+        fp_rate: float = 0.01,
+        cache: Optional[BloomHashCache] = None,
+    ) -> "BloomFilter":
+        """Build an exact-sized filter over ``keys`` in one pass.
 
-    def _positions(self, key: Any) -> Iterable[int]:
-        h1, h2 = self._base_hashes(key)
+        The population is known, so no pairs are retained and no resize can
+        trigger; with a warm ``cache`` (compaction rewrites) the build does
+        no digest work at all.
+        """
+        bloom = cls(max(1, len(keys)), fp_rate)
+        bloom._pairs = None
+        if keys:
+            bloom._add_pairs(
+                cache.pairs_of(keys) if cache is not None
+                else [hash_pair(key) for key in keys]
+            )
+        return bloom
+
+    def _add_pairs(self, pairs: List[HashPair]) -> None:
+        arr = self._array
+        bits = self._bits
+        rng = range(self._hashes)
+        for h1, h2 in pairs:
+            for pos in [(h1 + i * h2) % bits for i in rng]:
+                arr[pos >> 3] |= 1 << (pos & 7)
+        self._count += len(pairs)
+
+    # -------------------------------------------------------------- mutation
+    def add(self, key: Any, pair: Optional[HashPair] = None) -> None:
+        if pair is None:
+            pair = hash_pair(key)
+        h1, h2 = pair
+        arr = self._array
+        bits = self._bits
         for i in range(self._hashes):
-            yield (h1 + i * h2) % self._bits
-
-    # -------------------------------------------------------------- interface
-    def add(self, key: Any) -> None:
-        for pos in self._positions(key):
-            self._array[pos >> 3] |= 1 << (pos & 7)
+            pos = (h1 + i * h2) % bits
+            arr[pos >> 3] |= 1 << (pos & 7)
         self._count += 1
+        if self._pairs is not None:
+            self._pairs.append(h1)
+            self._pairs.append(h2)
+            if self._count > self._expected * _RESIZE_FACTOR:
+                self._grow()
+
+    def add_many(
+        self,
+        keys: Sequence[Any],
+        cache: Optional[BloomHashCache] = None,
+    ) -> None:
+        pairs = (
+            cache.pairs_of(keys) if cache is not None
+            else [hash_pair(key) for key in keys]
+        )
+        self._add_pairs(pairs)
+        if self._pairs is not None:
+            for h1, h2 in pairs:
+                self._pairs.append(h1)
+                self._pairs.append(h2)
+            if self._count > self._expected * _RESIZE_FACTOR:
+                self._grow()
+
+    def _grow(self) -> None:
+        """Re-size for the actual population and replay retained pairs."""
+        assert self._pairs is not None
+        self._expected = self._count * _RESIZE_FACTOR
+        self._bits, self._hashes = _sizing(self._expected, self._fp_rate)
+        self._array = bytearray((self._bits + 7) // 8)
+        arr = self._array
+        bits = self._bits
+        rng = range(self._hashes)
+        pairs = self._pairs
+        for j in range(0, len(pairs), 2):
+            h1 = pairs[j]
+            h2 = pairs[j + 1]
+            for pos in [(h1 + i * h2) % bits for i in rng]:
+                arr[pos >> 3] |= 1 << (pos & 7)
+
+    # --------------------------------------------------------------- probing
+    def contains_pair(self, pair: HashPair) -> bool:
+        h1, h2 = pair
+        arr = self._array
+        bits = self._bits
+        for i in range(self._hashes):
+            pos = (h1 + i * h2) % bits
+            if not arr[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
 
     def __contains__(self, key: Any) -> bool:
-        return all(
-            self._array[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
-        )
+        return self.contains_pair(hash_pair(key))
 
+    def probe_many(
+        self,
+        keys: Sequence[Any],
+        cache: Optional[BloomHashCache] = None,
+    ) -> List[bool]:
+        """Batch membership probe — one result per key, order preserved."""
+        pairs = (
+            cache.pairs_of(keys) if cache is not None
+            else [hash_pair(key) for key in keys]
+        )
+        arr = self._array
+        bits = self._bits
+        rng = range(self._hashes)
+        out: List[bool] = []
+        append = out.append
+        for h1, h2 in pairs:
+            hit = True
+            for i in rng:
+                pos = (h1 + i * h2) % bits
+                if not arr[pos >> 3] & (1 << (pos & 7)):
+                    hit = False
+                    break
+            append(hit)
+        return out
+
+    # ------------------------------------------------------------ inspection
     @property
     def bit_size(self) -> int:
         return self._bits
@@ -62,7 +288,8 @@ class BloomFilter:
 
     @property
     def size_bytes(self) -> int:
-        return len(self._array)
+        pair_bytes = self._pairs.itemsize * len(self._pairs) if self._pairs else 0
+        return len(self._array) + pair_bytes
 
     def __len__(self) -> int:
         return self._count

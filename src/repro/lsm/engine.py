@@ -65,6 +65,7 @@ from typing import (
 )
 
 from repro.core.locations import CopyLocation
+from repro.lsm.bloom import BloomHashCache
 from repro.lsm.cache import SharedBlockCache
 from repro.lsm.compaction import (
     CompactionEvent,
@@ -159,6 +160,13 @@ class LSMEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.bloom_negatives = 0
+        # Base-hash memo shared by every flush, compaction rewrite, and
+        # read probe this engine performs: a key is digested once, however
+        # many times compaction rewrites the run holding it.
+        self.hash_cache = BloomHashCache()
+        #: Single-input merges satisfied by moving the table (and its
+        #: Bloom filter) instead of rewriting it.
+        self.trivial_moves = 0
 
     # ---------------------------------------------------------------- writes
     def put(self, key: Any, value: Any) -> None:
@@ -219,7 +227,7 @@ class LSMEngine:
             return None
         entries = self._memtable.sorted_entries_encoded()
         self._cost.charge_compaction(len(entries))
-        run = SSTable.from_encoded(entries, self._now())
+        run = SSTable.from_encoded(entries, self._now(), hash_cache=self.hash_cache)
         self._levels[0].insert(0, run)
         self._memtable.clear()
         self.flush_count += 1
@@ -270,8 +278,10 @@ class LSMEngine:
         self.cache_misses += 1
         outcome: Optional[Any] = None
         probed = False
+        # One digest per read, however many runs get probed.
+        pair = self.hash_cache.pair(key)
         for run in self._candidate_runs(key):
-            if not run.might_contain(key):
+            if not run.might_contain_pair(pair):
                 self.bloom_negatives += 1
                 continue
             probed = True
@@ -323,10 +333,20 @@ class LSMEngine:
         """Whether the policy would do work if the scheduler drained now."""
         return self.compaction_policy.plan(self._levels) is not None
 
-    def run_pending_compactions(self) -> int:
+    def run_pending_compactions(self, max_bytes: Optional[int] = None) -> int:
         """Drain the scheduler's queue (a no-op when nothing is planned) —
-        the between-operations entry point of the deferred mode."""
-        return self.scheduler.drain(self)
+        the between-operations entry point of the deferred mode.  With
+        ``max_bytes`` the drain stops after the merge that exhausts the
+        input-byte budget (always running at least one merge when work is
+        planned), leaving the rest for the next maintenance slice."""
+        return self.scheduler.drain(self, max_bytes=max_bytes)
+
+    @property
+    def write_stalled(self) -> bool:
+        """Whether L0 has piled past the scheduler's stall threshold —
+        the backpressure signal a deferred-mode engine raises when flushes
+        outrun maintenance slices."""
+        return len(self._levels[0]) >= self.scheduler.l0_stall_threshold
 
     def add_compaction_listener(
         self, listener: Callable[[CompactionEvent], None]
@@ -337,8 +357,35 @@ class LSMEngine:
     def execute_compaction(self, task: CompactionTask) -> List[SSTable]:
         """Run one planned merge: read the source tables, keep the newest
         version per key, GC tombstones if the task says it is safe, write
-        the output table(s) to the target level, and emit the event."""
+        the output table(s) to the target level, and emit the event.
+
+        A single-input task with no tombstone-drop obligation is a
+        *trivial move*: the table object — Bloom filter included — relocates
+        to the target level without a rewrite.  No bytes are re-written, so
+        neither ``entries_compacted`` nor ``bytes_compacted`` grows; the
+        move still emits its :class:`CompactionEvent` so the audit timeline
+        sees every structural change."""
         victims = list(task.tables)
+        if len(victims) == 1 and not task.drop_tombstones:
+            table = victims[0]
+            self._place_output(task, victims, victims)
+            self.compaction_count += 1
+            self.trivial_moves += 1
+            self._emit_compaction(
+                CompactionEvent(
+                    policy=self.compaction_policy.name,
+                    reason=f"{task.reason} [trivial move]",
+                    target_level=task.target_level,
+                    input_tables=1,
+                    input_entries=len(table),
+                    output_entries=len(table),
+                    output_bytes=table.size_bytes,
+                    tombstones_dropped=0,
+                    dropped_keys=(),
+                    timestamp=self._now(),
+                )
+            )
+            return victims
         # The merge moves raw encoded blobs between runs — values are
         # never decoded or re-encoded; tombstones are one-byte blobs
         # recognized by equality.
@@ -363,7 +410,7 @@ class LSMEngine:
         else:
             chunks = [merged]
         outs = [
-            SSTable.from_encoded(chunk, self._now())
+            SSTable.from_encoded(chunk, self._now(), hash_cache=self.hash_cache)
             for chunk in chunks
             if chunk
         ]
@@ -457,6 +504,7 @@ class LSMEngine:
         # The everything-merge leaves the tree in shape by construction;
         # clear any stale deferred request so no queued plan re-runs later.
         self.scheduler.pending = False
+        self.scheduler.deferred_requests = 0
 
     # -------------------------------------------------------------- forensics
     def physically_present(self, key: Any) -> bool:

@@ -23,7 +23,7 @@ from struct import Struct
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro import codec
-from repro.lsm.bloom import BloomFilter
+from repro.lsm.bloom import BloomFilter, BloomHashCache, HashPair
 from repro.lsm.memtable import TOMBSTONE_BLOB
 
 #: Approximate bytes per entry beyond the packed value block: the key and
@@ -63,15 +63,19 @@ class SSTable:
         cls,
         entries: Sequence[Tuple[Any, int, bytes]],
         created_at: int,
+        hash_cache: Optional[BloomHashCache] = None,
     ) -> "SSTable":
         """Build a run from already-encoded ``(key, seqno, blob)`` entries
-        (sorted by key) — the zero-copy flush/compaction path."""
+        (sorted by key) — the zero-copy flush/compaction path.  With a warm
+        ``hash_cache`` (the engine's) the Bloom build skips digesting keys
+        that any earlier flush or rewrite already hashed."""
         table = cls.__new__(cls)
         table._init_from_blobs(
             [e[0] for e in entries],
             [e[1] for e in entries],
             [e[2] for e in entries],
             created_at,
+            hash_cache=hash_cache,
         )
         return table
 
@@ -81,6 +85,7 @@ class SSTable:
         seqnos: List[int],
         blobs: Sequence[bytes],
         created_at: int,
+        hash_cache: Optional[BloomHashCache] = None,
     ) -> None:
         self.table_id = SSTable._next_id
         SSTable._next_id += 1
@@ -101,9 +106,7 @@ class SSTable:
         self._block = b"".join(parts)
         self._view = memoryview(self._block)
         self._offsets = offsets
-        self._bloom = BloomFilter(max(1, len(keys)))
-        for key in self._keys:
-            self._bloom.add(key)
+        self._bloom = BloomFilter.from_keys(keys, cache=hash_cache)
 
     # ------------------------------------------------------------------ blobs
     def blob_at(self, i: int) -> bytes:
@@ -126,6 +129,11 @@ class SSTable:
     # ---------------------------------------------------------------- lookups
     def might_contain(self, key: Any) -> bool:
         return key in self._bloom
+
+    def might_contain_pair(self, pair: HashPair) -> bool:
+        """Bloom probe with a precomputed base-hash pair — the engine read
+        path hashes a key once and probes every run with the same pair."""
+        return self._bloom.contains_pair(pair)
 
     def get(self, key: Any) -> Optional[Tuple[int, Any]]:
         i = bisect_left(self._keys, key)

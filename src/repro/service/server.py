@@ -154,6 +154,13 @@ class ServiceStats:
     repairs: int = 0
     invariant_checks: int = 0
     invariant_violations: int = 0
+    # Compaction throttle counters, aggregated from every shard node's
+    # scheduler at snapshot time (zeros for stores without deferred
+    # compaction).
+    merges_run: int = 0
+    bytes_compacted: int = 0
+    stall_events: int = 0
+    compaction_queue_depth: int = 0
 
 
 class _Pool:
@@ -357,8 +364,19 @@ class ComplianceService:
 
     # ------------------------------------------------------------ inspection
     def stats(self) -> ServiceStats:
+        comp = None
+        compaction_stats = getattr(self._store, "compaction_stats", None)
+        if compaction_stats is not None:
+            with self._topology.read():
+                comp = compaction_stats()
         with self._stats_guard:
-            return replace(self._stats)
+            snapshot = replace(self._stats)
+        if comp is not None:
+            snapshot.merges_run = comp.merges_run
+            snapshot.bytes_compacted = comp.bytes_compacted
+            snapshot.stall_events = comp.stall_events
+            snapshot.compaction_queue_depth = comp.queue_depth
+        return snapshot
 
     def check_invariants(self) -> List[str]:
         """Run the registry now (topology write lock held — a quiescent
@@ -578,6 +596,14 @@ class ComplianceService:
             repairs = len(driver.repairs) - before
         else:
             repairs = len(self._store.flush_repairs())
+            # A quiet tick also pays one bounded compaction slice, so
+            # deferred LSM backends drain between requests instead of
+            # stalling a writer (same interleaving contract as the
+            # rebalance driver's bounded step).
+            budget = self.config.maintenance_compaction_bytes
+            maintain = getattr(self._store, "maintain", None)
+            if budget and maintain is not None:
+                maintain(max_bytes=budget)
         with self._stats_guard:
             self._stats.maintenance_ticks += 1
             self._stats.repairs += repairs

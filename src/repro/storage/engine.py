@@ -36,6 +36,7 @@ from typing import (
 )
 
 from repro import codec
+from repro.core.locations import CopyLocation
 from repro.sim.costs import CostModel
 from repro.storage.catalog import Catalog, Table, TableSchema
 from repro.storage.errors import (
@@ -434,6 +435,17 @@ class RelationalEngine:
     def wal_holds_value(self, table: str, key: Any) -> bool:
         """Whether the WAL still retains a recoverable row image of the key."""
         return self.wal.holds_payload_for(table, key)
+
+    def wal_copy_sites(self, table: str, key: Any) -> List[Tuple[CopyLocation, str]]:
+        """The key's WAL row-image copy sites, typed: ``[]`` or one
+        ``(CopyLocation.WAL, "wal/<table>")`` entry.  INSERT/UPDATE records
+        carry the row image (that is what makes them replayable), so until
+        the reclaim-time scrub redacts them the log segment is a first-class
+        copy location — the same unification the block cache got via
+        ``CopyLocation.CACHE`` sites."""
+        if self.wal.holds_payload_for(table, key):
+            return [(CopyLocation.WAL, self.wal.site_name(table))]
+        return []
 
     def _maybe_autovacuum(self, table: str) -> None:
         if self._autovacuum_threshold is None:

@@ -145,6 +145,13 @@ class WriteAheadLog:
         return list(self._buckets.get((table, key), ()))
 
     # -------------------------------------------------------------- retention
+    @staticmethod
+    def site_name(table: str) -> str:
+        """The copy-site name WAL row images report under: one logical log
+        segment per table.  The engine pairs it with ``CopyLocation.WAL``
+        when building its typed copy-location inventory."""
+        return f"wal/{table}"
+
     def holds_payload_for(self, table: str, key: Any) -> bool:
         """Whether any log record still retains the key's row image.
 

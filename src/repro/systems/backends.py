@@ -97,6 +97,7 @@ from repro.crypto.sectors import (
 )
 from repro.crypto.vault import KEY_ENTRY_BYTES, VAULT_HEADER_BYTES, KeyVault
 from repro.lsm.cache import SharedBlockCache
+from repro.lsm.compaction import EMPTY_COMPACTION_STATS, CompactionStats
 from repro.lsm.engine import LSMEngine
 from repro.lsm.memtable import TOMBSTONE
 from repro.sim.costs import CostModel
@@ -195,6 +196,12 @@ class StorageBackend(ABC):
     #: (advanced sanitization).  Table 1 marks the native engines False;
     #: the crypto-shredding retrofit flips it.
     supports_sanitize: bool = False
+
+    #: Whether :meth:`copy_locations` already includes the engine's
+    #: recovery-log row images as typed ``CopyLocation.WAL`` sites.  The
+    #: distributed layer skips its probe-based WAL fallback for backends
+    #: that declare this, so the same log segment is never double-counted.
+    reports_typed_wal_sites: bool = False
 
     def __init__(self) -> None:
         #: Reclamation passes run (VACUUM / full compaction / key-shred
@@ -321,11 +328,21 @@ class StorageBackend(ABC):
             "(Table 1: permanently delete = Not supported)"
         )
 
-    def maintain(self) -> None:
+    def maintain(self, max_bytes: Optional[int] = None) -> int:
         """Run any deferred background maintenance the engine has queued
-        (compaction work on LSM engines).  A no-op by default — engines
-        whose reclamation is purely demand-driven have nothing to do
-        between operations."""
+        (compaction work on LSM engines); returns the number of maintenance
+        units (merges) run.  ``max_bytes`` bounds one slice by merge input
+        bytes so callers (the service maintenance thread) can interleave
+        maintenance with live traffic.  A no-op by default — engines whose
+        reclamation is purely demand-driven have nothing to do between
+        operations."""
+        return 0
+
+    def compaction_stats(self) -> CompactionStats:
+        """Merge/throttle counters for engines with background compaction
+        (zeros for engines without one) — the observability companion of
+        :meth:`maintain`."""
+        return EMPTY_COMPACTION_STATS
 
     # ----------------------------------------------------------- bulk export
     def export_range(
@@ -500,6 +517,10 @@ class PsqlBackend(StorageBackend):
 
     name = "psql"
 
+    #: WAL row images report as typed ``CopyLocation.WAL`` sites through
+    #: :meth:`copy_locations` (see :meth:`RelationalEngine.wal_copy_sites`).
+    reports_typed_wal_sites = True
+
     def __init__(
         self,
         cost: CostModel,
@@ -561,6 +582,15 @@ class PsqlBackend(StorageBackend):
 
     def log_holds_value(self, unit_id: Any) -> bool:
         return self.engine.wal_holds_value(self.table, unit_id)
+
+    def copy_locations(self, unit_id: Any) -> List[Tuple[CopyLocation, str]]:
+        """Cache and migration sites plus the engine's typed WAL row-image
+        sites: an unscrubbed INSERT/UPDATE row image reports directly as a
+        ``CopyLocation.WAL`` entry, so consumers no longer need the untyped
+        ``log_holds_value`` side channel to see the log copy."""
+        sites = super().copy_locations(unit_id)
+        sites.extend(self.engine.wal_copy_sites(self.table, unit_id))
+        return sites
 
     # ----------------------------------------------------------- bulk export
     def export_range(
@@ -737,10 +767,15 @@ class LsmBackend(StorageBackend):
     def _reclaim_full(self) -> None:
         self.engine.full_compaction()
 
-    def maintain(self) -> None:
-        """Run any compaction work the deferred scheduler has queued — the
-        between-operations hook of the compaction subsystem."""
-        self.engine.run_pending_compactions()
+    def maintain(self, max_bytes: Optional[int] = None) -> int:
+        """Run compaction work the deferred scheduler has queued — the
+        between-operations hook of the compaction subsystem.  ``max_bytes``
+        bounds the slice (at least one merge still runs when work is
+        planned); returns merges run."""
+        return self.engine.run_pending_compactions(max_bytes=max_bytes)
+
+    def compaction_stats(self) -> CompactionStats:
+        return self.engine.scheduler.stats()
 
     # ----------------------------------------------------------- bulk export
     def export_range(
@@ -826,6 +861,12 @@ class LsmBackend(StorageBackend):
                 ("write_amplification", self.engine.write_amplification),
                 ("cache_hits", self.engine.cache_hits),
                 ("cache_misses", self.engine.cache_misses),
+                ("merges_run", self.engine.scheduler.merges_run),
+                ("bytes_compacted", self.engine.bytes_compacted),
+                ("trivial_moves", self.engine.trivial_moves),
+                ("stall_events", self.engine.scheduler.stall_events),
+                ("compaction_queue_depth", self.engine.scheduler.queue_depth),
+                ("write_stalled", self.engine.write_stalled),
             ),
         )
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.locations import CopyLocation
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
 from repro.storage.errors import StorageError, TupleNotFoundError
@@ -131,6 +132,18 @@ class TestPsqlSpecific:
         b.reclaim()
         assert not b.physically_present("k")
 
+    def test_wal_row_image_is_a_typed_copy_site(self):
+        """The engine's WAL row image reports as a first-class
+        ``CopyLocation.WAL`` site — no untyped side channel — and a
+        grounded erase scrubs it along with the heap tuple."""
+        b = PsqlBackend(make_cost())
+        b.insert("k", "secret")
+        sites = b.copy_locations("k")
+        assert any(loc is CopyLocation.WAL for loc, _name in sites)
+        b.erase("k")
+        assert b.copy_locations("k") == []
+        assert not b.physically_present("k")
+
 
 class TestLsmSpecific:
     def test_restore_unflagged_raises(self):
@@ -196,6 +209,29 @@ class TestLsmSpecific:
         assert b.read("k1") == "fresh"
         b.delete("k1")
         assert not b.exists("k1")
+
+    def test_deferred_backend_exposes_throttle_counters(self):
+        b = LsmBackend(
+            make_cost(),
+            memtable_capacity=4,
+            compaction="leveled",
+            compaction_mode="deferred",
+        )
+        # 32 puts = 8 flushed runs: enough queued merge requests to see a
+        # backlog, below the L0 stall threshold that would force a drain.
+        b.insert_many((f"k{i:03d}", i) for i in range(32))
+        detail = dict(b.stats().detail)
+        assert detail["compaction_queue_depth"] > 0
+        assert "stall_events" in detail and "write_stalled" in detail
+        # Bounded slices drain the backlog; counters move with the work.
+        for _ in range(256):
+            if dict(b.stats().detail)["compaction_queue_depth"] == 0:
+                break
+            b.maintain(max_bytes=2048)
+        detail = dict(b.stats().detail)
+        assert detail["compaction_queue_depth"] == 0
+        assert detail["merges_run"] > 0
+        assert detail["bytes_compacted"] > 0
 
 
 class TestCryptoShredSpecific:

@@ -26,6 +26,27 @@ class TestDiscriminator:
             codec.decode(bytes([0x9F]) + b"payload")
 
 
+class TestStableEncode:
+    def test_bytes_ignore_incidental_aliasing(self):
+        # codec.encode ref-flags objects by refcount (marshal >= 3): the
+        # same value held in a list encodes differently from a fresh one.
+        # encode_stable is a pure function of the value — the contract the
+        # Bloom fast path hashes against.
+        held = [("sat", i) for i in range(300)]
+        assert codec.encode_stable(held[-1]) == codec.encode_stable(("sat", 299))
+        s = "".join(["s", "at"])  # equal to the interned literal, distinct object
+        assert codec.encode_stable(("x", s)) == codec.encode_stable(("x", "sat"))
+
+    def test_decode_inverts_stable_encode(self):
+        for value in (0, 1.5, "text", b"\x80\x90", (1, 2), [None], {"k": 1}):
+            assert codec.decode(codec.encode_stable(value)) == value
+
+    def test_stable_encode_falls_back_like_encode(self):
+        blob = codec.encode_stable(object())
+        assert blob[0] == 0x80
+        assert codec.encode_stable(TOMBSTONE) == TOMBSTONE_BLOB
+
+
 class TestSingletonsAndExtensions:
     def test_tombstone_blob_is_one_byte_and_identical(self):
         assert len(TOMBSTONE_BLOB) == 1

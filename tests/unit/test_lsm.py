@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lsm.bloom import BloomFilter
+from repro.lsm.bloom import BloomFilter, BloomHashCache, hash_pair
 from repro.lsm.engine import LSMEngine
 from repro.lsm.memtable import TOMBSTONE, Memtable
 from repro.lsm.sstable import SSTable
@@ -42,6 +42,38 @@ class TestBloomFilter:
         assert big.bit_size > small.bit_size
         assert big.size_bytes > small.size_bytes
         assert small.hash_count >= 1
+
+    def test_hashing_ignores_incidental_aliasing(self):
+        # Regression: marshal >= 3 ref-flags objects by refcount, so the
+        # same key hashed differently when held in a list vs alone — a
+        # rebuilt filter then false-negatived on live keys.
+        held = [("unit", i) for i in range(64)]
+        assert [hash_pair(k) for k in held] == [
+            hash_pair(("unit", i)) for i in range(64)
+        ]
+        bloom = BloomFilter.from_keys(held)
+        assert all(("unit", i) in bloom for i in range(64))
+
+    def test_rebuild_with_warm_cache_matches_cold_build(self):
+        cache = BloomHashCache()
+        keys = [f"key-{i}" for i in range(256)]
+        cold = BloomFilter.from_keys(keys)
+        warm = BloomFilter.from_keys(list(keys), cache=cache)
+        assert cache.misses == len(keys)
+        probes = keys + [f"absent-{i}" for i in range(64)]
+        assert cold.probe_many(probes) == warm.probe_many(probes, cache=cache)
+        assert cache.hits == len(keys)  # the probe re-used every build pair
+
+    def test_saturated_filter_resizes(self):
+        # A default-sized filter fed far too many keys must grow instead
+        # of saturating into an always-True oracle.
+        bloom = BloomFilter(1)
+        for i in range(500):
+            bloom.add(f"key-{i}")
+        assert bloom.bit_size >= 500
+        assert all(f"key-{i}" in bloom for i in range(500))
+        fps = sum(1 for i in range(1_000) if f"absent-{i}" in bloom)
+        assert fps < 200  # bounded; an unguarded saturated filter hits 1000
 
 
 class TestMemtable:

@@ -123,6 +123,46 @@ class TestAdmissionControl:
         service.close()
 
 
+class TestCompactionCounters:
+    def test_stats_surface_store_compaction_state(self):
+        """Service stats aggregate the deferred schedulers' throttle
+        counters at snapshot time, so operators watch backlog and stalls
+        through ``GET /stats`` instead of poking shard nodes."""
+        cost = CostModel(SimClock(), CostBook())
+        store = ReplicatedStore.from_config(
+            cost,
+            StoreConfig(
+                backend=BackendConfig(
+                    backend="lsm",
+                    memtable_capacity=4,
+                    compaction="leveled",
+                    compaction_mode="deferred",
+                ),
+                shards=1,
+                n_replicas=0,
+            ),
+        )
+        service = ComplianceService(store, autostart=False)
+        service.start()
+        # 32 collects = 8 flushed runs on the single node: a visible merge
+        # backlog, below the L0 stall threshold that would self-drain.
+        for i in range(32):
+            assert service.call(
+                CollectRequest(f"k{i:03d}", i, subject="s")
+            ).status is Status.CREATED
+        backlog = service.stats()
+        assert backlog.compaction_queue_depth > 0
+        for _ in range(256):
+            if service.stats().compaction_queue_depth == 0:
+                break
+            store.maintain(max_bytes=2048)
+        drained = service.stats()
+        assert drained.compaction_queue_depth == 0
+        assert drained.merges_run > 0
+        assert drained.bytes_compacted > 0
+        service.close()
+
+
 class TestEraseBatching:
     def test_shutdown_drains_staged_erases_in_batches(self):
         service, store = make_service(shards=1, queue_depth=32, erase_batch=8)
