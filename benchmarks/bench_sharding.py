@@ -29,6 +29,19 @@ mid-rebalance (every one must verify clean), completed read repairs
 asynchronous re-sync), and the moved-key fraction — still gated against
 the committed movement baseline.
 
+**Faults under load**: the seeded chaos section.  Each run replays a
+``FaultPlan.seeded`` kill/partition schedule (``repro.distributed.faults``)
+against a live 4→5 rebalance under the erasure mix, with an anti-entropy
+sweeper attached to the driver and the runtime invariant registry as the
+oracle.  Gated in CI: ≥ 5 seeds, zero invariant violations across all of
+them, every mid-fault grounded erase verified clean, and the targeted
+partition-mid-erase (fail fast, heal, erase clean) recovered on every run.
+
+**Anti-entropy**: divergence injected *directly* on a replica backend —
+no quorum read ever observes it — must be found by the hash-range digest
+sweep, queued through the ordinary repair path (RepairEvent keys
+``antientropy:…``), and healed to digest equality.
+
 **Quorum reads**: mean simulated read latency at ``consistency =
 one | quorum | all``, plus the stale-replica hazard: after the primary
 deletes a key, a pinned-replica read happily serves the old value while a
@@ -65,6 +78,8 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.invariants import store_invariants
+from repro.distributed.antientropy import AntiEntropySweeper, range_digests
+from repro.distributed.faults import FaultPlan, ShardUnavailableError
 from repro.distributed.ring import stable_hash
 from repro.distributed.store import (
     CopyLocation,
@@ -163,6 +178,57 @@ class UnderLoadRunResult:
     invariants_checked: int
     invariant_violations: int
     seconds: float
+
+
+@dataclass(frozen=True)
+class FaultsRunResult:
+    """One seeded fault-injection run: a live rebalance under the erasure
+    mix while replicas crash and a shard partitions, invariant-checked.
+
+    ``erases_clean`` covers every grounded erase the workload issued
+    mid-fault; ``post_heal_erase_clean`` is the targeted stress — a shard
+    is partitioned, an erase routed to it fails fast
+    (``ShardUnavailableError``), and after the heal the same key's
+    ``erase_all_copies`` still verifies zero lingering copies.
+    """
+
+    backend: str
+    seed: int
+    n_keys: int
+    ops_applied: int
+    plan_events: int
+    kills: int
+    partitions: int
+    fault_events_applied: int
+    fault_events_skipped: int
+    fault_errors: int
+    erases: int
+    erases_clean: bool
+    post_heal_erase_clean: bool
+    repairs: int
+    sweeps: int
+    driver_steps: int
+    rebalance_completed: bool
+    invariants_checked: int
+    invariant_violations: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class AntiEntropyRunResult:
+    """One backend's anti-entropy healing measurement: divergence injected
+    directly on a replica backend (no quorum read ever observes it) is
+    found by the digest sweep and healed through the repair queue."""
+
+    backend: str
+    n_keys: int
+    corrupted: int
+    divergent_ranges: int
+    repairs_queued: int
+    repair_events: int
+    event_keys_antientropy: bool
+    quorum_reads_issued: int
+    digests_match_after: bool
 
 
 @dataclass(frozen=True)
@@ -409,6 +475,149 @@ def compare_rebalance_under_load(
     ]
 
 
+def run_faults_under_load(
+    backend: str,
+    seed: int,
+    shards_from: int = 4,
+    shards_to: int = 5,
+    n_keys: int = 200,
+    n_ops: int = 300,
+    n_replicas: int = 2,
+    budget_keys: int = 16,
+) -> FaultsRunResult:
+    """One seeded chaos pass: ``FaultPlan.seeded`` replayed against a
+    background resize under the erasure mix, with an anti-entropy sweeper
+    on the driver and the invariant registry as the oracle."""
+    cost = CostModel(SimClock(), CostBook())
+    store = _loaded_store(backend, shards_from, n_keys, cost, n_replicas)
+    plan = FaultPlan.seeded(
+        seed, shards=shards_from, replicas=n_replicas, n_ops=n_ops
+    )
+    workload = erasure_study_workload(n_keys, n_ops, seed=seed)
+    t0 = cost.clock.now
+    driver = RebalanceDriver(
+        store.begin_resize(shards_to, batch_size=budget_keys),
+        antientropy=AntiEntropySweeper(store),
+        sweep_every=2,
+    )
+    run = run_interleaved(
+        store,
+        workload,
+        driver,
+        ops_per_step=16,
+        budget_keys=budget_keys,
+        consistency="quorum",
+        invariants=store_invariants(),
+        faults=plan,
+    )
+    seconds = (cost.clock.now - t0) / 1e6
+
+    # The targeted stress: partition a shard, route an erase at it (must
+    # fail fast, not half-erase), heal, erase again — verified clean.
+    injector = store.fault_injector
+    post_heal_clean = False
+    for key in (f"u{i:06d}" for i in range(n_keys)):
+        if store.copies_of(key):
+            victim = key
+            break
+    else:  # pragma: no cover - erasure mix never erases everything
+        victim = None
+    if victim is not None and injector is not None:
+        sid = store.shard_of(victim)
+        injector.partition_shard(sid)
+        try:
+            store.erase_all_copies(victim)
+            failed_fast = False
+        except ShardUnavailableError:
+            failed_fast = True
+        injector.heal(sid)
+        report = store.erase_all_copies(victim)
+        post_heal_clean = (
+            failed_fast
+            and report.verified_clean
+            and not store.copies_of(victim)
+        )
+    return FaultsRunResult(
+        backend=backend,
+        seed=seed,
+        n_keys=n_keys,
+        ops_applied=run.ops_applied,
+        plan_events=len(plan),
+        kills=plan.kills,
+        partitions=plan.partitions,
+        fault_events_applied=run.fault_events_applied,
+        fault_events_skipped=run.fault_events_skipped,
+        fault_errors=run.fault_errors,
+        erases=run.erases,
+        erases_clean=run.erases_verified_clean,
+        post_heal_erase_clean=post_heal_clean,
+        repairs=run.repairs,
+        sweeps=len(driver.sweeps),
+        driver_steps=driver.steps,
+        rebalance_completed=run.rebalance_completed,
+        invariants_checked=run.invariants_checked,
+        invariant_violations=len(run.invariant_violations),
+        seconds=seconds,
+    )
+
+
+def compare_faults_under_load(
+    seeds: Sequence[int] = (11, 12, 13, 14, 15),
+    n_keys: int = 200,
+    n_ops: int = 300,
+    backends: Sequence[str] = ("psql", "lsm", "crypto-shred"),
+) -> List[FaultsRunResult]:
+    """The full seed sweep on the first backend, one seed on the rest —
+    fault coverage comes from the seeds, backend coverage from one pass
+    each."""
+    results = [
+        run_faults_under_load(backends[0], seed, n_keys=n_keys, n_ops=n_ops)
+        for seed in seeds
+    ]
+    results.extend(
+        run_faults_under_load(backend, seeds[0], n_keys=n_keys, n_ops=n_ops)
+        for backend in backends[1:]
+    )
+    return results
+
+
+def run_antientropy(
+    backend: str, n_keys: int = 120, n_ranges: int = 16, corrupt: int = 5
+) -> AntiEntropyRunResult:
+    """Inject divergence directly on a replica backend — no quorum read
+    ever observes it — and let the digest sweep find and heal it."""
+    cost = CostModel(SimClock(), CostBook())
+    store = _loaded_store(backend, 2, n_keys, cost, n_replicas=2)
+    for shard in store.shards():
+        for node in shard.replicas:
+            shard._apply_backlog(node, force=True)  # fully caught up
+    shard = next(store.shards())
+    node = shard.replicas[0]
+    held = sorted(key for key, _v in node.backend.export_range(lambda _k: True))
+    for key in held[:corrupt]:
+        node.backend.update(key, ("silently-diverged", key))
+    report, events = store.anti_entropy_sweep(n_ranges)
+    match = all(
+        range_digests(replica.backend, n_ranges)
+        == range_digests(s.primary.backend, n_ranges)
+        for s in store.shards()
+        for replica in s.replicas
+    )
+    return AntiEntropyRunResult(
+        backend=backend,
+        n_keys=n_keys,
+        corrupted=min(corrupt, len(held)),
+        divergent_ranges=report.divergent_ranges,
+        repairs_queued=report.repairs_queued,
+        repair_events=len(events),
+        event_keys_antientropy=all(
+            e.key.startswith("antientropy:") for e in events
+        ),
+        quorum_reads_issued=0,  # by construction — nothing read at quorum
+        digests_match_after=match,
+    )
+
+
 def run_quorum_reads(
     backend: str, n_keys: int = 200, n_replicas: int = 2
 ) -> List[QuorumRunResult]:
@@ -544,6 +753,52 @@ def render_under_load(results: Sequence[UnderLoadRunResult]) -> str:
     return "\n".join(lines)
 
 
+def render_faults(results: Sequence[FaultsRunResult]) -> str:
+    header = (
+        f"{'backend':<13} {'seed':>5} {'faults':>7} {'applied':>8} "
+        f"{'failfast':>9} {'erases':>7} {'sweeps':>7} {'violations':>11} "
+        f"{'post-heal':>10}"
+    )
+    r0 = results[0]
+    lines = [
+        f"Seeded fault injection under live rebalance ({r0.ops_applied} "
+        f"erasure-mix ops/seed, kill/partition schedules, invariant-"
+        "checked)",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(
+            f"{r.backend:<13} {r.seed:>5} "
+            f"{r.kills:>3}k/{r.partitions:<1}p "
+            f"{r.fault_events_applied:>8} {r.fault_errors:>9} "
+            f"{r.erases:>4}{'✓' if r.erases_clean else '✗':<3} "
+            f"{r.sweeps:>7} {r.invariant_violations:>11} "
+            f"{'clean' if r.post_heal_erase_clean else 'LEAK':>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_antientropy(results: Sequence[AntiEntropyRunResult]) -> str:
+    header = (
+        f"{'backend':<13} {'corrupted':>10} {'divergent':>10} "
+        f"{'queued':>7} {'events':>7} {'healed':>7}"
+    )
+    lines = [
+        "Anti-entropy sweep (divergence injected on a replica backend, "
+        "zero quorum reads)",
+        header,
+        "-" * len(header),
+    ]
+    for r in results:
+        lines.append(
+            f"{r.backend:<13} {r.corrupted:>10} {r.divergent_ranges:>10} "
+            f"{r.repairs_queued:>7} {r.repair_events:>7} "
+            f"{str(r.digests_match_after):>7}"
+        )
+    return "\n".join(lines)
+
+
 def render_quorum(results: Sequence[QuorumRunResult]) -> str:
     header = (
         f"{'backend':<13} {'consistency':>11} {'mean µs':>9} "
@@ -661,6 +916,51 @@ def check_under_load_invariants(
             assert ratio <= baseline["ring_vs_modulo_ratio_max"], r
 
 
+def check_faults_invariants(
+    results: Sequence[FaultsRunResult],
+    baseline: Optional[Dict[str, float]] = None,
+) -> None:
+    """The fault-tolerance claims: every seed's schedule actually ran,
+    zero invariant violations mid-fault and post-heal, every mid-fault
+    grounded erase verified clean, the targeted partition-mid-erase
+    recovered clean after the heal, and the rebalance always completed
+    despite the stalls."""
+    for r in results:
+        assert r.plan_events > 0 and r.fault_events_applied > 0, r
+        assert r.erases > 0 and r.erases_clean, r
+        assert r.post_heal_erase_clean, r
+        assert r.rebalance_completed, r
+        assert r.invariants_checked > 0, r
+        assert r.sweeps > 0, r
+    violations = sum(r.invariant_violations for r in results)
+    if baseline is not None:
+        assert len(results) >= baseline["faults_min_seeds"], (
+            f"{len(results)} fault run(s), baseline requires "
+            f"{baseline['faults_min_seeds']}"
+        )
+        assert violations <= baseline["faults_max_invariant_violations"], (
+            f"{violations} invariant violation(s) under injected faults, "
+            f"baseline allows {baseline['faults_max_invariant_violations']}"
+        )
+    else:
+        assert violations == 0, results
+
+
+def check_antientropy_invariants(
+    results: Sequence[AntiEntropyRunResult],
+) -> None:
+    """The proactive-healing claim: the sweep found the injected
+    divergence (no quorum read ever did), queued range repairs through the
+    ordinary repair path, and the flush restored digest equality."""
+    for r in results:
+        assert r.corrupted > 0, r
+        assert r.divergent_ranges > 0, r
+        assert r.repairs_queued > 0 and r.repair_events > 0, r
+        assert r.event_keys_antientropy, r
+        assert r.quorum_reads_issued == 0, r
+        assert r.digests_match_after, r
+
+
 def check_quorum_invariants(results: Sequence[QuorumRunResult]) -> None:
     by_backend: Dict[str, Dict[str, QuorumRunResult]] = {}
     for r in results:
@@ -689,6 +989,12 @@ def test_bench_sharding(once):
         scaled(300, minimum=200), scaled(400, minimum=300)
     )
     check_under_load_invariants(under_load, load_sharding_baseline("full"))
+    faults = compare_faults_under_load(
+        n_keys=scaled(200, minimum=150), n_ops=scaled(300, minimum=200)
+    )
+    check_faults_invariants(faults, load_sharding_baseline("full"))
+    antientropy = [run_antientropy(b) for b in ("psql", "lsm", "crypto-shred")]
+    check_antientropy_invariants(antientropy)
     quorum = run_quorum_reads("psql", scaled(200, minimum=100))
     check_quorum_invariants(quorum)
     emit(
@@ -698,6 +1004,8 @@ def test_bench_sharding(once):
                 render_sharding(results),
                 render_rebalance(rebalance),
                 render_under_load(under_load),
+                render_faults(faults),
+                render_antientropy(antientropy),
                 render_quorum(quorum),
             ]
         ),
@@ -780,6 +1088,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print()
     print(render_under_load(under_load))
 
+    # Seeded fault injection: kill/partition schedules against a live
+    # rebalance, gated on zero invariant violations across >= 5 seeds.
+    faults_keys = 150 if args.smoke else max(200, n_keys // 2)
+    faults_ops = 250 if args.smoke else 300
+    faults = compare_faults_under_load(
+        n_keys=faults_keys, n_ops=faults_ops, backends=rebalance_backends
+    )
+    check_faults_invariants(faults, load_sharding_baseline(mode))
+    print()
+    print(render_faults(faults))
+
+    # Anti-entropy: injected divergence healed with zero quorum reads.
+    antientropy = [run_antientropy(b) for b in rebalance_backends]
+    check_antientropy_invariants(antientropy)
+    print()
+    print(render_antientropy(antientropy))
+
     quorum_keys = 80 if args.smoke else max(100, n_keys // 2)
     quorum_backends = ("psql", "lsm") if args.smoke else tuple(backends)
     quorum: List[QuorumRunResult] = []
@@ -799,6 +1124,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "sharding": [asdict(r) for r in results],
             "rebalance": [asdict(r) for r in rebalance],
             "rebalance_under_load": [asdict(r) for r in under_load],
+            "faults_under_load": [asdict(r) for r in faults],
+            "antientropy": [asdict(r) for r in antientropy],
             "quorum": [asdict(r) for r in quorum],
         }
         with open(args.json, "w") as fh:

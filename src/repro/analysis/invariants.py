@@ -21,7 +21,19 @@ physical reality:
 * ``destructive-actions-audited`` — every grounded erase produced a
   verified report, and every migrated key produced exactly one MoveEvent;
 * ``replicas-converge`` — no replica has applied past its primary's
-  sequence number, and no erased key survives on any individual node.
+  sequence number, and no erased key survives on any individual node;
+* ``replicas-converge-after-heal`` — on a fully-healed topology (a fault
+  injector is attached and reports zero active faults), every replica is
+  up and every fully-caught-up replica's physical content matches its
+  primary's hash-range digests — revival catch-up replayed the scrubbed
+  log without resurrecting anything, and injected divergence did not
+  outlive the heal.
+
+The checks are fault-aware: a store under injected faults
+(:mod:`repro.distributed.faults`) may answer a probe with fail-fast
+unavailability (``FaultError``) instead of data, and that is never a
+violation — serving an *erased value* is the crime, refusing to serve is
+not.
 
 :func:`repro.workloads.driver.run_interleaved` evaluates the registry at
 every driver-step boundary and once after the drain; ``python -m repro.cli
@@ -34,6 +46,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.distributed.antientropy import range_digests
+from repro.distributed.faults import FaultError
 from repro.storage.errors import TupleNotFoundError
 
 #: Bounded per-check sample so invariant evaluation stays O(sample) per
@@ -163,6 +177,8 @@ def _check_no_erased_read(world: World) -> List[str]:
             value = world.store.read(key, use_cache=False)
         except TupleNotFoundError:
             continue  # the required outcome for an erased key
+        except FaultError:
+            continue  # unavailable is acceptable; serving the value is not
         violations.append(
             f"read of erased key {key!r} returned {value!r} instead "
             "of TupleNotFoundError"
@@ -205,6 +221,8 @@ def _check_replicas_converge(world: World) -> List[str]:
         # never be *ahead* of it.
         target = shard._seqno  # noqa: SLF001 - oracle reads internals
         for node in shard.replicas:
+            if getattr(node, "down", False):
+                continue  # crash-stopped: no storage, no seqno to police
             if node.applied_seqno > target:
                 violations.append(
                     f"replica {node.name} applied seqno "
@@ -218,6 +236,59 @@ def _check_replicas_converge(world: World) -> List[str]:
                         f"erased key {key!r} still live on node "
                         f"{node.name} (shard {shard.index})"
                     )
+    return violations
+
+
+def _check_replicas_converge_after_heal(world: World) -> List[str]:
+    """Only meaningful on a store with a fault injector attached *and*
+    fully healed: mid-fault, divergence and down replicas are the injected
+    state itself.  Once every fault is healed, nothing injected may
+    survive: every replica must be up, and every replica claiming to be
+    fully caught up (``applied_seqno`` equal to the primary's) must
+    physically match the primary — compared by the same hash-range digests
+    the anti-entropy sweep uses, so silently lost *or* resurrected state
+    in any arc trips it.  Replicas still lagging are legal (asynchronous
+    replication); the sweep, a quorum read, or their next lazy catch-up
+    will close that gap through the scrubbed log."""
+    violations: List[str] = []
+    injector = getattr(world.store, "fault_injector", None)
+    if injector is None or injector.active_count:
+        return violations
+    if not hasattr(world.store, "shards"):
+        return violations  # pragma: no cover - registry guard
+    n_ranges = 8
+    for shard in world.store.shards():
+        target = shard._seqno  # noqa: SLF001 - oracle reads internals
+        primary_digests: Optional[List[int]] = None
+        for node in shard.replicas:
+            if getattr(node, "down", False):
+                violations.append(
+                    f"replica {node.name} still down on shard "
+                    f"{shard.index} with zero active faults — heal did "
+                    "not revive it"
+                )
+                continue
+            if node.applied_seqno != target:
+                continue  # lag, not divergence — catch-up is pending
+            if primary_digests is None:
+                primary_digests = range_digests(
+                    shard.primary.backend, n_ranges
+                )
+            theirs = range_digests(node.backend, n_ranges)
+            if theirs != primary_digests:
+                arcs = [
+                    i
+                    for i, (mine, got) in enumerate(
+                        zip(primary_digests, theirs)
+                    )
+                    if mine != got
+                ]
+                violations.append(
+                    f"replica {node.name} claims seqno {target} but its "
+                    f"content diverges from the primary in hash range(s) "
+                    f"{arcs} (shard {shard.index}) — unhealed divergence "
+                    "after all faults cleared"
+                )
     return violations
 
 
@@ -254,6 +325,15 @@ def store_invariants() -> List[Invariant]:
             description=(
                 "no replica runs ahead of its primary and no erased key "
                 "survives on any individual node"
+            ),
+        ),
+        Invariant(
+            name="replicas-converge-after-heal",
+            check=_check_replicas_converge_after_heal,
+            description=(
+                "with every injected fault healed, all replicas are up "
+                "and every fully-caught-up replica's content matches its "
+                "primary's hash-range digests"
             ),
         ),
     ]

@@ -10,6 +10,9 @@ Usage::
     python -m repro rebalance [--shards N] [--to M] [--replicas R]
                               [--consistency C] [--backend B] [--keys N]
                               [--background] [--budget K] [--weights W ...]
+                              [--replicas-to R2]
+    python -m repro chaos   [--seed S ...] [--shards N] [--replicas R]
+                            [--keys N] [--ops N] [--budget K] [--backend B]
     python -m repro audit   --profile P_SYS
     python -m repro regulations [--name GDPR]
 
@@ -269,7 +272,102 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
         + (", drained shards empty)" if report.shards_from != report.shards_to
            and len(report.shards_to) < len(report.shards_from) else ")")
     )
+    if args.replicas_to is not None and args.replicas_to != args.replicas:
+        change = store.set_replicas(args.replicas_to)
+        direction = (
+            f"joined {change.added} (scrubbed-log catch-up: "
+            f"{change.catchup_entries} entries)"
+            if change.added
+            else f"retired {change.removed} (grounded "
+                 f"{change.grounded_values} value(s) before drop)"
+        )
+        print(
+            f"  replicas {change.replicas_before}→{change.replicas_after} "
+            f"per shard across {change.shards} shard(s): {direction}"
+        )
     return 0 if (report.verified_clean and erased_clean) else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault-injection harness: a live erasure-mix workload over a
+    background resize while replicas crash and shards partition, with the
+    runtime invariant registry as the oracle."""
+    from repro.analysis.invariants import store_invariants
+    from repro.distributed.antientropy import AntiEntropySweeper
+    from repro.distributed.faults import FaultPlan
+    from repro.distributed.store import RebalanceDriver, ReplicatedStore
+    from repro.sim.clock import SimClock
+    from repro.sim.costs import CostBook, CostModel
+    from repro.workloads.driver import load_store, run_interleaved
+    from repro.workloads.gdprbench import erasure_study_workload
+
+    if args.shards < 1 or args.replicas < 1:
+        print("--shards must be >= 1 and --replicas >= 1 (faults need "
+              "replicas to kill)")
+        return 2
+    if args.keys < 1 or args.ops < 4 or args.budget < 1:
+        print("--keys and --budget must be >= 1, --ops >= 4")
+        return 2
+    failures = 0
+    for seed in args.seed:
+        cost = CostModel(SimClock(), CostBook())
+        store = ReplicatedStore(
+            cost,
+            shards=args.shards,
+            n_replicas=args.replicas,
+            backend=args.backend,
+        )
+        workload = erasure_study_workload(args.keys, args.ops, seed=seed)
+        load_store(store, workload)
+        plan = FaultPlan.seeded(
+            seed,
+            shards=args.shards,
+            replicas=args.replicas,
+            n_ops=args.ops,
+        )
+        rebalance = store.begin_resize(
+            args.shards + 1, batch_size=max(8, args.budget // 2)
+        )
+        driver = RebalanceDriver(
+            rebalance,
+            antientropy=AntiEntropySweeper(store),
+            sweep_every=2,
+        )
+        result = run_interleaved(
+            store,
+            workload,
+            driver,
+            ops_per_step=16,
+            budget_keys=args.budget,
+            consistency="quorum",
+            invariants=store_invariants(),
+            faults=plan,
+        )
+        ok = (
+            result.erases_verified_clean
+            and not result.invariant_violations
+            and result.rebalance_completed
+        )
+        failures += 0 if ok else 1
+        print(
+            f"seed {seed}: {len(plan)} fault transition(s) "
+            f"({plan.kills} kill(s), {plan.partitions} partition(s)) over "
+            f"{result.ops_applied} {workload.name} ops — "
+            f"{result.fault_events_applied} applied, "
+            f"{result.fault_errors} op(s) failed fast; "
+            f"{result.erases} grounded erase(s) all clean: "
+            f"{result.erases_verified_clean}; "
+            f"{result.invariants_checked} invariant evaluation(s), "
+            f"{len(result.invariant_violations)} violation(s); "
+            f"rebalance completed: {result.rebalance_completed}"
+        )
+        for violation in result.invariant_violations:
+            print(f"  VIOLATION {violation}")
+    print(
+        f"chaos: {len(args.seed)} seed(s), "
+        f"{len(args.seed) - failures} clean, {failures} failed"
+    )
+    return 1 if failures else 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -536,7 +634,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "heavier shards own proportionally more keyspace. "
                         "With --to equal to --shards this performs a pure "
                         "capacity reweight")
+    p.add_argument("--replicas-to", type=int, default=None,
+                   help="after the rebalance commits, change the per-shard "
+                        "replica count to this value: joiners catch up from "
+                        "the scrubbed replication log, leavers are grounded "
+                        "before they drop")
     p.set_defaults(func=_cmd_rebalance)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault injection: kill/partition schedules against a "
+             "live rebalance, invariant-checked",
+        parents=[_backend_parent("storage backend every node runs")],
+    )
+    p.add_argument("--seed", type=int, nargs="+", default=[11, 12, 13, 14, 15],
+                   help="fault-plan seed(s); each runs one full harness pass")
+    p.add_argument("--shards", type=int, default=4,
+                   help="initial shard count (resizes to one more mid-run)")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="asynchronous replicas per shard (kill targets)")
+    p.add_argument("--keys", type=int, default=300,
+                   help="keys loaded before the chaos run")
+    p.add_argument("--ops", type=int, default=400,
+                   help="live erasure-mix operations per seed")
+    p.add_argument("--budget", type=int, default=24,
+                   help="keys migrated per background rebalance step")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "serve",

@@ -333,6 +333,12 @@ class ServiceConfig:
     #: Run the invariant registry every N maintenance ticks (0 = only on
     #: demand / at close).
     invariant_check_every: int = 0
+    #: Run an anti-entropy digest sweep every N *quiet* maintenance ticks
+    #: (no rebalance in flight); 0 disables proactive sweeps — divergence
+    #: then heals only via quorum-read repair.
+    antientropy_every: int = 0
+    #: Hash ranges per shard the anti-entropy sweep digests over.
+    antientropy_ranges: int = 16
     #: Default ``call()`` timeout in seconds.
     request_timeout: float = 30.0
 
@@ -351,5 +357,9 @@ class ServiceConfig:
             raise ValueError("maintenance_compaction_bytes must be non-negative")
         if self.invariant_check_every < 0:
             raise ValueError("invariant_check_every must be non-negative")
+        if self.antientropy_every < 0:
+            raise ValueError("antientropy_every must be non-negative")
+        if self.antientropy_ranges < 1:
+            raise ValueError("antientropy_ranges must be >= 1")
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive")

@@ -32,10 +32,37 @@ against:
 * **read repair** — quorum/all reads that observe replica divergence queue
   an asynchronous re-sync (:meth:`~repro.distributed.store.ReplicatedStore.flush_repairs`),
   announced as :class:`~repro.distributed.store.RepairEvent` objects, never
-  able to resurrect an erased value.
+  able to resurrect an erased value;
+* **replica elasticity** —
+  :meth:`~repro.distributed.store.ReplicatedStore.set_replicas` joins fresh
+  replicas by scrubbed-log replay and grounds leaving replicas' copies
+  before dropping them;
+* **anti-entropy** (:mod:`repro.distributed.antientropy`) — periodic
+  hash-range digest sweeps that heal replica divergence proactively,
+  through the same repair queue, without waiting for a quorum read to
+  trip over it;
+* **fault injection** (:mod:`repro.distributed.faults`) — seeded
+  kill/revive/partition/heal schedules the store's dispatch honors, so
+  every guarantee above can be asserted on a degraded-but-serving
+  topology.
 """
 
-from repro.distributed.ring import HashRing, stable_hash
+from repro.distributed.antientropy import (
+    AntiEntropyReport,
+    AntiEntropySweeper,
+    RangeRepair,
+)
+from repro.distributed.faults import (
+    FaultAction,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    QuorumUnavailableError,
+    ReplicaDownError,
+    ShardUnavailableError,
+)
+from repro.distributed.ring import HashRing, hash_range_of, stable_hash
 from repro.distributed.store import (
     CacheEntry,
     CopyLocation,
@@ -45,6 +72,7 @@ from repro.distributed.store import (
     RebalanceDriver,
     RebalanceReport,
     RepairEvent,
+    ReplicaChangeReport,
     ReplicatedStore,
 )
 
@@ -59,5 +87,18 @@ __all__ = [
     "RebalanceDriver",
     "RebalanceReport",
     "RepairEvent",
+    "ReplicaChangeReport",
     "stable_hash",
+    "hash_range_of",
+    "AntiEntropyReport",
+    "AntiEntropySweeper",
+    "RangeRepair",
+    "FaultAction",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "QuorumUnavailableError",
+    "ReplicaDownError",
+    "ShardUnavailableError",
 ]

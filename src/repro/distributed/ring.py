@@ -42,6 +42,17 @@ def stable_hash(key: Any) -> int:
     return int.from_bytes(digest, "big")
 
 
+def hash_range_of(key: Any, n_ranges: int) -> int:
+    """The hash-range bucket ``key`` falls in when the 64-bit ring is cut
+    into ``n_ranges`` equal arcs — the partitioning unit anti-entropy
+    digests compare (:mod:`repro.distributed.antientropy`).  Derived from
+    the same :func:`stable_hash` the ring routes by, so one bucket is one
+    contiguous keyspace arc, not an arbitrary modulus class."""
+    if n_ranges < 1:
+        raise ValueError("n_ranges must be >= 1")
+    return stable_hash(key) * n_ranges >> 64
+
+
 class HashRing:
     """An immutable consistent-hash ring over integer shard ids.
 

@@ -110,7 +110,18 @@ from repro import codec
 from repro.config import BackendConfig, StoreConfig
 from repro.core.locations import CopyLocation
 from repro.crypto.vault import KeyVault
-from repro.distributed.ring import DEFAULT_VNODES, HashRing
+from repro.distributed.antientropy import (
+    AntiEntropyReport,
+    AntiEntropySweeper,
+    RangeRepair,
+)
+from repro.distributed.faults import (
+    FaultInjector,
+    QuorumUnavailableError,
+    ReplicaDownError,
+    ShardUnavailableError,
+)
+from repro.distributed.ring import DEFAULT_VNODES, HashRing, hash_range_of
 from repro.lsm.cache import SharedBlockCache
 from repro.lsm.compaction import EMPTY_COMPACTION_STATS, CompactionStats
 from repro.sim.costs import CostModel
@@ -186,6 +197,25 @@ class BatchEraseReport:
     reclamations: int
     verified_clean: bool
     shard_seconds: Tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReplicaChangeReport:
+    """What :meth:`ReplicatedStore.set_replicas` did, summed over shards.
+
+    ``catchup_entries`` counts scrubbed-log entries joining replicas
+    replayed (their only bootstrap path — an erased value cannot ride in);
+    ``grounded_values`` counts live values grounded off leaving replicas
+    before they left ``copies_of``'s world.
+    """
+
+    replicas_before: int
+    replicas_after: int
+    shards: int
+    added: int
+    removed: int
+    catchup_entries: int
+    grounded_values: int
 
 
 @dataclass(frozen=True)
@@ -280,6 +310,25 @@ class _Node:
         self.engine = getattr(self.backend, "engine", None)
         self.cache: Dict[Any, CacheEntry] = {}
         self.applied_seqno = 0
+        #: Crash-stop flag: a down node is unreachable *and* its storage is
+        #: gone (``backend``/``engine`` dropped) — revival builds a fresh
+        #: node that bootstraps from the scrubbed replication log.
+        self.down = False
+
+    def crash(self) -> None:
+        """Crash-stop with storage loss.  The node's heap, WAL, private
+        cache, and pooled block-cache share all go with the machine — and
+        so does its slice of the pooled cache's *capacity ledger*: the
+        namespace is invalidated so a crashed node's cached values cannot
+        linger as untracked physical copies."""
+        cache = getattr(self.engine, "_block_cache", None)
+        token = getattr(self.engine, "_cache_token", None)
+        if cache is not None and token is not None:
+            cache.invalidate_namespace(token)
+        self.down = True
+        self.cache.clear()
+        self.backend = None  # type: ignore[assignment]
+        self.engine = None
 
     def heap_holds(self, key: Any) -> bool:
         """Live *or dead* physical entries count — retention is physical."""
@@ -327,8 +376,13 @@ class _Shard:
         #: Where a consistent read reports observed divergence so the store
         #: can schedule an asynchronous read repair: ``(shard, key, upto)``.
         self._repair_sink = repair_sink
+        # Node-construction parameters are kept: replica elasticity
+        # (add/remove/revive) provisions fresh nodes long after __init__.
+        self._row_bytes = row_bytes
+        self._config = config
+        self._extras = extras
         # Single-shard deployments keep the legacy node names.
-        prefix = "" if solo else f"shard-{index}/"
+        self._prefix = prefix = "" if solo else f"shard-{index}/"
         self.primary = _Node(
             f"{prefix}primary", cost, row_bytes, config, extras
         )
@@ -336,6 +390,10 @@ class _Shard:
             _Node(f"{prefix}replica-{i}", cost, row_bytes, config, extras)
             for i in range(n_replicas)
         ]
+        #: Monotonic name counter — names stay unique across add/remove
+        #: cycles (a re-used name would alias audit trails and cache
+        #: namespaces of two different physical machines).
+        self._replica_seq = n_replicas
         self._log: List[_LogEntry] = []
         self._seqno = 0
 
@@ -345,8 +403,16 @@ class _Shard:
         return self._cost.clock.now
 
     def nodes(self) -> Iterator[_Node]:
+        """Every node with physical storage: the primary plus live
+        replicas.  Down replicas are crash-stopped machines whose storage
+        is *gone* — no heap, cache, or WAL to scan, erase, or maintain —
+        so every physical iteration skips them by construction."""
         yield self.primary
-        yield from self.replicas
+        yield from (node for node in self.replicas if not node.down)
+
+    def live_replicas(self) -> List[_Node]:
+        """Replicas currently up (membership minus crash-stopped nodes)."""
+        return [node for node in self.replicas if not node.down]
 
     def _append_log(self, op: _OpType, key: Any, value: Any) -> None:
         self._seqno += 1
@@ -364,6 +430,8 @@ class _Shard:
         the replica at the primary's seqno *as of the read* — not entries
         appended later by concurrent writers).
         """
+        if node.down:
+            return 0  # crashed machine: nothing to apply onto
         applied = 0
         for entry in self._log:
             if entry.seqno <= node.applied_seqno:
@@ -421,6 +489,10 @@ class _Shard:
                 )
             return self._read_consistent(key, consistency, use_cache)
         node = self.primary if replica is None else self.replicas[replica]
+        if node.down:
+            raise ReplicaDownError(
+                f"replica {node.name!r} is down (crash-stopped)"
+            )
         if node is not self.primary:
             self._apply_backlog(node)
         if use_cache:
@@ -454,12 +526,22 @@ class _Shard:
         DELETE applies it *before* answering, and an erased value is never
         served.
         """
+        # Quorum is over *membership*, not over whoever happens to be up:
+        # a killed replica still counts toward n so the majority threshold
+        # cannot silently shrink to "whatever survived".  Only live
+        # replicas can participate; if too few remain, fail fast.
         n_nodes = 1 + len(self.replicas)
         needed = n_nodes if consistency == "all" else n_nodes // 2 + 1
+        live = self.live_replicas()
+        if 1 + len(live) < needed:
+            raise QuorumUnavailableError(
+                f"{consistency} read needs {needed} of {n_nodes} nodes; "
+                f"only {1 + len(live)} reachable on shard {self.index}"
+            )
         target = self._seqno
-        diverged = any(n.applied_seqno < target for n in self.replicas)
+        diverged = any(n.applied_seqno < target for n in live)
         chosen = sorted(
-            self.replicas, key=lambda n: n.applied_seqno, reverse=True
+            live, key=lambda n: n.applied_seqno, reverse=True
         )[: needed - 1]
         for node in chosen:
             if node.applied_seqno < target:
@@ -483,7 +565,7 @@ class _Shard:
             found
             and diverged
             and self._repair_sink is not None
-            and any(n.applied_seqno < target for n in self.replicas)
+            and any(n.applied_seqno < target for n in self.live_replicas())
         ):
             self._repair_sink(self.index, key, target)
         if not found:
@@ -701,7 +783,10 @@ class _Shard:
         self.primary.cache.pop(key, None)
         self.primary.backend.scrub_exports([key])
         vacuumed = self._reclaim_node(self.primary)
-        for node in self.replicas:
+        # Down replicas are skipped: a crash-stopped machine holds nothing
+        # physical to erase, and its eventual revival bootstraps from the
+        # log this erase is about to scrub — so it comes back clean too.
+        for node in self.live_replicas():
             self._apply_backlog(node, force=True)
             if node.backend.exists(key):  # pragma: no cover - safety
                 node.backend.delete(key)
@@ -731,7 +816,7 @@ class _Shard:
         """
         # Erase barrier first: replicas catch up past every victim's
         # entries so the deletes and the log scrub are safe.
-        for node in self.replicas:
+        for node in self.live_replicas():
             self._apply_backlog(node, force=True)
         nodes_deleted = 0
         caches = 0
@@ -741,7 +826,7 @@ class _Shard:
             caches += c
         # Force the just-appended DELETE entries onto the replicas too, so
         # no replica resurrects a victim later.
-        for node in self.replicas:
+        for node in self.live_replicas():
             self._apply_backlog(node, force=True)
         vacuumed = 0
         reclaims = 0
@@ -753,7 +838,119 @@ class _Shard:
 
     def replication_backlog(self, replica: int) -> int:
         node = self.replicas[replica]
+        if node.down:
+            raise ReplicaDownError(
+                f"replica {node.name!r} is down (crash-stopped)"
+            )
         return sum(1 for e in self._log if e.seqno > node.applied_seqno)
+
+    # ----------------------------------------------------- replica elasticity
+    def _make_replica_node(self, name: Optional[str] = None) -> _Node:
+        """A fresh, empty replica node (no name re-use unless asked)."""
+        if name is None:
+            name = f"{self._prefix}replica-{self._replica_seq}"
+            self._replica_seq += 1
+        return _Node(
+            name, self._cost, self._row_bytes, self._config, self._extras
+        )
+
+    def add_replica(self) -> int:
+        """Join a fresh replica and catch it up by replaying the shard's
+        replication log — the *scrubbed* log, so an erased value can never
+        ride in on a new machine: the victim's PUT/UPDATE entries replay as
+        no-ops and its DELETEs still apply.  Returns entries replayed."""
+        node = self._make_replica_node()
+        self.replicas.append(node)
+        return self._apply_backlog(node, force=True)
+
+    def remove_replica(self, index: int) -> int:
+        """Grounded leave: every physical copy on the departing replica is
+        erased — live values deleted, cache dropped, one reclamation pass
+        (dead tuples + WAL scrub) — before the node leaves ``copies_of``'s
+        world.  Returns the live values grounded.  Removing a down replica
+        is a pure membership change (its storage died with the machine)."""
+        node = self.replicas[index]
+        if node.down:
+            self.replicas.pop(index)
+            return 0
+        victims = sorted(
+            {k for k, live in node.backend.forensic_scan() if live}, key=repr
+        )
+        for key in victims:
+            node.backend.delete(key)
+        node.cache.clear()
+        node.backend.scrub_exports(victims)
+        node.backend.reclaim()
+        self.replicas.pop(index)
+        return len(victims)
+
+    # --------------------------------------------------------- fault handling
+    def kill_replica(self, index: int) -> None:
+        """Crash-stop one replica (storage loss; membership unchanged)."""
+        node = self.replicas[index]
+        if node.down:
+            raise KeyError(f"replica {node.name!r} is already down")
+        node.crash()
+
+    def revive_replica(self, index: int) -> int:
+        """Replace a crashed replica with a fresh machine under the same
+        name and bootstrap it from the scrubbed replication log — recovery
+        is state transfer from the durable log, never a resurrected disk.
+        Returns the log entries replayed."""
+        dead = self.replicas[index]
+        if not dead.down:
+            raise KeyError(f"replica {dead.name!r} is not down")
+        node = self._make_replica_node(name=dead.name)
+        self.replicas[index] = node
+        return self._apply_backlog(node, force=True)
+
+    def resync_range(
+        self, range_index: int, n_ranges: int
+    ) -> Tuple[int, int]:
+        """Heal one keyspace arc on every live replica — the repair half of
+        the anti-entropy loop (:mod:`repro.distributed.antientropy`).
+
+        Two phases, both erasure-safe by construction: first the replica
+        force-applies its full backlog (scrubbed entries replay as no-ops),
+        then any *remaining* divergence in the arc — state the log cannot
+        explain, i.e. out-of-band corruption or loss — is fixed directly
+        from the primary's live values: missing/differing keys overwritten,
+        stray keys deleted and reclaimed.  A grounded-erased value is live
+        nowhere on the primary, so neither phase can resurrect it.
+
+        Returns ``(replicas_repaired, entries_fixed)`` where entries counts
+        log entries applied plus keys directly overwritten/deleted.
+        """
+        def in_arc(key: Any) -> bool:
+            return hash_range_of(key, n_ranges) == range_index
+
+        want = dict(self.primary.backend.export_range(in_arc))
+        repaired = 0
+        entries = 0
+        for node in self.live_replicas():
+            fixed = self._apply_backlog(node, force=True)
+            have = dict(node.backend.export_range(in_arc))
+            strays = [k for k in have if k not in want]
+            for key in strays:
+                node.backend.delete(key)
+                node.cache.pop(key, None)
+                fixed += 1
+            for key, value in want.items():
+                if key not in have:
+                    node.backend.insert(key, value)
+                    fixed += 1
+                elif have[key] != value:
+                    node.backend.update(key, value)
+                    node.cache.pop(key, None)
+                    fixed += 1
+            if strays:
+                # Direct deletes leave dead entries outside the erase
+                # path's reclamation; ground them before reporting healed.
+                node.backend.reclaim()
+            if fixed:
+                repaired += 1
+                entries += fixed
+        return repaired, entries
 
 
 class Rebalance:
@@ -799,6 +996,9 @@ class Rebalance:
         self._clean = True
         self._grounded_residue = 0
         self._last_step_keys = 0
+        #: The last :meth:`step` could not progress: the batch it must run
+        #: names a partitioned shard.  Cleared by the next productive step.
+        self._stalled = False
         examined = 0
         plan: Dict[Tuple[int, int], List[Any]] = {}
         residue: Dict[int, List[Any]] = {}
@@ -844,6 +1044,18 @@ class Rebalance:
     def report(self) -> Optional[RebalanceReport]:
         """The final report, once the migration has finalized."""
         return self._report
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the last step was blocked by a partitioned shard.  Work
+        remains, but no batch can run until the partition heals — a driver
+        should back off instead of spinning."""
+        return self._stalled
+
+    def _partitioned(self, shard_index: int) -> bool:
+        """Migration traffic honors partitions like client traffic does."""
+        injector = getattr(self._store, "_fault_injector", None)
+        return injector is not None and injector.is_partitioned(shard_index)
 
     @property
     def keys_pending(self) -> int:
@@ -913,9 +1125,15 @@ class Rebalance:
         if self._report is not None:
             return False
         self._last_step_keys = 0
+        self._stalled = False
         store = self._store
         if self._current is not None:
             src, dst, keys, dead = self._current
+            if self._partitioned(src):
+                # The in-flight batch must ground at its source before any
+                # other work — and the source is unreachable.  Stall.
+                self._stalled = True
+                return True
             victims = [k for k in keys if k not in self._cancelled]
             # Planned keys that died between planning and export carry no
             # live value to move, but their source residues (dead tuples,
@@ -934,11 +1152,20 @@ class Rebalance:
                 store._emit_move(MoveEvent(key, src, dst, now))
             self._current = None
             self._batches_run += 1
-            if self.done:
-                self._finalize()
+            if self.done and not self._try_finalize():
+                self._stalled = True
             return True
         while self._queue:
-            kind, src, dst, keys = self._queue.popleft()
+            kind, src, dst, keys = self._queue[0]
+            if self._partitioned(src) or (
+                kind == "copy" and self._partitioned(dst)
+            ):
+                # Head-of-line stall: batches are ordered (a shard's
+                # residue grounds before its keys stream out), so the
+                # migration waits for the heal rather than reordering.
+                self._stalled = True
+                return True
+            self._queue.popleft()
             if kind == "ground":
                 keys = [k for k in keys if k not in self._cancelled]
                 if not keys:
@@ -949,8 +1176,8 @@ class Rebalance:
                 self._grounded_residue += len(keys)
                 self._last_step_keys = len(keys)
                 self._batches_run += 1
-                if self.done:
-                    self._finalize()
+                if self.done and not self._try_finalize():
+                    self._stalled = True  # pragma: no cover - safety net
                 return True
             keys = [k for k in keys if k in self._pending]
             if not keys:
@@ -977,16 +1204,36 @@ class Rebalance:
             self._current = (src, dst, sorted(exported, key=repr), dead)
             self._last_step_keys = len(keys)
             return True
-        self._finalize()  # empty plan: nothing ever moved
+        # Plan exhausted (or empty from the start): all that remains is
+        # committing the topology, which drains removed shards — blocked
+        # while any of them is partitioned.
+        if not self._try_finalize():
+            self._stalled = True
+            return True
         return False
 
     def run(self) -> RebalanceReport:
-        """Drive the migration to completion and commit the new topology."""
+        """Drive the migration to completion and commit the new topology.
+
+        Stop-the-world driving cannot wait out a partition the way a
+        background driver can, so a stall here is an error, not a retry."""
         while self.step():
-            pass
+            if self._stalled:
+                raise ShardUnavailableError(
+                    "rebalance stalled: a shard it must touch is "
+                    "partitioned — heal it or drive in the background"
+                )
         if self._report is None:  # pragma: no cover - safety net
             self._finalize()
         return self._report
+
+    def _try_finalize(self) -> bool:
+        """Finalize unless a removed shard is partitioned (its drain-side
+        decommission must not mutate an unreachable machine)."""
+        if any(self._partitioned(sid) for sid in self.removed):
+            return False
+        self._finalize()
+        return True
 
     def _finalize(self) -> RebalanceReport:
         if self._report is not None:
@@ -1036,13 +1283,27 @@ class RebalanceDriver:
     topology, exactly like :meth:`Rebalance.run`.
     """
 
-    def __init__(self, rebalance: Rebalance) -> None:
+    def __init__(
+        self,
+        rebalance: Rebalance,
+        antientropy: Optional[AntiEntropySweeper] = None,
+        sweep_every: int = 4,
+    ) -> None:
+        if sweep_every < 1:
+            raise ValueError("sweep_every must be >= 1")
         self._rebalance = rebalance
         self._store = rebalance._store
+        #: Optional anti-entropy loop: every ``sweep_every``-th step runs a
+        #: digest sweep before the repair flush, so divergence queued by
+        #: the sweep heals in the same step that found it.
+        self._antientropy = antientropy
+        self._sweep_every = sweep_every
         self.steps = 0
         self.keys_processed = 0
         #: Read repairs completed while driving (flushed after each step).
         self.repairs: List[RepairEvent] = []
+        #: Anti-entropy sweep reports, when a sweeper is attached.
+        self.sweeps: List[AntiEntropyReport] = []
 
     @property
     def rebalance(self) -> Rebalance:
@@ -1054,6 +1315,11 @@ class RebalanceDriver:
         return self._rebalance.report is not None
 
     @property
+    def stalled(self) -> bool:
+        """Whether the migration is currently blocked by a partition."""
+        return self._rebalance.stalled
+
+    @property
     def report(self) -> Optional[RebalanceReport]:
         return self._rebalance.report
 
@@ -1061,9 +1327,11 @@ class RebalanceDriver:
         """Advance the migration by roughly ``budget_keys`` keys.
 
         Returns the number of keys actually copied or grounded this call
-        (0 once the rebalance has finalized).  Always flushes the store's
-        pending read repairs before returning, even after completion — the
-        driver doubles as the background repair loop.
+        (0 once the rebalance has finalized, or while every runnable batch
+        waits on a partitioned shard — check :attr:`stalled`).  Always
+        flushes the store's pending read repairs before returning, even
+        after completion — the driver doubles as the background repair
+        (and, with a sweeper attached, anti-entropy) loop.
         """
         if budget_keys < 1:
             raise ValueError("budget_keys must be >= 1")
@@ -1071,16 +1339,30 @@ class RebalanceDriver:
         while processed < budget_keys:
             if not self._rebalance.step():
                 break
+            if self._rebalance.stalled:
+                break  # blocked on a partition — budget can't be spent
             processed += self._rebalance.last_step_keys
         self.steps += 1
         self.keys_processed += processed
+        if self._antientropy is not None and self.steps % self._sweep_every == 0:
+            self.sweeps.append(self._antientropy.sweep())
         self.repairs.extend(self._store.flush_repairs())
         return processed
 
     def run(self, budget_keys: int = 64) -> RebalanceReport:
-        """Drive to completion in ``budget_keys`` increments."""
+        """Drive to completion in ``budget_keys`` increments.
+
+        Refuses to spin on a partition: a stalled step makes no progress,
+        so waiting here would loop forever — heal first, or keep calling
+        :meth:`step` from a loop that also heals faults.
+        """
         while self._rebalance.report is None:
             self.step(budget_keys)
+            if self._rebalance.report is None and self._rebalance.stalled:
+                raise ShardUnavailableError(
+                    "rebalance stalled: a shard it must touch is "
+                    "partitioned — heal it before driving to completion"
+                )
         return self._rebalance.report
 
 
@@ -1145,6 +1427,9 @@ class ReplicatedStore:
         )
         self._next_shard_id = shards
         self._rebalance: Optional[Rebalance] = None
+        #: Attached by :class:`repro.distributed.faults.FaultInjector` —
+        #: ``None`` means no fault layer, every shard reachable.
+        self._fault_injector: Optional[FaultInjector] = None
         self._move_listeners: List[Callable[[MoveEvent], None]] = []
         self._repair_listeners: List[Callable[[RepairEvent], None]] = []
         #: Read repairs awaiting their asynchronous run: ``(shard, key)`` →
@@ -1245,6 +1530,87 @@ class ReplicatedStore:
         for shard in self.shards():
             yield from shard.nodes()
 
+    # ------------------------------------------------------- fault awareness
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The attached fault injector, if a harness installed one."""
+        return self._fault_injector
+
+    def _check_reachable(self, *shard_indices: int) -> None:
+        """Fail fast if any shard a serving-path operation must touch is
+        partitioned.  Erase paths call this for *every* involved shard
+        before mutating anything, so a partial erase cannot be mistaken
+        for a grounded one.  Forensic surfaces (``copies_of``,
+        ``lingering_copies``) never call it — the compliance auditor's
+        view is global, not routed."""
+        injector = self._fault_injector
+        if injector is None:
+            return
+        for index in shard_indices:
+            if injector.is_partitioned(index):
+                raise ShardUnavailableError(
+                    f"shard {index} is partitioned from the router"
+                )
+
+    # ----------------------------------------------------- replica elasticity
+    def set_replicas(self, n_replicas: int) -> ReplicaChangeReport:
+        """Elastically change the per-shard replica count, grounded both
+        ways: joining replicas bootstrap by replaying the scrubbed
+        replication log (never a resurrected value), and leaving replicas
+        have every live copy erased — delete, cache drop, reclamation —
+        before they stop being ``copies_of``'s problem.
+
+        Removals drop the highest-index replicas first.  Refused while a
+        rebalance is migrating keys (two concurrent topology changes) or
+        while any injected fault is active (a crashed replica cannot be
+        grounded-removed; heal first).
+        """
+        if n_replicas < 0:
+            raise ValueError("n_replicas must be non-negative")
+        if self._rebalance is not None:
+            raise RuntimeError(
+                "cannot change the replica count mid-rebalance"
+            )
+        injector = self._fault_injector
+        if injector is not None and injector.active_count:
+            raise RuntimeError(
+                "cannot change the replica count with active faults: "
+                f"{', '.join(injector.active_faults)}"
+            )
+        before = self._n_replicas
+        added = removed = 0
+        catchup = grounded = 0
+        for shard in self.shards():
+            while len(shard.replicas) < n_replicas:
+                catchup += shard.add_replica()
+                added += 1
+            while len(shard.replicas) > n_replicas:
+                grounded += shard.remove_replica(len(shard.replicas) - 1)
+                removed += 1
+        self._n_replicas = n_replicas
+        return ReplicaChangeReport(
+            replicas_before=before,
+            replicas_after=n_replicas,
+            shards=len(self._shards),
+            added=added,
+            removed=removed,
+            catchup_entries=catchup,
+            grounded_values=grounded,
+        )
+
+    # ------------------------------------------------------------ antientropy
+    def anti_entropy_sweep(
+        self, n_ranges: int = 16
+    ) -> Tuple[AntiEntropyReport, List[RepairEvent]]:
+        """One full anti-entropy cycle: digest-compare every live replica
+        against its primary, queue divergent arcs through the read-repair
+        queue, and flush it — returning the sweep report and the
+        :class:`RepairEvent` s the healing emitted.  For the periodic
+        version attach an :class:`AntiEntropySweeper` to a
+        :class:`RebalanceDriver` or run the service maintenance tick."""
+        report = AntiEntropySweeper(self, n_ranges=n_ranges).sweep()
+        return report, self.flush_repairs()
+
     # ------------------------------------------------------------ maintenance
     def maintain(self, max_bytes: Optional[int] = None) -> int:
         """Run one bounded maintenance slice of deferred backend work
@@ -1319,12 +1685,38 @@ class ReplicatedStore:
         subscribers."""
         pending, self._pending_repairs = self._pending_repairs, {}
         events: List[RepairEvent] = []
+        injector = self._fault_injector
         for (sid, key), upto in sorted(
             pending.items(), key=lambda item: (item[0][0], repr(item[0][1]))
         ):
             shard = self._shards.get(sid)
             if shard is None:
                 continue  # the shard was decommissioned since the read
+            if injector is not None and injector.is_partitioned(sid):
+                # Repair traffic honors partitions too: keep the repair
+                # queued (at its highest observed target) for the heal.
+                slot = (sid, key)
+                self._pending_repairs[slot] = max(
+                    self._pending_repairs.get(slot, 0), upto
+                )
+                continue
+            if isinstance(key, RangeRepair):
+                # An anti-entropy sweep queued a divergent keyspace arc:
+                # re-sync it from the primary's live state (backlog replay
+                # first, direct overwrite/delete for what the log cannot
+                # explain) — see _Shard.resync_range for why this can
+                # never resurrect an erased value.
+                repaired, entries = shard.resync_range(
+                    key.range_index, key.n_ranges
+                )
+                if repaired:
+                    event = RepairEvent(
+                        repr(key), sid, repaired, entries,
+                        self._cost.clock.now,
+                    )
+                    events.append(event)
+                    self._emit_repair(event)
+                continue
             repaired = 0
             entries = 0
             for node in shard.replicas:
@@ -1515,16 +1907,22 @@ class ReplicatedStore:
 
     # ----------------------------------------------------------------- writes
     def put(self, key: Any, value: Any) -> None:
-        self._shard(key).put(key, value)
+        sid = self.shard_of(key)
+        self._check_reachable(sid)
+        self._shards[sid].put(key, value)
 
     def update(self, key: Any, value: Any) -> None:
-        self._shard(key).update(key, value)
+        sid = self.shard_of(key)
+        self._check_reachable(sid)
+        self._shards[sid].update(key, value)
 
     def naive_delete(self, key: Any) -> None:
         """The under-specified erase: DELETE at the owning shard's primary,
         replication does the rest *eventually* — replicas and caches keep
         serving and holding the value until lag/TTL/reclamation catch up."""
-        self._shard(key).naive_delete(key)
+        sid = self.shard_of(key)
+        self._check_reachable(sid)
+        self._shards[sid].naive_delete(key)
 
     # ------------------------------------------------------------------ reads
     def read(
@@ -1539,10 +1937,13 @@ class ReplicatedStore:
         read dual-routes: ring-new first, fall back to ring-old."""
         rebalance = self._rebalance
         if rebalance is None:
-            return self._shard(key).read(
+            sid = self.shard_of(key)
+            self._check_reachable(sid)
+            return self._shards[sid].read(
                 key, replica=replica, use_cache=use_cache, consistency=consistency
             )
         first, fallback = rebalance.route_read(key)
+        self._check_reachable(first)
         try:
             return self._shards[first].read(
                 key, replica=replica, use_cache=use_cache, consistency=consistency
@@ -1550,6 +1951,7 @@ class ReplicatedStore:
         except TupleNotFoundError:
             if fallback == first:
                 raise
+            self._check_reachable(fallback)
             return self._shards[fallback].read(
                 key, replica=replica, use_cache=use_cache, consistency=consistency
             )
@@ -1585,8 +1987,14 @@ class ReplicatedStore:
         erase covers *both* owning shards and cancels the key's move."""
         rebalance = self._rebalance
         if rebalance is None:
-            return self._shard(key).erase_all_copies(key)
+            sid = self.shard_of(key)
+            self._check_reachable(sid)
+            return self._shards[sid].erase_all_copies(key)
         old, new = rebalance.owners(key)
+        # Both owners must be reachable *before* anything mutates — a
+        # half-erased key (one owner grounded, one frozen behind a
+        # partition) must never be reported as erased at all.
+        self._check_reachable(old, new)
         rebalance.cancel(key)
         report = self._shards[new].erase_all_copies(key)
         if old != new:
@@ -1616,6 +2024,16 @@ class ReplicatedStore:
         move is cancelled."""
         keys = list(keys)
         rebalance = self._rebalance
+        # Reachability first, for every involved shard, before any move is
+        # cancelled or any copy deleted — the batch grounds atomically with
+        # respect to partitions or not at all.
+        involved: Set[int] = set()
+        for key in keys:
+            if rebalance is None:
+                involved.add(self.shard_of(key))
+            else:
+                involved.update(rebalance.owners(key))
+        self._check_reachable(*sorted(involved))
         by_shard: Dict[int, List[Any]] = {}
         for key in keys:
             if rebalance is None:

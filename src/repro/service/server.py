@@ -152,6 +152,7 @@ class ServiceStats:
     erased_keys: int = 0
     maintenance_ticks: int = 0
     repairs: int = 0
+    antientropy_sweeps: int = 0
     invariant_checks: int = 0
     invariant_violations: int = 0
     # Compaction throttle counters, aggregated from every shard node's
@@ -590,6 +591,7 @@ class ComplianceService:
 
     def _maintenance_tick_locked(self) -> None:
         driver = self._driver
+        sweeps = 0
         if driver is not None and not driver.done:
             before = len(driver.repairs)
             driver.step(self.config.maintenance_budget_keys)
@@ -604,9 +606,21 @@ class ComplianceService:
             maintain = getattr(self._store, "maintain", None)
             if budget and maintain is not None:
                 maintain(max_bytes=budget)
+            # Every ``antientropy_every``-th quiet tick runs a proactive
+            # digest sweep so replica divergence heals without waiting for
+            # a quorum read to trip over it.
+            every = self.config.antientropy_every
+            with self._stats_guard:
+                due = every and (self._stats.maintenance_ticks + 1) % every == 0
+            sweep = getattr(self._store, "anti_entropy_sweep", None)
+            if due and sweep is not None:
+                _report, events = sweep(self.config.antientropy_ranges)
+                repairs += len(events)
+                sweeps = 1
         with self._stats_guard:
             self._stats.maintenance_ticks += 1
             self._stats.repairs += repairs
+            self._stats.antientropy_sweeps += sweeps
             ticks = self._stats.maintenance_ticks
         every = self.config.invariant_check_every
         if every and self._invariants is not None and ticks % every == 0:

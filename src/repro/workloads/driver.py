@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.invariants import Invariant, World, check_invariants
+from repro.distributed.faults import FaultError, FaultInjector, FaultPlan
 from repro.storage.errors import TupleNotFoundError
 from repro.workloads.base import OpKind, Workload
 
@@ -89,6 +90,14 @@ class InterleavedRunResult:
     rebalance_completed: bool
     invariants_checked: int = 0
     invariant_violations: Tuple[str, ...] = ()
+    #: Fault-plan transitions applied / skipped (stale topology) during the
+    #: run, when a :class:`~repro.distributed.faults.FaultPlan` was given.
+    fault_events_applied: int = 0
+    fault_events_skipped: int = 0
+    #: Operations that failed fast against an injected fault (a partitioned
+    #: shard or an unassemblable quorum) — unavailability, not data loss:
+    #: the harness never counts them as applied writes or grounded erases.
+    fault_errors: int = 0
 
 
 def run_interleaved(
@@ -101,6 +110,7 @@ def run_interleaved(
     key_fn: Callable[[int], str] = unit_key,
     drain: bool = True,
     invariants: Optional[Sequence[Invariant]] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> InterleavedRunResult:
     """Replay ``workload`` against ``store`` while ``driver`` advances a
     background rebalance ``budget_keys`` keys at a time.
@@ -117,11 +127,37 @@ def run_interleaved(
     :class:`World` of what it believes live/erased, and evaluates every
     registered invariant at each step boundary and once after the drain —
     exactly the moments the migration's dual-routing state just changed.
+
+    ``faults`` (a :class:`~repro.distributed.faults.FaultPlan`) replays a
+    seeded kill/revive/partition/heal schedule between operations: every
+    transition due at the current op index is applied before the op runs,
+    and operations that fail fast against an injected fault count as
+    ``fault_errors`` rather than applied work.  Before the drain, every
+    remaining scheduled transition is applied and all still-active faults
+    are healed — the drain must terminate, and the plan's own epilogue is
+    exactly the revive/heal tail — so the post-drain invariant sweep always
+    runs on a fully-healed topology.
     """
     if ops_per_step < 1:
         raise ValueError("ops_per_step must be >= 1")
     reads = writes = erases = metadata = misses = 0
     repairs = 0
+    injector: Optional[FaultInjector] = None
+    plan_applied = 0
+    fault_applied = fault_skipped = fault_errors = 0
+    if faults is not None:
+        injector = getattr(store, "_fault_injector", None) or FaultInjector(
+            store
+        )
+
+    def apply_due(op_index: int) -> None:
+        nonlocal plan_applied, fault_applied, fault_skipped
+        due = faults.due(op_index, plan_applied)
+        if due:
+            plan_applied += len(due)
+            report = injector.apply(due)
+            fault_applied += report.applied
+            fault_skipped += report.skipped
     world = (
         World.observe(store, driver=driver) if invariants is not None else None
     )
@@ -143,38 +179,71 @@ def run_interleaved(
     driver_repairs_before = len(driver.repairs) if driver is not None else 0
     clean = True
     for i, op in enumerate(workload):
-        if op.kind is OpKind.CREATE:
-            store.put(key_fn(op.key), op.payload or (op.key, "payload"))
-            if world is not None:
-                world.record_write(key_fn(op.key))
-            writes += 1
-        elif op.kind is OpKind.READ:
-            try:
-                store.read(
-                    key_fn(op.key), use_cache=False, consistency=consistency
-                )
-            except TupleNotFoundError:
-                misses += 1
-            reads += 1
-        elif op.kind is OpKind.UPDATE:
-            store.update(key_fn(op.key), op.payload or (op.key, "rewritten"))
-            if world is not None:
-                world.record_write(key_fn(op.key))
-            writes += 1
-        elif op.kind is OpKind.DELETE:
-            report = store.erase_all_copies(key_fn(op.key))
-            clean = clean and report.verified_clean
-            if world is not None:
-                world.record_erase(key_fn(op.key), report)
-            erases += 1
-        else:  # metadata traffic has no replicated-store counterpart
-            metadata += 1
+        if faults is not None:
+            apply_due(i)
+        try:
+            if op.kind is OpKind.CREATE:
+                store.put(key_fn(op.key), op.payload or (op.key, "payload"))
+                if world is not None:
+                    world.record_write(key_fn(op.key))
+                writes += 1
+            elif op.kind is OpKind.READ:
+                try:
+                    store.read(
+                        key_fn(op.key), use_cache=False, consistency=consistency
+                    )
+                except TupleNotFoundError:
+                    misses += 1
+                reads += 1
+            elif op.kind is OpKind.UPDATE:
+                try:
+                    store.update(
+                        key_fn(op.key), op.payload or (op.key, "rewritten")
+                    )
+                except TupleNotFoundError:
+                    if faults is None:
+                        raise
+                    # The key's CREATE failed fast against a fault earlier
+                    # in this run — nothing to update is unavailability
+                    # fallout, not an error.
+                    misses += 1
+                else:
+                    if world is not None:
+                        world.record_write(key_fn(op.key))
+                    writes += 1
+            elif op.kind is OpKind.DELETE:
+                report = store.erase_all_copies(key_fn(op.key))
+                clean = clean and report.verified_clean
+                if world is not None:
+                    world.record_erase(key_fn(op.key), report)
+                erases += 1
+            else:  # metadata traffic has no replicated-store counterpart
+                metadata += 1
+        except FaultError:
+            # Fail-fast unavailability (partitioned shard, unassemblable
+            # quorum).  Deliberately counted *before* any ground-truth
+            # update: a DELETE that failed here did not erase, so the
+            # harness keeps expecting the key live — and the invariant
+            # sweep will catch the store if that stops being true.
+            fault_errors += 1
         if (i + 1) % ops_per_step == 0:
             if driver is not None and not driver.done:
                 driver.step(budget_keys)
             else:
                 repairs += len(store.flush_repairs())
             run_checks()
+    if faults is not None:
+        # Epilogue before the drain: run the rest of the schedule (its
+        # revive/heal tail included), then defensively heal anything still
+        # active — a drain against a permanent partition would never
+        # terminate, and the post-drain checks must see a healed topology.
+        rest = list(faults.actions[plan_applied:])
+        if rest:
+            plan_applied += len(rest)
+            report = injector.apply(rest)
+            fault_applied += report.applied
+            fault_skipped += report.skipped
+        injector.heal_all()
     if driver is not None and drain:
         while not driver.done:
             driver.step(budget_keys)
@@ -197,4 +266,7 @@ def run_interleaved(
         rebalance_completed=driver.done if driver is not None else False,
         invariants_checked=invariants_checked,
         invariant_violations=tuple(violations),
+        fault_events_applied=fault_applied,
+        fault_events_skipped=fault_skipped,
+        fault_errors=fault_errors,
     )

@@ -5,57 +5,29 @@ corresponding misbehaviour at whatever layer it would really occur (gate
 bypass, missing consent, skipped PIA, forgotten notification, log loss…),
 and assert that exactly the right invariant fails — the compliance checker
 is only worth its name if violations are *attributable*.
+
+This is the *compliance-misbehaviour* fault layer.  The infrastructure
+fault layer — replica crashes, shard partitions injected by
+``repro.distributed.faults`` — lives in ``test_distributed_faults.py``,
+where the contract is inverted: there nothing may trip at all, because a
+degraded topology is not a compliance violation.  The shared deployment
+helpers live in ``conftest.py``.
 """
 
 
-from repro.core.actions import ActionType
-from repro.core.consistency import regulation_requires_any_of
-from repro.core.dataunit import DataUnit
-from repro.core.entities import controller, data_subject, processor
-from repro.core.invariants import PreProcessingInvariant, figure1_invariants
-from repro.core.policy import Policy, Purpose
-from repro.systems.database import CompliantDatabase
-
-METASPACE = controller("MetaSpace")
-USER = data_subject("user-1")
-WINDOW = (0, 10**12)
-
-REQUIRED = regulation_requires_any_of(
-    Purpose.COMPLIANCE_ERASE, Purpose.CONTRACT, "subject-access"
+from conftest import (
+    METASPACE,
+    USER,
+    WINDOW,
+    failing_names,
+    healthy_db,
+    run_invariants,
 )
 
-
-def healthy_db(with_pia=True):
-    db = CompliantDatabase(METASPACE)
-    if with_pia:
-        db.log.record(
-            PreProcessingInvariant.PIA_UNIT,
-            Purpose.AUDIT,
-            METASPACE,
-            ActionType.CONTRACT,
-            0,
-        )
-    db.collect(
-        "u1",
-        USER,
-        "app",
-        {"v": 1},
-        policies=[Policy(Purpose.SERVICE, METASPACE, *WINDOW)],
-        erase_deadline=10**12,
-    )
-    return db
-
-
-def run_invariants(db, encrypted=True):
-    invariants = figure1_invariants(
-        required_by_regulation=REQUIRED,
-        encrypted_at_rest=lambda: encrypted,
-    )
-    return db.check_compliance(invariants)
-
-
-def failing_names(report):
-    return {v.invariant for v in report.verdicts if not v.holds}
+from repro.core.actions import ActionType
+from repro.core.dataunit import DataUnit
+from repro.core.entities import processor
+from repro.core.policy import Policy, Purpose
 
 
 def test_baseline_is_fully_compliant():

@@ -16,6 +16,7 @@ from repro.analysis.invariants import (
     check_invariants,
     store_invariants,
 )
+from repro.distributed.faults import FaultInjector
 from repro.distributed.store import ReplicatedStore
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostBook, CostModel
@@ -42,6 +43,7 @@ class TestRegistry:
             "no-erased-read",
             "destructive-actions-audited",
             "replicas-converge",
+            "replicas-converge-after-heal",
         ]
         assert all(inv.description for inv in invariants)
 
@@ -112,6 +114,34 @@ class TestEachInvariantBites:
         shard = next(store.shards())
         shard.replicas[0].applied_seqno = shard._seqno + 5
         assert violated(world) == {"replicas-converge"}
+
+    def test_healed_divergence_trips_after_heal_invariant(self):
+        store = make_store()
+        injector = FaultInjector(store)
+        store.put("k1", (1, "payload"))
+        shard = store._shards[store.shard_of("k1")]
+        shard._apply_backlog(shard.replicas[0], force=True)  # fully caught up
+        world = World.observe(store)
+        assert violated(world) == set()
+        # Tamper: corrupt a caught-up replica's physical content directly
+        # (no seqno change, so lag-based checks cannot see it), with the
+        # injector attached and fully healed.
+        shard.replicas[0].backend.update("k1", (1, "corrupted"))
+        assert injector.active_count == 0
+        assert "replicas-converge-after-heal" in violated(world)
+
+    def test_unrevived_replica_trips_after_heal_invariant(self):
+        store = make_store()
+        injector = FaultInjector(store)
+        store.put("k1", (1, "payload"))
+        world = World.observe(store)
+        injector.kill_replica(0, 0)
+        # Mid-fault the invariant stays silent — a down replica IS the
+        # injected state.
+        assert "replicas-converge-after-heal" not in violated(world)
+        # Tamper: clear the injector's books without reviving the node.
+        injector._down.clear()
+        assert "replicas-converge-after-heal" in violated(world)
 
 
 class TestDriverHook:

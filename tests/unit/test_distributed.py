@@ -456,3 +456,168 @@ class TestLsmCopySites:
         store, _ = make_store(n_replicas=0)
         store.put("k", "v")
         assert (CopyLocation.PRIMARY, "primary") in store.copies_of("k")
+
+
+class TestDegradedQuorum:
+    """Quorum reads over degraded topologies, on every backend.
+
+    Quorum is counted over *membership* (a crashed replica still counts
+    toward n), so one down replica of two leaves the majority
+    assemblable; a partitioned shard fails fast instead of answering; and
+    the PR-4 backlogged-DELETE acceptance case must hold even when the
+    only replica left to consult is the one holding the unapplied DELETE.
+    """
+
+    @staticmethod
+    def _injected(store):
+        from repro.distributed.faults import FaultInjector
+
+        return FaultInjector(store)
+
+    @pytest.mark.parametrize("mode", ["replica-down", "partitioned"])
+    def test_quorum_read_on_degraded_topology(self, backend, mode):
+        store, _ = make_store(backend=backend, n_replicas=2)
+        injector = self._injected(store)
+        store.put("k", "v1")
+        store.update("k", "v2")
+        if mode == "replica-down":
+            injector.kill_replica(0, 0)
+            # n=3 over membership, needed=2: primary + the live replica.
+            assert store.read("k", use_cache=False, consistency="quorum") == "v2"
+        else:
+            from repro.distributed.faults import ShardUnavailableError
+
+            injector.partition_shard(0)
+            with pytest.raises(ShardUnavailableError):
+                store.read("k", use_cache=False, consistency="quorum")
+            injector.heal(0)
+            assert store.read("k", use_cache=False, consistency="quorum") == "v2"
+
+    @pytest.mark.parametrize("mode", ["replica-down", "partitioned"])
+    def test_backlogged_delete_applies_on_degraded_quorum(self, backend, mode):
+        """The PR-4 acceptance case under faults: the primary naive-deleted
+        the key, every replica backlog still holds the value and its
+        DELETE.  Whatever the degradation, no consistency level may serve
+        the corpse once it can answer at all."""
+        from repro.distributed.faults import ShardUnavailableError
+
+        store, clock = make_store(backend=backend, n_replicas=2)
+        injector = self._injected(store)
+        store.put("pii", "sensitive")
+        advance(clock, 60_000)
+        store.read("pii", replica=0, use_cache=False)
+        store.naive_delete("pii")
+        assert store.replication_backlog(1) > 0
+        if mode == "replica-down":
+            injector.kill_replica(0, 0)
+            # The surviving replica must apply its backlogged DELETE en
+            # route to the quorum answer.
+            with pytest.raises(TupleNotFoundError):
+                store.read("pii", use_cache=False, consistency="quorum")
+            survivor = next(store.shards()).replicas[1]
+            assert not survivor.backend.exists("pii")
+        else:
+            injector.partition_shard(0)
+            with pytest.raises(ShardUnavailableError):
+                store.read("pii", use_cache=False, consistency="quorum")
+            injector.heal(0)
+            with pytest.raises(TupleNotFoundError):
+                store.read("pii", use_cache=False, consistency="quorum")
+
+    def test_quorum_unassemblable_when_majority_is_down(self, backend):
+        from repro.distributed.faults import QuorumUnavailableError
+
+        store, _ = make_store(backend=backend, n_replicas=2)
+        injector = self._injected(store)
+        store.put("k", "v")
+        injector.kill_replica(0, 0)
+        injector.kill_replica(0, 1)
+        # n=3 over membership, needed=2, but only the primary is live.
+        with pytest.raises(QuorumUnavailableError):
+            store.read("k", use_cache=False, consistency="quorum")
+        injector.revive_replica(0, 0)
+        assert store.read("k", use_cache=False, consistency="quorum") == "v"
+
+    def test_pinned_read_to_down_replica_fails_fast(self, backend):
+        from repro.distributed.faults import ReplicaDownError
+
+        store, clock = make_store(backend=backend, n_replicas=1)
+        injector = self._injected(store)
+        store.put("k", "v")
+        advance(clock, 60_000)
+        injector.kill_replica(0, 0)
+        with pytest.raises(ReplicaDownError):
+            store.read("k", replica=0, use_cache=False)
+
+
+class TestReplicaElasticity:
+    """set_replicas: joiners catch up from the scrubbed log, leavers are
+    grounded before they drop — on every backend."""
+
+    def test_grow_joins_by_scrubbed_log_replay(self, backend):
+        store, _ = make_store(backend=backend, n_replicas=1, shards=2)
+        for i in range(20):
+            store.put(f"u{i:06d}", (i, "payload"))
+        assert store.erase_all_copies("u000003").verified_clean
+        change = store.set_replicas(2)
+        assert change.replicas_before == 1 and change.replicas_after == 2
+        assert change.added == 2 and change.removed == 0  # one per shard
+        assert change.catchup_entries > 0
+        # The joiners replayed the *scrubbed* log: the erased value was
+        # never resurrected anywhere, and live keys reached every node.
+        assert store.copies_of("u000003") == []
+        with pytest.raises(TupleNotFoundError):
+            store.read("u000003", use_cache=False, consistency="all")
+        assert store.read("u000001", use_cache=False, consistency="all") == (
+            1,
+            "payload",
+        )
+        for shard in store.shards():
+            assert len(shard.replicas) == 2
+
+    def test_shrink_grounds_leaving_replicas(self, backend):
+        store, clock = make_store(backend=backend, n_replicas=2, shards=2)
+        for i in range(20):
+            store.put(f"u{i:06d}", (i, "payload"))
+        advance(clock, 60_000)
+        for i in range(20):  # replicas apply their backlog
+            store.read(f"u{i:06d}", use_cache=False, consistency="all")
+        change = store.set_replicas(1)
+        assert change.removed == 2 and change.added == 0
+        assert change.grounded_values > 0
+        for shard in store.shards():
+            assert len(shard.replicas) == 1
+        # Nothing about the survivors broke: reads and grounded erases
+        # still work, and copies_of never names a dropped node.
+        assert store.read("u000002", use_cache=False) == (2, "payload")
+        assert store.erase_all_copies("u000002").verified_clean
+        assert store.copies_of("u000002") == []
+
+    def test_set_replicas_to_zero_and_back(self, backend):
+        store, _ = make_store(backend=backend, n_replicas=1)
+        store.put("k", "v")
+        store.set_replicas(0)
+        assert store.read("k", use_cache=False, consistency="quorum") == "v"
+        change = store.set_replicas(2)
+        assert change.added == 2
+        assert store.read("k", use_cache=False, consistency="all") == "v"
+
+    def test_set_replicas_refuses_mid_rebalance(self):
+        store, _ = make_store(shards=2)
+        for i in range(30):
+            store.put(f"u{i:06d}", (i, "payload"))
+        store.begin_resize(3, batch_size=8).step()
+        with pytest.raises(RuntimeError):
+            store.set_replicas(3)
+
+    def test_set_replicas_refuses_under_active_faults(self):
+        from repro.distributed.faults import FaultInjector
+
+        store, _ = make_store(n_replicas=2)
+        injector = FaultInjector(store)
+        store.put("k", "v")
+        injector.kill_replica(0, 0)
+        with pytest.raises(RuntimeError, match="active fault"):
+            store.set_replicas(3)
+        injector.heal_all()
+        assert store.set_replicas(3).replicas_after == 3
